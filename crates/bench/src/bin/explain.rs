@@ -1,0 +1,84 @@
+//! Prints what the Pado compiler does to each evaluation workload:
+//! placement decisions (Algorithm 1), the Pado Stages (Algorithm 2),
+//! recomputation-cost scores, and the fused physical plan — a textual
+//! rendition of the paper's Figure 3.
+//!
+//! Usage: `cargo run -p pado-bench --bin explain [als|mlr|mr]`
+
+use pado_core::compiler::{compile, partition, place_operators, recomputation_scores, Placement};
+use pado_dag::LogicalDag;
+use pado_workloads::{als, mlr, mr};
+
+fn explain(name: &str, dag: &LogicalDag) {
+    println!("=== {name} ===");
+    let placement = place_operators(dag).expect("placement");
+    let scores = recomputation_scores(dag, &placement).expect("scores");
+    println!("\noperators (Algorithm 1 placement + recomputation scores):");
+    for op in dag.op_ids() {
+        let deps: Vec<String> = dag
+            .in_edges(op)
+            .iter()
+            .map(|e| format!("{} {}", dag.op(e.src).name, e.dep))
+            .collect();
+        println!(
+            "  [{:<9}] {:<26} score {:>8.0}  <- {}",
+            placement[op].label(),
+            dag.op(op).name,
+            scores[op],
+            if deps.is_empty() {
+                "(source)".to_string()
+            } else {
+                deps.join(", ")
+            }
+        );
+    }
+    let stages = partition(dag, &placement).expect("stages");
+    println!("\nPado Stages (Algorithm 2):");
+    for s in &stages.stages {
+        let names: Vec<&str> = s.ops.iter().map(|&op| dag.op(op).name.as_str()).collect();
+        println!(
+            "  stage {:>2} (anchor {:<26}) parents {:?}: {}",
+            s.id,
+            dag.op(s.anchor).name,
+            s.parents,
+            names.join(", ")
+        );
+    }
+    let plan = compile(dag).expect("plan");
+    println!("\nphysical plan ({} tasks total):", plan.total_tasks());
+    for fop in &plan.fops {
+        let chain: Vec<&str> = fop
+            .chain
+            .iter()
+            .map(|&op| dag.op(op).name.as_str())
+            .collect();
+        println!(
+            "  fop {:>2} stage {:>2} x{:<4} {:<9} {}",
+            fop.id,
+            fop.stage,
+            fop.parallelism,
+            match fop.placement {
+                Placement::Transient => "transient",
+                Placement::Reserved => "reserved",
+            },
+            chain.join(" -> ")
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    if which == "mr" || which == "all" {
+        explain("Map-Reduce (Figure 3a)", &mr::paper().0);
+    }
+    if which == "mlr" || which == "all" {
+        explain(
+            "Multinomial Logistic Regression (Figure 3b)",
+            &mlr::paper().0,
+        );
+    }
+    if which == "als" || which == "all" {
+        explain("Alternating Least Squares (Figure 3c)", &als::paper().0);
+    }
+}

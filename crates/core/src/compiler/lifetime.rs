@@ -1,0 +1,189 @@
+//! Lifetime-aware placement — the paper's §6 "Operator Placement
+//! Optimization" extension.
+//!
+//! When the resource manager can classify transient resources by
+//! predicted lifetime (as Harvest does from historical data), Pado can
+//! place the transient operators whose eviction would be most expensive
+//! on the *longer-lived* transient resources, keeping the cheap-to-redo
+//! operators on the short, unpredictable ones. This module scores each
+//! operator's expected recomputation cost from the DAG structure and
+//! splits the transient operators into lifetime classes.
+
+use pado_dag::{DepType, LogicalDag, OpId};
+
+use crate::compiler::placement::Placement;
+use crate::error::CompileError;
+
+/// Lifetime class of a transient operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifetimeClass {
+    /// Runs on reserved containers (placed by Algorithm 1).
+    Reserved,
+    /// High recomputation cost: prefer long-lived transient resources.
+    LongTransient,
+    /// Cheap to redo: run on the shortest-lived, most abundant resources.
+    ShortTransient,
+}
+
+/// Scores every operator's *recomputation cost*: the expected number of
+/// task executions needed to recover one lost task of the operator,
+/// counting recursively through transient ancestors (reserved ancestors'
+/// outputs are preserved and contribute nothing).
+///
+/// Wide and broadcast in-edges multiply by the parent's task count — one
+/// lost task re-pulls every parent task — which is exactly the intuition
+/// behind Algorithm 1's reserved placement, extended here to grade the
+/// operators that stayed transient.
+///
+/// # Errors
+///
+/// Fails if the DAG does not validate.
+pub fn recomputation_scores(
+    dag: &LogicalDag,
+    placement: &[Placement],
+) -> Result<Vec<f64>, CompileError> {
+    let order = dag.topo_sort()?;
+    let par = crate::compiler::plan::resolve_all_parallelism(
+        dag,
+        &crate::compiler::plan::PlanConfig::default(),
+    )?;
+    let mut scores = vec![0.0f64; dag.len()];
+    for op in order {
+        let mut s = 1.0;
+        for e in dag.in_edges(op) {
+            if placement[e.src] == Placement::Reserved {
+                continue; // Preserved on eviction-free storage.
+            }
+            let src_par = par[e.src].max(1) as f64;
+            let fanin = match e.dep {
+                DepType::OneToOne => 1.0,
+                DepType::OneToMany | DepType::ManyToOne | DepType::ManyToMany => src_par,
+            };
+            s += fanin * scores[e.src];
+        }
+        scores[op] = s;
+    }
+    Ok(scores)
+}
+
+/// Splits operators into lifetime classes: reserved operators keep their
+/// class; the `long_fraction` most expensive transient operators (by
+/// recomputation score, ties broken toward later operators, which sit
+/// deeper in the DAG) go to long-lived transient resources.
+///
+/// # Errors
+///
+/// Fails if the DAG does not validate.
+pub fn classify(
+    dag: &LogicalDag,
+    placement: &[Placement],
+    long_fraction: f64,
+) -> Result<Vec<LifetimeClass>, CompileError> {
+    let scores = recomputation_scores(dag, placement)?;
+    let mut transient: Vec<OpId> = dag
+        .op_ids()
+        .filter(|&op| placement[op] == Placement::Transient)
+        .collect();
+    transient.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]).then(a.cmp(&b)));
+    let n_long = ((transient.len() as f64) * long_fraction.clamp(0.0, 1.0)).round() as usize;
+    let long_set: std::collections::HashSet<OpId> =
+        transient.iter().rev().take(n_long).copied().collect();
+    Ok(dag
+        .op_ids()
+        .map(|op| {
+            if placement[op] == Placement::Reserved {
+                LifetimeClass::Reserved
+            } else if long_set.contains(&op) {
+                LifetimeClass::LongTransient
+            } else {
+                LifetimeClass::ShortTransient
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::placement::place_operators;
+    use pado_dag::{CombineFn, ParDoFn, Pipeline, SourceFn, Value};
+
+    fn ident() -> ParDoFn {
+        ParDoFn::per_element(|v, e| e(v.clone()))
+    }
+
+    #[test]
+    fn deeper_transient_chains_score_higher() {
+        let p = Pipeline::new();
+        let read = p.read("Read", 4, SourceFn::from_vec(vec![Value::Unit]));
+        let a = read.par_do("A", ident());
+        let b = a.par_do("B", ident());
+        let ids = (read.op_id(), a.op_id(), b.op_id());
+        let dag = p.build().unwrap();
+        let pl = place_operators(&dag).unwrap();
+        let s = recomputation_scores(&dag, &pl).unwrap();
+        assert!(s[ids.0] < s[ids.1]);
+        assert!(s[ids.1] < s[ids.2]);
+    }
+
+    #[test]
+    fn reserved_parents_contribute_nothing() {
+        let p = Pipeline::new();
+        let read = p.read("Read", 4, SourceFn::from_vec(vec![Value::Unit]));
+        let agg = read.combine_per_key("Agg", CombineFn::sum_i64());
+        // Consumer of a reserved output plus a broadcast side input: the
+        // reserved parent adds no recomputation cost.
+        let model = p.create("Model", vec![Value::Unit]);
+        let post = read.par_do_with_side("Post", &model, ident());
+        let ids = (read.op_id(), agg.op_id(), post.op_id());
+        let dag = p.build().unwrap();
+        let pl = place_operators(&dag).unwrap();
+        let s = recomputation_scores(&dag, &pl).unwrap();
+        // The reserved aggregate still counts its transient parents (its
+        // inputs must be re-pushed if lost pre-commit): 1 + 4 x read.
+        assert_eq!(s[ids.1], 1.0 + 4.0 * s[ids.0]);
+        // Post's reserved broadcast parent adds nothing; only the
+        // transient one-to-one read edge counts: 1 + score(read).
+        assert_eq!(s[ids.2], 1.0 + s[ids.0]);
+    }
+
+    #[test]
+    fn classify_marks_most_expensive_transients_long() {
+        let p = Pipeline::new();
+        let read = p.read("Read", 4, SourceFn::from_vec(vec![Value::Unit]));
+        let a = read.par_do("A", ident());
+        let b = a.par_do("B", ident());
+        let c = b.par_do("C", ident());
+        let ids = (read.op_id(), c.op_id());
+        let dag = p.build().unwrap();
+        let pl = place_operators(&dag).unwrap();
+        let classes = classify(&dag, &pl, 0.25).unwrap();
+        assert_eq!(classes[ids.1], LifetimeClass::LongTransient, "deepest op");
+        assert_eq!(classes[ids.0], LifetimeClass::ShortTransient);
+    }
+
+    #[test]
+    fn classify_fraction_bounds() {
+        let p = Pipeline::new();
+        let read = p.read("Read", 4, SourceFn::from_vec(vec![Value::Unit]));
+        read.par_do("A", ident());
+        let dag = p.build().unwrap();
+        let pl = place_operators(&dag).unwrap();
+        let none = classify(&dag, &pl, 0.0).unwrap();
+        assert!(none.iter().all(|c| *c != LifetimeClass::LongTransient));
+        let all = classify(&dag, &pl, 1.0).unwrap();
+        assert!(all.iter().all(|c| *c != LifetimeClass::ShortTransient));
+    }
+
+    #[test]
+    fn reserved_ops_keep_reserved_class() {
+        let p = Pipeline::new();
+        let read = p.read("Read", 4, SourceFn::from_vec(vec![Value::Unit]));
+        let agg = read.combine_per_key("Agg", CombineFn::sum_i64());
+        let agg_id = agg.op_id();
+        let dag = p.build().unwrap();
+        let pl = place_operators(&dag).unwrap();
+        let classes = classify(&dag, &pl, 0.5).unwrap();
+        assert_eq!(classes[agg_id], LifetimeClass::Reserved);
+    }
+}

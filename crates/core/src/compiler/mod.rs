@@ -1,0 +1,57 @@
+//! The Pado Compiler (§3.1): placement, partitioning, and plan generation.
+//!
+//! [`compile`] runs the full pipeline: Algorithm 1 marks every operator for
+//! transient or reserved containers, Algorithm 2 cuts the DAG into Pado
+//! Stages at placement boundaries, and the plan generator fuses one-to-one
+//! chains and expands operators into parallel tasks.
+
+pub mod lifetime;
+pub mod partition;
+pub mod placement;
+pub mod plan;
+
+pub use lifetime::{classify, recomputation_scores, LifetimeClass};
+pub use partition::{partition, Stage, StageDag, StageId};
+pub use placement::{place_operators, Placement};
+pub use plan::{build_plan, Fop, FopId, InputSlot, PhysicalPlan, PlanConfig, PlanEdge};
+
+use pado_dag::LogicalDag;
+
+use crate::error::CompileError;
+
+/// Compiles a logical DAG into a physical plan with default options.
+///
+/// # Errors
+///
+/// Propagates validation and parallelism-resolution failures.
+///
+/// # Examples
+///
+/// ```
+/// use pado_core::compiler::{compile, Placement};
+/// use pado_dag::{CombineFn, ParDoFn, Pipeline, SourceFn, Value};
+///
+/// let p = Pipeline::new();
+/// p.read("Read", 4, SourceFn::from_vec(vec![Value::Unit]))
+///     .par_do("Map", ParDoFn::per_element(|v, e| e(v.clone())))
+///     .combine_per_key("Reduce", CombineFn::sum_i64());
+/// let dag = p.build().unwrap();
+/// let plan = compile(&dag).unwrap();
+/// // Read+Map fused on transient containers; Reduce anchored reserved.
+/// assert_eq!(plan.fops.len(), 2);
+/// assert_eq!(plan.fops[1].placement, Placement::Reserved);
+/// ```
+pub fn compile(dag: &LogicalDag) -> Result<PhysicalPlan, CompileError> {
+    compile_with(dag, &PlanConfig::default())
+}
+
+/// Compiles a logical DAG with explicit plan options.
+///
+/// # Errors
+///
+/// Propagates validation and parallelism-resolution failures.
+pub fn compile_with(dag: &LogicalDag, config: &PlanConfig) -> Result<PhysicalPlan, CompileError> {
+    let placement = place_operators(dag)?;
+    let stage_dag = partition(dag, &placement)?;
+    build_plan(dag, &placement, &stage_dag, config)
+}

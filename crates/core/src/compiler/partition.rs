@@ -1,0 +1,306 @@
+//! Stage partitioning — Algorithm 2 of the paper (§3.1.2).
+//!
+//! The marked logical DAG is cut into *Pado Stages*, the unit of execution
+//! and of eviction recovery. Unlike shuffle-boundary stages in Spark-like
+//! engines, Pado stages are cut at *placement* boundaries: a new stage is
+//! created at every operator placed on reserved containers (and at every
+//! operator with no outgoing edges), and the stage recursively absorbs its
+//! transient parent operators. Consequently every stage starts on transient
+//! containers (if it has any transient operators) and finishes on reserved
+//! containers or at the end of the DAG, so all stage outputs are retained
+//! on eviction-free resources and children stages can fetch them steadily.
+//!
+//! As in the paper's recursion, a transient operator reachable from two
+//! different anchors is absorbed by *both* stages; the runtime re-executes
+//! it per stage. Reserved operators belong to exactly one stage.
+
+use std::collections::BTreeSet;
+
+use pado_dag::{LogicalDag, OpId};
+
+use crate::compiler::placement::Placement;
+use crate::error::CompileError;
+
+/// Identifier of a stage within one [`StageDag`] (a dense index).
+pub type StageId = usize;
+
+/// A Pado Stage: a subgraph anchored at a reserved or terminal operator.
+#[derive(Debug, Clone)]
+pub struct Stage {
+    /// The stage id.
+    pub id: StageId,
+    /// The reserved (or terminal) operator that created the stage.
+    pub anchor: OpId,
+    /// All member operators, in ascending operator id order. Contains the
+    /// anchor plus the recursively absorbed transient parents.
+    pub ops: Vec<OpId>,
+    /// Parent stages whose preserved outputs this stage reads.
+    pub parents: Vec<StageId>,
+}
+
+impl Stage {
+    /// Whether the given operator belongs to this stage.
+    pub fn contains(&self, op: OpId) -> bool {
+        self.ops.binary_search(&op).is_ok()
+    }
+}
+
+/// The DAG of Pado Stages produced by Algorithm 2.
+#[derive(Debug, Clone)]
+pub struct StageDag {
+    /// Stages in creation (topological) order.
+    pub stages: Vec<Stage>,
+    /// For reserved operators, the stage anchored at them.
+    anchor_of: Vec<Option<StageId>>,
+}
+
+impl StageDag {
+    /// The stage anchored at the given reserved operator, if any.
+    pub fn stage_of_anchor(&self, op: OpId) -> Option<StageId> {
+        self.anchor_of.get(op).copied().flatten()
+    }
+
+    /// All stages that contain the given operator.
+    pub fn stages_containing(&self, op: OpId) -> Vec<StageId> {
+        self.stages
+            .iter()
+            .filter(|s| s.contains(op))
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// Child stages of `id`.
+    pub fn children(&self, id: StageId) -> Vec<StageId> {
+        self.stages
+            .iter()
+            .filter(|s| s.parents.contains(&id))
+            .map(|s| s.id)
+            .collect()
+    }
+
+    /// A topological order over stages (stages are created in topological
+    /// order of their anchors, so creation order is already topological).
+    pub fn topo_order(&self) -> Vec<StageId> {
+        (0..self.stages.len()).collect()
+    }
+}
+
+/// Runs Algorithm 2 over a placed logical DAG.
+///
+/// # Errors
+///
+/// Fails if the DAG does not validate.
+pub fn partition(dag: &LogicalDag, placement: &[Placement]) -> Result<StageDag, CompileError> {
+    dag.validate()?;
+    let order = dag.topo_sort()?;
+    let mut stages: Vec<Stage> = Vec::new();
+    let mut anchor_of: Vec<Option<StageId>> = vec![None; dag.len()];
+
+    for &op in &order {
+        let is_reserved = placement[op] == Placement::Reserved;
+        let is_terminal = dag.out_edges(op).is_empty();
+        if is_reserved || is_terminal {
+            // A reserved operator that is also terminal creates exactly one
+            // stage (the two conditions are one `or` in the paper).
+            if anchor_of[op].is_some() {
+                continue;
+            }
+            let id = stages.len();
+            let mut members = BTreeSet::new();
+            let mut parents = BTreeSet::new();
+            recursive_add(dag, placement, &anchor_of, op, &mut members, &mut parents);
+            anchor_of[op] = Some(id);
+            stages.push(Stage {
+                id,
+                anchor: op,
+                ops: members.into_iter().collect(),
+                parents: parents.into_iter().collect(),
+            });
+        }
+    }
+
+    Ok(StageDag { stages, anchor_of })
+}
+
+/// The paper's `RECURSIVEADD`: add `op` to the stage, recurse into
+/// transient parents, and record stage-dependency edges for reserved
+/// parents (whose stages were created earlier in topological order).
+fn recursive_add(
+    dag: &LogicalDag,
+    placement: &[Placement],
+    anchor_of: &[Option<StageId>],
+    op: OpId,
+    members: &mut BTreeSet<OpId>,
+    parents: &mut BTreeSet<StageId>,
+) {
+    if !members.insert(op) {
+        return;
+    }
+    for edge in dag.in_edges(op) {
+        let parent = edge.src;
+        match placement[parent] {
+            Placement::Transient => {
+                recursive_add(dag, placement, anchor_of, parent, members, parents);
+            }
+            Placement::Reserved => {
+                // The parent operator belongs to a previously created stage.
+                if let Some(ps) = anchor_of[parent] {
+                    parents.insert(ps);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::placement::place_operators;
+    use pado_dag::{CombineFn, ParDoFn, Pipeline, SourceFn, Value};
+
+    fn ident() -> ParDoFn {
+        ParDoFn::per_element(|v, e| e(v.clone()))
+    }
+
+    /// Figure 3(a): Map-Reduce partitions into a single logical stage for
+    /// Reduce (absorbing Read and Map), plus the reserved sink's stage.
+    #[test]
+    fn map_reduce_stages() {
+        let p = Pipeline::new();
+        let read = p.read("Read", 4, SourceFn::from_vec(vec![Value::Unit]));
+        let map = read.par_do("Map", ident());
+        let reduce = map.combine_per_key("Reduce", CombineFn::sum_i64());
+        let sink = reduce.sink("Sink");
+        let ids = (read.op_id(), map.op_id(), reduce.op_id(), sink.op_id());
+        let dag = p.build().unwrap();
+        let pl = place_operators(&dag).unwrap();
+        let sd = partition(&dag, &pl).unwrap();
+        assert_eq!(sd.stages.len(), 2);
+        // Stage 0 anchored at Reduce contains Read, Map, Reduce.
+        assert_eq!(sd.stages[0].anchor, ids.2);
+        assert_eq!(sd.stages[0].ops, vec![ids.0, ids.1, ids.2]);
+        assert!(sd.stages[0].parents.is_empty());
+        // Stage 1 anchored at the reserved Sink depends on stage 0.
+        assert_eq!(sd.stages[1].anchor, ids.3);
+        assert_eq!(sd.stages[1].ops, vec![ids.3]);
+        assert_eq!(sd.stages[1].parents, vec![0]);
+    }
+
+    /// Figure 3(b): MLR has one stage per reserved operator: the created
+    /// model, the aggregation (absorbing read + gradient), and the model
+    /// update.
+    #[test]
+    fn mlr_stages() {
+        let p = Pipeline::new();
+        let train = p.read("Read", 8, SourceFn::from_vec(vec![Value::Unit]));
+        let model0 = p.create("Model0", vec![Value::from(0.0)]);
+        let grad = train.par_do_with_side("Grad", &model0, ident());
+        let agg = grad.aggregate("Agg", CombineFn::sum_vector());
+        let model1 = agg.par_do_zip("Model1", &model0, ident());
+        let ids = (
+            train.op_id(),
+            model0.op_id(),
+            grad.op_id(),
+            agg.op_id(),
+            model1.op_id(),
+        );
+        let dag = p.build().unwrap();
+        let pl = place_operators(&dag).unwrap();
+        let sd = partition(&dag, &pl).unwrap();
+        assert_eq!(sd.stages.len(), 3, "three reserved operators -> 3 stages");
+        // Stage for Model0.
+        assert_eq!(sd.stages[0].anchor, ids.1);
+        assert_eq!(sd.stages[0].ops, vec![ids.1]);
+        // Stage for Agg absorbs Read and Grad; depends on Model0's stage
+        // (broadcast edge into Grad).
+        assert_eq!(sd.stages[1].anchor, ids.3);
+        assert_eq!(sd.stages[1].ops, vec![ids.0, ids.2, ids.3]);
+        assert_eq!(sd.stages[1].parents, vec![0]);
+        // Stage for Model1 depends on both reserved parents' stages.
+        assert_eq!(sd.stages[2].anchor, ids.4);
+        assert_eq!(sd.stages[2].ops, vec![ids.4]);
+        assert_eq!(sd.stages[2].parents, vec![0, 1]);
+    }
+
+    /// A DAG ending on a transient operator still gets a terminal stage.
+    #[test]
+    fn transient_terminal_gets_own_stage() {
+        let p = Pipeline::new();
+        let read = p.read("Read", 2, SourceFn::from_vec(vec![Value::Unit]));
+        let map = read.par_do("Map", ident());
+        let map_id = map.op_id();
+        let dag = p.build().unwrap();
+        let pl = place_operators(&dag).unwrap();
+        assert_eq!(pl[map_id], Placement::Transient);
+        let sd = partition(&dag, &pl).unwrap();
+        assert_eq!(sd.stages.len(), 1);
+        assert_eq!(sd.stages[0].anchor, map_id);
+        assert_eq!(sd.stages[0].ops.len(), 2);
+    }
+
+    /// A transient operator feeding two reserved anchors is absorbed by
+    /// both stages (the paper's recursion duplicates it).
+    #[test]
+    fn shared_transient_parent_joins_both_stages() {
+        let p = Pipeline::new();
+        let read = p.read("Read", 2, SourceFn::from_vec(vec![Value::Unit]));
+        let a = read.combine_per_key("AggA", CombineFn::sum_i64());
+        let b = read.combine_per_key("AggB", CombineFn::sum_i64());
+        let ids = (read.op_id(), a.op_id(), b.op_id());
+        let dag = p.build().unwrap();
+        let pl = place_operators(&dag).unwrap();
+        let sd = partition(&dag, &pl).unwrap();
+        assert_eq!(sd.stages.len(), 2);
+        assert_eq!(sd.stages_containing(ids.0), vec![0, 1]);
+    }
+
+    /// Every stage's anchor is reserved or terminal, and all non-anchor
+    /// members are transient.
+    #[test]
+    fn stage_members_are_transient_except_anchor() {
+        let p = Pipeline::new();
+        let read = p.read("Read", 2, SourceFn::from_vec(vec![Value::Unit]));
+        let m1 = read.par_do("M1", ident());
+        let g = m1.group_by_key("G");
+        let m2 = g.par_do("M2", ident());
+        m2.sink("S");
+        let dag = p.build().unwrap();
+        let pl = place_operators(&dag).unwrap();
+        let sd = partition(&dag, &pl).unwrap();
+        for s in &sd.stages {
+            let anchor_ok =
+                pl[s.anchor] == Placement::Reserved || dag.out_edges(s.anchor).is_empty();
+            assert!(anchor_ok);
+            for &op in &s.ops {
+                if op != s.anchor {
+                    assert_eq!(pl[op], Placement::Transient);
+                }
+            }
+        }
+    }
+
+    /// Stage parent links are acyclic and point backwards in creation
+    /// order.
+    #[test]
+    fn stage_dag_is_topological() {
+        let p = Pipeline::new();
+        let read = p.read("Read", 2, SourceFn::from_vec(vec![Value::Unit]));
+        let g1 = read.group_by_key("G1");
+        let g2 = g1.par_do("M", ident()).group_by_key("G2");
+        g2.sink("S");
+        let dag = p.build().unwrap();
+        let pl = place_operators(&dag).unwrap();
+        let sd = partition(&dag, &pl).unwrap();
+        for s in &sd.stages {
+            for &parent in &s.parents {
+                assert!(parent < s.id);
+            }
+        }
+        // Children lookup is the inverse of parents.
+        for s in &sd.stages {
+            for &parent in &s.parents {
+                assert!(sd.children(parent).contains(&s.id));
+            }
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Operator placement — Algorithm 1 of the paper (§3.1.1).
+//!
+//! The compiler walks the logical DAG in topological order and marks each
+//! operator to run on either *reserved* (eviction-free) or *transient*
+//! (eviction-prone) containers:
+//!
+//! - computational operators with **any** many-to-many or many-to-one
+//!   in-edge go to reserved containers (an eviction of one of their tasks
+//!   would force recomputation of many parent tasks);
+//! - computational operators whose in-edges are **all** one-to-one **and**
+//!   all come from reserved operators also go to reserved containers, to
+//!   exploit data locality on the reserved side;
+//! - everything else goes to transient containers, using them as
+//!   aggressively as possible;
+//! - `Read` sources go to transient containers (many containers load the
+//!   input in parallel), `Created` sources to reserved containers (the
+//!   created data is lightweight and must not be lost).
+
+use pado_dag::{DepType, LogicalDag, OperatorKind, SourceKind};
+
+use crate::error::CompileError;
+
+/// Where an operator's tasks run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Placement {
+    /// Eviction-prone containers harvested from latency-critical jobs.
+    Transient,
+    /// Eviction-free containers dedicated to the job.
+    Reserved,
+}
+
+impl Placement {
+    /// Short label used in plans and debug output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Placement::Transient => "transient",
+            Placement::Reserved => "reserved",
+        }
+    }
+}
+
+/// Runs Algorithm 1, returning one placement per operator id.
+///
+/// # Errors
+///
+/// Fails if the DAG does not validate (e.g. contains a cycle).
+pub fn place_operators(dag: &LogicalDag) -> Result<Vec<Placement>, CompileError> {
+    dag.validate()?;
+    let order = dag.topo_sort()?;
+    let mut placement = vec![Placement::Transient; dag.len()];
+    for op_id in order {
+        let op = dag.op(op_id);
+        let in_edges = dag.in_edges(op_id);
+        if !in_edges.is_empty() {
+            // Computational operator.
+            let any_wide = in_edges.iter().any(|e| e.dep.is_wide());
+            let all_o2o = in_edges.iter().all(|e| e.dep == DepType::OneToOne);
+            let all_from_reserved = in_edges
+                .iter()
+                .all(|e| placement[e.src] == Placement::Reserved);
+            placement[op_id] = if any_wide || (all_o2o && all_from_reserved) {
+                Placement::Reserved
+            } else {
+                Placement::Transient
+            };
+        } else {
+            // Source operator.
+            placement[op_id] = match &op.kind {
+                OperatorKind::Source {
+                    kind: SourceKind::Read,
+                    ..
+                } => Placement::Transient,
+                OperatorKind::Source {
+                    kind: SourceKind::Created,
+                    ..
+                } => Placement::Reserved,
+                // `validate` guarantees only sources lack in-edges.
+                _ => unreachable!("non-source operator without in-edges"),
+            };
+        }
+    }
+    Ok(placement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pado_dag::{CombineFn, ParDoFn, Pipeline, SourceFn, Value};
+
+    fn ident() -> ParDoFn {
+        ParDoFn::per_element(|v, e| e(v.clone()))
+    }
+
+    /// Figure 3(a): Read -> Map -> Reduce (m-m) -> Sink.
+    #[test]
+    fn map_reduce_placement() {
+        let p = Pipeline::new();
+        let read = p.read("Read", 4, SourceFn::from_vec(vec![Value::Unit]));
+        let map = read.par_do("Map", ident());
+        let reduce = map.combine_per_key("Reduce", CombineFn::sum_i64());
+        let sink = reduce.sink("Sink");
+        let (r, m, rd, s) = (read.op_id(), map.op_id(), reduce.op_id(), sink.op_id());
+        let dag = p.build().unwrap();
+        let pl = place_operators(&dag).unwrap();
+        assert_eq!(pl[r], Placement::Transient);
+        assert_eq!(pl[m], Placement::Transient);
+        assert_eq!(pl[rd], Placement::Reserved);
+        // Sink has a single o-o edge from a reserved operator: reserved for
+        // locality.
+        assert_eq!(pl[s], Placement::Reserved);
+    }
+
+    /// Figure 3(b): the MLR iteration structure.
+    #[test]
+    fn mlr_placement() {
+        let p = Pipeline::new();
+        let train = p.read(
+            "Read Training Data",
+            8,
+            SourceFn::from_vec(vec![Value::Unit]),
+        );
+        let model0 = p.create("Create 1st Model", vec![Value::from(0.0)]);
+        let grad = train.par_do_with_side("Compute Gradient", &model0, ident());
+        let agg = grad.aggregate("Aggregate Gradients", CombineFn::sum_vector());
+        let model1 = agg.par_do_zip("Compute 2nd Model", &model0, ident());
+        let ids = (
+            train.op_id(),
+            model0.op_id(),
+            grad.op_id(),
+            agg.op_id(),
+            model1.op_id(),
+        );
+        let dag = p.build().unwrap();
+        let pl = place_operators(&dag).unwrap();
+        assert_eq!(pl[ids.0], Placement::Transient, "read training data");
+        assert_eq!(pl[ids.1], Placement::Reserved, "created model");
+        assert_eq!(pl[ids.2], Placement::Transient, "compute gradient");
+        assert_eq!(pl[ids.3], Placement::Reserved, "aggregate (m-o)");
+        assert_eq!(
+            pl[ids.4],
+            Placement::Reserved,
+            "compute 2nd model: all o-o from reserved"
+        );
+    }
+
+    /// An operator with only a broadcast (o-m) in-edge stays transient.
+    #[test]
+    fn broadcast_only_consumer_is_transient() {
+        let p = Pipeline::new();
+        let read = p.read("Read", 4, SourceFn::from_vec(vec![Value::Unit]));
+        let model = p.create("Model", vec![Value::from(1.0)]);
+        let consume = read.par_do_with_side("Consume", &model, ident());
+        let id = consume.op_id();
+        let dag = p.build().unwrap();
+        let pl = place_operators(&dag).unwrap();
+        // In-edges are o-o (from transient) + o-m: not wide, not all o-o
+        // from reserved, hence transient.
+        assert_eq!(pl[id], Placement::Transient);
+    }
+
+    /// o-o from a transient parent stays transient even when another parent
+    /// is reserved.
+    #[test]
+    fn mixed_o2o_parents_stay_transient() {
+        let p = Pipeline::new();
+        let read = p.read("Read", 2, SourceFn::from_vec(vec![Value::Unit]));
+        let created = p.create("Created", vec![Value::Unit]);
+        let zip = read.par_do_zip("Zip", &created, ident());
+        let id = zip.op_id();
+        let dag = p.build().unwrap();
+        let pl = place_operators(&dag).unwrap();
+        assert_eq!(pl[id], Placement::Transient);
+    }
+
+    /// Chains after a reserved operator stay reserved through o-o edges.
+    #[test]
+    fn reserved_locality_chain() {
+        let p = Pipeline::new();
+        let read = p.read("Read", 2, SourceFn::from_vec(vec![Value::Unit]));
+        let gbk = read.group_by_key("Group");
+        let post = gbk.par_do("Post", ident());
+        let post2 = post.par_do("Post2", ident());
+        let (g, a, b) = (gbk.op_id(), post.op_id(), post2.op_id());
+        let dag = p.build().unwrap();
+        let pl = place_operators(&dag).unwrap();
+        assert_eq!(pl[g], Placement::Reserved);
+        assert_eq!(pl[a], Placement::Reserved);
+        assert_eq!(pl[b], Placement::Reserved);
+    }
+
+    #[test]
+    fn invalid_dag_is_rejected() {
+        let dag = pado_dag::LogicalDag::new();
+        assert!(matches!(
+            place_operators(&dag),
+            Err(CompileError::InvalidDag(_))
+        ));
+    }
+}

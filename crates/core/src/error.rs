@@ -1,0 +1,104 @@
+//! Error types for the Pado compiler and runtime.
+
+use std::fmt;
+
+use pado_dag::{DagError, OpId};
+
+/// Errors produced by the Pado compiler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The input logical DAG failed validation.
+    InvalidDag(DagError),
+    /// An operator's parallelism could not be resolved (no input to
+    /// inherit from and none declared).
+    UnresolvedParallelism(OpId),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::InvalidDag(e) => write!(f, "invalid logical DAG: {e}"),
+            CompileError::UnresolvedParallelism(id) => {
+                write!(f, "cannot resolve parallelism of operator {id}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::InvalidDag(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DagError> for CompileError {
+    fn from(e: DagError) -> Self {
+        CompileError::InvalidDag(e)
+    }
+}
+
+/// Errors produced by the Pado runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The job was aborted before completion.
+    Aborted(String),
+    /// An executor channel closed unexpectedly.
+    Disconnected(String),
+    /// The cluster has no alive executor of the required type.
+    NoExecutors(&'static str),
+    /// Compilation failed while preparing the job.
+    Compile(CompileError),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Aborted(why) => write!(f, "job aborted: {why}"),
+            RuntimeError::Disconnected(who) => write!(f, "channel to {who} disconnected"),
+            RuntimeError::NoExecutors(kind) => write!(f, "no alive {kind} executors"),
+            RuntimeError::Compile(e) => write!(f, "compilation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Compile(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CompileError> for RuntimeError {
+    fn from(e: CompileError) -> Self {
+        RuntimeError::Compile(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = CompileError::InvalidDag(DagError::Empty);
+        assert!(e.to_string().contains("invalid logical DAG"));
+        let r: RuntimeError = e.into();
+        assert!(r.to_string().contains("compilation failed"));
+        assert!(RuntimeError::NoExecutors("transient")
+            .to_string()
+            .contains("transient"));
+    }
+
+    #[test]
+    fn error_sources_chain() {
+        use std::error::Error;
+        let e = CompileError::InvalidDag(DagError::Empty);
+        assert!(e.source().is_some());
+        assert!(CompileError::UnresolvedParallelism(3).source().is_none());
+    }
+}

@@ -1,0 +1,287 @@
+//! Pure task-execution semantics: applying an operator chain to one task's
+//! input, and routing task outputs along typed edges.
+//!
+//! Both the in-process runtime and the test suites use these functions, so
+//! a task computes the same records wherever it is (re)executed — the
+//! property eviction recovery depends on.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+use pado_dag::{DepType, LogicalDag, OperatorKind, TaskInput, Value};
+
+use crate::compiler::Fop;
+
+/// Applies one logical operator to a task input, producing output records.
+pub fn apply_op(dag: &LogicalDag, op: pado_dag::OpId, input: TaskInput<'_>) -> Vec<Value> {
+    match &dag.op(op).kind {
+        OperatorKind::Source { .. } => {
+            // Sources are driven by `source_partition`, not by inputs.
+            Vec::new()
+        }
+        OperatorKind::ParDo(f) => {
+            let mut out = Vec::new();
+            f.call(input, &mut |v| out.push(v));
+            out
+        }
+        OperatorKind::GroupByKey => {
+            let mut groups: BTreeMap<Value, Vec<Value>> = BTreeMap::new();
+            for part in input.mains {
+                for rec in part {
+                    if let Some((k, v)) = rec.clone().into_pair() {
+                        groups.entry(k).or_default().push(v);
+                    }
+                }
+            }
+            groups
+                .into_iter()
+                .map(|(k, vs)| Value::pair(k, Value::list(vs)))
+                .collect()
+        }
+        OperatorKind::Combine { f, keyed: true } => {
+            let mut accs: BTreeMap<Value, Value> = BTreeMap::new();
+            for part in input.mains {
+                for rec in part {
+                    if let Some((k, v)) = rec.clone().into_pair() {
+                        let acc = accs.remove(&k).unwrap_or_else(|| f.identity());
+                        accs.insert(k, f.merge(acc, v));
+                    }
+                }
+            }
+            accs.into_iter().map(|(k, v)| Value::pair(k, v)).collect()
+        }
+        OperatorKind::Combine { f, keyed: false } => {
+            let mut acc = f.identity();
+            for part in input.mains {
+                for rec in part {
+                    acc = f.merge(acc, rec.clone());
+                }
+            }
+            vec![acc]
+        }
+        OperatorKind::Sink => {
+            let mut out = Vec::new();
+            for part in input.mains {
+                out.extend(part.iter().cloned());
+            }
+            out
+        }
+    }
+}
+
+/// Produces the records of a source task's partition.
+pub fn source_partition(
+    dag: &LogicalDag,
+    op: pado_dag::OpId,
+    index: usize,
+    parallelism: usize,
+) -> Vec<Value> {
+    match &dag.op(op).kind {
+        OperatorKind::Source { f, .. } => f.produce(index, parallelism),
+        _ => Vec::new(),
+    }
+}
+
+/// Executes a fused operator chain for one task.
+///
+/// `mains` holds the external main inputs of the chain head (one vector
+/// per main slot); `sides` maps a chain-member index to that member's
+/// broadcast side input (see [`crate::compiler::PlanEdge::member`]).
+/// Interior chain members read the previous member's output as their main
+/// input.
+pub fn apply_chain(
+    dag: &LogicalDag,
+    fop: &Fop,
+    index: usize,
+    mains: &[Vec<Value>],
+    sides: &BTreeMap<usize, Vec<Value>>,
+) -> Vec<Value> {
+    let head = fop.head();
+    let side0 = sides.get(&0).map(|v| v.as_slice());
+    let mut data = if dag.op(head).kind.is_source() {
+        source_partition(dag, head, index, fop.parallelism)
+    } else {
+        apply_op(dag, head, TaskInput::new(mains, side0))
+    };
+    for (pos, &op) in fop.chain.iter().enumerate().skip(1) {
+        let side = sides.get(&pos).map(|v| v.as_slice());
+        let link = vec![data];
+        data = apply_op(dag, op, TaskInput::new(&link, side));
+    }
+    data
+}
+
+/// Deterministic hash used for many-to-many record routing.
+pub fn route_hash(v: &Value) -> u64 {
+    let mut h = DefaultHasher::new();
+    // Route keyed records by key so equal keys co-locate.
+    match v.key() {
+        Some(k) => k.hash(&mut h),
+        None => v.hash(&mut h),
+    }
+    h.finish()
+}
+
+/// Routes one task's output records to consumer task indices along a typed
+/// edge. Returns `dst_parallelism` buckets.
+pub fn route(
+    records: &[Value],
+    dep: DepType,
+    src_index: usize,
+    dst_parallelism: usize,
+) -> Vec<Vec<Value>> {
+    let p = dst_parallelism.max(1);
+    let mut buckets: Vec<Vec<Value>> = vec![Vec::new(); p];
+    match dep {
+        DepType::OneToOne => {
+            buckets[src_index % p].extend(records.iter().cloned());
+        }
+        DepType::OneToMany => {
+            for b in &mut buckets {
+                b.extend(records.iter().cloned());
+            }
+        }
+        DepType::ManyToOne => {
+            buckets[src_index % p].extend(records.iter().cloned());
+        }
+        DepType::ManyToMany => {
+            for r in records {
+                let i = (route_hash(r) % p as u64) as usize;
+                buckets[i].push(r.clone());
+            }
+        }
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::compile;
+    use pado_dag::{CombineFn, ParDoFn, Pipeline, SourceFn};
+
+    #[test]
+    fn apply_keyed_combine_merges_per_key() {
+        let p = Pipeline::new();
+        let read = p.read("R", 1, SourceFn::from_vec(vec![]));
+        let c = read.combine_per_key("C", CombineFn::sum_i64());
+        let cid = c.op_id();
+        let dag = p.build().unwrap();
+        let input = vec![vec![
+            Value::pair(Value::from("a"), Value::from(1i64)),
+            Value::pair(Value::from("b"), Value::from(5i64)),
+            Value::pair(Value::from("a"), Value::from(2i64)),
+        ]];
+        let out = apply_op(&dag, cid, TaskInput::new(&input, None));
+        assert_eq!(
+            out,
+            vec![
+                Value::pair(Value::from("a"), Value::from(3i64)),
+                Value::pair(Value::from("b"), Value::from(5i64)),
+            ]
+        );
+    }
+
+    #[test]
+    fn apply_global_combine_merges_all() {
+        let p = Pipeline::new();
+        let read = p.read("R", 1, SourceFn::from_vec(vec![]));
+        let a = read.aggregate("A", CombineFn::sum_f64());
+        let aid = a.op_id();
+        let dag = p.build().unwrap();
+        let input = vec![
+            vec![Value::from(1.0), Value::from(2.0)],
+            vec![Value::from(3.0)],
+        ];
+        let out = apply_op(&dag, aid, TaskInput::new(&input, None));
+        assert_eq!(out, vec![Value::from(6.0)]);
+    }
+
+    #[test]
+    fn group_by_key_groups_sorted() {
+        let p = Pipeline::new();
+        let read = p.read("R", 1, SourceFn::from_vec(vec![]));
+        let g = read.group_by_key("G");
+        let gid = g.op_id();
+        let dag = p.build().unwrap();
+        let input = vec![vec![
+            Value::pair(Value::from("b"), Value::from(1i64)),
+            Value::pair(Value::from("a"), Value::from(2i64)),
+            Value::pair(Value::from("b"), Value::from(3i64)),
+        ]];
+        let out = apply_op(&dag, gid, TaskInput::new(&input, None));
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].key().unwrap().as_str(), Some("a"));
+        assert_eq!(out[1].val().unwrap().as_list().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn chain_executes_source_then_ops() {
+        let p = Pipeline::new();
+        let read = p.read(
+            "R",
+            2,
+            SourceFn::new(|i, _| vec![Value::from(i as i64), Value::from(10 + i as i64)]),
+        );
+        read.par_do(
+            "Double",
+            ParDoFn::per_element(|v, e| e(Value::from(v.as_i64().unwrap() * 2))),
+        );
+        let dag = p.build().unwrap();
+        let plan = compile(&dag).unwrap();
+        let fop = &plan.fops[0];
+        assert_eq!(fop.chain.len(), 2);
+        let out = apply_chain(&dag, fop, 1, &[], &BTreeMap::new());
+        assert_eq!(out, vec![Value::from(2i64), Value::from(22i64)]);
+    }
+
+    #[test]
+    fn route_one_to_one_targets_same_index() {
+        let recs = vec![Value::from(1i64)];
+        let buckets = route(&recs, DepType::OneToOne, 2, 4);
+        assert!(buckets[2] == recs);
+        assert!(buckets[0].is_empty() && buckets[1].is_empty() && buckets[3].is_empty());
+    }
+
+    #[test]
+    fn route_broadcast_copies_everywhere() {
+        let recs = vec![Value::from(1i64), Value::from(2i64)];
+        let buckets = route(&recs, DepType::OneToMany, 0, 3);
+        assert!(buckets.iter().all(|b| b == &recs));
+    }
+
+    #[test]
+    fn route_many_to_one_round_robins_by_source() {
+        let recs = vec![Value::Unit];
+        assert_eq!(route(&recs, DepType::ManyToOne, 5, 2)[1].len(), 1);
+        assert_eq!(route(&recs, DepType::ManyToOne, 4, 2)[0].len(), 1);
+    }
+
+    #[test]
+    fn route_shuffle_is_deterministic_and_key_consistent() {
+        let recs: Vec<Value> = (0..100)
+            .map(|i| Value::pair(Value::from(i % 10), Value::from(i)))
+            .collect();
+        let a = route(&recs, DepType::ManyToMany, 0, 4);
+        let b = route(&recs, DepType::ManyToMany, 7, 4);
+        assert_eq!(a, b, "routing ignores source index for shuffles");
+        // Same key always lands in the same bucket.
+        for (i, bucket) in a.iter().enumerate() {
+            for r in bucket {
+                let h = (route_hash(r) % 4) as usize;
+                assert_eq!(h, i);
+            }
+        }
+        // All records preserved.
+        assert_eq!(a.iter().map(Vec::len).sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn route_zero_parallelism_clamps_to_one() {
+        let recs = vec![Value::Unit];
+        let buckets = route(&recs, DepType::ManyToMany, 0, 0);
+        assert_eq!(buckets.len(), 1);
+        assert_eq!(buckets[0].len(), 1);
+    }
+}

@@ -1,0 +1,173 @@
+//! A byte-bounded LRU cache for task input caching (§3.2.7).
+//!
+//! Executors cache broadcast inputs (e.g. the latest ML model) so that
+//! tasks scheduled on the same executor do not need the data re-sent from
+//! reserved executors. When the cache fills, the least recently used entry
+//! is evicted.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pado_dag::Value;
+
+/// Cache key: the plan-wide id of the fused operator whose output is
+/// cached, qualified by the consumer-side routing (broadcast inputs are
+/// whole datasets, so the fop id suffices).
+pub type CacheKey = usize;
+
+/// A byte-bounded LRU cache of materialized input datasets.
+#[derive(Debug)]
+pub struct LruCache {
+    capacity_bytes: usize,
+    used_bytes: usize,
+    clock: u64,
+    entries: HashMap<CacheKey, Entry>,
+}
+
+#[derive(Debug)]
+struct Entry {
+    data: Arc<Vec<Value>>,
+    bytes: usize,
+    last_used: u64,
+}
+
+impl LruCache {
+    /// Creates a cache bounded to `capacity_bytes`.
+    pub fn new(capacity_bytes: usize) -> Self {
+        LruCache {
+            capacity_bytes,
+            used_bytes: 0,
+            clock: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Bytes currently held.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// Number of cached datasets.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a dataset, refreshing its recency.
+    pub fn get(&mut self, key: CacheKey) -> Option<Arc<Vec<Value>>> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries.get_mut(&key).map(|e| {
+            e.last_used = clock;
+            Arc::clone(&e.data)
+        })
+    }
+
+    /// Inserts a dataset, evicting least-recently-used entries as needed.
+    ///
+    /// Datasets larger than the whole capacity are not cached at all.
+    /// Returns whether the dataset was cached.
+    pub fn put(&mut self, key: CacheKey, data: Arc<Vec<Value>>) -> bool {
+        let bytes: usize = data.iter().map(Value::size_bytes).sum();
+        if bytes > self.capacity_bytes {
+            return false;
+        }
+        if let Some(old) = self.entries.remove(&key) {
+            self.used_bytes -= old.bytes;
+        }
+        while self.used_bytes + bytes > self.capacity_bytes {
+            let lru = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+                .expect("cache over capacity implies at least one entry");
+            let evicted = self.entries.remove(&lru).expect("key just found");
+            self.used_bytes -= evicted.bytes;
+        }
+        self.clock += 1;
+        self.entries.insert(
+            key,
+            Entry {
+                data,
+                bytes,
+                last_used: self.clock,
+            },
+        );
+        self.used_bytes += bytes;
+        true
+    }
+
+    /// Keys currently cached, unordered.
+    pub fn keys(&self) -> Vec<CacheKey> {
+        self.entries.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(n_records: usize) -> Arc<Vec<Value>> {
+        // Each I64 record accounts 8 bytes.
+        Arc::new((0..n_records).map(|i| Value::from(i as i64)).collect())
+    }
+
+    #[test]
+    fn get_refreshes_recency() {
+        let mut c = LruCache::new(24);
+        c.put(1, dataset(1));
+        c.put(2, dataset(1));
+        c.put(3, dataset(1));
+        // Touch 1 so 2 becomes the LRU.
+        assert!(c.get(1).is_some());
+        c.put(4, dataset(1));
+        assert!(c.get(2).is_none(), "2 was least recently used");
+        assert!(c.get(1).is_some());
+        assert!(c.get(3).is_some());
+        assert!(c.get(4).is_some());
+    }
+
+    #[test]
+    fn oversized_entry_is_rejected() {
+        let mut c = LruCache::new(8);
+        assert!(!c.put(1, dataset(2)));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn reinsert_replaces_bytes() {
+        let mut c = LruCache::new(100);
+        c.put(1, dataset(5));
+        assert_eq!(c.used_bytes(), 40);
+        c.put(1, dataset(2));
+        assert_eq!(c.used_bytes(), 16);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn eviction_frees_enough_space() {
+        let mut c = LruCache::new(80);
+        c.put(1, dataset(5)); // 40
+        c.put(2, dataset(5)); // 40
+        c.put(3, dataset(8)); // 64 -> evicts both
+        assert!(c.get(1).is_none());
+        assert!(c.get(2).is_none());
+        assert!(c.get(3).is_some());
+        assert_eq!(c.used_bytes(), 64);
+    }
+
+    #[test]
+    fn keys_lists_entries() {
+        let mut c = LruCache::new(100);
+        c.put(7, dataset(1));
+        c.put(9, dataset(1));
+        let mut keys = c.keys();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![7, 9]);
+    }
+}

@@ -1,0 +1,44 @@
+//! Runtime configuration.
+
+/// Tunables of the in-process Pado runtime.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Task slots (worker threads) per executor (§3.2.3).
+    pub slots_per_executor: usize,
+    /// Capacity of each executor's task-input cache in bytes (§3.2.7).
+    pub cache_capacity_bytes: usize,
+    /// Whether transient tasks pre-aggregate their combine-bound outputs
+    /// before pushing (task output partial aggregation, §3.2.7).
+    pub partial_aggregation: bool,
+    /// Milliseconds the master waits for any event before declaring the
+    /// job wedged (defensive; never reached in healthy runs).
+    pub event_timeout_ms: u64,
+    /// Take a progress-metadata snapshot every this many task completions
+    /// (master fault tolerance, §3.2.6).
+    pub snapshot_every: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            slots_per_executor: 4,
+            cache_capacity_bytes: 64 << 20,
+            partial_aggregation: true,
+            event_timeout_ms: 30_000,
+            snapshot_every: 16,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sane() {
+        let c = RuntimeConfig::default();
+        assert!(c.slots_per_executor >= 1);
+        assert!(c.cache_capacity_bytes > 0);
+        assert!(c.partial_aggregation);
+    }
+}

@@ -1,0 +1,246 @@
+//! Pado executors: multi-slot worker threads running tasks (§3.2.4).
+//!
+//! Each executor owns a user-configured number of task slots, realized as
+//! worker threads sharing one task queue, plus an input cache shared by
+//! its slots. Executors are *pure computers*: the master assembles and
+//! routes all inputs, and executors send finished outputs back. This keeps
+//! every placement decision (and therefore every eviction consequence) in
+//! one deterministic place, while preserving the paper's control flow.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{Receiver, Sender};
+use pado_dag::{LogicalDag, OperatorKind, Value};
+use parking_lot::Mutex;
+
+use crate::compiler::{PhysicalPlan, Placement};
+use crate::exec::apply_chain;
+use crate::runtime::cache::LruCache;
+use crate::runtime::config::RuntimeConfig;
+use crate::runtime::message::{ExecId, ExecutorMsg, MasterMsg, TaskSpec};
+
+/// Immutable job context shared by the master and all executors.
+#[derive(Debug)]
+pub struct JobContext {
+    /// The logical DAG (holds the user functions).
+    pub dag: LogicalDag,
+    /// The compiled physical plan.
+    pub plan: PhysicalPlan,
+    /// Runtime tunables.
+    pub config: RuntimeConfig,
+}
+
+/// A live executor: its task queue plus its worker threads.
+#[derive(Debug)]
+pub struct ExecutorHandle {
+    /// Executor id (never reused across replacements).
+    pub id: ExecId,
+    /// Transient or reserved.
+    pub kind: Placement,
+    sender: Sender<ExecutorMsg>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ExecutorHandle {
+    /// Spawns an executor with `config.slots_per_executor` worker threads.
+    pub fn spawn(
+        id: ExecId,
+        kind: Placement,
+        job: Arc<JobContext>,
+        to_master: Sender<MasterMsg>,
+    ) -> Self {
+        let (tx, rx) = crossbeam::channel::unbounded::<ExecutorMsg>();
+        let cache = Arc::new(Mutex::new(LruCache::new(job.config.cache_capacity_bytes)));
+        let slots = job.config.slots_per_executor.max(1);
+        let workers = (0..slots)
+            .map(|slot| {
+                let rx = rx.clone();
+                let job = Arc::clone(&job);
+                let to_master = to_master.clone();
+                let cache = Arc::clone(&cache);
+                std::thread::Builder::new()
+                    .name(format!("pado-exec-{id}-slot{slot}"))
+                    .spawn(move || worker_loop(id, rx, job, to_master, cache))
+                    .expect("spawn executor worker thread")
+            })
+            .collect();
+        ExecutorHandle {
+            id,
+            kind,
+            sender: tx,
+            workers,
+        }
+    }
+
+    /// Enqueues a task on this executor.
+    pub fn run(&self, spec: TaskSpec) {
+        // A send can only fail after Stop; the master never runs-after-stop.
+        let _ = self.sender.send(ExecutorMsg::Run(spec));
+    }
+
+    /// Tells every worker slot to shut down.
+    pub fn stop(&self) {
+        for _ in 0..self.workers.len() {
+            let _ = self.sender.send(ExecutorMsg::Stop);
+        }
+    }
+
+    /// Joins all worker threads (call after [`ExecutorHandle::stop`]).
+    pub fn join(self) {
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(
+    exec: ExecId,
+    rx: Receiver<ExecutorMsg>,
+    job: Arc<JobContext>,
+    to_master: Sender<MasterMsg>,
+    cache: Arc<Mutex<LruCache>>,
+) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ExecutorMsg::Stop => break,
+            ExecutorMsg::Run(spec) => {
+                let done = run_task(exec, &job, &cache, spec);
+                if to_master.send(done).is_err() {
+                    break; // The master is gone; the job ended.
+                }
+            }
+        }
+    }
+}
+
+/// Executes one task: resolve side inputs through the cache, apply the
+/// fused chain, optionally pre-aggregate the output.
+fn run_task(exec: ExecId, job: &JobContext, cache: &Mutex<LruCache>, spec: TaskSpec) -> MasterMsg {
+    let mut cache_hit = false;
+    let mut sides: BTreeMap<usize, Vec<Value>> = BTreeMap::new();
+    for (member, side) in &spec.sides {
+        let records = match side.key {
+            Some(key) => {
+                let mut c = cache.lock();
+                match c.get(key) {
+                    Some(hit) => {
+                        if side.expect_cached {
+                            cache_hit = true;
+                        }
+                        hit
+                    }
+                    None => {
+                        c.put(key, Arc::clone(&side.records));
+                        Arc::clone(&side.records)
+                    }
+                }
+            }
+            None => Arc::clone(&side.records),
+        };
+        sides.insert(*member, records.as_ref().clone());
+    }
+
+    let fop = &job.plan.fops[spec.fop];
+    let mut output = apply_chain(&job.dag, fop, spec.index, &spec.mains, &sides);
+
+    let mut preaggregated = 0usize;
+    if spec.preaggregate {
+        if let Some((f, keyed)) = combine_consumer(&job.dag, &job.plan, spec.fop) {
+            let before = output.len();
+            output = preaggregate(output, &f, keyed);
+            preaggregated = before.saturating_sub(output.len());
+        }
+    }
+
+    let cached_keys = cache.lock().keys();
+    MasterMsg::TaskDone {
+        exec,
+        attempt: spec.attempt,
+        output,
+        preaggregated,
+        cache_hit,
+        cached_keys,
+    }
+}
+
+/// Finds the combiner of this fop's consumer, when every consumer is the
+/// same combine operator (the precondition for transient-side partial
+/// aggregation).
+pub fn combine_consumer(
+    dag: &LogicalDag,
+    plan: &PhysicalPlan,
+    fop: crate::compiler::FopId,
+) -> Option<(pado_dag::CombineFn, bool)> {
+    let outs = plan.out_edges(fop);
+    if outs.is_empty() {
+        return None;
+    }
+    let mut found: Option<(pado_dag::CombineFn, bool)> = None;
+    for e in outs {
+        let head = plan.fops[e.dst].head();
+        match &dag.op(head).kind {
+            OperatorKind::Combine { f, keyed } => match &found {
+                None => found = Some((f.clone(), *keyed)),
+                Some((_, k)) if *k == *keyed => {}
+                _ => return None,
+            },
+            _ => return None,
+        }
+    }
+    found
+}
+
+/// Merges records within one partition ahead of the consumer combine:
+/// per key for keyed combiners, into a single accumulator for global ones.
+pub fn preaggregate(records: Vec<Value>, f: &pado_dag::CombineFn, keyed: bool) -> Vec<Value> {
+    if keyed {
+        let mut accs: BTreeMap<Value, Value> = BTreeMap::new();
+        for rec in records {
+            if let Some((k, v)) = rec.into_pair() {
+                let acc = accs.remove(&k).unwrap_or_else(|| f.identity());
+                accs.insert(k, f.merge(acc, v));
+            }
+        }
+        accs.into_iter().map(|(k, v)| Value::pair(k, v)).collect()
+    } else {
+        vec![f.merge_all(records)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pado_dag::CombineFn;
+
+    #[test]
+    fn preaggregate_keyed_merges_per_key() {
+        let recs = vec![
+            Value::pair(Value::from("a"), Value::from(1i64)),
+            Value::pair(Value::from("a"), Value::from(2i64)),
+            Value::pair(Value::from("b"), Value::from(4i64)),
+        ];
+        let out = preaggregate(recs, &CombineFn::sum_i64(), true);
+        assert_eq!(
+            out,
+            vec![
+                Value::pair(Value::from("a"), Value::from(3i64)),
+                Value::pair(Value::from("b"), Value::from(4i64)),
+            ]
+        );
+    }
+
+    #[test]
+    fn preaggregate_global_collapses_to_one() {
+        let recs: Vec<Value> = (1..=4).map(Value::from).collect();
+        let out = preaggregate(recs, &CombineFn::sum_i64(), false);
+        assert_eq!(out, vec![Value::from(10i64)]);
+    }
+
+    #[test]
+    fn preaggregate_empty_keyed_is_empty() {
+        let out = preaggregate(Vec::new(), &CombineFn::sum_i64(), true);
+        assert!(out.is_empty());
+    }
+}

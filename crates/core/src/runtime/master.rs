@@ -1,0 +1,940 @@
+//! The Pado master: container manager, task scheduler, eviction and fault
+//! tolerance (§3.2.1, §3.2.3, §3.2.5, §3.2.6).
+//!
+//! The master executes the stage DAG stage-by-stage in topological order.
+//! When a stage becomes runnable it first *assigns* the stage's
+//! reserved-side tasks to reserved executors (so transient tasks know their
+//! push destinations), then launches tasks as their inputs become
+//! available. A transient task's completed output is immediately pushed to
+//! the reserved executors hosting its consumer tasks and committed —
+//! recorded in the master's location table — so it escapes the threat of
+//! evictions.
+//!
+//! On a transient container eviction, only the evicted executor's
+//! uncommitted work is relaunched: running attempts and any outputs whose
+//! sole location was the evicted container. Committed stage outputs on
+//! reserved executors are never recomputed. On a (rare) reserved executor
+//! failure, the master pauses descendant stages, walks ancestor stages in
+//! topological order, and relaunches exactly the tasks whose preserved
+//! outputs were lost.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, Sender};
+use pado_dag::{DepType, Value};
+
+use crate::compiler::{FopId, InputSlot, Placement, PlanEdge};
+use crate::error::RuntimeError;
+use crate::exec::route;
+use crate::runtime::cache::CacheKey;
+use crate::runtime::executor::{combine_consumer, ExecutorHandle, JobContext};
+use crate::runtime::message::{AttemptId, ExecId, MasterMsg, SideData, TaskSpec};
+use crate::runtime::metrics::JobMetrics;
+use crate::runtime::policy::{Candidate, RoundRobinCacheAware, SchedulingPolicy, TaskToPlace};
+
+/// Scheduled faults injected deterministically while a job runs.
+///
+/// Thresholds count *processed task completions*: `(n, k)` fires when the
+/// master has handled `n` valid task completions, targeting the `k`-th
+/// alive executor of the relevant kind (in id order).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Transient container evictions.
+    pub evictions: Vec<(usize, usize)>,
+    /// Reserved executor machine failures.
+    pub reserved_failures: Vec<(usize, usize)>,
+    /// Simulate a master crash/restart after this many completions,
+    /// resuming from the last progress snapshot.
+    pub master_failure_after: Option<usize>,
+}
+
+/// One entry of the master's execution event log — the progress record a
+/// deployment would surface in a UI and replicate for master fault
+/// tolerance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobEvent {
+    /// A task attempt was sent to an executor.
+    TaskLaunched {
+        /// Fused operator.
+        fop: FopId,
+        /// Task index.
+        index: usize,
+        /// Executor chosen.
+        exec: ExecId,
+        /// Whether this is a relaunch (not the first attempt).
+        relaunch: bool,
+    },
+    /// A task's output was pushed and committed.
+    TaskCommitted {
+        /// Fused operator.
+        fop: FopId,
+        /// Task index.
+        index: usize,
+    },
+    /// A Pado Stage finished (all its tasks committed).
+    StageCompleted(usize),
+    /// A completed stage re-opened (a reserved failure destroyed its
+    /// preserved outputs).
+    StageReopened(usize),
+    /// A transient container was evicted.
+    ContainerEvicted(ExecId),
+    /// A reserved executor failed.
+    ReservedFailed(ExecId),
+    /// A replacement container was provisioned.
+    ContainerAdded(ExecId),
+    /// The master restarted from its replicated progress snapshot.
+    MasterRecovered,
+}
+
+/// The result of a completed job.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Output records per terminal operator (keyed by operator name),
+    /// concatenated in task-index order.
+    pub outputs: BTreeMap<String, Vec<Value>>,
+    /// Execution counters.
+    pub metrics: JobMetrics,
+    /// The ordered execution event log.
+    pub events: Vec<JobEvent>,
+}
+
+#[derive(Debug, Clone)]
+enum TaskState {
+    Pending,
+    Running { attempt: AttemptId, exec: ExecId },
+    Done { locations: Vec<ExecId> },
+}
+
+#[derive(Debug)]
+struct ExecInfo {
+    handle: ExecutorHandle,
+    alive: bool,
+    busy: usize,
+    cached: HashSet<CacheKey>,
+}
+
+/// Progress metadata replicated for master fault tolerance (§3.2.6): the
+/// record of finished tasks and where their outputs live. Intermediate
+/// records themselves live on executors; the in-process stand-in keeps
+/// them alongside via shared `Arc`s.
+#[derive(Debug, Clone)]
+struct ProgressSnapshot {
+    tasks: Vec<Vec<TaskState>>,
+    outputs: HashMap<(FopId, usize), Arc<Vec<Value>>>,
+    result_parts: BTreeMap<(FopId, usize), Vec<Value>>,
+    first_attempted: Vec<Vec<bool>>,
+    next_attempt: AttemptId,
+    metrics: JobMetrics,
+}
+
+/// The master event loop for one job.
+pub struct Master {
+    job: Arc<JobContext>,
+    tx: Sender<MasterMsg>,
+    rx: Receiver<MasterMsg>,
+    executors: BTreeMap<ExecId, ExecInfo>,
+    next_exec_id: ExecId,
+    policy: Box<dyn SchedulingPolicy>,
+
+    tasks: Vec<Vec<TaskState>>,
+    first_attempted: Vec<Vec<bool>>,
+    outputs: HashMap<(FopId, usize), Arc<Vec<Value>>>,
+    result_parts: BTreeMap<(FopId, usize), Vec<Value>>,
+    assigned: HashMap<(FopId, usize), ExecId>,
+    attempt_of: HashMap<AttemptId, (FopId, usize)>,
+    next_attempt: AttemptId,
+
+    metrics: JobMetrics,
+    events: Vec<JobEvent>,
+    stage_completed: Vec<bool>,
+    done_events: usize,
+    faults: FaultPlan,
+    fault_cursor_evict: usize,
+    fault_cursor_fail: usize,
+    master_failed: bool,
+    snapshot: Option<ProgressSnapshot>,
+}
+
+impl Master {
+    /// Creates a master and spawns the initial containers.
+    pub fn new(
+        job: Arc<JobContext>,
+        n_transient: usize,
+        n_reserved: usize,
+        faults: FaultPlan,
+    ) -> Self {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let n_fops = job.plan.fops.len();
+        let tasks = (0..n_fops)
+            .map(|f| vec![TaskState::Pending; job.plan.fops[f].parallelism])
+            .collect::<Vec<_>>();
+        let first_attempted = (0..n_fops)
+            .map(|f| vec![false; job.plan.fops[f].parallelism])
+            .collect();
+        let n_stages = job.plan.stage_dag.stages.len();
+        let mut master = Master {
+            job,
+            tx,
+            rx,
+            executors: BTreeMap::new(),
+            next_exec_id: 0,
+            policy: Box::new(RoundRobinCacheAware::default()),
+            tasks,
+            first_attempted,
+            outputs: HashMap::new(),
+            result_parts: BTreeMap::new(),
+            assigned: HashMap::new(),
+            attempt_of: HashMap::new(),
+            next_attempt: 1,
+            metrics: JobMetrics::default(),
+            events: Vec::new(),
+            stage_completed: vec![false; n_stages],
+            done_events: 0,
+            faults,
+            fault_cursor_evict: 0,
+            fault_cursor_fail: 0,
+            master_failed: false,
+            snapshot: None,
+        };
+        master.metrics.original_tasks = master.job.plan.total_tasks();
+        for _ in 0..n_reserved {
+            master.spawn_executor(Placement::Reserved);
+        }
+        for _ in 0..n_transient {
+            master.spawn_executor(Placement::Transient);
+        }
+        master
+    }
+
+    /// A sender evictions and failures can be injected through externally.
+    pub fn injector(&self) -> Sender<MasterMsg> {
+        self.tx.clone()
+    }
+
+    /// Replaces the task scheduling policy (§3.2.3's pluggable policy).
+    pub fn set_policy(&mut self, policy: Box<dyn SchedulingPolicy>) {
+        self.policy = policy;
+    }
+
+    fn spawn_executor(&mut self, kind: Placement) -> ExecId {
+        let id = self.next_exec_id;
+        self.next_exec_id += 1;
+        let handle = ExecutorHandle::spawn(id, kind, Arc::clone(&self.job), self.tx.clone());
+        self.executors.insert(
+            id,
+            ExecInfo {
+                handle,
+                alive: true,
+                busy: 0,
+                cached: HashSet::new(),
+            },
+        );
+        id
+    }
+
+    /// Runs the job to completion.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no event arrives within the configured timeout (a wedged
+    /// job) or if every executor of a required kind is gone.
+    pub fn run(mut self) -> Result<JobResult, RuntimeError> {
+        self.schedule();
+        while !self.complete() {
+            let msg = self
+                .rx
+                .recv_timeout(Duration::from_millis(self.job.config.event_timeout_ms))
+                .map_err(|_| RuntimeError::Aborted("no progress within timeout".into()))?;
+            self.handle(msg);
+            self.note_stage_transitions();
+            self.schedule();
+        }
+        let result = self.collect_result();
+        self.shutdown();
+        Ok(result)
+    }
+
+    fn complete(&self) -> bool {
+        (0..self.job.plan.stage_dag.stages.len()).all(|s| self.stage_complete(s))
+    }
+
+    fn stage_complete(&self, stage: usize) -> bool {
+        self.job.plan.stage_fops(stage).iter().all(|&f| {
+            self.tasks[f]
+                .iter()
+                .all(|t| matches!(t, TaskState::Done { .. }))
+        })
+    }
+
+    fn stage_runnable(&self, stage: usize) -> bool {
+        !self.stage_complete(stage)
+            && self.job.plan.stage_dag.stages[stage]
+                .parents
+                .iter()
+                .all(|&p| self.stage_complete(p))
+    }
+
+    /// Emits `StageCompleted` / `StageReopened` events on transitions.
+    fn note_stage_transitions(&mut self) {
+        for stage in 0..self.stage_completed.len() {
+            let now = self.stage_complete(stage);
+            if now != self.stage_completed[stage] {
+                self.events.push(if now {
+                    JobEvent::StageCompleted(stage)
+                } else {
+                    JobEvent::StageReopened(stage)
+                });
+                self.stage_completed[stage] = now;
+            }
+        }
+    }
+
+    fn handle(&mut self, msg: MasterMsg) {
+        match msg {
+            MasterMsg::TaskDone {
+                exec,
+                attempt,
+                output,
+                preaggregated,
+                cache_hit,
+                cached_keys,
+            } => self.on_task_done(exec, attempt, output, preaggregated, cache_hit, cached_keys),
+            MasterMsg::Evict { exec } => self.on_executor_lost(exec, false),
+            MasterMsg::FailReserved { exec } => self.on_executor_lost(exec, true),
+        }
+    }
+
+    fn on_task_done(
+        &mut self,
+        exec: ExecId,
+        attempt: AttemptId,
+        output: Vec<Value>,
+        preaggregated: usize,
+        cache_hit: bool,
+        cached_keys: Vec<CacheKey>,
+    ) {
+        // Refresh the container manager's view of the executor cache.
+        if let Some(info) = self.executors.get_mut(&exec) {
+            if info.alive {
+                info.cached = cached_keys.into_iter().collect();
+                info.busy = info.busy.saturating_sub(1);
+            }
+        }
+        // The commit protocol: an output is processed exactly once, and
+        // only for the attempt the master considers current (a stale
+        // attempt from an evicted container is discarded).
+        let Some(&(fop, index)) = self.attempt_of.get(&attempt) else {
+            return;
+        };
+        let valid = matches!(
+            self.tasks[fop][index],
+            TaskState::Running { attempt: a, .. } if a == attempt
+        );
+        if !valid {
+            return;
+        }
+        self.attempt_of.remove(&attempt);
+        if cache_hit {
+            self.metrics.cache_hits += 1;
+        }
+        self.metrics.records_preaggregated += preaggregated;
+
+        let locations = self.commit_locations(fop, exec, &output);
+        let bytes: usize = output.iter().map(Value::size_bytes).sum();
+        if self.job.plan.fops[fop].placement == Placement::Transient
+            && locations.iter().any(|l| l != &exec)
+        {
+            self.metrics.bytes_pushed += bytes;
+        }
+        if self.job.plan.out_edges(fop).is_empty() {
+            // Terminal operator: the output is written to the job sink and
+            // is safe regardless of container fate.
+            self.result_parts.insert((fop, index), output.clone());
+        }
+        self.outputs.insert((fop, index), Arc::new(output));
+        self.tasks[fop][index] = TaskState::Done { locations };
+        self.events.push(JobEvent::TaskCommitted { fop, index });
+
+        self.done_events += 1;
+        if self.job.config.snapshot_every > 0
+            && self
+                .done_events
+                .is_multiple_of(self.job.config.snapshot_every)
+        {
+            self.take_snapshot();
+        }
+        self.fire_due_faults();
+    }
+
+    /// Where a completed task's output now lives: reserved anchors keep it
+    /// locally; transient tasks push it to the reserved executors assigned
+    /// to their consumer tasks (escaping evictions); transient tasks with
+    /// only transient consumers keep it locally, still at risk.
+    fn commit_locations(&self, fop: FopId, exec: ExecId, _output: &[Value]) -> Vec<ExecId> {
+        if self.job.plan.fops[fop].placement == Placement::Reserved {
+            return vec![exec];
+        }
+        let mut dests: Vec<ExecId> = Vec::new();
+        for e in self.job.plan.out_edges(fop) {
+            let dst = &self.job.plan.fops[e.dst];
+            if dst.placement != Placement::Reserved {
+                continue;
+            }
+            for di in 0..dst.parallelism {
+                if let Some(&d) = self.assigned.get(&(e.dst, di)) {
+                    if !dests.contains(&d) {
+                        dests.push(d);
+                    }
+                }
+            }
+        }
+        if dests.is_empty() {
+            vec![exec]
+        } else {
+            dests
+        }
+    }
+
+    fn fire_due_faults(&mut self) {
+        while self.fault_cursor_evict < self.faults.evictions.len()
+            && self.faults.evictions[self.fault_cursor_evict].0 <= self.done_events
+        {
+            let (_, k) = self.faults.evictions[self.fault_cursor_evict];
+            self.fault_cursor_evict += 1;
+            if let Some(victim) = self.nth_alive(Placement::Transient, k) {
+                self.on_executor_lost(victim, false);
+            }
+        }
+        while self.fault_cursor_fail < self.faults.reserved_failures.len()
+            && self.faults.reserved_failures[self.fault_cursor_fail].0 <= self.done_events
+        {
+            let (_, k) = self.faults.reserved_failures[self.fault_cursor_fail];
+            self.fault_cursor_fail += 1;
+            if let Some(victim) = self.nth_alive(Placement::Reserved, k) {
+                self.on_executor_lost(victim, true);
+            }
+        }
+        if let Some(n) = self.faults.master_failure_after {
+            if !self.master_failed && self.done_events >= n {
+                self.master_failed = true;
+                self.simulate_master_failure();
+            }
+        }
+    }
+
+    fn nth_alive(&self, kind: Placement, k: usize) -> Option<ExecId> {
+        let alive: Vec<ExecId> = self
+            .executors
+            .iter()
+            .filter(|(_, e)| e.alive && e.handle.kind == kind)
+            .map(|(&id, _)| id)
+            .collect();
+        if alive.is_empty() {
+            None
+        } else {
+            Some(alive[k % alive.len()])
+        }
+    }
+
+    /// Handles the loss of a container: eviction (transient) or machine
+    /// failure (reserved). Uncommitted attempts revert to pending; outputs
+    /// whose only location died are reverted, which for reserved failures
+    /// re-opens completed ancestor stages exactly as §3.2.6 prescribes.
+    fn on_executor_lost(&mut self, exec: ExecId, reserved_failure: bool) {
+        let Some(info) = self.executors.get_mut(&exec) else {
+            return;
+        };
+        if !info.alive {
+            return;
+        }
+        info.alive = false;
+        info.cached.clear();
+        info.handle.stop();
+        let kind = info.handle.kind;
+        if reserved_failure {
+            self.metrics.reserved_failures += 1;
+            self.events.push(JobEvent::ReservedFailed(exec));
+        } else {
+            self.metrics.evictions += 1;
+            self.events.push(JobEvent::ContainerEvicted(exec));
+        }
+
+        let complete_before: Vec<bool> = (0..self.job.plan.stage_dag.stages.len())
+            .map(|s| self.stage_complete(s))
+            .collect();
+
+        // Revert running attempts scheduled on the lost executor.
+        for f in 0..self.tasks.len() {
+            for i in 0..self.tasks[f].len() {
+                if let TaskState::Running { attempt, exec: e } = self.tasks[f][i] {
+                    if e == exec {
+                        self.attempt_of.remove(&attempt);
+                        self.tasks[f][i] = TaskState::Pending;
+                    }
+                }
+            }
+        }
+        // Destroy data whose only copy lived on the lost executor.
+        for f in 0..self.tasks.len() {
+            for i in 0..self.tasks[f].len() {
+                let lost = if let TaskState::Done { locations } = &mut self.tasks[f][i] {
+                    locations.retain(|&l| l != exec);
+                    locations.is_empty() && !self.result_parts.contains_key(&(f, i))
+                } else {
+                    false
+                };
+                if lost {
+                    self.outputs.remove(&(f, i));
+                    self.tasks[f][i] = TaskState::Pending;
+                }
+            }
+        }
+        // Invalidate receiver assignments pointing at the lost executor.
+        self.assigned.retain(|_, &mut e| e != exec);
+
+        // Count completed stages that re-opened (reserved-failure
+        // recomputation, §3.2.6).
+        for (s, was_complete) in complete_before.iter().enumerate() {
+            if *was_complete && !self.stage_complete(s) {
+                self.metrics.stage_recomputations += 1;
+            }
+        }
+
+        // The resource manager immediately provides a replacement.
+        let replacement = self.spawn_executor(kind);
+        self.events.push(JobEvent::ContainerAdded(replacement));
+    }
+
+    /// Simulates a master crash: all in-memory progress is lost and the
+    /// replacement master resumes from the replicated snapshot.
+    fn simulate_master_failure(&mut self) {
+        self.events.push(JobEvent::MasterRecovered);
+        let snap = self.snapshot.clone().unwrap_or_else(|| ProgressSnapshot {
+            tasks: self
+                .tasks
+                .iter()
+                .map(|ts| vec![TaskState::Pending; ts.len()])
+                .collect(),
+            outputs: HashMap::new(),
+            result_parts: BTreeMap::new(),
+            first_attempted: self
+                .first_attempted
+                .iter()
+                .map(|ts| vec![false; ts.len()])
+                .collect(),
+            next_attempt: self.next_attempt,
+            metrics: self.metrics.clone(),
+        });
+        self.tasks = snap.tasks;
+        self.outputs = snap.outputs;
+        self.result_parts = snap.result_parts;
+        self.first_attempted = snap.first_attempted;
+        self.metrics = snap.metrics;
+        // Fence all attempts issued by the failed master.
+        self.next_attempt = snap.next_attempt.max(self.next_attempt) + 1_000_000;
+        self.attempt_of.clear();
+        self.assigned.clear();
+        for info in self.executors.values_mut() {
+            if info.alive {
+                info.busy = 0;
+            }
+        }
+        // Reconcile the restored metadata with the resource manager's view
+        // of which containers are still alive: data on since-evicted
+        // containers is gone.
+        let alive: HashSet<ExecId> = self
+            .executors
+            .iter()
+            .filter(|(_, e)| e.alive)
+            .map(|(&id, _)| id)
+            .collect();
+        for f in 0..self.tasks.len() {
+            for i in 0..self.tasks[f].len() {
+                let lost = if let TaskState::Done { locations } = &mut self.tasks[f][i] {
+                    locations.retain(|l| alive.contains(l));
+                    locations.is_empty() && !self.result_parts.contains_key(&(f, i))
+                } else {
+                    false
+                };
+                if lost {
+                    self.outputs.remove(&(f, i));
+                    self.tasks[f][i] = TaskState::Pending;
+                }
+            }
+        }
+    }
+
+    fn take_snapshot(&mut self) {
+        // Running attempts are not part of progress metadata: a restarted
+        // master re-launches them.
+        let tasks = self
+            .tasks
+            .iter()
+            .map(|ts| {
+                ts.iter()
+                    .map(|t| match t {
+                        TaskState::Done { locations } => TaskState::Done {
+                            locations: locations.clone(),
+                        },
+                        _ => TaskState::Pending,
+                    })
+                    .collect()
+            })
+            .collect();
+        self.snapshot = Some(ProgressSnapshot {
+            tasks,
+            outputs: self.outputs.clone(),
+            result_parts: self.result_parts.clone(),
+            first_attempted: self.first_attempted.clone(),
+            next_attempt: self.next_attempt,
+            metrics: self.metrics.clone(),
+        });
+    }
+
+    /// One scheduling pass: over every runnable stage, assign reserved
+    /// receivers first, then launch every ready pending task with the
+    /// round-robin, cache-aware policy.
+    fn schedule(&mut self) {
+        for stage in self.job.plan.stage_dag.topo_order() {
+            if !self.stage_runnable(stage) {
+                continue;
+            }
+            self.assign_receivers(stage);
+            // Reserved receivers launch as soon as their inputs are ready;
+            // transient tasks fill free slots round-robin.
+            let fops = self.job.plan.stage_fops(stage);
+            let mut ordered: Vec<FopId> = fops
+                .iter()
+                .copied()
+                .filter(|&f| self.job.plan.fops[f].placement == Placement::Reserved)
+                .collect();
+            ordered.extend(
+                fops.iter()
+                    .copied()
+                    .filter(|&f| self.job.plan.fops[f].placement == Placement::Transient),
+            );
+            for f in ordered {
+                for i in 0..self.tasks[f].len() {
+                    if matches!(self.tasks[f][i], TaskState::Pending) && self.task_ready(f, i) {
+                        self.launch(f, i);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pre-assigns each reserved task of the stage to a reserved executor
+    /// so transient producers know their push destinations (§3.2.3: "the
+    /// task scheduler first schedules and sets up the tasks placed on
+    /// reserved executors").
+    fn assign_receivers(&mut self, stage: usize) {
+        let reserved: Vec<ExecId> = self
+            .executors
+            .iter()
+            .filter(|(_, e)| e.alive && e.handle.kind == Placement::Reserved)
+            .map(|(&id, _)| id)
+            .collect();
+        if reserved.is_empty() {
+            return;
+        }
+        let mut cursor = 0usize;
+        for f in self.job.plan.stage_fops(stage) {
+            if self.job.plan.fops[f].placement != Placement::Reserved {
+                continue;
+            }
+            for i in 0..self.job.plan.fops[f].parallelism {
+                self.assigned.entry((f, i)).or_insert_with(|| {
+                    let e = reserved[cursor % reserved.len()];
+                    cursor += 1;
+                    e
+                });
+            }
+        }
+    }
+
+    /// Whether all of a task's inputs are available.
+    fn task_ready(&self, fop: FopId, index: usize) -> bool {
+        for e in self.job.plan.in_edges(fop) {
+            let src_par = self.job.plan.fops[e.src].parallelism;
+            let dst_par = self.job.plan.fops[fop].parallelism;
+            for si in required_src_indices(&e, index, src_par, dst_par) {
+                if !matches!(self.tasks[e.src][si], TaskState::Done { .. }) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn launch(&mut self, fop: FopId, index: usize) {
+        let placement = self.job.plan.fops[fop].placement;
+        let cache_pref = self.cache_preference(fop);
+        let Some(exec) = self.pick_executor(placement, fop, index, cache_pref) else {
+            return; // No free executor; retry on the next event.
+        };
+
+        let attempt = self.next_attempt;
+        self.next_attempt += 1;
+
+        let (mains, sides) = self.assemble_inputs(fop, index, exec);
+        let preaggregate = placement == Placement::Transient
+            && self.job.config.partial_aggregation
+            && combine_consumer(&self.job.dag, &self.job.plan, fop).is_some();
+
+        // Launch accounting.
+        self.metrics.tasks_launched += 1;
+        let relaunch = self.first_attempted[fop][index];
+        if relaunch {
+            self.metrics.relaunched_tasks += 1;
+        } else {
+            self.first_attempted[fop][index] = true;
+        }
+        self.events.push(JobEvent::TaskLaunched {
+            fop,
+            index,
+            exec,
+            relaunch,
+        });
+        self.attempt_of.insert(attempt, (fop, index));
+        self.tasks[fop][index] = TaskState::Running { attempt, exec };
+        let info = self.executors.get_mut(&exec).expect("picked executor");
+        info.busy += 1;
+        info.handle.run(TaskSpec {
+            attempt,
+            fop,
+            index,
+            mains,
+            sides,
+            preaggregate,
+        });
+    }
+
+    /// A cacheable side-input key of this fop, if any (used for
+    /// cache-aware scheduling).
+    fn cache_preference(&self, fop: FopId) -> Option<CacheKey> {
+        self.job
+            .plan
+            .in_edges(fop)
+            .iter()
+            .find(|e| e.slot == InputSlot::Side && e.cache)
+            .map(|e| e.src)
+    }
+
+    /// The default scheduling policy (§3.2.3): prefer an executor that
+    /// caches the task's input; otherwise round-robin over alive
+    /// executors with a free task slot. Reserved tasks go to their
+    /// pre-assigned receiver.
+    fn pick_executor(
+        &mut self,
+        kind: Placement,
+        fop: FopId,
+        index: usize,
+        cache_pref: Option<CacheKey>,
+    ) -> Option<ExecId> {
+        if kind == Placement::Reserved {
+            if let Some(&e) = self.assigned.get(&(fop, index)) {
+                if self.executors.get(&e).map(|i| i.alive) == Some(true) {
+                    return Some(e);
+                }
+            }
+            // The assigned receiver died; fall through to any reserved.
+        }
+        let slots = self.job.config.slots_per_executor.max(1);
+        let candidates: Vec<Candidate> = self
+            .executors
+            .iter()
+            .filter(|(_, e)| e.alive && e.handle.kind == kind && e.busy < slots)
+            .map(|(&id, e)| Candidate {
+                exec: id,
+                free_slots: slots - e.busy,
+                has_cached_input: cache_pref.map(|k| e.cached.contains(&k)).unwrap_or(false),
+            })
+            .collect();
+        self.policy.pick(
+            TaskToPlace {
+                fop,
+                index,
+                cache_pref,
+            },
+            &candidates,
+        )
+    }
+
+    /// Routes and packages a task's inputs.
+    fn assemble_inputs(
+        &mut self,
+        fop: FopId,
+        index: usize,
+        exec: ExecId,
+    ) -> (Vec<Vec<Value>>, BTreeMap<usize, SideData>) {
+        let dst_par = self.job.plan.fops[fop].parallelism;
+        let mut mains: Vec<Vec<Value>> = Vec::new();
+        let mut sides: BTreeMap<usize, SideData> = BTreeMap::new();
+        for e in self.job.plan.in_edges(fop) {
+            let src_par = self.job.plan.fops[e.src].parallelism;
+            match e.slot {
+                InputSlot::Main(_) => {
+                    let mut part: Vec<Value> = Vec::new();
+                    for si in required_src_indices(&e, index, src_par, dst_par) {
+                        let records = self
+                            .outputs
+                            .get(&(e.src, si))
+                            .expect("task launched before inputs ready");
+                        match e.dep {
+                            DepType::ManyToMany => {
+                                let routed = route(records, e.dep, si, dst_par);
+                                part.extend(routed[index].iter().cloned());
+                            }
+                            _ => part.extend(records.iter().cloned()),
+                        }
+                    }
+                    mains.push(part);
+                }
+                InputSlot::Side => {
+                    let records = self.side_records(e.src, src_par);
+                    let bytes: usize = records.iter().map(Value::size_bytes).sum();
+                    let key = e.cache.then_some(e.src);
+                    let expect_cached = key
+                        .map(|k| self.executors[&exec].cached.contains(&k))
+                        .unwrap_or(false);
+                    if expect_cached {
+                        self.metrics.side_bytes_saved += bytes;
+                    } else {
+                        self.metrics.side_bytes_sent += bytes;
+                        if key.is_some() {
+                            self.metrics.cache_misses += 1;
+                        }
+                    }
+                    sides.insert(
+                        e.member,
+                        SideData {
+                            key,
+                            records,
+                            expect_cached,
+                        },
+                    );
+                }
+            }
+        }
+        (mains, sides)
+    }
+
+    /// Materializes the full broadcast dataset of a producer fop.
+    fn side_records(&self, src: FopId, src_par: usize) -> Arc<Vec<Value>> {
+        if src_par == 1 {
+            if let Some(r) = self.outputs.get(&(src, 0)) {
+                return Arc::clone(r);
+            }
+        }
+        let mut all = Vec::new();
+        for si in 0..src_par {
+            if let Some(r) = self.outputs.get(&(src, si)) {
+                all.extend(r.iter().cloned());
+            }
+        }
+        Arc::new(all)
+    }
+
+    fn collect_result(&self) -> JobResult {
+        let mut outputs: BTreeMap<String, Vec<Value>> = BTreeMap::new();
+        for ((fop, _idx), records) in &self.result_parts {
+            let name = self
+                .job
+                .dag
+                .op(self.job.plan.fops[*fop].tail())
+                .name
+                .clone();
+            outputs
+                .entry(name)
+                .or_default()
+                .extend(records.iter().cloned());
+        }
+        JobResult {
+            outputs,
+            metrics: self.metrics.clone(),
+            events: self.events.clone(),
+        }
+    }
+
+    fn shutdown(self) {
+        for (_, info) in self.executors {
+            info.handle.stop();
+            info.handle.join();
+        }
+    }
+}
+
+/// Which producer task indices a consumer task needs along an edge.
+pub fn required_src_indices(
+    edge: &PlanEdge,
+    dst_index: usize,
+    src_par: usize,
+    dst_par: usize,
+) -> Vec<usize> {
+    match edge.dep {
+        DepType::OneToOne => {
+            if dst_index < src_par {
+                vec![dst_index]
+            } else {
+                Vec::new()
+            }
+        }
+        DepType::OneToMany | DepType::ManyToMany => (0..src_par).collect(),
+        DepType::ManyToOne => (0..src_par)
+            .filter(|si| si % dst_par.max(1) == dst_index)
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::InputSlot;
+
+    fn edge(dep: DepType) -> PlanEdge {
+        PlanEdge {
+            src: 0,
+            dst: 1,
+            dep,
+            slot: InputSlot::Main(0),
+            cache: false,
+            cross_stage: false,
+            member: 0,
+        }
+    }
+
+    #[test]
+    fn required_indices_one_to_one() {
+        assert_eq!(
+            required_src_indices(&edge(DepType::OneToOne), 2, 4, 4),
+            vec![2]
+        );
+        assert!(required_src_indices(&edge(DepType::OneToOne), 5, 4, 8).is_empty());
+    }
+
+    #[test]
+    fn required_indices_wide_edges_need_all() {
+        assert_eq!(
+            required_src_indices(&edge(DepType::ManyToMany), 0, 3, 2),
+            vec![0, 1, 2]
+        );
+        assert_eq!(
+            required_src_indices(&edge(DepType::OneToMany), 1, 2, 5),
+            vec![0, 1]
+        );
+    }
+
+    #[test]
+    fn required_indices_many_to_one_partitions_by_modulo() {
+        assert_eq!(
+            required_src_indices(&edge(DepType::ManyToOne), 0, 5, 2),
+            vec![0, 2, 4]
+        );
+        assert_eq!(
+            required_src_indices(&edge(DepType::ManyToOne), 1, 5, 2),
+            vec![1, 3]
+        );
+    }
+}

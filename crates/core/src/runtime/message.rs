@@ -1,0 +1,92 @@
+//! Control-plane messages between the master and executors.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use pado_dag::Value;
+
+use crate::compiler::FopId;
+use crate::runtime::cache::CacheKey;
+
+/// Identifier of an executor; monotonically assigned, never reused (a
+/// replacement container gets a fresh id).
+pub type ExecId = usize;
+
+/// Identifier of one task launch attempt; monotonically assigned.
+pub type AttemptId = u64;
+
+/// How a side input reaches an executor.
+///
+/// `records` always carries the data (the master is the in-process stand-in
+/// for the reserved store), but when `expect_cached` is set the executor
+/// serves its cached copy instead; the byte-transfer metrics count the
+/// shipped bytes only on cache misses, mirroring what a distributed
+/// deployment would move over the network.
+#[derive(Debug, Clone)]
+pub struct SideData {
+    /// Cache key, present when this input is cacheable (§3.2.7).
+    pub key: Option<CacheKey>,
+    /// The broadcast records.
+    pub records: Arc<Vec<Value>>,
+    /// Whether the master believes the executor caches this key already.
+    pub expect_cached: bool,
+}
+
+/// One task launch: the master assembles and routes all main inputs, so
+/// the executor only computes.
+#[derive(Debug, Clone)]
+pub struct TaskSpec {
+    /// This launch attempt.
+    pub attempt: AttemptId,
+    /// The fused operator to execute.
+    pub fop: FopId,
+    /// The task index within the fop.
+    pub index: usize,
+    /// Routed main input partitions, by slot.
+    pub mains: Vec<Vec<Value>>,
+    /// Side inputs by fused-chain member index.
+    pub sides: BTreeMap<usize, SideData>,
+    /// Whether the task should pre-aggregate its output before pushing
+    /// (set when all consumers are combine operators and partial
+    /// aggregation is enabled).
+    pub preaggregate: bool,
+}
+
+/// Messages executors (and eviction injectors) send to the master.
+#[derive(Debug)]
+pub enum MasterMsg {
+    /// A task attempt finished on an executor.
+    TaskDone {
+        /// Executor that ran the task.
+        exec: ExecId,
+        /// The completed attempt.
+        attempt: AttemptId,
+        /// Output records of the task.
+        output: Vec<Value>,
+        /// Records removed by transient-side pre-aggregation.
+        preaggregated: usize,
+        /// Whether the side input was served from the executor cache.
+        cache_hit: bool,
+        /// Keys the executor caches after this task.
+        cached_keys: Vec<CacheKey>,
+    },
+    /// The resource manager evicted a transient container.
+    Evict {
+        /// The evicted executor.
+        exec: ExecId,
+    },
+    /// A reserved executor failed (machine fault, §3.2.6).
+    FailReserved {
+        /// The failed executor.
+        exec: ExecId,
+    },
+}
+
+/// Messages the master sends to executors.
+#[derive(Debug)]
+pub enum ExecutorMsg {
+    /// Run a task.
+    Run(TaskSpec),
+    /// Shut down the worker.
+    Stop,
+}

@@ -1,0 +1,81 @@
+//! Job-level execution metrics.
+
+/// Counters collected by the master over one job execution.
+///
+/// `relaunched_tasks` mirrors the paper's "ratio of relaunched tasks to
+/// original tasks" metric (Figures 5–7): every task launch beyond the
+/// first attempt of each task counts as a relaunch.
+#[derive(Debug, Clone, Default)]
+pub struct JobMetrics {
+    /// Tasks in the physical plan (the denominator of the relaunch ratio).
+    pub original_tasks: usize,
+    /// Task launches, including relaunches.
+    pub tasks_launched: usize,
+    /// Launches beyond each task's first attempt.
+    pub relaunched_tasks: usize,
+    /// Transient container evictions handled.
+    pub evictions: usize,
+    /// Reserved executor failures handled.
+    pub reserved_failures: usize,
+    /// Bytes of task output pushed from transient to reserved executors.
+    pub bytes_pushed: usize,
+    /// Bytes of side input shipped to executors (cache misses).
+    pub side_bytes_sent: usize,
+    /// Bytes of side input served from executor caches instead of being
+    /// re-sent (cache hits).
+    pub side_bytes_saved: usize,
+    /// Side-input cache hits across all tasks.
+    pub cache_hits: usize,
+    /// Side-input cache misses across all tasks.
+    pub cache_misses: usize,
+    /// Records removed by transient-side partial aggregation.
+    pub records_preaggregated: usize,
+    /// Completed-stage recomputations triggered by reserved failures.
+    pub stage_recomputations: usize,
+}
+
+impl JobMetrics {
+    /// Relaunched-to-original task ratio (0 when the plan is empty).
+    pub fn relaunch_ratio(&self) -> f64 {
+        if self.original_tasks == 0 {
+            0.0
+        } else {
+            self.relaunched_tasks as f64 / self.original_tasks as f64
+        }
+    }
+
+    /// Side-input cache hit rate over all lookups (0 when none).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_zero_denominators() {
+        let m = JobMetrics::default();
+        assert_eq!(m.relaunch_ratio(), 0.0);
+        assert_eq!(m.cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn ratios_compute() {
+        let m = JobMetrics {
+            original_tasks: 10,
+            relaunched_tasks: 3,
+            cache_hits: 3,
+            cache_misses: 1,
+            ..JobMetrics::default()
+        };
+        assert!((m.relaunch_ratio() - 0.3).abs() < 1e-12);
+        assert!((m.cache_hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,20 @@
+//! The Pado Runtime (§3.2): master, executors, scheduling, eviction and
+//! fault tolerance, and the in-process cluster harness.
+
+pub mod cache;
+pub mod config;
+pub mod executor;
+pub mod local;
+pub mod master;
+pub mod message;
+pub mod metrics;
+pub mod policy;
+
+pub use cache::{CacheKey, LruCache};
+pub use config::RuntimeConfig;
+pub use executor::{ExecutorHandle, JobContext};
+pub use local::LocalCluster;
+pub use master::{FaultPlan, JobEvent, JobResult, Master};
+pub use message::{AttemptId, ExecId, MasterMsg};
+pub use metrics::JobMetrics;
+pub use policy::{Candidate, LeastLoaded, RoundRobinCacheAware, SchedulingPolicy, TaskToPlace};

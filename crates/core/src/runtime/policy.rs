@@ -1,0 +1,163 @@
+//! Pluggable task scheduling policies (§3.2.3).
+//!
+//! "With a pluggable scheduling policy, the user can schedule each task on
+//! a particular executor with an available task slot. By default, the
+//! policy schedules tasks in a round-robin manner, while utilizing data
+//! locality information as much as possible."
+//!
+//! A policy picks among candidate executors (alive, right container kind,
+//! free slot). The default [`RoundRobinCacheAware`] first looks for an
+//! executor caching the task's input; custom policies can implement any
+//! other strategy.
+
+use std::fmt;
+
+use crate::compiler::FopId;
+use crate::runtime::cache::CacheKey;
+use crate::runtime::message::ExecId;
+
+/// What a policy knows about each candidate executor.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Executor id.
+    pub exec: ExecId,
+    /// Free task slots.
+    pub free_slots: usize,
+    /// Whether the executor caches the task's preferred input.
+    pub has_cached_input: bool,
+}
+
+/// The task being placed.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskToPlace {
+    /// Fused operator.
+    pub fop: FopId,
+    /// Task index.
+    pub index: usize,
+    /// The cacheable input this task would like to find locally, if any.
+    pub cache_pref: Option<CacheKey>,
+}
+
+/// A task-to-executor placement policy.
+pub trait SchedulingPolicy: Send + Sync {
+    /// Picks one of the candidates (all are alive with at least one free
+    /// slot). Returning `None` defers the task to a later pass.
+    fn pick(&mut self, task: TaskToPlace, candidates: &[Candidate]) -> Option<ExecId>;
+
+    /// Policy name for diagnostics.
+    fn name(&self) -> &'static str {
+        "custom"
+    }
+}
+
+impl fmt::Debug for dyn SchedulingPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SchedulingPolicy({})", self.name())
+    }
+}
+
+/// The paper's default policy: prefer an executor with the task's input
+/// cached; otherwise round-robin.
+#[derive(Debug, Default)]
+pub struct RoundRobinCacheAware {
+    cursor: usize,
+}
+
+impl SchedulingPolicy for RoundRobinCacheAware {
+    fn pick(&mut self, task: TaskToPlace, candidates: &[Candidate]) -> Option<ExecId> {
+        if candidates.is_empty() {
+            return None;
+        }
+        if task.cache_pref.is_some() {
+            if let Some(c) = candidates.iter().find(|c| c.has_cached_input) {
+                return Some(c.exec);
+            }
+        }
+        let pick = candidates[self.cursor % candidates.len()].exec;
+        self.cursor += 1;
+        Some(pick)
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin-cache-aware"
+    }
+}
+
+/// Packs tasks onto the executor with the most free slots (spreads load
+/// by headroom instead of rotation).
+#[derive(Debug, Default)]
+pub struct LeastLoaded;
+
+impl SchedulingPolicy for LeastLoaded {
+    fn pick(&mut self, _task: TaskToPlace, candidates: &[Candidate]) -> Option<ExecId> {
+        candidates
+            .iter()
+            .max_by_key(|c| (c.free_slots, std::cmp::Reverse(c.exec)))
+            .map(|c| c.exec)
+    }
+
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(pref: Option<CacheKey>) -> TaskToPlace {
+        TaskToPlace {
+            fop: 0,
+            index: 0,
+            cache_pref: pref,
+        }
+    }
+
+    fn cand(exec: ExecId, free: usize, cached: bool) -> Candidate {
+        Candidate {
+            exec,
+            free_slots: free,
+            has_cached_input: cached,
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut p = RoundRobinCacheAware::default();
+        let cs = vec![cand(1, 1, false), cand(2, 1, false)];
+        assert_eq!(p.pick(task(None), &cs), Some(1));
+        assert_eq!(p.pick(task(None), &cs), Some(2));
+        assert_eq!(p.pick(task(None), &cs), Some(1));
+    }
+
+    #[test]
+    fn cache_preference_wins() {
+        let mut p = RoundRobinCacheAware::default();
+        let cs = vec![cand(1, 1, false), cand(2, 1, true)];
+        assert_eq!(p.pick(task(Some(7)), &cs), Some(2));
+        // Without a preference the cache flag is ignored.
+        assert_eq!(p.pick(task(None), &cs), Some(1));
+    }
+
+    #[test]
+    fn empty_candidates_defer() {
+        let mut p = RoundRobinCacheAware::default();
+        assert_eq!(p.pick(task(None), &[]), None);
+        let mut l = LeastLoaded;
+        assert_eq!(l.pick(task(None), &[]), None);
+    }
+
+    #[test]
+    fn least_loaded_prefers_headroom() {
+        let mut p = LeastLoaded;
+        let cs = vec![cand(1, 1, false), cand(2, 3, false), cand(3, 2, false)];
+        assert_eq!(p.pick(task(None), &cs), Some(2));
+    }
+
+    #[test]
+    fn least_loaded_breaks_ties_by_lowest_id() {
+        let mut p = LeastLoaded;
+        let cs = vec![cand(5, 2, false), cand(3, 2, false)];
+        assert_eq!(p.pick(task(None), &cs), Some(3));
+    }
+}

@@ -1,0 +1,62 @@
+//! Error types for logical DAG construction and validation.
+
+use std::fmt;
+
+use crate::graph::OpId;
+
+/// Errors produced while building or validating a [`crate::LogicalDag`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// An edge referenced an operator id that does not exist in the DAG.
+    UnknownOperator(OpId),
+    /// An edge connected an operator to itself.
+    SelfLoop(OpId),
+    /// The DAG contains a cycle; the offending operator is reported.
+    Cycle(OpId),
+    /// A source operator has incoming edges.
+    SourceWithInput(OpId),
+    /// A non-source operator has no incoming edges.
+    MissingInput(OpId),
+    /// A sink operator has outgoing edges.
+    SinkWithOutput(OpId),
+    /// Two operators are connected by more than one edge.
+    DuplicateEdge(OpId, OpId),
+    /// The DAG has no operators.
+    Empty,
+    /// An operator's declared parallelism is zero.
+    ZeroParallelism(OpId),
+    /// A serialized record could not be decoded.
+    Codec(&'static str),
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DagError::UnknownOperator(id) => write!(f, "unknown operator id {id}"),
+            DagError::SelfLoop(id) => write!(f, "self-loop on operator {id}"),
+            DagError::Cycle(id) => write!(f, "cycle detected involving operator {id}"),
+            DagError::SourceWithInput(id) => {
+                write!(f, "source operator {id} must not have incoming edges")
+            }
+            DagError::MissingInput(id) => {
+                write!(f, "non-source operator {id} has no incoming edges")
+            }
+            DagError::SinkWithOutput(id) => {
+                write!(f, "sink operator {id} must not have outgoing edges")
+            }
+            DagError::DuplicateEdge(a, b) => {
+                write!(f, "duplicate edge between operators {a} and {b}")
+            }
+            DagError::Empty => write!(f, "logical DAG has no operators"),
+            DagError::ZeroParallelism(id) => {
+                write!(f, "operator {id} declares zero parallelism")
+            }
+            DagError::Codec(why) => write!(f, "codec error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+/// Convenience alias for fallible DAG operations.
+pub type Result<T> = std::result::Result<T, DagError>;

@@ -1,0 +1,358 @@
+//! The logical DAG: vertices are operators, edges carry dependency types.
+
+use std::collections::VecDeque;
+
+use crate::error::{DagError, Result};
+use crate::operator::{DepType, Operator};
+
+/// Identifier of an operator within one [`LogicalDag`] (a dense index).
+pub type OpId = usize;
+
+/// A directed, typed edge between two operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Parent operator.
+    pub src: OpId,
+    /// Child operator.
+    pub dst: OpId,
+    /// Data-flow dependency type.
+    pub dep: DepType,
+}
+
+/// A dataflow program as a DAG of operators (§2.2).
+///
+/// Construction is additive: add operators, then add edges between them.
+/// [`LogicalDag::validate`] checks the structural invariants the compiler
+/// relies on; [`LogicalDag::topo_sort`] yields a stable topological order
+/// (ties broken by insertion order, so compilation is deterministic).
+#[derive(Debug, Clone, Default)]
+pub struct LogicalDag {
+    ops: Vec<Operator>,
+    edges: Vec<Edge>,
+}
+
+impl LogicalDag {
+    /// Creates an empty DAG.
+    pub fn new() -> Self {
+        LogicalDag::default()
+    }
+
+    /// Adds an operator and returns its id.
+    pub fn add_operator(&mut self, op: Operator) -> OpId {
+        self.ops.push(op);
+        self.ops.len() - 1
+    }
+
+    /// Adds a typed edge.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown endpoints, self-loops, and duplicate edges.
+    pub fn add_edge(&mut self, src: OpId, dst: OpId, dep: DepType) -> Result<()> {
+        if src >= self.ops.len() {
+            return Err(DagError::UnknownOperator(src));
+        }
+        if dst >= self.ops.len() {
+            return Err(DagError::UnknownOperator(dst));
+        }
+        if src == dst {
+            return Err(DagError::SelfLoop(src));
+        }
+        if self.edges.iter().any(|e| e.src == src && e.dst == dst) {
+            return Err(DagError::DuplicateEdge(src, dst));
+        }
+        self.edges.push(Edge { src, dst, dep });
+        Ok(())
+    }
+
+    /// Number of operators.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the DAG has no operators.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// All operator ids, in insertion order.
+    pub fn op_ids(&self) -> impl Iterator<Item = OpId> {
+        0..self.ops.len()
+    }
+
+    /// The operator with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range; ids obtained from this DAG are
+    /// always valid.
+    pub fn op(&self, id: OpId) -> &Operator {
+        &self.ops[id]
+    }
+
+    /// Mutable access to an operator (e.g. to set parallelism).
+    pub fn op_mut(&mut self, id: OpId) -> &mut Operator {
+        &mut self.ops[id]
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Incoming edges of `id`, in insertion order.
+    pub fn in_edges(&self, id: OpId) -> Vec<Edge> {
+        self.edges.iter().copied().filter(|e| e.dst == id).collect()
+    }
+
+    /// Outgoing edges of `id`, in insertion order.
+    pub fn out_edges(&self, id: OpId) -> Vec<Edge> {
+        self.edges.iter().copied().filter(|e| e.src == id).collect()
+    }
+
+    /// Parent operator ids of `id`.
+    pub fn parents(&self, id: OpId) -> Vec<OpId> {
+        self.in_edges(id).iter().map(|e| e.src).collect()
+    }
+
+    /// Child operator ids of `id`.
+    pub fn children(&self, id: OpId) -> Vec<OpId> {
+        self.out_edges(id).iter().map(|e| e.dst).collect()
+    }
+
+    /// A stable topological order (Kahn's algorithm, insertion-order ties).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DagError::Cycle`] naming an operator on a cycle.
+    pub fn topo_sort(&self) -> Result<Vec<OpId>> {
+        let n = self.ops.len();
+        let mut in_deg = vec![0usize; n];
+        for e in &self.edges {
+            in_deg[e.dst] += 1;
+        }
+        let mut queue: VecDeque<OpId> = (0..n).filter(|&i| in_deg[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for e in self.edges.iter().filter(|e| e.src == u) {
+                in_deg[e.dst] -= 1;
+                if in_deg[e.dst] == 0 {
+                    queue.push_back(e.dst);
+                }
+            }
+        }
+        if order.len() != n {
+            let stuck = (0..n).find(|&i| in_deg[i] > 0).unwrap_or(0);
+            return Err(DagError::Cycle(stuck));
+        }
+        Ok(order)
+    }
+
+    /// Validates the structural invariants the compiler depends on.
+    ///
+    /// # Errors
+    ///
+    /// - the DAG is empty;
+    /// - a cycle exists;
+    /// - a source has in-edges, or a non-source has none;
+    /// - a sink has out-edges;
+    /// - an operator declares zero parallelism.
+    pub fn validate(&self) -> Result<()> {
+        if self.ops.is_empty() {
+            return Err(DagError::Empty);
+        }
+        self.topo_sort()?;
+        for id in 0..self.ops.len() {
+            let op = &self.ops[id];
+            let n_in = self.in_edges(id).len();
+            if op.kind.is_source() && n_in > 0 {
+                return Err(DagError::SourceWithInput(id));
+            }
+            if !op.kind.is_source() && n_in == 0 {
+                return Err(DagError::MissingInput(id));
+            }
+            if op.kind.is_sink() && !self.out_edges(id).is_empty() {
+                return Err(DagError::SinkWithOutput(id));
+            }
+            if op.parallelism == Some(0) {
+                return Err(DagError::ZeroParallelism(id));
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the DAG in Graphviz `dot` format, annotating edge types.
+    pub fn to_dot(&self) -> String {
+        let mut s = String::from("digraph logical {\n  rankdir=LR;\n");
+        for (i, op) in self.ops.iter().enumerate() {
+            s.push_str(&format!(
+                "  n{} [label=\"{}\\n({})\"];\n",
+                i,
+                op.name,
+                op.kind.label()
+            ));
+        }
+        for e in &self.edges {
+            s.push_str(&format!(
+                "  n{} -> n{} [label=\"{}\"];\n",
+                e.src, e.dst, e.dep
+            ));
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::{OperatorKind, SourceKind};
+    use crate::udf::{ParDoFn, SourceFn};
+    use crate::value::Value;
+
+    fn src() -> Operator {
+        Operator::new(
+            "src",
+            OperatorKind::Source {
+                kind: SourceKind::Read,
+                f: SourceFn::from_vec(vec![Value::Unit]),
+            },
+        )
+    }
+
+    fn pardo(name: &str) -> Operator {
+        Operator::new(
+            name,
+            OperatorKind::ParDo(ParDoFn::per_element(|v, e| e(v.clone()))),
+        )
+    }
+
+    #[test]
+    fn add_edge_rejects_bad_endpoints() {
+        let mut g = LogicalDag::new();
+        let a = g.add_operator(src());
+        assert_eq!(
+            g.add_edge(a, 7, DepType::OneToOne),
+            Err(DagError::UnknownOperator(7))
+        );
+        assert_eq!(
+            g.add_edge(9, a, DepType::OneToOne),
+            Err(DagError::UnknownOperator(9))
+        );
+        assert_eq!(
+            g.add_edge(a, a, DepType::OneToOne),
+            Err(DagError::SelfLoop(a))
+        );
+    }
+
+    #[test]
+    fn add_edge_rejects_duplicates() {
+        let mut g = LogicalDag::new();
+        let a = g.add_operator(src());
+        let b = g.add_operator(pardo("b"));
+        g.add_edge(a, b, DepType::OneToOne).unwrap();
+        assert_eq!(
+            g.add_edge(a, b, DepType::ManyToMany),
+            Err(DagError::DuplicateEdge(a, b))
+        );
+    }
+
+    #[test]
+    fn topo_sort_linear_chain() {
+        let mut g = LogicalDag::new();
+        let a = g.add_operator(src());
+        let b = g.add_operator(pardo("b"));
+        let c = g.add_operator(pardo("c"));
+        g.add_edge(a, b, DepType::OneToOne).unwrap();
+        g.add_edge(b, c, DepType::OneToOne).unwrap();
+        assert_eq!(g.topo_sort().unwrap(), vec![a, b, c]);
+    }
+
+    #[test]
+    fn topo_sort_detects_cycle() {
+        let mut g = LogicalDag::new();
+        let a = g.add_operator(pardo("a"));
+        let b = g.add_operator(pardo("b"));
+        g.add_edge(a, b, DepType::OneToOne).unwrap();
+        g.add_edge(b, a, DepType::OneToOne).unwrap();
+        assert!(matches!(g.topo_sort(), Err(DagError::Cycle(_))));
+    }
+
+    #[test]
+    fn topo_sort_is_stable_under_diamonds() {
+        let mut g = LogicalDag::new();
+        let a = g.add_operator(src());
+        let b = g.add_operator(pardo("b"));
+        let c = g.add_operator(pardo("c"));
+        let d = g.add_operator(pardo("d"));
+        g.add_edge(a, b, DepType::OneToOne).unwrap();
+        g.add_edge(a, c, DepType::OneToOne).unwrap();
+        g.add_edge(b, d, DepType::OneToOne).unwrap();
+        g.add_edge(c, d, DepType::ManyToMany).unwrap();
+        assert_eq!(g.topo_sort().unwrap(), vec![a, b, c, d]);
+    }
+
+    #[test]
+    fn validate_catches_source_with_input() {
+        let mut g = LogicalDag::new();
+        let a = g.add_operator(src());
+        let b = g.add_operator(src());
+        g.add_edge(a, b, DepType::OneToOne).unwrap();
+        assert_eq!(g.validate(), Err(DagError::SourceWithInput(b)));
+    }
+
+    #[test]
+    fn validate_catches_missing_input() {
+        let mut g = LogicalDag::new();
+        g.add_operator(pardo("orphan"));
+        assert_eq!(g.validate(), Err(DagError::MissingInput(0)));
+    }
+
+    #[test]
+    fn validate_catches_empty_and_zero_parallelism() {
+        assert_eq!(LogicalDag::new().validate(), Err(DagError::Empty));
+        let mut g = LogicalDag::new();
+        let a = g.add_operator(src());
+        g.op_mut(a).parallelism = Some(0);
+        assert_eq!(g.validate(), Err(DagError::ZeroParallelism(a)));
+    }
+
+    #[test]
+    fn validate_catches_sink_with_output() {
+        let mut g = LogicalDag::new();
+        let a = g.add_operator(src());
+        let s = g.add_operator(Operator::new("sink", OperatorKind::Sink));
+        let b = g.add_operator(pardo("b"));
+        g.add_edge(a, s, DepType::OneToOne).unwrap();
+        g.add_edge(s, b, DepType::OneToOne).unwrap();
+        assert_eq!(g.validate(), Err(DagError::SinkWithOutput(s)));
+    }
+
+    #[test]
+    fn in_and_out_edges() {
+        let mut g = LogicalDag::new();
+        let a = g.add_operator(src());
+        let b = g.add_operator(pardo("b"));
+        let c = g.add_operator(pardo("c"));
+        g.add_edge(a, b, DepType::OneToOne).unwrap();
+        g.add_edge(a, c, DepType::OneToMany).unwrap();
+        g.add_edge(b, c, DepType::ManyToMany).unwrap();
+        assert_eq!(g.out_edges(a).len(), 2);
+        assert_eq!(g.in_edges(c).len(), 2);
+        assert_eq!(g.parents(c), vec![a, b]);
+        assert_eq!(g.children(a), vec![b, c]);
+    }
+
+    #[test]
+    fn dot_output_mentions_ops_and_deps() {
+        let mut g = LogicalDag::new();
+        let a = g.add_operator(src());
+        let b = g.add_operator(pardo("map"));
+        g.add_edge(a, b, DepType::OneToOne).unwrap();
+        let dot = g.to_dot();
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("map"));
+        assert!(dot.contains("one-to-one"));
+    }
+}

@@ -1,0 +1,402 @@
+//! User-defined functions attached to operators.
+//!
+//! Pado executes operators as parallel tasks; a task processes whole input
+//! partitions at a time. User code is therefore expressed as *per-partition*
+//! functions over [`Value`] records, with a convenience constructor for the
+//! common element-wise case.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::value::Value;
+
+/// The output callback handed to user functions; each call emits one record.
+pub type Emit<'a> = &'a mut dyn FnMut(Value);
+
+/// The input of a single task invocation.
+///
+/// `mains` holds one vector per *main* (one-to-one or many-to-x) input edge,
+/// in edge-declaration order. `side` holds the fully materialized broadcast
+/// (one-to-many) input, if the operator has one.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskInput<'a> {
+    /// One partition of records per main input edge.
+    pub mains: &'a [Vec<Value>],
+    /// The broadcast side input, if any.
+    pub side: Option<&'a [Value]>,
+}
+
+impl<'a> TaskInput<'a> {
+    /// Builds a task input over the given main partitions.
+    pub fn new(mains: &'a [Vec<Value>], side: Option<&'a [Value]>) -> Self {
+        TaskInput { mains, side }
+    }
+
+    /// Returns the records of the first (and usually only) main input.
+    ///
+    /// Returns an empty slice when the operator has no main inputs.
+    pub fn main(&self) -> &'a [Value] {
+        self.mains.first().map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Total number of records across all main inputs.
+    pub fn len(&self) -> usize {
+        self.mains.iter().map(Vec::len).sum()
+    }
+
+    /// Whether all main inputs are empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A parallel-do (flat-map style) function, executed once per task over its
+/// whole input partition.
+#[derive(Clone)]
+pub struct ParDoFn(Arc<dyn Fn(TaskInput<'_>, Emit<'_>) + Send + Sync>);
+
+impl ParDoFn {
+    /// Wraps a per-partition function.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pado_dag::{ParDoFn, TaskInput, Value};
+    ///
+    /// let count = ParDoFn::new(|input: TaskInput<'_>, emit| {
+    ///     emit(Value::from(input.main().len() as i64));
+    /// });
+    /// let part = vec![Value::Unit, Value::Unit];
+    /// let mut out = Vec::new();
+    /// count.call(TaskInput::new(std::slice::from_ref(&part), None), &mut |v| out.push(v));
+    /// assert_eq!(out, vec![Value::from(2i64)]);
+    /// ```
+    pub fn new<F>(f: F) -> Self
+    where
+        F: Fn(TaskInput<'_>, Emit<'_>) + Send + Sync + 'static,
+    {
+        ParDoFn(Arc::new(f))
+    }
+
+    /// Wraps an element-wise function applied to every record of every main
+    /// input.
+    pub fn per_element<F>(f: F) -> Self
+    where
+        F: Fn(&Value, Emit<'_>) + Send + Sync + 'static,
+    {
+        ParDoFn::new(move |input, emit| {
+            for part in input.mains {
+                for v in part {
+                    f(v, emit);
+                }
+            }
+        })
+    }
+
+    /// Wraps an element-wise function that also sees the side input.
+    pub fn per_element_with_side<F>(f: F) -> Self
+    where
+        F: Fn(&Value, &[Value], Emit<'_>) + Send + Sync + 'static,
+    {
+        ParDoFn::new(move |input, emit| {
+            let side = input.side.unwrap_or(&[]);
+            for part in input.mains {
+                for v in part {
+                    f(v, side, emit);
+                }
+            }
+        })
+    }
+
+    /// Invokes the function on one task input.
+    pub fn call(&self, input: TaskInput<'_>, emit: Emit<'_>) {
+        (self.0)(input, emit)
+    }
+}
+
+impl fmt::Debug for ParDoFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ParDoFn")
+    }
+}
+
+/// A commutative and associative combiner.
+///
+/// Because `merge` is commutative and associative, the runtime may partially
+/// aggregate task outputs on transient executors and merge pushed partial
+/// results on reserved executors in any order (§3.2.7 of the paper).
+#[derive(Clone)]
+pub struct CombineFn {
+    identity: Arc<dyn Fn() -> Value + Send + Sync>,
+    merge: Arc<dyn Fn(Value, Value) -> Value + Send + Sync>,
+}
+
+impl CombineFn {
+    /// Builds a combiner from an identity constructor and a merge function.
+    ///
+    /// The caller must ensure `merge` is commutative and associative with
+    /// `identity()` as its neutral element; the engine's correctness under
+    /// partial aggregation depends on it.
+    pub fn new<I, M>(identity: I, merge: M) -> Self
+    where
+        I: Fn() -> Value + Send + Sync + 'static,
+        M: Fn(Value, Value) -> Value + Send + Sync + 'static,
+    {
+        CombineFn {
+            identity: Arc::new(identity),
+            merge: Arc::new(merge),
+        }
+    }
+
+    /// A combiner summing `I64` records.
+    pub fn sum_i64() -> Self {
+        CombineFn::new(
+            || Value::I64(0),
+            |a, b| Value::I64(a.as_i64().unwrap_or(0) + b.as_i64().unwrap_or(0)),
+        )
+    }
+
+    /// A combiner summing `F64` records.
+    pub fn sum_f64() -> Self {
+        CombineFn::new(
+            || Value::F64(0.0),
+            |a, b| Value::F64(a.as_f64().unwrap_or(0.0) + b.as_f64().unwrap_or(0.0)),
+        )
+    }
+
+    /// A combiner summing dense `Vector` records element-wise.
+    ///
+    /// Mismatched lengths extend to the longer vector, so the identity (an
+    /// empty vector) is neutral.
+    pub fn sum_vector() -> Self {
+        CombineFn::new(
+            || Value::vector(Vec::new()),
+            |a, b| {
+                let av = a.as_vector().unwrap_or(&[]);
+                let bv = b.as_vector().unwrap_or(&[]);
+                let n = av.len().max(bv.len());
+                let mut out = vec![0.0; n];
+                for (i, x) in av.iter().enumerate() {
+                    out[i] += x;
+                }
+                for (i, x) in bv.iter().enumerate() {
+                    out[i] += x;
+                }
+                Value::vector(out)
+            },
+        )
+    }
+
+    /// A combiner counting records (each record contributes 1).
+    pub fn count() -> Self {
+        CombineFn::new(
+            || Value::I64(0),
+            |a, b| {
+                let to_count = |v: &Value| v.as_i64().unwrap_or(1);
+                // Accumulators are counts; fresh records count as 1. An
+                // I64 operand is treated as an accumulator, which makes
+                // the merge associative over mixed partials.
+                Value::I64(to_count(&a) + to_count(&b))
+            },
+        )
+    }
+
+    /// A combiner keeping the maximum `I64`.
+    pub fn max_i64() -> Self {
+        CombineFn::new(
+            || Value::I64(i64::MIN),
+            |a, b| {
+                Value::I64(
+                    a.as_i64()
+                        .unwrap_or(i64::MIN)
+                        .max(b.as_i64().unwrap_or(i64::MIN)),
+                )
+            },
+        )
+    }
+
+    /// A combiner keeping the minimum `I64`.
+    pub fn min_i64() -> Self {
+        CombineFn::new(
+            || Value::I64(i64::MAX),
+            |a, b| {
+                Value::I64(
+                    a.as_i64()
+                        .unwrap_or(i64::MAX)
+                        .min(b.as_i64().unwrap_or(i64::MAX)),
+                )
+            },
+        )
+    }
+
+    /// Returns the neutral element.
+    pub fn identity(&self) -> Value {
+        (self.identity)()
+    }
+
+    /// Merges two accumulated values.
+    pub fn merge(&self, a: Value, b: Value) -> Value {
+        (self.merge)(a, b)
+    }
+
+    /// Folds an iterator of values into a single accumulated value.
+    pub fn merge_all<I: IntoIterator<Item = Value>>(&self, values: I) -> Value {
+        values
+            .into_iter()
+            .fold(self.identity(), |acc, v| self.merge(acc, v))
+    }
+}
+
+impl fmt::Debug for CombineFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("CombineFn")
+    }
+}
+
+/// A source function: given `(partition, total_partitions)`, produces the
+/// records of that partition.
+///
+/// `Read` sources use it to model loading from external storage; `Created`
+/// sources use it with a single partition to materialize in-memory data
+/// (§3.1.1).
+#[derive(Clone)]
+pub struct SourceFn(Arc<dyn Fn(usize, usize) -> Vec<Value> + Send + Sync>);
+
+impl SourceFn {
+    /// Wraps a partitioned generator function.
+    pub fn new<F>(f: F) -> Self
+    where
+        F: Fn(usize, usize) -> Vec<Value> + Send + Sync + 'static,
+    {
+        SourceFn(Arc::new(f))
+    }
+
+    /// A source that deals a fixed dataset round-robin across partitions.
+    pub fn from_vec(data: Vec<Value>) -> Self {
+        let data = Arc::new(data);
+        SourceFn::new(move |part, total| {
+            data.iter()
+                .enumerate()
+                .filter(|(i, _)| i % total.max(1) == part)
+                .map(|(_, v)| v.clone())
+                .collect()
+        })
+    }
+
+    /// Produces the records of one partition.
+    pub fn produce(&self, partition: usize, total: usize) -> Vec<Value> {
+        (self.0)(partition, total)
+    }
+}
+
+impl fmt::Debug for SourceFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SourceFn")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_element_visits_all_mains() {
+        let f = ParDoFn::per_element(|v, emit| emit(v.clone()));
+        let mains = vec![vec![Value::from(1i64)], vec![Value::from(2i64)]];
+        let mut out = Vec::new();
+        f.call(TaskInput::new(&mains, None), &mut |v| out.push(v));
+        assert_eq!(out, vec![Value::from(1i64), Value::from(2i64)]);
+    }
+
+    #[test]
+    fn per_element_with_side_sees_broadcast() {
+        let f = ParDoFn::per_element_with_side(|v, side, emit| {
+            let inc = side[0].as_i64().unwrap();
+            emit(Value::from(v.as_i64().unwrap() + inc));
+        });
+        let mains = vec![vec![Value::from(1i64)]];
+        let side = vec![Value::from(10i64)];
+        let mut out = Vec::new();
+        f.call(TaskInput::new(&mains, Some(&side)), &mut |v| out.push(v));
+        assert_eq!(out, vec![Value::from(11i64)]);
+    }
+
+    #[test]
+    fn task_input_len_and_main() {
+        let mains = vec![vec![Value::Unit; 2], vec![Value::Unit; 3]];
+        let ti = TaskInput::new(&mains, None);
+        assert_eq!(ti.len(), 5);
+        assert!(!ti.is_empty());
+        assert_eq!(ti.main().len(), 2);
+        let empty: Vec<Vec<Value>> = Vec::new();
+        assert!(TaskInput::new(&empty, None).is_empty());
+        assert_eq!(TaskInput::new(&empty, None).main().len(), 0);
+    }
+
+    #[test]
+    fn combine_sum_i64_identity_and_merge() {
+        let c = CombineFn::sum_i64();
+        assert_eq!(c.identity(), Value::I64(0));
+        let merged = c.merge_all(vec![
+            Value::from(1i64),
+            Value::from(2i64),
+            Value::from(3i64),
+        ]);
+        assert_eq!(merged, Value::I64(6));
+    }
+
+    #[test]
+    fn combine_sum_vector_handles_ragged_lengths() {
+        let c = CombineFn::sum_vector();
+        let merged = c.merge(Value::vector(vec![1.0, 2.0]), Value::vector(vec![10.0]));
+        assert_eq!(merged.as_vector().unwrap(), &[11.0, 2.0]);
+        // Identity is neutral on either side.
+        let v = Value::vector(vec![5.0]);
+        assert_eq!(c.merge(c.identity(), v.clone()), v);
+        assert_eq!(c.merge(v.clone(), c.identity()), v);
+    }
+
+    #[test]
+    fn combine_max_min() {
+        let max = CombineFn::max_i64();
+        let min = CombineFn::min_i64();
+        let vals = vec![Value::from(3i64), Value::from(-7i64), Value::from(5i64)];
+        assert_eq!(max.merge_all(vals.clone()), Value::from(5i64));
+        assert_eq!(min.merge_all(vals), Value::from(-7i64));
+        assert_eq!(
+            max.merge(max.identity(), Value::from(1i64)),
+            Value::from(1i64)
+        );
+    }
+
+    #[test]
+    fn combine_count_is_associative_over_partials() {
+        let c = CombineFn::count();
+        // Counting integer accumulators directly.
+        let direct = c.merge_all(vec![Value::I64(1), Value::I64(1), Value::I64(1)]);
+        assert_eq!(direct, Value::I64(3));
+        // Merging two partial counts equals counting everything.
+        let left = c.merge_all(vec![Value::I64(1), Value::I64(1)]);
+        let merged = c.merge(left, Value::I64(1));
+        assert_eq!(merged, Value::I64(3));
+    }
+
+    #[test]
+    fn source_from_vec_partitions_cover_all_records() {
+        let data: Vec<Value> = (0..10).map(Value::from).collect();
+        let s = SourceFn::from_vec(data.clone());
+        let mut all = Vec::new();
+        for p in 0..3 {
+            all.extend(s.produce(p, 3));
+        }
+        all.sort();
+        assert_eq!(all, data);
+    }
+
+    #[test]
+    fn source_single_partition_yields_everything() {
+        let data: Vec<Value> = (0..4).map(Value::from).collect();
+        let s = SourceFn::from_vec(data.clone());
+        assert_eq!(s.produce(0, 1), data);
+    }
+}

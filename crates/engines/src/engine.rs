@@ -1,0 +1,1438 @@
+//! The unified simulation engine.
+//!
+//! All three evaluated engines execute the same compiled physical plan on
+//! the same simulated cluster; they differ in three policies, captured by
+//! [`Mode`]:
+//!
+//! - **Spark** (§5.1.2): executors on transient *and* reserved containers;
+//!   pull-based shuffles from producer-local outputs; driver-side global
+//!   aggregation on the master container; lineage recovery — a lost
+//!   output is recomputed on demand, which cascades into critical chains
+//!   under frequent evictions.
+//! - **Spark-checkpoint** (Flint-style): executors on transient
+//!   containers only; every task output is asynchronously checkpointed to
+//!   stable storage served by the reserved containers; consumers pull
+//!   from stable storage; recovery restarts from the last checkpoint.
+//! - **Pado** (§3.2): placement from the Pado compiler; reserved receiver
+//!   tasks are pre-assigned so transient task outputs are pushed to their
+//!   consumers' reserved containers the moment they complete; an eviction
+//!   only relaunches uncommitted tasks of the running stage; combine-bound
+//!   outputs are partially aggregated before the push.
+
+use std::collections::{HashMap, HashSet};
+
+use pado_core::compiler::{FopId, InputSlot, PhysicalPlan, Placement};
+use pado_core::runtime::master::required_src_indices;
+use pado_dag::{DepType, LogicalDag, OperatorKind, SourceKind};
+use pado_simcluster::{Cluster, ContainerId, Event, Kind, LifetimeDist, NodeSpec};
+
+use crate::common::{CostModel, FopCosts, RunMetrics, SimError, SlotPool};
+
+/// Which engine's policies to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Plain Spark 2.0.0.
+    Spark,
+    /// Flint-style checkpoint-enabled Spark.
+    SparkCkpt,
+    /// Pado.
+    Pado,
+}
+
+impl Mode {
+    /// Display name used by the benchmark harness.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mode::Spark => "Spark",
+            Mode::SparkCkpt => "Spark-checkpoint",
+            Mode::Pado => "Pado",
+        }
+    }
+}
+
+/// Cluster and engine configuration for one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of transient containers.
+    pub n_transient: usize,
+    /// Number of reserved containers (the master gets its own extra
+    /// container, as in the paper).
+    pub n_reserved: usize,
+    /// Transient container links/slots (m3.xlarge-like).
+    pub transient_spec: NodeSpec,
+    /// Reserved container links/slots (i2.xlarge-like).
+    pub reserved_spec: NodeSpec,
+    /// External input store (S3-like).
+    pub store_spec: NodeSpec,
+    /// Transient lifetime distribution (the eviction rate).
+    pub lifetimes: LifetimeDist,
+    /// RNG seed for the eviction process.
+    pub seed: u64,
+    /// Abort the run beyond this much virtual time.
+    pub time_limit_us: u64,
+    /// Pado: enable transient-side partial aggregation (§3.2.7).
+    pub partial_aggregation: bool,
+    /// Extra transient containers forming a second, longer-lived pool
+    /// (Harvest-style lifetime classes, §6). Zero disables the pool.
+    pub n_transient_long: usize,
+    /// Lifetime distribution of the long pool.
+    pub long_lifetimes: LifetimeDist,
+    /// Pado: place high-recomputation-cost transient operators on the
+    /// long-lived pool (the §6 lifetime-aware placement extension).
+    pub lifetime_aware: bool,
+    /// Deterministic, scripted evictions: `(virtual time µs, k)` evicts
+    /// the `k`-th initial transient container at that time (in addition
+    /// to the stochastic eviction process).
+    pub scripted_evictions: Vec<(u64, usize)>,
+    /// Cache broadcast (one-to-many) inputs per container (§3.2.7; Spark
+    /// gets the same courtesy for its broadcast variables).
+    pub broadcast_caching: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            n_transient: 40,
+            n_reserved: 5,
+            transient_spec: NodeSpec::from_gbps(4, 1.0),
+            reserved_spec: NodeSpec::from_gbps(4, 1.0),
+            store_spec: NodeSpec::from_gbps(0, 40.0),
+            lifetimes: LifetimeDist::None,
+            seed: 1,
+            time_limit_us: 24 * 60 * pado_simcluster::MIN,
+            partial_aggregation: true,
+            n_transient_long: 0,
+            long_lifetimes: LifetimeDist::None,
+            lifetime_aware: false,
+            scripted_evictions: Vec::new(),
+            broadcast_caching: true,
+        }
+    }
+}
+
+/// Engine events flowing through the simulated cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ev {
+    /// Part of a task's input fetch arrived.
+    Fetch {
+        /// Flattened task id.
+        task: usize,
+        /// Attempt guard.
+        attempt: u32,
+    },
+    /// A task finished computing.
+    ComputeDone {
+        /// Flattened task id.
+        task: usize,
+        /// Attempt guard.
+        attempt: u32,
+    },
+    /// Part of a task's output push (Pado) arrived at a reserved node.
+    Push {
+        /// Flattened task id.
+        task: usize,
+        /// Attempt guard.
+        attempt: u32,
+    },
+    /// A task's checkpoint write (Spark-checkpoint) completed.
+    Ckpt {
+        /// Flattened task id.
+        task: usize,
+        /// Attempt guard.
+        attempt: u32,
+    },
+}
+
+impl Ev {
+    fn task(self) -> usize {
+        match self {
+            Ev::Fetch { task, .. }
+            | Ev::ComputeDone { task, .. }
+            | Ev::Push { task, .. }
+            | Ev::Ckpt { task, .. } => task,
+        }
+    }
+    fn attempt(self) -> u32 {
+        match self {
+            Ev::Fetch { attempt, .. }
+            | Ev::ComputeDone { attempt, .. }
+            | Ev::Push { attempt, .. }
+            | Ev::Ckpt { attempt, .. } => attempt,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum TState {
+    Pending,
+    Fetching { node: ContainerId, waiting: usize },
+    Computing { node: ContainerId },
+    Pushing { node: ContainerId, waiting: usize },
+    Done(DoneInfo),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DoneInfo {
+    /// Node that produced the output (local copy).
+    node: ContainerId,
+    /// Whether the local copy still exists.
+    available: bool,
+    /// Whether a copy lives on eviction-free resources (pushed,
+    /// checkpointed, produced on reserved, or written to the job sink).
+    safe: bool,
+    /// Where the safe copy lives (checkpoint node for Spark-checkpoint).
+    safe_node: Option<ContainerId>,
+}
+
+/// One simulated engine run.
+pub struct SimEngine {
+    mode: Mode,
+    plan: PhysicalPlan,
+    costs: FopCosts,
+    config: SimConfig,
+    cluster: Cluster<Ev>,
+    pool: SlotPool,
+    master_pool: SlotPool,
+    /// Flattened task table; `offset[fop] + index`.
+    state: Vec<TState>,
+    attempt: Vec<u32>,
+    attempted: Vec<bool>,
+    offset: Vec<usize>,
+    /// Pado: reserved tasks' pre-assigned receiver nodes.
+    assigned: HashMap<usize, ContainerId>,
+    /// Per-(container, producer fop) broadcast cache.
+    bcast_cache: HashSet<(ContainerId, FopId)>,
+    /// Nodes able to serve each broadcast dataset (the producer plus every
+    /// container that finished fetching it) — models torrent-style
+    /// peer-to-peer broadcast distribution.
+    bcast_sources: HashMap<FopId, Vec<ContainerId>>,
+    bcast_rr: usize,
+    /// Broadcast keys a fetching task will cache once its fetch completes.
+    pending_bcast: HashMap<usize, Vec<(ContainerId, FopId)>>,
+    ckpt_rr: usize,
+    metrics: RunMetrics,
+    /// Whether each fop head is a `Created` source (driver-side in Spark).
+    created_src: Vec<bool>,
+    /// Whether each fop is a driver-side global aggregate in Spark modes.
+    driver_agg: Vec<bool>,
+    /// Whether each fop prefers the long-lived transient pool (§6).
+    prefer_long: Vec<bool>,
+}
+
+impl SimEngine {
+    /// Prepares a run: compiles nothing (takes a compiled plan), derives
+    /// costs, builds the cluster, and assigns Pado receivers.
+    pub fn new(
+        mode: Mode,
+        dag: &LogicalDag,
+        plan: PhysicalPlan,
+        model: &CostModel,
+        config: SimConfig,
+    ) -> Self {
+        let costs = FopCosts::derive(&plan, model);
+        let mut cluster = Cluster::new(
+            config.n_transient,
+            config.n_reserved,
+            config.transient_spec,
+            config.reserved_spec,
+            config.store_spec,
+            config.lifetimes.clone(),
+            config.seed,
+        );
+        let initial_transient = cluster.alive(Kind::Transient);
+        for &(at, k) in &config.scripted_evictions {
+            if !initial_transient.is_empty() {
+                cluster.schedule_eviction(at, initial_transient[k % initial_transient.len()]);
+            }
+        }
+        if config.n_transient_long > 0 {
+            cluster.add_transient_pool(
+                config.n_transient_long,
+                config.transient_spec,
+                config.long_lifetimes.clone(),
+            );
+        }
+        // Lifetime-aware placement (§6): steer the transient operators
+        // whose eviction wastes the most work to the long-lived pool. The
+        // waste of losing one task is its own compute time plus the
+        // recomputation cascade through transient ancestors, so the
+        // steering signal is the structural recomputation score weighted
+        // by the fused chain's task duration.
+        let prefer_long: Vec<bool> = if config.lifetime_aware && config.n_transient_long > 0 {
+            let scores = pado_core::compiler::recomputation_scores(dag, &plan.placement)
+                .unwrap_or_default();
+            let weight = |f: &pado_core::compiler::Fop| {
+                let cascade: f64 = f.chain.iter().map(|&op| scores.get(op).copied().unwrap_or(1.0)).sum();
+                costs.compute_us[f.id] as f64 * cascade
+            };
+            let mut transient: Vec<f64> = plan
+                .fops
+                .iter()
+                .filter(|f| f.placement == Placement::Transient)
+                .map(&weight)
+                .collect();
+            transient.sort_by(f64::total_cmp);
+            let median = transient.get(transient.len() / 2).copied().unwrap_or(0.0);
+            plan.fops
+                .iter()
+                .map(|f| f.placement == Placement::Transient && weight(f) >= median.max(1.0))
+                .collect()
+        } else {
+            vec![false; plan.fops.len()]
+        };
+
+        let mut offset = Vec::with_capacity(plan.fops.len());
+        let mut total = 0usize;
+        for f in &plan.fops {
+            offset.push(total);
+            total += f.parallelism;
+        }
+
+        let created_src: Vec<bool> = plan
+            .fops
+            .iter()
+            .map(|f| {
+                matches!(
+                    dag.op(f.head()).kind,
+                    OperatorKind::Source {
+                        kind: SourceKind::Created,
+                        ..
+                    }
+                )
+            })
+            .collect();
+        // Spark runs singleton collection/aggregation/update steps in the
+        // driver process (e.g. MLR's model update, §5.2.2), which lives on
+        // the never-evicted master container. Read sources stay on
+        // executors regardless of parallelism.
+        let driver_agg: Vec<bool> = plan
+            .fops
+            .iter()
+            .map(|f| {
+                f.parallelism == 1
+                    && !matches!(
+                        dag.op(f.head()).kind,
+                        OperatorKind::Source {
+                            kind: SourceKind::Read,
+                            ..
+                        }
+                    )
+            })
+            .collect();
+
+        let mut engine = SimEngine {
+            mode,
+            plan,
+            costs,
+            config,
+            cluster,
+            pool: SlotPool::new(),
+            master_pool: SlotPool::new(),
+            state: vec![TState::Pending; total],
+            attempt: vec![0; total],
+            attempted: vec![false; total],
+            offset,
+            assigned: HashMap::new(),
+            bcast_cache: HashSet::new(),
+            bcast_sources: HashMap::new(),
+            bcast_rr: 0,
+            pending_bcast: HashMap::new(),
+            ckpt_rr: 0,
+            metrics: RunMetrics {
+                original_tasks: total,
+                ..RunMetrics::default()
+            },
+            created_src,
+            driver_agg,
+            prefer_long,
+        };
+        engine.init_pools();
+        engine.assign_receivers();
+        engine
+    }
+
+    fn init_pools(&mut self) {
+        let master = Cluster::<Ev>::MASTER;
+        self.master_pool
+            .add(master, self.cluster.container(master).slots.max(1));
+        for c in self.cluster.alive(Kind::Transient) {
+            self.pool.add(c, self.cluster.container(c).slots);
+        }
+        let reserved_schedulable = matches!(self.mode, Mode::Spark | Mode::Pado);
+        if reserved_schedulable {
+            for c in self.cluster.alive(Kind::Reserved) {
+                self.pool.add(c, self.cluster.container(c).slots);
+            }
+        }
+    }
+
+    /// Pado pre-assigns every reserved task a receiver node, round-robin,
+    /// so transient producers know their push destinations (§3.2.3).
+    fn assign_receivers(&mut self) {
+        if self.mode != Mode::Pado {
+            return;
+        }
+        let reserved = self.cluster.alive(Kind::Reserved);
+        if reserved.is_empty() {
+            return;
+        }
+        let mut rr = 0usize;
+        for f in 0..self.plan.fops.len() {
+            if self.plan.fops[f].placement != Placement::Reserved {
+                continue;
+            }
+            for i in 0..self.plan.fops[f].parallelism {
+                self.assigned
+                    .insert(self.offset[f] + i, reserved[rr % reserved.len()]);
+                rr += 1;
+            }
+        }
+    }
+
+    fn flat(&self, fop: FopId, index: usize) -> usize {
+        self.offset[fop] + index
+    }
+
+    fn unflat(&self, t: usize) -> (FopId, usize) {
+        // Offsets are strictly increasing (parallelism >= 1), so the
+        // owning fop is unique.
+        let fop = match self.offset.binary_search(&t) {
+            Ok(f) => f,
+            Err(f) => f - 1,
+        };
+        (fop, t - self.offset[fop])
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Stalled`] if the event queue drains early (an engine
+    /// bug); [`SimError::TimedOut`] past the configured virtual deadline.
+    pub fn run(mut self) -> Result<RunMetrics, SimError> {
+        self.schedule();
+        while !self.all_done() {
+            if self.cluster.now() > self.config.time_limit_us {
+                return Err(SimError::TimedOut);
+            }
+            let Some(event) = self.cluster.next_event() else {
+                let completed = self
+                    .state
+                    .iter()
+                    .filter(|s| matches!(s, TState::Done(_)))
+                    .count();
+                return Err(SimError::Stalled {
+                    completed,
+                    total: self.state.len(),
+                });
+            };
+            self.on_event(event);
+            self.schedule();
+        }
+        self.metrics.jct_us = self.cluster.now();
+        self.metrics.evictions = self.cluster.evictions;
+        self.metrics.bytes_transferred = self.cluster.bytes_transferred();
+        Ok(self.metrics)
+    }
+
+    fn all_done(&self) -> bool {
+        self.state.iter().all(|s| matches!(s, TState::Done(_)))
+    }
+
+    fn on_event(&mut self, event: Event<Ev>) {
+        match event {
+            Event::Timer(ev) => self.on_timer(ev),
+            Event::TransferDone { tag, .. } => self.on_transfer_done(tag),
+            Event::TransferFailed { tag, .. } => self.on_transfer_failed(tag),
+            Event::Evicted(c) => self.on_evicted(c),
+            Event::ContainerAdded(c) => {
+                self.pool.add(c, self.cluster.container(c).slots);
+            }
+        }
+    }
+
+    fn current(&self, ev: Ev) -> bool {
+        self.attempt[ev.task()] == ev.attempt()
+    }
+
+    fn on_timer(&mut self, ev: Ev) {
+        if !self.current(ev) {
+            return;
+        }
+        if let Ev::ComputeDone { task, .. } = ev {
+            if let TState::Computing { node } = self.state[task] {
+                self.finish_compute(task, node);
+            }
+        }
+    }
+
+    fn on_transfer_done(&mut self, ev: Ev) {
+        if !self.current(ev) {
+            return;
+        }
+        match ev {
+            Ev::Fetch { task, .. } => {
+                if let TState::Fetching { node, waiting } = self.state[task] {
+                    if waiting <= 1 {
+                        self.start_compute(task, node);
+                    } else {
+                        self.state[task] = TState::Fetching {
+                            node,
+                            waiting: waiting - 1,
+                        };
+                    }
+                }
+            }
+            Ev::Push { task, .. } => {
+                if let TState::Pushing { node, waiting } = self.state[task] {
+                    if waiting <= 1 {
+                        self.state[task] = TState::Done(DoneInfo {
+                            node,
+                            available: self.cluster.container(node).alive,
+                            safe: true,
+                            safe_node: None,
+                        });
+                    } else {
+                        self.state[task] = TState::Pushing {
+                            node,
+                            waiting: waiting - 1,
+                        };
+                    }
+                }
+            }
+            Ev::Ckpt { task, .. } => {
+                if let TState::Done(info) = &mut self.state[task] {
+                    info.safe = true;
+                }
+            }
+            Ev::ComputeDone { .. } => {}
+        }
+    }
+
+    fn on_transfer_failed(&mut self, ev: Ev) {
+        if !self.current(ev) {
+            return;
+        }
+        match ev {
+            Ev::Fetch { task, .. } => {
+                // A fetch source died; abandon this attempt. (If the
+                // task's own node died, the eviction handler already
+                // bumped the attempt and this event is stale.)
+                if let TState::Fetching { node, .. } = self.state[task] {
+                    self.revert(task);
+                    self.pool.release(node);
+                    self.master_pool.release(node);
+                }
+            }
+            Ev::Push { task, .. } => {
+                // Push destinations are reserved and do not die in these
+                // experiments; a failed push means the producer died and
+                // the eviction handler already reverted the task.
+                let _ = task;
+            }
+            Ev::Ckpt { task, .. } => {
+                // The producer died mid-checkpoint: the output stays
+                // unsafe; lineage recovery will recompute it on demand.
+                let _ = task;
+            }
+            Ev::ComputeDone { .. } => {}
+        }
+    }
+
+    fn revert(&mut self, task: usize) {
+        self.attempt[task] += 1;
+        self.state[task] = TState::Pending;
+        // A reverted fetch can no longer seed its pending broadcasts.
+        if let Some(keys) = self.pending_bcast.remove(&task) {
+            for (node, fop) in keys {
+                if !self.bcast_cache.contains(&(node, fop)) {
+                    if let Some(sources) = self.bcast_sources.get_mut(&fop) {
+                        sources.retain(|&n| n != node);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_evicted(&mut self, c: ContainerId) {
+        self.pool.remove(c);
+        self.bcast_cache.retain(|(node, _)| *node != c);
+        for sources in self.bcast_sources.values_mut() {
+            sources.retain(|&n| n != c);
+        }
+        for t in 0..self.state.len() {
+            match self.state[t] {
+                TState::Fetching { node, .. }
+                | TState::Computing { node }
+                | TState::Pushing { node, .. }
+                    if node == c =>
+                {
+                    self.revert(t);
+                }
+                TState::Done(ref mut info) if info.node == c => {
+                    info.available = false;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Where a fop's tasks may run under this mode.
+    fn placement_target(&self, fop: FopId, task: usize) -> PlacementTarget {
+        match self.mode {
+            Mode::Spark | Mode::SparkCkpt => {
+                if self.driver_agg[fop] || self.created_src[fop] {
+                    PlacementTarget::Master
+                } else {
+                    PlacementTarget::AnyExecutor
+                }
+            }
+            Mode::Pado => match self.plan.fops[fop].placement {
+                Placement::Reserved => PlacementTarget::Fixed(self.assigned.get(&task).copied()),
+                Placement::Transient => {
+                    if self.prefer_long[fop] {
+                        PlacementTarget::TransientPool(1)
+                    } else if self.config.lifetime_aware && self.config.n_transient_long > 0 {
+                        PlacementTarget::TransientPool(0)
+                    } else {
+                        PlacementTarget::Transient
+                    }
+                }
+            },
+        }
+    }
+
+    /// One scheduling pass: launch every ready pending task that can get
+    /// a slot. Tasks are visited in plan (stage-topological) order, so
+    /// lineage recomputation naturally precedes dependents. Fops whose
+    /// placement class has no free slot are skipped wholesale — readiness
+    /// checks over thousands of producers are pointless without a slot.
+    fn schedule(&mut self) {
+        for f in 0..self.plan.fops.len() {
+            if !self.any_slot_for(f) {
+                continue;
+            }
+            for i in 0..self.plan.fops[f].parallelism {
+                let t = self.flat(f, i);
+                if matches!(self.state[t], TState::Pending) && self.ready(f, i) {
+                    self.try_launch(f, i);
+                    if !self.any_slot_for(f) {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether some executor eligible for this fop has a free slot.
+    fn any_slot_for(&self, fop: FopId) -> bool {
+        let sample_task = self.offset[fop];
+        match self.placement_target(fop, sample_task) {
+            PlacementTarget::Master => self.master_pool.any_free(),
+            PlacementTarget::AnyExecutor => self.pool.any_free(),
+            PlacementTarget::Transient | PlacementTarget::TransientPool(_) => {
+                let cl = &self.cluster;
+                self.pool
+                    .free_slots_where(|c| cl.container(c).kind == Kind::Transient)
+                    > 0
+            }
+            PlacementTarget::Fixed(Some(n)) => self.pool.free_on(n) > 0,
+            PlacementTarget::Fixed(None) => false,
+        }
+    }
+
+    /// Whether a task's inputs are all usable; reverts producers whose
+    /// outputs are lost (lazy lineage recovery — the source of Spark's
+    /// cascading recomputations).
+    ///
+    /// Cost/semantics balance: a producer that is simply not finished yet
+    /// short-circuits the scan (the overwhelmingly common case while a
+    /// stage is in flight), but *lost* outputs never block the scan — all
+    /// of them are reverted in one pass so recovery recomputes them in
+    /// parallel rather than one per scheduling round.
+    fn ready(&mut self, fop: FopId, index: usize) -> bool {
+        let mut ok = true;
+        for e in self.plan.in_edges(fop) {
+            let src_par = self.plan.fops[e.src].parallelism;
+            let dst_par = self.plan.fops[fop].parallelism;
+            for si in required_src_indices(&e, index, src_par, dst_par) {
+                let st = self.flat(e.src, si);
+                match self.state[st] {
+                    TState::Done(info) => {
+                        let usable = match self.mode {
+                            Mode::Spark => info.available,
+                            Mode::SparkCkpt => info.safe,
+                            Mode::Pado => {
+                                if self.plan.fops[e.src].placement == Placement::Reserved {
+                                    // Preserved on eviction-free storage.
+                                    info.safe || info.available
+                                } else if self.plan.fops[fop].placement == Placement::Reserved {
+                                    // Pushed to this consumer's node.
+                                    info.safe || info.available
+                                } else {
+                                    // Transient-to-transient edge: only
+                                    // the producer-local copy serves it.
+                                    info.available
+                                }
+                            }
+                        };
+                        if !usable {
+                            // Lost and needed: recompute the producer
+                            // (for Pado this only happens within the
+                            // running stage; committed stage outputs on
+                            // reserved containers are never lost here).
+                            if !info.available {
+                                self.revert(st);
+                                ok = false;
+                            } else {
+                                return false;
+                            }
+                        }
+                    }
+                    _ => return false,
+                }
+            }
+        }
+        ok
+    }
+
+    fn try_launch(&mut self, fop: FopId, index: usize) {
+        let t = self.flat(fop, index);
+        let node = match self.placement_target(fop, t) {
+            PlacementTarget::Master => {
+                let m = Cluster::<Ev>::MASTER;
+                if self.master_pool.acquire_on(m) {
+                    Some(m)
+                } else {
+                    None
+                }
+            }
+            PlacementTarget::AnyExecutor => self.pool.acquire_any(),
+            PlacementTarget::Transient => {
+                let cl = &self.cluster;
+                self.pool
+                    .acquire_where(|c| cl.container(c).kind == Kind::Transient)
+            }
+            PlacementTarget::TransientPool(pool) => {
+                let cl = &self.cluster;
+                self.pool
+                    .acquire_where(|c| {
+                        cl.container(c).kind == Kind::Transient && cl.container(c).pool == pool
+                    })
+                    .or_else(|| {
+                        // Fall back to any transient slot rather than stall.
+                        self.pool
+                            .acquire_where(|c| cl.container(c).kind == Kind::Transient)
+                    })
+            }
+            PlacementTarget::Fixed(Some(n)) => {
+                if self.pool.acquire_on(n) {
+                    Some(n)
+                } else {
+                    None
+                }
+            }
+            PlacementTarget::Fixed(None) => None,
+        };
+        let Some(node) = node else { return };
+
+        self.metrics.tasks_launched += 1;
+        if self.attempted[t] {
+            self.metrics.relaunched_tasks += 1;
+        } else {
+            self.attempted[t] = true;
+        }
+
+        let fetches = self.fetch_plan(fop, index, node);
+        let attempt = self.attempt[t];
+        if fetches.is_empty() {
+            self.start_compute(t, node);
+        } else {
+            self.state[t] = TState::Fetching {
+                node,
+                waiting: fetches.len(),
+            };
+            for (src_node, bytes) in fetches {
+                self.cluster
+                    .start_transfer(src_node, node, bytes, Ev::Fetch { task: t, attempt });
+            }
+        }
+    }
+
+    /// Computes the (source node, bytes) transfers a task needs before it
+    /// can run on `node`. Local data contributes nothing.
+    fn fetch_plan(
+        &mut self,
+        fop: FopId,
+        index: usize,
+        node: ContainerId,
+    ) -> Vec<(ContainerId, f64)> {
+        let t = self.flat(fop, index);
+        let mut by_src: HashMap<ContainerId, f64> = HashMap::new();
+        // External input.
+        let read = self.costs.read_bytes[fop];
+        if read > 0.0 {
+            by_src.insert(Cluster::<Ev>::STORE, read);
+        }
+        for e in self.plan.in_edges(fop) {
+            let src_par = self.plan.fops[e.src].parallelism;
+            let dst_par = self.plan.fops[fop].parallelism;
+            let is_bcast = e.slot == InputSlot::Side || e.dep == DepType::OneToMany;
+            if is_bcast && self.config.broadcast_caching {
+                if self.bcast_cache.contains(&(node, e.src)) {
+                    continue; // Served from the container's input cache.
+                }
+                self.pending_bcast.entry(t).or_default().push((node, e.src));
+                // Torrent-style swarm: a fetching container immediately
+                // relays chunks, so even the first broadcast wave spreads
+                // over all participants instead of hammering the producer.
+                let sources = self.bcast_sources.entry(e.src).or_default();
+                if !sources.contains(&node) {
+                    sources.push(node);
+                }
+            }
+            for si in required_src_indices(&e, index, src_par, dst_par) {
+                let st = self.flat(e.src, si);
+                let TState::Done(info) = self.state[st] else {
+                    continue; // `ready` guaranteed this cannot happen.
+                };
+                let bytes = match e.dep {
+                    DepType::ManyToMany => self.costs.out_bytes[e.src] / dst_par as f64,
+                    _ => self.costs.out_bytes[e.src],
+                };
+                let bytes = self.pushed_bytes_factor(e.src) * bytes;
+                let mut src_node = match self.mode {
+                    Mode::Spark => info.node,
+                    Mode::SparkCkpt => info.safe_node.unwrap_or(info.node),
+                    Mode::Pado => {
+                        if info.safe
+                            && self.plan.fops[e.src].placement == Placement::Transient
+                            && self.plan.fops[fop].placement == Placement::Reserved
+                        {
+                            // Pushed to this consumer's reserved node.
+                            node
+                        } else {
+                            info.node
+                        }
+                    }
+                };
+                // Broadcast data is served torrent-style: any container
+                // that already holds the dataset can seed it, so broadcast
+                // bandwidth scales with the cluster instead of pinning the
+                // producer's uplink.
+                if is_bcast {
+                    if let Some(sources) = self.bcast_sources.get(&e.src) {
+                        let alive: Vec<ContainerId> = sources
+                            .iter()
+                            .copied()
+                            .filter(|&n| n != node && self.cluster.container(n).alive)
+                            .collect();
+                        if !alive.is_empty() {
+                            src_node = alive[self.bcast_rr % alive.len()];
+                            self.bcast_rr += 1;
+                        }
+                    }
+                }
+                if src_node == node {
+                    continue;
+                }
+                *by_src.entry(src_node).or_insert(0.0) += bytes;
+            }
+        }
+        by_src.into_iter().filter(|(_, b)| *b > 0.0).collect()
+    }
+
+    /// The byte-shrink factor partial aggregation applies to a producer's
+    /// outputs (Pado only, combine-bound edges only).
+    fn pushed_bytes_factor(&self, src: FopId) -> f64 {
+        if self.mode == Mode::Pado
+            && self.config.partial_aggregation
+            && self.plan.fops[src].placement == Placement::Transient
+        {
+            self.costs.preagg[src].unwrap_or(1.0)
+        } else {
+            1.0
+        }
+    }
+
+    fn start_compute(&mut self, t: usize, node: ContainerId) {
+        if let Some(keys) = self.pending_bcast.remove(&t) {
+            for (cache_node, src_fop) in keys {
+                self.bcast_cache.insert((cache_node, src_fop));
+                let sources = self.bcast_sources.entry(src_fop).or_default();
+                if !sources.contains(&cache_node) {
+                    sources.push(cache_node);
+                }
+            }
+        }
+        let (fop, _) = self.unflat(t);
+        self.state[t] = TState::Computing { node };
+        let attempt = self.attempt[t];
+        self.cluster.schedule_after(
+            self.costs.compute_us[fop].max(1),
+            Ev::ComputeDone { task: t, attempt },
+        );
+    }
+
+    fn finish_compute(&mut self, t: usize, node: ContainerId) {
+        let (fop, index) = self.unflat(t);
+        self.pool.release(node);
+        self.master_pool.release(node);
+        let attempt = self.attempt[t];
+        let terminal = self.plan.out_edges(fop).is_empty();
+        let on_safe_node = !matches!(self.cluster.container(node).kind, Kind::Transient);
+
+        match self.mode {
+            Mode::Spark => {
+                self.state[t] = TState::Done(DoneInfo {
+                    node,
+                    available: true,
+                    // Terminal outputs are written to the job sink;
+                    // reserved/master-resident outputs cannot be evicted.
+                    safe: terminal || on_safe_node,
+                    safe_node: None,
+                });
+            }
+            Mode::SparkCkpt => {
+                let out = self.costs.out_bytes[fop];
+                if terminal || on_safe_node || out <= 0.0 {
+                    self.state[t] = TState::Done(DoneInfo {
+                        node,
+                        available: true,
+                        safe: true,
+                        safe_node: None,
+                    });
+                } else {
+                    // Task-level asynchronous checkpointing to stable
+                    // storage on the reserved containers.
+                    let reserved = self.cluster.alive(Kind::Reserved);
+                    let dst = reserved[self.ckpt_rr % reserved.len()];
+                    self.ckpt_rr += 1;
+                    self.state[t] = TState::Done(DoneInfo {
+                        node,
+                        available: true,
+                        safe: false,
+                        safe_node: Some(dst),
+                    });
+                    self.metrics.bytes_checkpointed += out;
+                    self.cluster
+                        .start_transfer(node, dst, out, Ev::Ckpt { task: t, attempt });
+                }
+            }
+            Mode::Pado => {
+                if self.plan.fops[fop].placement == Placement::Reserved || terminal {
+                    self.state[t] = TState::Done(DoneInfo {
+                        node,
+                        available: true,
+                        safe: true,
+                        safe_node: None,
+                    });
+                    return;
+                }
+                // Push outputs to the reserved consumers immediately so
+                // they escape the threat of evictions (§3.2.4).
+                let pushes = self.push_plan(fop, index, node);
+                if pushes.is_empty() {
+                    // All consumers are transient: the output stays local
+                    // and at risk, exactly like a Spark map output.
+                    self.state[t] = TState::Done(DoneInfo {
+                        node,
+                        available: true,
+                        safe: false,
+                        safe_node: None,
+                    });
+                    return;
+                }
+                self.state[t] = TState::Pushing {
+                    node,
+                    waiting: pushes.len(),
+                };
+                for (dst, bytes) in pushes {
+                    self.metrics.bytes_pushed += bytes;
+                    self.cluster
+                        .start_transfer(node, dst, bytes, Ev::Push { task: t, attempt });
+                }
+            }
+        }
+    }
+
+    /// The (destination reserved node, bytes) pushes of a completed
+    /// transient task, after partial aggregation.
+    fn push_plan(&self, fop: FopId, index: usize, node: ContainerId) -> Vec<(ContainerId, f64)> {
+        let mut by_dst: HashMap<ContainerId, f64> = HashMap::new();
+        let factor = self.pushed_bytes_factor(fop);
+        for e in self.plan.out_edges(fop) {
+            let dst_fop = &self.plan.fops[e.dst];
+            if dst_fop.placement != Placement::Reserved {
+                continue;
+            }
+            let dst_par = dst_fop.parallelism;
+            let out = self.costs.out_bytes[fop] * factor;
+            match e.dep {
+                DepType::OneToOne | DepType::ManyToOne => {
+                    let di = match e.dep {
+                        DepType::OneToOne => index,
+                        _ => index % dst_par.max(1),
+                    };
+                    if di < dst_par {
+                        if let Some(&n) = self.assigned.get(&(self.offset[e.dst] + di)) {
+                            *by_dst.entry(n).or_insert(0.0) += out;
+                        }
+                    }
+                }
+                DepType::OneToMany => {
+                    for di in 0..dst_par {
+                        if let Some(&n) = self.assigned.get(&(self.offset[e.dst] + di)) {
+                            *by_dst.entry(n).or_insert(0.0) += out;
+                        }
+                    }
+                }
+                DepType::ManyToMany => {
+                    for di in 0..dst_par {
+                        if let Some(&n) = self.assigned.get(&(self.offset[e.dst] + di)) {
+                            *by_dst.entry(n).or_insert(0.0) += out / dst_par as f64;
+                        }
+                    }
+                }
+            }
+        }
+        by_dst
+            .into_iter()
+            .map(|(dst, bytes)| (dst, bytes.max(1.0)))
+            .filter(|&(dst, _)| dst != node)
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum PlacementTarget {
+    Master,
+    AnyExecutor,
+    Transient,
+    TransientPool(usize),
+    Fixed(Option<ContainerId>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::{CostModel, OpCost};
+    use crate::simulate;
+    use pado_dag::{CombineFn, ParDoFn, Pipeline, SourceFn};
+
+    /// A Map-Reduce-like job: read from store, map, shuffle, reduce.
+    fn mr_job(maps: usize, reduces: usize) -> (LogicalDag, CostModel) {
+        let p = Pipeline::new();
+        let read = p.read("Read", maps, SourceFn::from_vec(vec![]));
+        let map = read.par_do("Map", ParDoFn::per_element(|v, e| e(v.clone())));
+        let red = map
+            .combine_per_key("Reduce", CombineFn::sum_i64())
+            .with_parallelism(reduces);
+        let mut model = CostModel::new();
+        model
+            .set(
+                read.op_id(),
+                OpCost {
+                    compute_us: 2_000_000,
+                    read_store_bytes: 128e6,
+                    output_bytes: 0.0,
+                },
+            )
+            .set(
+                map.op_id(),
+                OpCost {
+                    compute_us: 3_000_000,
+                    read_store_bytes: 0.0,
+                    output_bytes: 32e6,
+                },
+            )
+            .set(
+                red.op_id(),
+                OpCost {
+                    compute_us: 1_000_000,
+                    read_store_bytes: 0.0,
+                    output_bytes: 1e6,
+                },
+            );
+        (p.build().unwrap(), model)
+    }
+
+    fn small_config() -> SimConfig {
+        SimConfig {
+            n_transient: 8,
+            n_reserved: 2,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn all_modes_complete_without_evictions() {
+        let (dag, model) = mr_job(32, 8);
+        for mode in [Mode::Spark, Mode::SparkCkpt, Mode::Pado] {
+            let m = simulate(mode, &dag, &model, small_config()).unwrap();
+            assert!(m.jct_us > 0, "{mode:?}");
+            assert_eq!(m.relaunched_tasks, 0, "{mode:?}");
+            assert_eq!(m.tasks_launched, m.original_tasks, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn only_ckpt_checkpoints_and_only_pado_pushes() {
+        let (dag, model) = mr_job(16, 4);
+        let spark = simulate(Mode::Spark, &dag, &model, small_config()).unwrap();
+        let ckpt = simulate(Mode::SparkCkpt, &dag, &model, small_config()).unwrap();
+        let pado = simulate(Mode::Pado, &dag, &model, small_config()).unwrap();
+        assert_eq!(spark.bytes_checkpointed, 0.0);
+        assert_eq!(spark.bytes_pushed, 0.0);
+        assert!(ckpt.bytes_checkpointed > 0.0);
+        assert_eq!(ckpt.bytes_pushed, 0.0);
+        assert_eq!(pado.bytes_checkpointed, 0.0);
+        assert!(pado.bytes_pushed > 0.0);
+    }
+
+    #[test]
+    fn checkpointing_costs_extra_network_volume() {
+        let (dag, model) = mr_job(16, 4);
+        let spark = simulate(Mode::Spark, &dag, &model, small_config()).unwrap();
+        let ckpt = simulate(Mode::SparkCkpt, &dag, &model, small_config()).unwrap();
+        assert!(
+            ckpt.bytes_transferred > spark.bytes_transferred,
+            "checkpoint copies should add traffic: {} !> {}",
+            ckpt.bytes_transferred,
+            spark.bytes_transferred
+        );
+    }
+
+    /// An MLR-like iterative job: per iteration, transient gradient tasks
+    /// read training data and the broadcast model, and a reserved/driver
+    /// aggregation folds the gradients into the next model.
+    fn iterative_job(iters: usize, maps: usize) -> (LogicalDag, CostModel) {
+        use pado_dag::Value;
+        let p = Pipeline::new();
+        let train = p.read("Read", maps, SourceFn::from_vec(vec![]));
+        let mut model_pc = p.create("Model0", vec![Value::from(0.0)]);
+        let mut cost = CostModel::new();
+        cost.set(
+            train.op_id(),
+            OpCost {
+                compute_us: 500_000,
+                read_store_bytes: 64e6,
+                output_bytes: 64e6,
+            },
+        );
+        cost.set(
+            model_pc.op_id(),
+            OpCost {
+                compute_us: 1_000,
+                read_store_bytes: 0.0,
+                output_bytes: 50e6,
+            },
+        );
+        for k in 0..iters {
+            let grad = train.par_do_with_side(
+                format!("Grad{k}"),
+                &model_pc,
+                ParDoFn::per_element(|v, e| e(v.clone())),
+            );
+            let agg = grad.aggregate(format!("Agg{k}"), CombineFn::sum_vector());
+            cost.set(
+                grad.op_id(),
+                OpCost {
+                    compute_us: 20_000_000,
+                    read_store_bytes: 0.0,
+                    output_bytes: 50e6,
+                },
+            );
+            cost.set(
+                agg.op_id(),
+                OpCost {
+                    compute_us: 2_000_000,
+                    read_store_bytes: 0.0,
+                    output_bytes: 50e6,
+                },
+            );
+            model_pc = agg;
+        }
+        (p.build().unwrap(), cost)
+    }
+
+    #[test]
+    fn evictions_relaunch_fewer_tasks_on_pado_for_iterative_jobs() {
+        let (dag, model) = iterative_job(4, 24);
+        let config = SimConfig {
+            n_transient: 8,
+            n_reserved: 2,
+            lifetimes: LifetimeDist::Exponential {
+                mean_us: (90 * pado_simcluster::SEC) as f64,
+            },
+            seed: 11,
+            ..SimConfig::default()
+        };
+        let spark = simulate(Mode::Spark, &dag, &model, config.clone()).unwrap();
+        let pado = simulate(Mode::Pado, &dag, &model, config).unwrap();
+        assert!(spark.evictions > 0 && pado.evictions > 0);
+        // Pado pushes gradients to reserved containers as soon as they
+        // complete, so evictions relaunch far fewer tasks than Spark,
+        // whose completed-but-unconsumed gradient outputs die with their
+        // containers.
+        assert!(
+            pado.relaunch_ratio() < spark.relaunch_ratio(),
+            "pado {} vs spark {}",
+            pado.relaunch_ratio(),
+            spark.relaunch_ratio()
+        );
+        assert!(
+            pado.jct_us < spark.jct_us,
+            "pado {}m vs spark {}m",
+            pado.jct_minutes(),
+            spark.jct_minutes()
+        );
+    }
+
+    #[test]
+    fn pado_completes_under_heavy_evictions() {
+        let (dag, model) = mr_job(64, 8);
+        let config = SimConfig {
+            n_transient: 8,
+            n_reserved: 2,
+            lifetimes: LifetimeDist::Exponential {
+                mean_us: (30 * pado_simcluster::SEC) as f64,
+            },
+            seed: 7,
+            ..SimConfig::default()
+        };
+        let m = simulate(Mode::Pado, &dag, &model, config).unwrap();
+        assert!(m.evictions > 0);
+        assert!(m.jct_us > 0);
+    }
+
+    #[test]
+    fn broadcast_caching_reduces_traffic() {
+        // An iterative job with a broadcast model.
+        let p = Pipeline::new();
+        let read = p.read("Read", 16, SourceFn::from_vec(vec![]));
+        let model0 = p.create("Model", vec![pado_dag::Value::from(0.0)]);
+        let grad =
+            read.par_do_with_side("Grad", &model0, ParDoFn::per_element(|v, e| e(v.clone())));
+        let agg = grad.aggregate("Agg", CombineFn::sum_vector());
+        let mut model = CostModel::new();
+        model
+            .set(
+                read.op_id(),
+                OpCost {
+                    compute_us: 1_000_000,
+                    read_store_bytes: 64e6,
+                    output_bytes: 0.0,
+                },
+            )
+            .set(
+                model0.op_id(),
+                OpCost {
+                    compute_us: 1_000,
+                    read_store_bytes: 0.0,
+                    output_bytes: 100e6,
+                },
+            )
+            .set(
+                grad.op_id(),
+                OpCost {
+                    compute_us: 2_000_000,
+                    read_store_bytes: 0.0,
+                    output_bytes: 10e6,
+                },
+            )
+            .set(
+                agg.op_id(),
+                OpCost {
+                    compute_us: 500_000,
+                    read_store_bytes: 0.0,
+                    output_bytes: 1e6,
+                },
+            );
+        let dag = p.build().unwrap();
+        // Two transient containers x 4 slots = 8 slots for 16 tasks: the
+        // second wave finds the model cached on its container.
+        let cfg = SimConfig {
+            n_transient: 2,
+            n_reserved: 2,
+            ..SimConfig::default()
+        };
+        let cached = simulate(Mode::Pado, &dag, &model, cfg.clone()).unwrap();
+        let uncached = simulate(
+            Mode::Pado,
+            &dag,
+            &model,
+            SimConfig {
+                broadcast_caching: false,
+                ..cfg
+            },
+        )
+        .unwrap();
+        assert!(
+            cached.bytes_transferred < uncached.bytes_transferred,
+            "caching should cut broadcast traffic: {} !< {}",
+            cached.bytes_transferred,
+            uncached.bytes_transferred
+        );
+    }
+
+    #[test]
+    fn partial_aggregation_reduces_pushed_bytes() {
+        let p = Pipeline::new();
+        let read = p.read("Read", 16, SourceFn::from_vec(vec![]));
+        let grad = read.par_do("Grad", ParDoFn::per_element(|v, e| e(v.clone())));
+        let agg = grad.aggregate("Agg", CombineFn::sum_vector());
+        let mut model = CostModel::new();
+        model
+            .set(
+                read.op_id(),
+                OpCost {
+                    compute_us: 1_000_000,
+                    read_store_bytes: 64e6,
+                    output_bytes: 0.0,
+                },
+            )
+            .set(
+                grad.op_id(),
+                OpCost {
+                    compute_us: 2_000_000,
+                    read_store_bytes: 0.0,
+                    output_bytes: 50e6,
+                },
+            )
+            .set(
+                agg.op_id(),
+                OpCost {
+                    compute_us: 500_000,
+                    read_store_bytes: 0.0,
+                    output_bytes: 1e6,
+                },
+            )
+            .set_preagg(agg.op_id(), 0.25);
+        let dag = p.build().unwrap();
+        let with_agg = simulate(Mode::Pado, &dag, &model, small_config()).unwrap();
+        let without = simulate(
+            Mode::Pado,
+            &dag,
+            &model,
+            SimConfig {
+                partial_aggregation: false,
+                ..small_config()
+            },
+        )
+        .unwrap();
+        assert!(with_agg.bytes_pushed < without.bytes_pushed * 0.5);
+    }
+
+    #[test]
+    fn checkpointing_prevents_cascading_recomputation() {
+        let (dag, model) = iterative_job(4, 24);
+        let config = SimConfig {
+            n_transient: 8,
+            n_reserved: 2,
+            lifetimes: LifetimeDist::Exponential {
+                mean_us: (120 * pado_simcluster::SEC) as f64,
+            },
+            seed: 21,
+            ..SimConfig::default()
+        };
+        let spark = simulate(Mode::Spark, &dag, &model, config.clone()).unwrap();
+        let ckpt = simulate(Mode::SparkCkpt, &dag, &model, config).unwrap();
+        assert!(spark.evictions > 0 && ckpt.evictions > 0);
+        // Checkpointed gradients survive their producers' evictions, so
+        // checkpoint-enabled Spark relaunches fewer tasks than plain
+        // Spark — at the cost of the checkpoint traffic.
+        assert!(
+            ckpt.relaunch_ratio() < spark.relaunch_ratio(),
+            "ckpt {} vs spark {}",
+            ckpt.relaunch_ratio(),
+            spark.relaunch_ratio()
+        );
+        assert!(ckpt.bytes_checkpointed > 0.0);
+    }
+
+    #[test]
+    fn sim_engine_direct_construction() {
+        let (dag, model) = mr_job(8, 2);
+        let plan = pado_core::compiler::compile(&dag).unwrap();
+        let engine = SimEngine::new(Mode::Pado, &dag, plan, &model, small_config());
+        let metrics = engine.run().unwrap();
+        assert_eq!(metrics.tasks_launched, metrics.original_tasks);
+    }
+
+    #[test]
+    fn stalled_simulation_reports_progress() {
+        // A cluster with zero reserved containers cannot place Pado's
+        // reserved anchors: the run must stall, not hang.
+        let (dag, model) = mr_job(4, 2);
+        let config = SimConfig {
+            n_transient: 2,
+            n_reserved: 0,
+            ..SimConfig::default()
+        };
+        match simulate(Mode::Pado, &dag, &model, config) {
+            Err(SimError::Stalled { completed, total }) => {
+                assert!(completed < total);
+            }
+            other => panic!("expected a stall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lifetime_aware_placement_reduces_relaunches() {
+        // Iterative job on a half short-lived, half long-lived transient
+        // mix: steering the expensive gradient operators to the long pool
+        // should cut relaunches versus blind scheduling.
+        let (dag, model) = iterative_job(4, 24);
+        let base = SimConfig {
+            n_transient: 4,
+            n_reserved: 2,
+            lifetimes: LifetimeDist::Exponential {
+                mean_us: (45 * pado_simcluster::SEC) as f64,
+            },
+            n_transient_long: 4,
+            long_lifetimes: LifetimeDist::Exponential {
+                mean_us: (20 * 60 * pado_simcluster::SEC) as f64,
+            },
+            seed: 5,
+            ..SimConfig::default()
+        };
+        let blind = simulate(Mode::Pado, &dag, &model, base.clone()).unwrap();
+        let aware = simulate(
+            Mode::Pado,
+            &dag,
+            &model,
+            SimConfig {
+                lifetime_aware: true,
+                ..base
+            },
+        )
+        .unwrap();
+        assert!(
+            aware.relaunched_tasks <= blind.relaunched_tasks,
+            "aware {} vs blind {}",
+            aware.relaunched_tasks,
+            blind.relaunched_tasks
+        );
+    }
+
+    #[test]
+    fn relaunch_accounting_counts_extra_attempts() {
+        let (dag, model) = mr_job(32, 4);
+        let config = SimConfig {
+            n_transient: 4,
+            n_reserved: 2,
+            lifetimes: LifetimeDist::Exponential {
+                mean_us: (45 * pado_simcluster::SEC) as f64,
+            },
+            seed: 3,
+            ..SimConfig::default()
+        };
+        let m = simulate(Mode::Spark, &dag, &model, config).unwrap();
+        assert_eq!(
+            m.tasks_launched,
+            m.original_tasks + m.relaunched_tasks,
+            "every launch is a first attempt or a relaunch"
+        );
+    }
+}

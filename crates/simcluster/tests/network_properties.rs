@@ -1,0 +1,77 @@
+//! Property tests of the fair-share network model: byte conservation,
+//! monotone virtual time, and robustness to arbitrary transfer mixes.
+
+use proptest::prelude::*;
+
+use pado_simcluster::network::Due;
+use pado_simcluster::Network;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Any mix of transfers completes, conserving every byte, with
+    /// completion events in non-decreasing time order.
+    #[test]
+    fn transfers_conserve_bytes(
+        caps in proptest::collection::vec(1u32..1000, 2..10),
+        transfers in proptest::collection::vec((0usize..10, 0usize..10, 1u64..1_000_000), 1..60),
+    ) {
+        let mut n = Network::new();
+        let nodes: Vec<_> = caps
+            .iter()
+            .map(|&c| n.add_node(c as f64, c as f64))
+            .collect();
+        let mut pending: Vec<Due> = Vec::new();
+        let mut expected = 0.0;
+        let upsert = |pending: &mut Vec<Due>, dues: Vec<Due>| {
+            for d in dues {
+                pending.retain(|p| p.id != d.id);
+                pending.push(d);
+            }
+        };
+        for &(s, d, bytes) in &transfers {
+            let src = nodes[s % nodes.len()];
+            let dst = nodes[d % nodes.len()];
+            expected += (bytes as f64).max(1.0);
+            let (_, dues) = n.start(0, src, dst, bytes as f64);
+            upsert(&mut pending, dues);
+        }
+        let mut now = 0u64;
+        let mut guard = 0;
+        while n.active() > 0 {
+            guard += 1;
+            prop_assert!(guard < 100_000, "network failed to drain");
+            pending.sort_by_key(|p| p.at);
+            let due = pending.remove(0);
+            prop_assert!(due.at >= now, "time went backwards");
+            now = due.at;
+            if let Ok(re) = n.complete(due.at, due.id, due.gen) {
+                upsert(&mut pending, re);
+            }
+        }
+        let moved = n.bytes_completed;
+        prop_assert!(
+            (moved - expected).abs() <= expected * 1e-6 + 1.0,
+            "moved {moved}, expected {expected}"
+        );
+    }
+
+    /// Cancelling a node mid-flight loses only that node's transfers; the
+    /// rest still complete.
+    #[test]
+    fn cancellation_spares_unrelated_transfers(
+        seed_bytes in 1u64..100_000,
+        cancel_at in 1u64..1000,
+    ) {
+        let mut n = Network::new();
+        let a = n.add_node(100.0, 100.0);
+        let b = n.add_node(100.0, 100.0);
+        let c = n.add_node(100.0, 100.0);
+        let d = n.add_node(100.0, 100.0);
+        let (doomed, _) = n.start(0, a, b, 1e9);
+        let (survivor, dues) = n.start(0, c, d, seed_bytes as f64);
+        let (victims, _) = n.cancel_node(cancel_at.min(dues[0].at.saturating_sub(1)), b);
+        prop_assert_eq!(victims, vec![doomed]);
+        prop_assert!(n.generation(survivor).is_some() || n.active() == 0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Reading and writing memory-usage traces as CSV.
+//!
+//! The analysis pipeline ships with a synthetic trace generator, but the
+//! same pipeline runs unchanged over real datacenter traces in the
+//! ClusterData-style shape: one row per `(container, interval)` with the
+//! container's average memory usage as a fraction of its limit.
+//!
+//! Format: a header line `container,interval,usage`, then one row per
+//! 5-minute sample. Rows may arrive in any order; intervals must be
+//! dense per container (0..n).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+
+use crate::synth::UsageSeries;
+
+/// Errors from trace parsing.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed row, with its 1-based line number.
+    Malformed {
+        /// Line number.
+        line: usize,
+        /// What was wrong.
+        why: &'static str,
+    },
+    /// A container's intervals have gaps.
+    Gap {
+        /// Container identifier.
+        container: u64,
+        /// First missing interval index.
+        missing: usize,
+    },
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace I/O failed: {e}"),
+            TraceIoError::Malformed { line, why } => {
+                write!(f, "malformed trace row at line {line}: {why}")
+            }
+            TraceIoError::Gap { container, missing } => {
+                write!(f, "container {container} missing interval {missing}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Serializes series to CSV text.
+pub fn to_csv(series: &[UsageSeries]) -> String {
+    let mut out = String::from("container,interval,usage\n");
+    for (c, s) in series.iter().enumerate() {
+        for (i, &u) in s.samples.iter().enumerate() {
+            // Infallible: writing to a String cannot fail.
+            let _ = writeln!(out, "{c},{i},{u:.6}");
+        }
+    }
+    out
+}
+
+/// Parses CSV text into series.
+///
+/// # Errors
+///
+/// Fails on malformed rows or interval gaps.
+pub fn from_csv(text: &str) -> Result<Vec<UsageSeries>, TraceIoError> {
+    let mut per_container: BTreeMap<u64, BTreeMap<usize, f64>> = BTreeMap::new();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.trim();
+        if line.is_empty() || (idx == 0 && line.starts_with("container")) {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let (Some(c), Some(i), Some(u)) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(TraceIoError::Malformed {
+                line: lineno,
+                why: "expected three comma-separated fields",
+            });
+        };
+        let c: u64 = c.trim().parse().map_err(|_| TraceIoError::Malformed {
+            line: lineno,
+            why: "container id is not an integer",
+        })?;
+        let i: usize = i.trim().parse().map_err(|_| TraceIoError::Malformed {
+            line: lineno,
+            why: "interval is not an integer",
+        })?;
+        let u: f64 = u.trim().parse().map_err(|_| TraceIoError::Malformed {
+            line: lineno,
+            why: "usage is not a number",
+        })?;
+        if !(0.0..=1.0).contains(&u) {
+            return Err(TraceIoError::Malformed {
+                line: lineno,
+                why: "usage outside [0, 1]",
+            });
+        }
+        per_container.entry(c).or_default().insert(i, u);
+    }
+    let mut out = Vec::with_capacity(per_container.len());
+    for (container, samples) in per_container {
+        let n = samples.len();
+        let mut series = Vec::with_capacity(n);
+        for i in 0..n {
+            match samples.get(&i) {
+                Some(&u) => series.push(u),
+                None => {
+                    return Err(TraceIoError::Gap {
+                        container,
+                        missing: i,
+                    })
+                }
+            }
+        }
+        out.push(UsageSeries { samples: series });
+    }
+    Ok(out)
+}
+
+/// Writes series to a CSV file.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn write_csv(path: &Path, series: &[UsageSeries]) -> Result<(), TraceIoError> {
+    std::fs::write(path, to_csv(series))?;
+    Ok(())
+}
+
+/// Reads series from a CSV file.
+///
+/// # Errors
+///
+/// Propagates filesystem and parse failures.
+pub fn read_csv(path: &Path) -> Result<Vec<UsageSeries>, TraceIoError> {
+    from_csv(&std::fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+
+    #[test]
+    fn csv_roundtrip() {
+        let series = generate(&SynthConfig {
+            containers: 3,
+            days: 1,
+            ..Default::default()
+        });
+        let text = to_csv(&series);
+        let back = from_csv(&text).unwrap();
+        assert_eq!(back.len(), series.len());
+        for (a, b) in series.iter().zip(back.iter()) {
+            assert_eq!(a.samples.len(), b.samples.len());
+            for (x, y) in a.samples.iter().zip(b.samples.iter()) {
+                assert!((x - y).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let series = generate(&SynthConfig {
+            containers: 2,
+            days: 1,
+            ..Default::default()
+        });
+        let dir = std::env::temp_dir().join("pado-trace-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.csv");
+        write_csv(&path, &series).unwrap();
+        let back = read_csv(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unordered_rows_are_accepted() {
+        let text = "container,interval,usage\n0,1,0.5\n0,0,0.25\n";
+        let s = from_csv(text).unwrap();
+        assert_eq!(s[0].samples, vec![0.25, 0.5]);
+    }
+
+    #[test]
+    fn gaps_are_rejected() {
+        let text = "container,interval,usage\n0,0,0.5\n0,2,0.5\n";
+        assert!(matches!(
+            from_csv(text),
+            Err(TraceIoError::Gap {
+                container: 0,
+                missing: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn malformed_rows_are_rejected_with_line_numbers() {
+        for (text, _why) in [
+            ("0,0\n", "fields"),
+            ("x,0,0.5\n", "container"),
+            ("0,y,0.5\n", "interval"),
+            ("0,0,z\n", "usage"),
+            ("0,0,1.5\n", "range"),
+        ] {
+            assert!(
+                matches!(from_csv(text), Err(TraceIoError::Malformed { line: 1, .. })),
+                "{text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn analysis_runs_on_parsed_trace() {
+        let series = generate(&SynthConfig {
+            containers: 4,
+            days: 2,
+            ..Default::default()
+        });
+        let parsed = from_csv(&to_csv(&series)).unwrap();
+        let a = crate::margin::analyze(&parsed, 0.01);
+        assert!(!a.lifetimes_min.is_empty());
+    }
+}

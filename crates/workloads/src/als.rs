@@ -1,0 +1,474 @@
+//! The Alternating Least Squares workload (§5.1.3): matrix-factorization
+//! recommendation with the long, complex iterative dependency structure
+//! of Figure 3(c) — the workload most vulnerable to critical chains.
+
+use std::collections::BTreeMap;
+
+use pado_dag::{LogicalDag, ParDoFn, Pipeline, SourceFn, TaskInput, Value};
+use pado_engines::{CostModel, OpCost};
+
+use crate::util::{hash_unit, keep_one, list_append, solve_dense};
+
+/// Scale of a real (in-process) ALS run.
+#[derive(Debug, Clone)]
+pub struct AlsConfig {
+    /// Distinct users.
+    pub users: usize,
+    /// Distinct items.
+    pub items: usize,
+    /// Rating records.
+    pub ratings: usize,
+    /// Factor rank.
+    pub rank: usize,
+    /// Alternating iterations.
+    pub iterations: usize,
+    /// Regularization strength.
+    pub lambda: f64,
+    /// Read parallelism.
+    pub partitions: usize,
+    /// Shuffle parallelism.
+    pub shuffle: usize,
+    /// Dataset seed.
+    pub seed: u64,
+}
+
+impl Default for AlsConfig {
+    fn default() -> Self {
+        AlsConfig {
+            users: 30,
+            items: 20,
+            ratings: 600,
+            rank: 4,
+            iterations: 2,
+            lambda: 0.1,
+            partitions: 6,
+            shuffle: 4,
+            seed: 5,
+        }
+    }
+}
+
+/// Generates rating records `Pair(Pair(user, item), rating)` from a
+/// planted low-rank structure plus noise.
+pub fn generate_ratings(cfg: &AlsConfig) -> Vec<Value> {
+    let truth_u: Vec<Vec<f64>> = (0..cfg.users)
+        .map(|u| {
+            (0..cfg.rank)
+                .map(|k| hash_unit(cfg.seed, (u * cfg.rank + k) as u64) * 2.0)
+                .collect()
+        })
+        .collect();
+    let truth_v: Vec<Vec<f64>> = (0..cfg.items)
+        .map(|i| {
+            (0..cfg.rank)
+                .map(|k| hash_unit(cfg.seed ^ 0xABCD, (i * cfg.rank + k) as u64) * 2.0)
+                .collect()
+        })
+        .collect();
+    (0..cfg.ratings)
+        .map(|n| {
+            let u = (hash_unit(cfg.seed ^ 1, n as u64) + 0.5) * cfg.users as f64;
+            let u = (u as usize) % cfg.users;
+            let i = (hash_unit(cfg.seed ^ 2, n as u64) + 0.5) * cfg.items as f64;
+            let i = (i as usize) % cfg.items;
+            let r: f64 = truth_u[u]
+                .iter()
+                .zip(truth_v[i].iter())
+                .map(|(a, b)| a * b)
+                .sum::<f64>()
+                + hash_unit(cfg.seed ^ 3, n as u64) * 0.05;
+            Value::pair(
+                Value::pair(Value::from(u as i64), Value::from(i as i64)),
+                Value::from(r),
+            )
+        })
+        .collect()
+}
+
+/// The deterministic initial item factors.
+pub fn initial_item_factors(cfg: &AlsConfig) -> Vec<Value> {
+    (0..cfg.items)
+        .map(|i| {
+            let f: Vec<f64> = (0..cfg.rank)
+                .map(|k| hash_unit(cfg.seed ^ 0xF00D, (i * cfg.rank + k) as u64))
+                .collect();
+            Value::pair(Value::from(i as i64), Value::vector(f))
+        })
+        .collect()
+}
+
+/// Solves one side of the alternation for a single entity: given its
+/// ratings `(other_id, r)` and the other side's factors, returns the
+/// regularized least-squares factor vector.
+fn solve_factor(
+    ratings: &[(i64, f64)],
+    others: &BTreeMap<i64, Vec<f64>>,
+    rank: usize,
+    lambda: f64,
+) -> Vec<f64> {
+    let mut a = vec![0.0; rank * rank];
+    let mut b = vec![0.0; rank];
+    let mut n = 0.0f64;
+    for &(oid, r) in ratings {
+        let Some(v) = others.get(&oid) else { continue };
+        for x in 0..rank {
+            for y in 0..rank {
+                a[x * rank + y] += v[x] * v[y];
+            }
+            b[x] += r * v[x];
+        }
+        n += 1.0;
+    }
+    for k in 0..rank {
+        a[k * rank + k] += lambda * n.max(1.0);
+    }
+    solve_dense(a, b).unwrap_or_else(|| vec![0.0; rank])
+}
+
+/// Turns a grouped record `Pair(id, List[Pair(other, r)])` into a sorted
+/// ratings list (sorting restores order-independence of the grouping).
+fn grouped_ratings(rec: &Value) -> Option<(i64, Vec<(i64, f64)>)> {
+    let id = rec.key()?.as_i64()?;
+    let mut list: Vec<(i64, f64)> = rec
+        .val()?
+        .as_list()?
+        .iter()
+        .filter_map(|p| Some((p.key()?.as_i64()?, p.val()?.as_f64()?)))
+        .collect();
+    list.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    Some((id, list))
+}
+
+/// The factor-computation UDF: main input = grouped ratings, side input =
+/// the other side's gathered factors.
+fn compute_factor_fn(rank: usize, lambda: f64) -> ParDoFn {
+    ParDoFn::new(move |input: TaskInput<'_>, emit| {
+        let empty = Vec::new();
+        let side = input.side.unwrap_or(&empty);
+        let others: BTreeMap<i64, Vec<f64>> = side
+            .iter()
+            .filter_map(|p| Some((p.key()?.as_i64()?, p.val()?.as_vector()?.to_vec())))
+            .collect();
+        for rec in input.main() {
+            if let Some((id, ratings)) = grouped_ratings(rec) {
+                let f = solve_factor(&ratings, &others, rank, lambda);
+                emit(Value::pair(Value::from(id), Value::vector(f)));
+            }
+        }
+    })
+}
+
+/// Builds the ALS dataflow of Figure 3(c) over real data, iterations
+/// unrolled; the final item factors land in the `Factors Out` sink.
+pub fn dag(cfg: &AlsConfig) -> LogicalDag {
+    let p = Pipeline::new();
+    let read = p.read(
+        "Read",
+        cfg.partitions,
+        SourceFn::from_vec(generate_ratings(cfg)),
+    );
+    let by_user = read.par_do(
+        "Key By User",
+        ParDoFn::per_element(|rec, emit| {
+            if let (Some(k), Some(r)) = (rec.key(), rec.val()) {
+                if let (Some(u), Some(i)) = (k.key(), k.val()) {
+                    emit(Value::pair(u.clone(), Value::pair(i.clone(), r.clone())));
+                }
+            }
+        }),
+    );
+    let by_item = read.par_do(
+        "Key By Item",
+        ParDoFn::per_element(|rec, emit| {
+            if let (Some(k), Some(r)) = (rec.key(), rec.val()) {
+                if let (Some(u), Some(i)) = (k.key(), k.val()) {
+                    emit(Value::pair(i.clone(), Value::pair(u.clone(), r.clone())));
+                }
+            }
+        }),
+    );
+    let user_data = by_user
+        .combine_per_key("Aggregate User Data", list_append())
+        .with_parallelism(cfg.shuffle);
+    let item_data = by_item
+        .combine_per_key("Aggregate Item Data", list_append())
+        .with_parallelism(cfg.shuffle);
+    let mut item_factors = p
+        .create("Create Item Factors", initial_item_factors(cfg))
+        .cached();
+    for k in 1..=cfg.iterations {
+        let user_factors = user_data.par_do_with_side(
+            format!("Compute User Factor {k}"),
+            &item_factors,
+            compute_factor_fn(cfg.rank, cfg.lambda),
+        );
+        let gathered_users = user_factors
+            .combine_per_key(format!("Aggregate User Factor {k}"), keep_one())
+            .with_parallelism(cfg.shuffle)
+            .cached();
+        let new_item_factors = item_data.par_do_with_side(
+            format!("Compute Item Factor {k}"),
+            &gathered_users,
+            compute_factor_fn(cfg.rank, cfg.lambda),
+        );
+        item_factors = new_item_factors
+            .combine_per_key(format!("Aggregate Item Factor {k}"), keep_one())
+            .with_parallelism(cfg.shuffle)
+            .cached();
+    }
+    item_factors.sink("Factors Out");
+    p.build().expect("ALS DAG is valid")
+}
+
+/// Single-threaded reference: the same alternation, producing the final
+/// item factors.
+pub fn reference(cfg: &AlsConfig) -> BTreeMap<i64, Vec<f64>> {
+    let ratings = generate_ratings(cfg);
+    let mut user_ratings: BTreeMap<i64, Vec<(i64, f64)>> = BTreeMap::new();
+    let mut item_ratings: BTreeMap<i64, Vec<(i64, f64)>> = BTreeMap::new();
+    for rec in &ratings {
+        let k = rec.key().expect("pair");
+        let (u, i) = (
+            k.key().unwrap().as_i64().unwrap(),
+            k.val().unwrap().as_i64().unwrap(),
+        );
+        let r = rec.val().unwrap().as_f64().unwrap();
+        user_ratings.entry(u).or_default().push((i, r));
+        item_ratings.entry(i).or_default().push((u, r));
+    }
+    for list in user_ratings.values_mut().chain(item_ratings.values_mut()) {
+        list.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    }
+    let mut item_factors: BTreeMap<i64, Vec<f64>> = initial_item_factors(cfg)
+        .iter()
+        .map(|p| {
+            (
+                p.key().unwrap().as_i64().unwrap(),
+                p.val().unwrap().as_vector().unwrap().to_vec(),
+            )
+        })
+        .collect();
+    for _ in 0..cfg.iterations {
+        let user_factors: BTreeMap<i64, Vec<f64>> = user_ratings
+            .iter()
+            .map(|(&u, rs)| (u, solve_factor(rs, &item_factors, cfg.rank, cfg.lambda)))
+            .collect();
+        item_factors = item_ratings
+            .iter()
+            .map(|(&i, rs)| (i, solve_factor(rs, &user_factors, cfg.rank, cfg.lambda)))
+            .collect();
+    }
+    item_factors
+}
+
+/// Extracts a factor sink's records into a comparable map.
+pub fn result_to_map(records: &[Value]) -> BTreeMap<i64, Vec<f64>> {
+    records
+        .iter()
+        .filter_map(|r| Some((r.key()?.as_i64()?, r.val()?.as_vector()?.to_vec())))
+        .collect()
+}
+
+/// Root-mean-square reconstruction error of item/user factors against the
+/// observed ratings — used to check the factorization actually fits.
+pub fn rmse(cfg: &AlsConfig, item_factors: &BTreeMap<i64, Vec<f64>>) -> f64 {
+    // Recompute user factors from the final item factors, then score.
+    let ratings = generate_ratings(cfg);
+    let mut user_ratings: BTreeMap<i64, Vec<(i64, f64)>> = BTreeMap::new();
+    for rec in &ratings {
+        let k = rec.key().unwrap();
+        let u = k.key().unwrap().as_i64().unwrap();
+        let i = k.val().unwrap().as_i64().unwrap();
+        let r = rec.val().unwrap().as_f64().unwrap();
+        user_ratings.entry(u).or_default().push((i, r));
+    }
+    for l in user_ratings.values_mut() {
+        l.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    }
+    let user_factors: BTreeMap<i64, Vec<f64>> = user_ratings
+        .iter()
+        .map(|(&u, rs)| (u, solve_factor(rs, item_factors, cfg.rank, cfg.lambda)))
+        .collect();
+    let mut se = 0.0;
+    let mut n = 0.0f64;
+    for rec in &ratings {
+        let k = rec.key().unwrap();
+        let u = k.key().unwrap().as_i64().unwrap();
+        let i = k.val().unwrap().as_i64().unwrap();
+        let r = rec.val().unwrap().as_f64().unwrap();
+        let (Some(uf), Some(vf)) = (user_factors.get(&u), item_factors.get(&i)) else {
+            continue;
+        };
+        let pred: f64 = uf.iter().zip(vf.iter()).map(|(a, b)| a * b).sum();
+        se += (pred - r).powi(2);
+        n += 1.0;
+    }
+    (se / n.max(1.0)).sqrt()
+}
+
+/// The paper-scale ALS job for the simulator: the 10 GB Yahoo! Music
+/// dataset (717 M ratings, 1.8 M users, 136 K songs), rank 50, 10
+/// iterations (§5.1.3). Costs are set so a no-eviction Spark run lands
+/// near the paper's ~13 minutes.
+pub fn paper() -> (LogicalDag, CostModel) {
+    let p = Pipeline::new();
+    let mut cost = CostModel::new();
+    let read = p.read("Read", 80, SourceFn::from_vec(vec![]));
+    cost.set(
+        read.op_id(),
+        OpCost {
+            compute_us: 3_000_000,
+            read_store_bytes: 125e6,
+            output_bytes: 125e6,
+        },
+    );
+    let pair_cost = OpCost {
+        compute_us: 2_000_000,
+        read_store_bytes: 0.0,
+        output_bytes: 125e6,
+    };
+    let by_user = read.par_do("Key By User", ParDoFn::per_element(|_, _| {}));
+    let by_item = read.par_do("Key By Item", ParDoFn::per_element(|_, _| {}));
+    cost.set(by_user.op_id(), pair_cost)
+        .set(by_item.op_id(), pair_cost);
+    let group_cost = OpCost {
+        compute_us: 4_000_000,
+        read_store_bytes: 0.0,
+        output_bytes: 125e6,
+    };
+    let user_data = by_user
+        .combine_per_key("Aggregate User Data", list_append())
+        .with_parallelism(80);
+    let item_data = by_item
+        .combine_per_key("Aggregate Item Data", list_append())
+        .with_parallelism(80);
+    cost.set(user_data.op_id(), group_cost)
+        .set(item_data.op_id(), group_cost);
+    let mut item_factors = p.create("Create Item Factors", vec![]);
+    cost.set(
+        item_factors.op_id(),
+        OpCost {
+            compute_us: 500_000,
+            read_store_bytes: 0.0,
+            output_bytes: 54e6,
+        },
+    );
+    // Each factor-computation task emits its factors joined with block
+    // routing metadata — the ~7 GB/half-iteration exchange that dominates
+    // ALS traffic (and, checkpointed every half-iteration, the bulk of
+    // the paper's 279 GB checkpoint volume).
+    let factor_cost = OpCost {
+        compute_us: 20_000_000,
+        read_store_bytes: 0.0,
+        output_bytes: 90e6,
+    };
+    // The gathered factor tables broadcast to the next computation are
+    // compact: 1.8 M users (136 K items) x rank 50 x 8 B spread over 40
+    // gather tasks, deduplicated.
+    let gather_user_cost = OpCost {
+        compute_us: 1_000_000,
+        read_store_bytes: 0.0,
+        output_bytes: 2e6,
+    };
+    let gather_item_cost = OpCost {
+        compute_us: 1_000_000,
+        read_store_bytes: 0.0,
+        output_bytes: 1.4e6,
+    };
+    for k in 1..=10 {
+        let user_factors = user_data.par_do_with_side(
+            format!("Compute User Factor {k}"),
+            &item_factors,
+            ParDoFn::per_element(|_, _| {}),
+        );
+        let gathered = user_factors
+            .combine_per_key(format!("Aggregate User Factor {k}"), keep_one())
+            .with_parallelism(40);
+        let new_item = item_data.par_do_with_side(
+            format!("Compute Item Factor {k}"),
+            &gathered,
+            ParDoFn::per_element(|_, _| {}),
+        );
+        let gathered_item = new_item
+            .combine_per_key(format!("Aggregate Item Factor {k}"), keep_one())
+            .with_parallelism(40);
+        cost.set(user_factors.op_id(), factor_cost)
+            .set(gathered.op_id(), gather_user_cost)
+            .set(new_item.op_id(), factor_cost)
+            .set(gathered_item.op_id(), gather_item_cost);
+        item_factors = gathered_item;
+    }
+    let sink = item_factors.sink("Factors Out");
+    cost.set(
+        sink.op_id(),
+        OpCost {
+            compute_us: 500_000,
+            read_store_bytes: 0.0,
+            output_bytes: 54e6,
+        },
+    );
+    (p.build().expect("valid paper ALS DAG"), cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratings_are_deterministic_and_in_range() {
+        let cfg = AlsConfig::default();
+        let a = generate_ratings(&cfg);
+        assert_eq!(a, generate_ratings(&cfg));
+        assert_eq!(a.len(), cfg.ratings);
+    }
+
+    #[test]
+    fn reference_reduces_rmse_over_iterations() {
+        let cfg = AlsConfig {
+            iterations: 1,
+            ..Default::default()
+        };
+        let one = rmse(&cfg, &reference(&cfg));
+        let cfg5 = AlsConfig {
+            iterations: 5,
+            ..Default::default()
+        };
+        let five = rmse(&cfg5, &reference(&cfg5));
+        assert!(
+            five <= one + 1e-9,
+            "more iterations should not hurt: {five} vs {one}"
+        );
+        assert!(
+            five < 0.25,
+            "planted structure should be recoverable: {five}"
+        );
+    }
+
+    #[test]
+    fn solve_factor_ignores_unknown_items() {
+        let others: BTreeMap<i64, Vec<f64>> = [(1i64, vec![1.0, 0.0])].into_iter().collect();
+        let f = solve_factor(&[(1, 2.0), (99, 5.0)], &others, 2, 0.1);
+        assert_eq!(f.len(), 2);
+        assert!(f[0] > 0.0, "rating 2.0 against basis vector");
+    }
+
+    #[test]
+    fn dag_shape_and_validity() {
+        let cfg = AlsConfig {
+            iterations: 2,
+            ..Default::default()
+        };
+        let d = dag(&cfg);
+        // read + 2 keyings + 2 groupings + init + 2*(4 per iteration) + sink.
+        assert_eq!(d.len(), 5 + 1 + 8 + 1);
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn paper_dag_compiles() {
+        let (dag, _) = paper();
+        let plan = pado_core::compiler::compile(&dag).unwrap();
+        assert!(plan.total_tasks() > 2000);
+        assert!(plan.stage_dag.stages.len() > 20);
+    }
+}

@@ -1,0 +1,23 @@
+//! The paper's three evaluation workloads (§5.1.3): Alternating Least
+//! Squares, Multinomial Logistic Regression, and Map-Reduce.
+//!
+//! Each workload ships in two forms:
+//!
+//! - a **real** dataflow (`dag(&config)`) over synthetic datasets with a
+//!   single-threaded `reference` implementation, executed in-process by
+//!   the `pado-core` runtime in tests and examples;
+//! - a **paper-scale** form (`paper()`) whose [`pado_engines::CostModel`]
+//!   carries the published sizes (10 GB Yahoo! Music for ALS, 31 GB
+//!   Petuum-style MLR with 550 gradient tasks and 323 MB vectors, 280 GB
+//!   Wikipedia pageviews for MR), driven by the simulated cluster in the
+//!   benchmark harness.
+#![warn(missing_docs)]
+
+pub mod als;
+pub mod mlr;
+pub mod mr;
+pub mod util;
+
+pub use als::AlsConfig;
+pub use mlr::MlrConfig;
+pub use mr::MrConfig;

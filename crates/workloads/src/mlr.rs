@@ -1,0 +1,371 @@
+//! The Multinomial Logistic Regression workload (§5.1.3): iterative
+//! softmax-regression training with per-partition gradient computation,
+//! tree aggregation of gradient matrices, and a model update per
+//! iteration — the DAG of Figure 3(b).
+
+use pado_dag::{CombineFn, LogicalDag, ParDoFn, Pipeline, SourceFn, TaskInput, Value};
+use pado_engines::{CostModel, OpCost};
+
+use crate::util::{hash_unit, softmax};
+
+/// Scale of a real (in-process) MLR run.
+#[derive(Debug, Clone)]
+pub struct MlrConfig {
+    /// Training samples.
+    pub samples: usize,
+    /// Feature dimension.
+    pub features: usize,
+    /// Output classes.
+    pub classes: usize,
+    /// Read parallelism.
+    pub partitions: usize,
+    /// Training iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// Dataset seed.
+    pub seed: u64,
+}
+
+impl Default for MlrConfig {
+    fn default() -> Self {
+        MlrConfig {
+            samples: 240,
+            features: 6,
+            classes: 3,
+            partitions: 6,
+            iterations: 3,
+            lr: 0.5,
+            seed: 11,
+        }
+    }
+}
+
+/// Generates training samples as `Pair(label, features)` records with a
+/// deterministic planted structure (class c concentrates mass on feature
+/// block c).
+pub fn generate_dataset(cfg: &MlrConfig) -> Vec<Value> {
+    (0..cfg.samples)
+        .map(|i| {
+            let label = i % cfg.classes;
+            let x: Vec<f64> = (0..cfg.features)
+                .map(|d| {
+                    let noise = hash_unit(cfg.seed, (i * cfg.features + d) as u64) * 0.4;
+                    let signal = if d % cfg.classes == label { 1.0 } else { 0.0 };
+                    signal + noise
+                })
+                .collect();
+            Value::pair(Value::from(label as i64), Value::vector(x))
+        })
+        .collect()
+}
+
+/// The initial model: a zero `classes × features` matrix (row-major).
+fn initial_model(cfg: &MlrConfig) -> Value {
+    Value::vector(vec![0.0; cfg.classes * cfg.features])
+}
+
+/// Sums the softmax cross-entropy gradient over one partition.
+///
+/// Returns the flattened gradient matrix extended with one trailing slot
+/// holding the partition's sample count (so the update step can average).
+fn partition_gradient(samples: &[Value], model: &[f64], classes: usize, features: usize) -> Value {
+    let mut grad = vec![0.0; classes * features + 1];
+    for s in samples {
+        let Some((label, x)) = s.key().zip(s.val()) else {
+            continue;
+        };
+        let (Some(y), Some(x)) = (label.as_i64(), x.as_vector()) else {
+            continue;
+        };
+        let scores: Vec<f64> = (0..classes)
+            .map(|c| {
+                (0..features)
+                    .map(|d| model.get(c * features + d).copied().unwrap_or(0.0) * x[d])
+                    .sum()
+            })
+            .collect();
+        let p = softmax(&scores);
+        for c in 0..classes {
+            let coeff = p[c] - if c as i64 == y { 1.0 } else { 0.0 };
+            for d in 0..features {
+                grad[c * features + d] += coeff * x[d];
+            }
+        }
+        grad[classes * features] += 1.0;
+    }
+    Value::vector(grad)
+}
+
+/// Applies one averaged gradient step.
+fn update_model(model: &[f64], grad_with_count: &[f64], lr: f64) -> Value {
+    let n = grad_with_count.last().copied().unwrap_or(1.0).max(1.0);
+    let out: Vec<f64> = model
+        .iter()
+        .enumerate()
+        .map(|(i, w)| w - lr * grad_with_count.get(i).copied().unwrap_or(0.0) / n)
+        .collect();
+    Value::vector(out)
+}
+
+/// Builds the MLR dataflow of Figure 3(b) over real data, with the
+/// iterations unrolled. The final model lands in the `Model Out` sink.
+pub fn dag(cfg: &MlrConfig) -> LogicalDag {
+    let (classes, features, lr) = (cfg.classes, cfg.features, cfg.lr);
+    let p = Pipeline::new();
+    let train = p
+        .read(
+            "Read Training Data",
+            cfg.partitions,
+            SourceFn::from_vec(generate_dataset(cfg)),
+        )
+        .cached();
+    let mut model = p
+        .create("Create 1st Model", vec![initial_model(cfg)])
+        .cached();
+    for k in 0..cfg.iterations {
+        let grad = train.par_do_with_side(
+            format!("Compute Gradient {k}"),
+            &model,
+            ParDoFn::new(move |input: TaskInput<'_>, emit| {
+                let binding = Vec::new();
+                let side = input.side.unwrap_or(&binding);
+                let m = side.first().and_then(|v| v.as_vector()).unwrap_or(&[]);
+                emit(partition_gradient(input.main(), m, classes, features));
+            }),
+        );
+        let agg = grad.aggregate(format!("Aggregate Gradients {k}"), CombineFn::sum_vector());
+        model = agg
+            .par_do_zip(
+                format!("Compute Model {}", k + 2),
+                &model,
+                ParDoFn::new(move |input: TaskInput<'_>, emit| {
+                    let grad = input.mains[0]
+                        .first()
+                        .and_then(|v| v.as_vector())
+                        .unwrap_or(&[]);
+                    let prev = input.mains[1]
+                        .first()
+                        .and_then(|v| v.as_vector())
+                        .unwrap_or(&[]);
+                    emit(update_model(prev, grad, lr));
+                }),
+            )
+            .cached();
+    }
+    model.sink("Model Out");
+    p.build().expect("MLR DAG is valid")
+}
+
+/// Single-threaded reference with the same per-partition gradient
+/// structure (so floating-point results match the engine's exactly).
+pub fn reference(cfg: &MlrConfig) -> Vec<f64> {
+    let data = generate_dataset(cfg);
+    // Partition exactly like SourceFn::from_vec: round-robin.
+    let parts: Vec<Vec<Value>> = (0..cfg.partitions)
+        .map(|part| {
+            data.iter()
+                .enumerate()
+                .filter(|(i, _)| i % cfg.partitions == part)
+                .map(|(_, v)| v.clone())
+                .collect()
+        })
+        .collect();
+    let mut model: Vec<f64> = vec![0.0; cfg.classes * cfg.features];
+    for _ in 0..cfg.iterations {
+        let grads: Vec<Value> = parts
+            .iter()
+            .map(|p| partition_gradient(p, &model, cfg.classes, cfg.features))
+            .collect();
+        let total = CombineFn::sum_vector().merge_all(grads);
+        model = update_model(&model, total.as_vector().unwrap_or(&[]), cfg.lr)
+            .as_vector()
+            .unwrap_or(&[])
+            .to_vec();
+    }
+    model
+}
+
+/// Training-set accuracy of a model (used to check learning actually
+/// happens).
+pub fn accuracy(cfg: &MlrConfig, model: &[f64]) -> f64 {
+    let data = generate_dataset(cfg);
+    let mut hit = 0usize;
+    for s in &data {
+        let y = s.key().and_then(|k| k.as_i64()).unwrap_or(-1);
+        let x = s.val().and_then(|v| v.as_vector()).unwrap_or(&[]).to_vec();
+        let scores: Vec<f64> = (0..cfg.classes)
+            .map(|c| {
+                (0..cfg.features)
+                    .map(|d| model.get(c * cfg.features + d).copied().unwrap_or(0.0) * x[d])
+                    .sum()
+            })
+            .collect();
+        let pred = scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i as i64)
+            .unwrap_or(-1);
+        if pred == y {
+            hit += 1;
+        }
+    }
+    hit as f64 / data.len().max(1) as f64
+}
+
+/// The paper-scale MLR job for the simulator: 5 iterations over a 31 GB
+/// sparse dataset, 550 gradient tasks per iteration, 323 MB compressed
+/// gradient/model matrices, tree aggregation through 22 tasks, and
+/// transient-side partial aggregation shrinking pushes to ~303/550 of
+/// the gradient volume (§5.2.2).
+pub fn paper() -> (LogicalDag, CostModel) {
+    let p = Pipeline::new();
+    let mut cost = CostModel::new();
+    let train = p.read("Read Training Data", 550, SourceFn::from_vec(vec![]));
+    cost.set(
+        train.op_id(),
+        OpCost {
+            compute_us: 2_000_000,
+            read_store_bytes: 56e6,
+            output_bytes: 56e6,
+        },
+    );
+    let mut model = p.create("Create 1st Model", vec![]);
+    cost.set(
+        model.op_id(),
+        OpCost {
+            compute_us: 100_000,
+            read_store_bytes: 0.0,
+            output_bytes: 323e6,
+        },
+    );
+    for k in 0..5 {
+        let grad = train.par_do_with_side(
+            format!("Compute Gradient {k}"),
+            &model,
+            ParDoFn::per_element(|_, _| {}),
+        );
+        // ~40 s to compute a dense gradient over a 56 MB partition.
+        cost.set(
+            grad.op_id(),
+            OpCost {
+                compute_us: 40_000_000,
+                read_store_bytes: 0.0,
+                output_bytes: 323e6,
+            },
+        );
+        let tree = grad.aggregate_with(format!("Tree Aggregate {k}"), CombineFn::sum_vector(), 22);
+        cost.set(
+            tree.op_id(),
+            OpCost {
+                compute_us: 3_000_000,
+                read_store_bytes: 0.0,
+                output_bytes: 323e6,
+            },
+        );
+        // ~303 partially-aggregated vectors pushed instead of 550.
+        cost.set_preagg(tree.op_id(), 303.0 / 550.0);
+        let agg = tree.aggregate(format!("Aggregate Gradients {k}"), CombineFn::sum_vector());
+        cost.set(
+            agg.op_id(),
+            OpCost {
+                compute_us: 2_000_000,
+                read_store_bytes: 0.0,
+                output_bytes: 323e6,
+            },
+        );
+        model = agg.par_do_zip(
+            format!("Compute Model {}", k + 2),
+            &model,
+            ParDoFn::per_element(|_, _| {}),
+        );
+        cost.set(
+            model.op_id(),
+            OpCost {
+                compute_us: 2_000_000,
+                read_store_bytes: 0.0,
+                output_bytes: 323e6,
+            },
+        );
+    }
+    let sink = model.sink("Model Out");
+    cost.set(
+        sink.op_id(),
+        OpCost {
+            compute_us: 100_000,
+            read_store_bytes: 0.0,
+            output_bytes: 323e6,
+        },
+    );
+    (p.build().expect("valid paper MLR DAG"), cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_is_deterministic_and_labeled() {
+        let cfg = MlrConfig::default();
+        let a = generate_dataset(&cfg);
+        assert_eq!(a, generate_dataset(&cfg));
+        assert_eq!(a.len(), cfg.samples);
+        for s in &a {
+            let y = s.key().unwrap().as_i64().unwrap();
+            assert!((0..cfg.classes as i64).contains(&y));
+        }
+    }
+
+    #[test]
+    fn reference_learns_the_planted_structure() {
+        let cfg = MlrConfig {
+            iterations: 20,
+            ..Default::default()
+        };
+        let model = reference(&cfg);
+        let acc = accuracy(&cfg, &model);
+        assert!(acc > 0.9, "accuracy {acc} too low");
+    }
+
+    #[test]
+    fn gradient_count_slot_tracks_samples() {
+        let cfg = MlrConfig::default();
+        let data = generate_dataset(&cfg);
+        let g = partition_gradient(
+            &data,
+            &vec![0.0; cfg.classes * cfg.features],
+            cfg.classes,
+            cfg.features,
+        );
+        let v = g.as_vector().unwrap();
+        assert_eq!(v.len(), cfg.classes * cfg.features + 1);
+        assert_eq!(v[cfg.classes * cfg.features], cfg.samples as f64);
+    }
+
+    #[test]
+    fn dag_shape_matches_iterations() {
+        let cfg = MlrConfig {
+            iterations: 2,
+            ..Default::default()
+        };
+        let dag = dag(&cfg);
+        // read + model + 2*(grad, agg, update) + sink.
+        assert_eq!(dag.len(), 2 + 3 * 2 + 1);
+        assert!(dag.validate().is_ok());
+    }
+
+    #[test]
+    fn paper_dag_compiles_with_reserved_aggregation() {
+        use pado_core::compiler::{compile, Placement};
+        let (dag, _) = paper();
+        let plan = compile(&dag).unwrap();
+        // Every tree/final aggregate and model update is reserved.
+        let reserved: usize = plan
+            .fops
+            .iter()
+            .filter(|f| f.placement == Placement::Reserved)
+            .count();
+        assert!(reserved >= 3 * 5, "5 iterations x (tree, agg, update)");
+    }
+}

@@ -1,0 +1,178 @@
+//! Numeric helpers shared by the workloads: dense linear solves for ALS,
+//! softmax for MLR, and small combiner utilities.
+
+use pado_dag::{CombineFn, Value};
+
+/// Solves `A x = b` for a small dense symmetric positive-definite system
+/// by Gaussian elimination with partial pivoting. `a` is row-major
+/// `n`×`n`.
+///
+/// Returns `None` if the system is singular (a pivot collapses to ~0).
+pub fn solve_dense(mut a: Vec<f64>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    debug_assert_eq!(a.len(), n * n);
+    for col in 0..n {
+        // Partial pivoting.
+        let mut pivot = col;
+        for row in col + 1..n {
+            if a[row * n + col].abs() > a[pivot * n + col].abs() {
+                pivot = row;
+            }
+        }
+        if a[pivot * n + col].abs() < 1e-12 {
+            return None;
+        }
+        if pivot != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot * n + k);
+            }
+            b.swap(col, pivot);
+        }
+        let diag = a[col * n + col];
+        for row in col + 1..n {
+            let factor = a[row * n + col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in col + 1..n {
+            acc -= a[col * n + k] * x[k];
+        }
+        x[col] = acc / a[col * n + col];
+    }
+    Some(x)
+}
+
+/// Numerically stable softmax.
+pub fn softmax(scores: &[f64]) -> Vec<f64> {
+    let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = scores.iter().map(|s| (s - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// A combiner that appends values into a list (used to group ratings per
+/// user/item). Commutativity is recovered downstream by sorting the list
+/// before it is consumed.
+pub fn list_append() -> CombineFn {
+    CombineFn::new(
+        || Value::list(Vec::new()),
+        |a, b| {
+            let mut out: Vec<Value> = a.as_list().unwrap_or(&[]).to_vec();
+            match &b {
+                Value::List(l) => out.extend(l.iter().cloned()),
+                other => out.push(other.clone()),
+            }
+            Value::list(out)
+        },
+    )
+}
+
+/// A combiner that keeps the single non-unit value of a key — used as a
+/// gathering shuffle for datasets with one record per key (e.g. the ALS
+/// factor-gather operators in Figure 3(c)).
+pub fn keep_one() -> CombineFn {
+    CombineFn::new(
+        || Value::Unit,
+        |a, b| if matches!(a, Value::Unit) { b } else { a },
+    )
+}
+
+/// Deterministic pseudo-random f64 in `[-0.5, 0.5)` from a seed and index
+/// (splitmix64-style) — used to initialize ML models identically in the
+/// engine and the single-threaded references.
+pub fn hash_unit(seed: u64, index: u64) -> f64 {
+    let mut z = seed
+        .wrapping_add(0x9e3779b97f4a7c15)
+        .wrapping_add(index.wrapping_mul(0xbf58476d1ce4e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![3.0, 4.0];
+        assert_eq!(solve_dense(a, b).unwrap(), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5; x + 3y = 10 -> x = 1, y = 3.
+        let a = vec![2.0, 1.0, 1.0, 3.0];
+        let b = vec![5.0, 10.0];
+        let x = solve_dense(a, b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let a = vec![0.0, 1.0, 1.0, 0.0];
+        let b = vec![2.0, 7.0];
+        let x = solve_dense(a, b).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_detects_singular() {
+        let a = vec![1.0, 2.0, 2.0, 4.0];
+        assert!(solve_dense(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        // Stability under large scores.
+        let q = softmax(&[1000.0, 1001.0]);
+        assert!(q.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn list_append_concats() {
+        let c = list_append();
+        let merged = c.merge_all(vec![Value::from(1i64), Value::from(2i64)]);
+        assert_eq!(merged.as_list().unwrap().len(), 2);
+        // Merging two lists flattens.
+        let l1 = Value::list(vec![Value::from(1i64)]);
+        let l2 = Value::list(vec![Value::from(2i64), Value::from(3i64)]);
+        assert_eq!(c.merge(l1, l2).as_list().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn keep_one_prefers_non_unit() {
+        let c = keep_one();
+        assert_eq!(c.merge(Value::Unit, Value::from(5i64)), Value::from(5i64));
+        assert_eq!(c.merge(Value::from(5i64), Value::Unit), Value::from(5i64));
+    }
+
+    #[test]
+    fn hash_unit_is_deterministic_and_bounded() {
+        assert_eq!(hash_unit(1, 2), hash_unit(1, 2));
+        assert_ne!(hash_unit(1, 2), hash_unit(1, 3));
+        for i in 0..1000 {
+            let v = hash_unit(42, i);
+            assert!((-0.5..0.5).contains(&v));
+        }
+    }
+}

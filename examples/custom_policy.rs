@@ -1,0 +1,75 @@
+//! Demonstrates the pluggable task scheduling policy (§3.2.3): running
+//! the same job under the default round-robin cache-aware policy and a
+//! custom "sticky" policy that pins tasks of each operator to as few
+//! executors as possible.
+//!
+//! Run with: `cargo run --example custom_policy`
+
+use pado::core::runtime::{Candidate, LocalCluster, SchedulingPolicy, TaskToPlace};
+use pado::dag::{CombineFn, ParDoFn, Pipeline, SourceFn, Value};
+
+/// Packs each operator's tasks onto the lowest-id executor with room.
+struct Sticky;
+
+impl SchedulingPolicy for Sticky {
+    fn pick(&mut self, _task: TaskToPlace, candidates: &[Candidate]) -> Option<usize> {
+        candidates.iter().map(|c| c.exec).min()
+    }
+    fn name(&self) -> &'static str {
+        "sticky-lowest-id"
+    }
+}
+
+fn job() -> pado::dag::LogicalDag {
+    let data: Vec<Value> = (0..600).map(Value::from).collect();
+    let p = Pipeline::new();
+    p.read("Read", 12, SourceFn::from_vec(data))
+        .par_do(
+            "Bucket",
+            ParDoFn::per_element(|v, e| {
+                e(Value::pair(
+                    Value::from(v.as_i64().unwrap() % 10),
+                    v.clone(),
+                ))
+            }),
+        )
+        .combine_per_key("Sum", CombineFn::sum_i64())
+        .sink("Out");
+    p.build().expect("valid job")
+}
+
+fn total(result: &pado::core::runtime::JobResult) -> i64 {
+    result.outputs["Out"]
+        .iter()
+        .map(|r| r.val().unwrap().as_i64().unwrap())
+        .sum()
+}
+
+fn main() {
+    let expected: i64 = (0..600).sum();
+
+    let default = LocalCluster::new(4, 2)
+        .run(&job())
+        .expect("default policy run");
+    println!(
+        "round-robin cache-aware: {} tasks, total {}",
+        default.metrics.tasks_launched,
+        total(&default)
+    );
+    assert_eq!(total(&default), expected);
+
+    let sticky = LocalCluster::new(4, 2)
+        .with_policy(|| Box::new(Sticky))
+        .run(&job())
+        .expect("sticky policy run");
+    println!(
+        "sticky-lowest-id       : {} tasks, total {}",
+        sticky.metrics.tasks_launched,
+        total(&sticky)
+    );
+    assert_eq!(total(&sticky), expected);
+
+    println!("\nBoth policies produce identical results; the policy only");
+    println!("changes *where* tasks run — and therefore how exposed the job");
+    println!("is to any single container's eviction.");
+}

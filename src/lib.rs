@@ -1,0 +1,45 @@
+//! Pado: a data processing engine for harnessing transient resources in
+//! datacenters — a Rust reproduction of the EuroSys '17 paper.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! - [`dag`]: the logical dataflow model and Beam-like pipeline builder;
+//! - [`core`]: the Pado compiler (operator placement, stage partitioning,
+//!   fusion) and the in-process runtime (push-based data plane, commit
+//!   protocol, eviction tolerance);
+//! - [`simcluster`]: a discrete-event datacenter simulator with a
+//!   transient-container eviction process;
+//! - [`trace`]: the Google-trace-equivalent lifetime analysis (Figure 1,
+//!   Tables 1–2);
+//! - [`engines`]: simulated Pado / Spark / Spark-checkpoint engines;
+//! - [`workloads`]: the ALS, MLR, and Map-Reduce evaluation workloads.
+//!
+//! # Examples
+//!
+//! ```
+//! use pado::dag::{CombineFn, ParDoFn, Pipeline, SourceFn, Value};
+//! use pado::core::runtime::LocalCluster;
+//!
+//! let p = Pipeline::new();
+//! p.read("Read", 2, SourceFn::from_vec(vec![Value::from("a b a")]))
+//!     .par_do(
+//!         "Map",
+//!         ParDoFn::per_element(|line, emit| {
+//!             for w in line.as_str().unwrap_or("").split_whitespace() {
+//!                 emit(Value::pair(Value::from(w), Value::from(1i64)));
+//!             }
+//!         }),
+//!     )
+//!     .combine_per_key("Reduce", CombineFn::sum_i64())
+//!     .sink("Out");
+//! let result = LocalCluster::new(2, 1).run(&p.build().unwrap()).unwrap();
+//! assert_eq!(result.outputs["Out"].len(), 2);
+//! ```
+#![warn(missing_docs)]
+
+pub use pado_core as core;
+pub use pado_dag as dag;
+pub use pado_engines as engines;
+pub use pado_simcluster as simcluster;
+pub use pado_trace as trace;
+pub use pado_workloads as workloads;
