@@ -1,0 +1,262 @@
+//! Standalone seeded chaos driver for the runtime's failure domain: each
+//! seed derives a randomized fault plan (evictions, reserved failures,
+//! master restarts, probabilistic UDF errors/panics/delays), runs a real
+//! job on the in-process cluster, and checks the result byte-for-byte
+//! against a fault-free baseline plus the commit/retry invariants.
+//!
+//! Usage: `cargo run -p pado-bench --bin chaos [n_seeds]`
+//! Exits non-zero if any seed violates an invariant.
+
+use std::collections::HashMap;
+
+use pado_core::runtime::{ChaosPlan, FaultPlan, JobEvent, JobResult, LocalCluster, RuntimeConfig};
+use pado_dag::codec::encode_batch;
+use pado_dag::{CombineFn, LogicalDag, ParDoFn, Pipeline, SourceFn, TaskInput, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const MAX_TASK_ATTEMPTS: usize = 3;
+const MAX_FAULTS_PER_TASK: usize = 2;
+
+fn ints(n: i64) -> Vec<Value> {
+    (0..n).map(Value::from).collect()
+}
+
+fn wordcount_dag() -> LogicalDag {
+    let p = Pipeline::new();
+    p.read(
+        "Read",
+        4,
+        SourceFn::from_vec(vec![
+            Value::from("pado harnesses transient resources"),
+            Value::from("transient containers come and go"),
+            Value::from("reserved containers hold the line"),
+            Value::from("pado retries pado recovers"),
+        ]),
+    )
+    .par_do(
+        "Split",
+        ParDoFn::per_element(|line, emit| {
+            for w in line.as_str().unwrap_or("").split_whitespace() {
+                emit(Value::pair(Value::from(w), Value::from(1i64)));
+            }
+        }),
+    )
+    .combine_per_key("Count", CombineFn::sum_i64())
+    .sink("Out");
+    p.build().unwrap()
+}
+
+fn side_input_dag() -> LogicalDag {
+    let p = Pipeline::new();
+    let bcast = p.read("Bcast", 3, SourceFn::from_vec(ints(9)));
+    let data = p.read("Data", 2, SourceFn::from_vec(ints(6)));
+    data.par_do_with_side(
+        "AddSide",
+        &bcast,
+        ParDoFn::new(|input: TaskInput<'_>, emit| {
+            let side_sum: i64 = input
+                .side
+                .unwrap_or(&[])
+                .iter()
+                .map(|v| v.as_i64().unwrap_or(0))
+                .sum();
+            for v in input.main() {
+                emit(Value::from(v.as_i64().unwrap() + side_sum));
+            }
+        }),
+    )
+    .aggregate("Total", CombineFn::sum_i64())
+    .sink("Out");
+    p.build().unwrap()
+}
+
+fn chaos_config() -> RuntimeConfig {
+    RuntimeConfig {
+        slots_per_executor: 2,
+        event_timeout_ms: 10_000,
+        snapshot_every: 2,
+        max_task_attempts: MAX_TASK_ATTEMPTS,
+        executor_fault_threshold: 2,
+        speculation_floor_ms: 50,
+        tick_ms: 5,
+        ..Default::default()
+    }
+}
+
+fn encode_outputs(result: &JobResult) -> Vec<(String, Vec<u8>)> {
+    result
+        .outputs
+        .iter()
+        .map(|(name, records)| (name.clone(), encode_batch(records)))
+        .collect()
+}
+
+fn random_fault_plan(rng: &mut StdRng, seed: u64) -> FaultPlan {
+    let evictions = (0..rng.gen_range(0..3usize))
+        .map(|_| (rng.gen_range(1..10usize), rng.gen_range(0..3usize)))
+        .collect();
+    let reserved_failures = (0..rng.gen_range(0..2usize))
+        .map(|_| (rng.gen_range(2..10usize), 0))
+        .collect();
+    let master_failure_after = if rng.gen_bool(0.2) {
+        Some(rng.gen_range(3..8usize))
+    } else {
+        None
+    };
+    FaultPlan {
+        evictions,
+        reserved_failures,
+        master_failure_after,
+        chaos: Some(ChaosPlan {
+            seed,
+            error_prob: 0.15,
+            panic_prob: 0.10,
+            delay_prob: 0.20,
+            delay_ms: 8,
+            max_faults_per_task: MAX_FAULTS_PER_TASK,
+        }),
+        first_attempt_delays: Vec::new(),
+    }
+}
+
+/// Checks the per-seed invariants; returns violation descriptions.
+fn violations(result: &JobResult, faults: &FaultPlan) -> Vec<String> {
+    let mut out = Vec::new();
+    let events = &result.events;
+
+    let mut failures: HashMap<(usize, usize), usize> = HashMap::new();
+    for e in events {
+        if let JobEvent::TaskFailed { fop, index, .. } = e {
+            *failures.entry((*fop, *index)).or_default() += 1;
+        }
+    }
+    for (task, n) in &failures {
+        if *n >= MAX_TASK_ATTEMPTS {
+            out.push(format!(
+                "task {task:?} burned {n} attempts (budget {MAX_TASK_ATTEMPTS})"
+            ));
+        }
+    }
+    let total_failures: usize = failures.values().sum();
+    if faults.master_failure_after.is_none() && result.metrics.task_failures != total_failures {
+        out.push(format!(
+            "metrics say {} failures, event log says {total_failures}",
+            result.metrics.task_failures
+        ));
+    }
+
+    let mut committed: HashMap<(usize, usize), bool> = HashMap::new();
+    for e in events {
+        match e {
+            JobEvent::TaskCommitted { fop, index } => {
+                let slot = committed.entry((*fop, *index)).or_insert(false);
+                if *slot {
+                    out.push(format!("double commit of task {fop}.{index}"));
+                }
+                *slot = true;
+            }
+            JobEvent::TaskReverted { fop, index } => {
+                committed.insert((*fop, *index), false);
+            }
+            _ => {}
+        }
+    }
+
+    if faults.master_failure_after.is_none()
+        && result.metrics.tasks_launched
+            != result.metrics.original_tasks
+                + result.metrics.relaunched_tasks
+                + result.metrics.speculative_launches
+    {
+        out.push(format!(
+            "launch ledger out of balance: {:?}",
+            result.metrics
+        ));
+    }
+    out
+}
+
+fn main() {
+    let n_seeds: u64 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("n_seeds must be an integer"))
+        .unwrap_or(100);
+
+    let shapes: Vec<(&str, LogicalDag)> = vec![
+        ("wordcount", wordcount_dag()),
+        ("side_input", side_input_dag()),
+    ];
+    let baselines: Vec<Vec<(String, Vec<u8>)>> = shapes
+        .iter()
+        .map(|(name, dag)| {
+            let r = LocalCluster::new(2, 2)
+                .with_config(chaos_config())
+                .run(dag)
+                .unwrap_or_else(|e| panic!("fault-free baseline {name} failed: {e}"));
+            encode_outputs(&r)
+        })
+        .collect();
+
+    println!(
+        "{:>5}  {:<10} {:>5} {:>4} {:>7} {:>5} {:>5} {:>5} {:>5}  verdict",
+        "seed", "shape", "evict", "rsvd", "restart", "fail", "spec", "black", "launch"
+    );
+    let (mut ok, mut bad) = (0u64, 0u64);
+    let mut total_failures = 0usize;
+    let mut total_spec = 0usize;
+    for seed in 0..n_seeds {
+        let shape = (seed % shapes.len() as u64) as usize;
+        let (name, dag) = &shapes[shape];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_transient = rng.gen_range(1..4usize);
+        let n_reserved = rng.gen_range(1..3usize);
+        let faults = random_fault_plan(&mut rng, seed);
+        let result = match LocalCluster::new(n_transient, n_reserved)
+            .with_config(chaos_config())
+            .run_with_faults(dag, faults.clone())
+        {
+            Ok(r) => r,
+            Err(e) => {
+                println!("{seed:>5}  {name:<10} JOB FAILED: {e}");
+                bad += 1;
+                continue;
+            }
+        };
+        let mut probs = violations(&result, &faults);
+        if encode_outputs(&result) != baselines[shape] {
+            probs.push("outputs diverged from fault-free baseline".into());
+        }
+        let verdict = if probs.is_empty() { "ok" } else { "VIOLATION" };
+        println!(
+            "{seed:>5}  {name:<10} {:>5} {:>4} {:>7} {:>5} {:>5} {:>5} {:>5}  {verdict}",
+            faults.evictions.len(),
+            faults.reserved_failures.len(),
+            faults
+                .master_failure_after
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "-".into()),
+            result.metrics.task_failures,
+            result.metrics.speculative_launches,
+            result.metrics.blacklisted_executors,
+            result.metrics.tasks_launched,
+        );
+        for p in &probs {
+            println!("       !! {p}");
+        }
+        total_failures += result.metrics.task_failures;
+        total_spec += result.metrics.speculative_launches;
+        if probs.is_empty() {
+            ok += 1;
+        } else {
+            bad += 1;
+        }
+    }
+    println!(
+        "\n{ok}/{n_seeds} seeds clean, {bad} violating; \
+         {total_failures} injected task failures survived, {total_spec} speculative launches"
+    );
+    if bad > 0 {
+        std::process::exit(1);
+    }
+}

@@ -4,6 +4,8 @@ use std::fmt;
 
 use pado_dag::{DagError, OpId};
 
+use crate::runtime::{JobEvent, JobMetrics};
+
 /// Errors produced by the Pado compiler.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CompileError {
@@ -41,7 +43,7 @@ impl From<DagError> for CompileError {
 }
 
 /// Errors produced by the Pado runtime.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum RuntimeError {
     /// The job was aborted before completion.
     Aborted(String),
@@ -51,6 +53,35 @@ pub enum RuntimeError {
     NoExecutors(&'static str),
     /// Compilation failed while preparing the job.
     Compile(CompileError),
+    /// One task exhausted its retry budget: every attempt failed in user
+    /// code (error or panic). Carries the job's event log so the failure
+    /// history — which executors ran which attempts — is inspectable.
+    TaskFailed {
+        /// Fused operator of the failing task.
+        fop: usize,
+        /// Task index within the fop.
+        index: usize,
+        /// Failed attempts consumed (equals `max_task_attempts`).
+        attempts: usize,
+        /// Reason reported by the final failed attempt.
+        reason: String,
+        /// Event log up to the terminal failure.
+        events: Vec<JobEvent>,
+    },
+    /// The master saw no progress within the event timeout. Carries the
+    /// partial event log and metrics gathered before the job wedged.
+    Wedged {
+        /// Milliseconds waited since the last progress event.
+        waited_ms: u64,
+        /// Event log up to the stall.
+        events: Vec<JobEvent>,
+        /// Metrics gathered before the stall (boxed to keep the error
+        /// small on the hot `Result` paths).
+        metrics: Box<JobMetrics>,
+    },
+    /// A scheduler invariant was violated (a bug in the runtime, not in
+    /// user code); surfaced instead of panicking the master thread.
+    Invariant(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -60,6 +91,24 @@ impl fmt::Display for RuntimeError {
             RuntimeError::Disconnected(who) => write!(f, "channel to {who} disconnected"),
             RuntimeError::NoExecutors(kind) => write!(f, "no alive {kind} executors"),
             RuntimeError::Compile(e) => write!(f, "compilation failed: {e}"),
+            RuntimeError::TaskFailed {
+                fop,
+                index,
+                attempts,
+                reason,
+                ..
+            } => write!(
+                f,
+                "task {fop}.{index} failed after {attempts} attempts: {reason}"
+            ),
+            RuntimeError::Wedged {
+                waited_ms, events, ..
+            } => write!(
+                f,
+                "job aborted: no progress within {waited_ms} ms ({} events logged)",
+                events.len()
+            ),
+            RuntimeError::Invariant(msg) => write!(f, "scheduler invariant violated: {msg}"),
         }
     }
 }

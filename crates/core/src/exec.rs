@@ -9,20 +9,29 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 
-use pado_dag::{DepType, LogicalDag, OperatorKind, TaskInput, Value};
+use pado_dag::{DepType, LogicalDag, OperatorKind, TaskInput, UdfError, Value};
 
 use crate::compiler::Fop;
 
 /// Applies one logical operator to a task input, producing output records.
-pub fn apply_op(dag: &LogicalDag, op: pado_dag::OpId, input: TaskInput<'_>) -> Vec<Value> {
-    match &dag.op(op).kind {
+///
+/// # Errors
+///
+/// Returns the [`UdfError`] raised by a fallible user function; built-in
+/// operators (group, combine, sink) never fail.
+pub fn apply_op(
+    dag: &LogicalDag,
+    op: pado_dag::OpId,
+    input: TaskInput<'_>,
+) -> Result<Vec<Value>, UdfError> {
+    Ok(match &dag.op(op).kind {
         OperatorKind::Source { .. } => {
             // Sources are driven by `source_partition`, not by inputs.
             Vec::new()
         }
         OperatorKind::ParDo(f) => {
             let mut out = Vec::new();
-            f.call(input, &mut |v| out.push(v));
+            f.try_call(input, &mut |v| out.push(v))?;
             out
         }
         OperatorKind::GroupByKey => {
@@ -67,7 +76,7 @@ pub fn apply_op(dag: &LogicalDag, op: pado_dag::OpId, input: TaskInput<'_>) -> V
             }
             out
         }
-    }
+    })
 }
 
 /// Produces the records of a source task's partition.
@@ -90,26 +99,30 @@ pub fn source_partition(
 /// broadcast side input (see [`crate::compiler::PlanEdge::member`]).
 /// Interior chain members read the previous member's output as their main
 /// input.
+///
+/// # Errors
+///
+/// Propagates the first [`UdfError`] raised by any chain member.
 pub fn apply_chain(
     dag: &LogicalDag,
     fop: &Fop,
     index: usize,
     mains: &[Vec<Value>],
     sides: &BTreeMap<usize, Vec<Value>>,
-) -> Vec<Value> {
+) -> Result<Vec<Value>, UdfError> {
     let head = fop.head();
     let side0 = sides.get(&0).map(|v| v.as_slice());
     let mut data = if dag.op(head).kind.is_source() {
         source_partition(dag, head, index, fop.parallelism)
     } else {
-        apply_op(dag, head, TaskInput::new(mains, side0))
+        apply_op(dag, head, TaskInput::new(mains, side0))?
     };
     for (pos, &op) in fop.chain.iter().enumerate().skip(1) {
         let side = sides.get(&pos).map(|v| v.as_slice());
         let link = vec![data];
-        data = apply_op(dag, op, TaskInput::new(&link, side));
+        data = apply_op(dag, op, TaskInput::new(&link, side))?;
     }
-    data
+    Ok(data)
 }
 
 /// Deterministic hash used for many-to-many record routing.
@@ -173,7 +186,7 @@ mod tests {
             Value::pair(Value::from("b"), Value::from(5i64)),
             Value::pair(Value::from("a"), Value::from(2i64)),
         ]];
-        let out = apply_op(&dag, cid, TaskInput::new(&input, None));
+        let out = apply_op(&dag, cid, TaskInput::new(&input, None)).unwrap();
         assert_eq!(
             out,
             vec![
@@ -194,7 +207,7 @@ mod tests {
             vec![Value::from(1.0), Value::from(2.0)],
             vec![Value::from(3.0)],
         ];
-        let out = apply_op(&dag, aid, TaskInput::new(&input, None));
+        let out = apply_op(&dag, aid, TaskInput::new(&input, None)).unwrap();
         assert_eq!(out, vec![Value::from(6.0)]);
     }
 
@@ -210,7 +223,7 @@ mod tests {
             Value::pair(Value::from("a"), Value::from(2i64)),
             Value::pair(Value::from("b"), Value::from(3i64)),
         ]];
-        let out = apply_op(&dag, gid, TaskInput::new(&input, None));
+        let out = apply_op(&dag, gid, TaskInput::new(&input, None)).unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].key().unwrap().as_str(), Some("a"));
         assert_eq!(out[1].val().unwrap().as_list().unwrap().len(), 2);
@@ -232,7 +245,7 @@ mod tests {
         let plan = compile(&dag).unwrap();
         let fop = &plan.fops[0];
         assert_eq!(fop.chain.len(), 2);
-        let out = apply_chain(&dag, fop, 1, &[], &BTreeMap::new());
+        let out = apply_chain(&dag, fop, 1, &[], &BTreeMap::new()).unwrap();
         assert_eq!(out, vec![Value::from(2i64), Value::from(22i64)]);
     }
 

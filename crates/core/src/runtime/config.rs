@@ -16,6 +16,30 @@ pub struct RuntimeConfig {
     /// Take a progress-metadata snapshot every this many task completions
     /// (master fault tolerance, §3.2.6).
     pub snapshot_every: usize,
+    /// Retry budget per task: total attempts (first launch included) a
+    /// task may consume through user-code failures before the job fails
+    /// terminally with [`crate::RuntimeError::TaskFailed`]. Eviction- and
+    /// reserved-failure-driven relaunches do not count against it.
+    pub max_task_attempts: usize,
+    /// User-code failures on one executor before the master blacklists it
+    /// (stops scheduling onto it) and spawns a replacement container.
+    pub executor_fault_threshold: usize,
+    /// Whether the master launches speculative duplicates of straggling
+    /// task attempts (first-commit-wins).
+    pub speculation: bool,
+    /// An attempt is a straggler when its elapsed time exceeds this
+    /// multiple of the fop's median attempt duration.
+    pub speculation_multiplier: f64,
+    /// Attempts are never speculated before running at least this long,
+    /// whatever the median says (guards against duplicating sub-millisecond
+    /// tasks whose median rounds to zero).
+    pub speculation_floor_ms: u64,
+    /// Completed attempt durations required per fop before its median is
+    /// trusted for speculation.
+    pub speculation_min_samples: usize,
+    /// Master scheduling-loop tick in milliseconds: the granularity at
+    /// which straggler checks and the wedge timeout are evaluated.
+    pub tick_ms: u64,
 }
 
 impl Default for RuntimeConfig {
@@ -26,6 +50,13 @@ impl Default for RuntimeConfig {
             partial_aggregation: true,
             event_timeout_ms: 30_000,
             snapshot_every: 16,
+            max_task_attempts: 4,
+            executor_fault_threshold: 3,
+            speculation: true,
+            speculation_multiplier: 3.0,
+            speculation_floor_ms: 200,
+            speculation_min_samples: 3,
+            tick_ms: 25,
         }
     }
 }
@@ -40,5 +71,11 @@ mod tests {
         assert!(c.slots_per_executor >= 1);
         assert!(c.cache_capacity_bytes > 0);
         assert!(c.partial_aggregation);
+        assert!(c.max_task_attempts >= 1);
+        assert!(c.executor_fault_threshold >= 1);
+        assert!(c.speculation_multiplier > 1.0);
+        assert!(c.tick_ms >= 1);
+        // Ticks must subdivide the wedge timeout, or it never fires.
+        assert!(c.tick_ms < c.event_timeout_ms);
     }
 }

@@ -8,8 +8,10 @@
 //! one deterministic place, while preserving the paper's control flow.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Once};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use crossbeam::channel::{Receiver, Sender};
 use pado_dag::{LogicalDag, OperatorKind, Value};
@@ -19,7 +21,31 @@ use crate::compiler::{PhysicalPlan, Placement};
 use crate::exec::apply_chain;
 use crate::runtime::cache::LruCache;
 use crate::runtime::config::RuntimeConfig;
-use crate::runtime::message::{ExecId, ExecutorMsg, MasterMsg, TaskSpec};
+use crate::runtime::message::{ExecId, ExecutorMsg, InjectedFault, MasterMsg, TaskSpec};
+
+/// Worker-thread name prefix; the panic hook filter keys off it.
+const WORKER_THREAD_PREFIX: &str = "pado-exec-";
+
+static PANIC_HOOK_FILTER: Once = Once::new();
+
+/// Installs (once per process) a panic hook that silences panics on
+/// executor worker threads. Those panics are caught by [`run_task`] and
+/// reported to the master as [`MasterMsg::TaskFailed`]; printing the
+/// default backtrace banner for each would drown test output. Panics on
+/// any other thread still reach the previous hook untouched.
+fn install_panic_hook_filter() {
+    PANIC_HOOK_FILTER.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let on_worker = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with(WORKER_THREAD_PREFIX));
+            if !on_worker {
+                previous(info);
+            }
+        }));
+    });
+}
 
 /// Immutable job context shared by the master and all executors.
 #[derive(Debug)]
@@ -51,6 +77,7 @@ impl ExecutorHandle {
         job: Arc<JobContext>,
         to_master: Sender<MasterMsg>,
     ) -> Self {
+        install_panic_hook_filter();
         let (tx, rx) = crossbeam::channel::unbounded::<ExecutorMsg>();
         let cache = Arc::new(Mutex::new(LruCache::new(job.config.cache_capacity_bytes)));
         let slots = job.config.slots_per_executor.max(1);
@@ -116,8 +143,27 @@ fn worker_loop(
 }
 
 /// Executes one task: resolve side inputs through the cache, apply the
-/// fused chain, optionally pre-aggregate the output.
+/// fused chain (fault-isolated), optionally pre-aggregate the output.
+///
+/// User code runs inside `catch_unwind`, so a panicking or erroring UDF
+/// yields a [`MasterMsg::TaskFailed`] instead of killing the worker slot:
+/// the slot stays alive to run the retry.
 fn run_task(exec: ExecId, job: &JobContext, cache: &Mutex<LruCache>, spec: TaskSpec) -> MasterMsg {
+    match spec.inject {
+        Some(InjectedFault::Delay(ms)) => {
+            // Simulated straggler: stall, then compute normally.
+            std::thread::sleep(Duration::from_millis(ms));
+        }
+        Some(InjectedFault::Error) => {
+            return MasterMsg::TaskFailed {
+                exec,
+                attempt: spec.attempt,
+                reason: "injected: user function error".into(),
+            };
+        }
+        Some(InjectedFault::Panic) | None => {}
+    }
+
     let mut cache_hit = false;
     let mut sides: BTreeMap<usize, Vec<Value>> = BTreeMap::new();
     for (member, side) in &spec.sides {
@@ -143,7 +189,30 @@ fn run_task(exec: ExecId, job: &JobContext, cache: &Mutex<LruCache>, spec: TaskS
     }
 
     let fop = &job.plan.fops[spec.fop];
-    let mut output = apply_chain(&job.dag, fop, spec.index, &spec.mains, &sides);
+    let attempt = spec.attempt;
+    let computed = panic::catch_unwind(AssertUnwindSafe(|| {
+        if spec.inject == Some(InjectedFault::Panic) {
+            panic!("injected: user function panic");
+        }
+        apply_chain(&job.dag, fop, spec.index, &spec.mains, &sides)
+    }));
+    let mut output = match computed {
+        Ok(Ok(records)) => records,
+        Ok(Err(udf)) => {
+            return MasterMsg::TaskFailed {
+                exec,
+                attempt,
+                reason: udf.to_string(),
+            };
+        }
+        Err(payload) => {
+            return MasterMsg::TaskFailed {
+                exec,
+                attempt,
+                reason: panic_reason(payload.as_ref()),
+            };
+        }
+    };
 
     let mut preaggregated = 0usize;
     if spec.preaggregate {
@@ -157,11 +226,22 @@ fn run_task(exec: ExecId, job: &JobContext, cache: &Mutex<LruCache>, spec: TaskS
     let cached_keys = cache.lock().keys();
     MasterMsg::TaskDone {
         exec,
-        attempt: spec.attempt,
+        attempt,
         output,
         preaggregated,
         cache_hit,
         cached_keys,
+    }
+}
+
+/// Extracts a readable message from a caught panic payload.
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".into()
     }
 }
 

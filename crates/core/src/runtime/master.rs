@@ -20,9 +20,9 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use pado_dag::{DepType, Value};
 
 use crate::compiler::{FopId, InputSlot, Placement, PlanEdge};
@@ -30,9 +30,33 @@ use crate::error::RuntimeError;
 use crate::exec::route;
 use crate::runtime::cache::CacheKey;
 use crate::runtime::executor::{combine_consumer, ExecutorHandle, JobContext};
-use crate::runtime::message::{AttemptId, ExecId, MasterMsg, SideData, TaskSpec};
+use crate::runtime::message::{AttemptId, ExecId, InjectedFault, MasterMsg, SideData, TaskSpec};
 use crate::runtime::metrics::JobMetrics;
 use crate::runtime::policy::{Candidate, RoundRobinCacheAware, SchedulingPolicy, TaskToPlace};
+
+/// Probabilistic user-code fault injection, decided deterministically per
+/// `(seed, task, launch ordinal)` so every chaos run is exactly
+/// reproducible from its seed.
+///
+/// Faults count against the per-task cap `max_faults_per_task`; keeping
+/// the cap below the runtime's `max_task_attempts` guarantees a chaos run
+/// can always complete. Delays are not faults and are never capped.
+#[derive(Debug, Clone, Default)]
+pub struct ChaosPlan {
+    /// Seed for the injection decisions.
+    pub seed: u64,
+    /// Probability a launch fails with a user-function error.
+    pub error_prob: f64,
+    /// Probability a launch fails with a user-function panic.
+    pub panic_prob: f64,
+    /// Probability a launch stalls before computing (straggler).
+    pub delay_prob: f64,
+    /// Maximum injected stall in milliseconds (actual stall is uniform in
+    /// `1..=delay_ms`).
+    pub delay_ms: u64,
+    /// Injected error/panic budget per task across all its launches.
+    pub max_faults_per_task: usize,
+}
 
 /// Scheduled faults injected deterministically while a job runs.
 ///
@@ -48,6 +72,12 @@ pub struct FaultPlan {
     /// Simulate a master crash/restart after this many completions,
     /// resuming from the last progress snapshot.
     pub master_failure_after: Option<usize>,
+    /// Probabilistic user-code fault injection (chaos testing).
+    pub chaos: Option<ChaosPlan>,
+    /// Stall the *first* attempt of task `(fop, index)` by the given
+    /// milliseconds — a targeted straggler, used to exercise speculative
+    /// execution deterministically.
+    pub first_attempt_delays: Vec<(FopId, usize, u64)>,
 }
 
 /// One entry of the master's execution event log — the progress record a
@@ -73,6 +103,34 @@ pub enum JobEvent {
         /// Task index.
         index: usize,
     },
+    /// A task attempt failed in user code (error or caught panic).
+    TaskFailed {
+        /// Fused operator.
+        fop: FopId,
+        /// Task index.
+        index: usize,
+        /// Executor the attempt ran on.
+        exec: ExecId,
+    },
+    /// A committed task's output was lost (container loss or master
+    /// recovery) and the task reverted to pending.
+    TaskReverted {
+        /// Fused operator.
+        fop: FopId,
+        /// Task index.
+        index: usize,
+    },
+    /// A speculative duplicate of a straggling attempt was launched.
+    SpeculativeLaunched {
+        /// Fused operator.
+        fop: FopId,
+        /// Task index.
+        index: usize,
+        /// Executor running the duplicate.
+        exec: ExecId,
+    },
+    /// An executor was blacklisted after repeated user-code failures.
+    ExecutorBlacklisted(ExecId),
     /// A Pado Stage finished (all its tasks committed).
     StageCompleted(usize),
     /// A completed stage re-opened (a reserved failure destroyed its
@@ -103,8 +161,14 @@ pub struct JobResult {
 #[derive(Debug, Clone)]
 enum TaskState {
     Pending,
-    Running { attempt: AttemptId, exec: ExecId },
-    Done { locations: Vec<ExecId> },
+    /// One or more in-flight attempts (more than one only while a
+    /// speculative duplicate races the original; first commit wins).
+    Running {
+        attempts: Vec<(AttemptId, ExecId)>,
+    },
+    Done {
+        locations: Vec<ExecId>,
+    },
 }
 
 #[derive(Debug)]
@@ -155,6 +219,25 @@ pub struct Master {
     fault_cursor_fail: usize,
     master_failed: bool,
     snapshot: Option<ProgressSnapshot>,
+
+    // --- Task-failure domain ---
+    /// Executors that exhausted their fault threshold: no new work, but
+    /// they stay alive so their committed outputs remain readable.
+    blacklisted: HashSet<ExecId>,
+    /// User-code failures per executor (toward the blacklist threshold).
+    exec_failures: HashMap<ExecId, usize>,
+    /// User-code failures per task (toward the retry budget).
+    task_failure_counts: HashMap<(FopId, usize), usize>,
+    /// Injected error/panic count per task (toward the chaos cap).
+    injected_faults: HashMap<(FopId, usize), usize>,
+    /// Launch ordinal per task, driving deterministic chaos decisions.
+    launch_seq: HashMap<(FopId, usize), usize>,
+    /// Wall-clock launch time of each in-flight attempt.
+    launch_times: HashMap<AttemptId, Instant>,
+    /// Completed attempt durations (ms) per fop, for straggler medians.
+    fop_durations: Vec<Vec<u64>>,
+    /// In-flight attempts that are speculative duplicates.
+    speculative: HashSet<AttemptId>,
 }
 
 impl Master {
@@ -197,6 +280,14 @@ impl Master {
             fault_cursor_fail: 0,
             master_failed: false,
             snapshot: None,
+            blacklisted: HashSet::new(),
+            exec_failures: HashMap::new(),
+            task_failure_counts: HashMap::new(),
+            injected_faults: HashMap::new(),
+            launch_seq: HashMap::new(),
+            launch_times: HashMap::new(),
+            fop_durations: vec![Vec::new(); n_fops],
+            speculative: HashSet::new(),
         };
         master.metrics.original_tasks = master.job.plan.total_tasks();
         for _ in 0..n_reserved {
@@ -238,22 +329,56 @@ impl Master {
     ///
     /// # Errors
     ///
-    /// Fails if no event arrives within the configured timeout (a wedged
-    /// job) or if every executor of a required kind is gone.
+    /// Fails with [`RuntimeError::Wedged`] if no progress is made within
+    /// the configured timeout, with [`RuntimeError::TaskFailed`] when a
+    /// task exhausts its retry budget in user code, and with
+    /// [`RuntimeError::Invariant`] on internal scheduler bugs. Executors
+    /// are stopped and joined on every exit path.
     pub fn run(mut self) -> Result<JobResult, RuntimeError> {
-        self.schedule();
-        while !self.complete() {
-            let msg = self
-                .rx
-                .recv_timeout(Duration::from_millis(self.job.config.event_timeout_ms))
-                .map_err(|_| RuntimeError::Aborted("no progress within timeout".into()))?;
-            self.handle(msg);
-            self.note_stage_transitions();
-            self.schedule();
-        }
-        let result = self.collect_result();
+        let outcome = self.run_loop();
         self.shutdown();
-        Ok(result)
+        outcome.map(|()| self.collect_result())
+    }
+
+    /// The tick-driven master event loop: waits up to one tick for an
+    /// event, then re-evaluates stragglers, the wedge timeout, and the
+    /// schedule. Ticks make speculation and the timeout responsive even
+    /// while no completions arrive.
+    fn run_loop(&mut self) -> Result<(), RuntimeError> {
+        self.schedule()?;
+        let tick = Duration::from_millis(self.job.config.tick_ms.max(1));
+        let timeout = Duration::from_millis(self.job.config.event_timeout_ms);
+        let mut last_progress = Instant::now();
+        let mut last_spec_check = Instant::now();
+        while !self.complete() {
+            match self.rx.recv_timeout(tick) {
+                Ok(msg) => {
+                    last_progress = Instant::now();
+                    self.handle(msg)?;
+                    self.note_stage_transitions();
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if last_progress.elapsed() >= timeout {
+                        return Err(RuntimeError::Wedged {
+                            waited_ms: last_progress.elapsed().as_millis() as u64,
+                            events: self.events.clone(),
+                            metrics: Box::new(self.metrics.clone()),
+                        });
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(RuntimeError::Disconnected("executors".into()));
+                }
+            }
+            // Straggler checks are time-gated so a burst of completions
+            // does not rescan the task table once per message.
+            if last_spec_check.elapsed() >= tick {
+                last_spec_check = Instant::now();
+                self.maybe_speculate()?;
+            }
+            self.schedule()?;
+        }
+        Ok(())
     }
 
     fn complete(&self) -> bool {
@@ -291,7 +416,7 @@ impl Master {
         }
     }
 
-    fn handle(&mut self, msg: MasterMsg) {
+    fn handle(&mut self, msg: MasterMsg) -> Result<(), RuntimeError> {
         match msg {
             MasterMsg::TaskDone {
                 exec,
@@ -300,9 +425,23 @@ impl Master {
                 preaggregated,
                 cache_hit,
                 cached_keys,
-            } => self.on_task_done(exec, attempt, output, preaggregated, cache_hit, cached_keys),
-            MasterMsg::Evict { exec } => self.on_executor_lost(exec, false),
-            MasterMsg::FailReserved { exec } => self.on_executor_lost(exec, true),
+            } => {
+                self.on_task_done(exec, attempt, output, preaggregated, cache_hit, cached_keys);
+                Ok(())
+            }
+            MasterMsg::TaskFailed {
+                exec,
+                attempt,
+                reason,
+            } => self.on_task_failed(exec, attempt, reason),
+            MasterMsg::Evict { exec } => {
+                self.on_executor_lost(exec, false);
+                Ok(())
+            }
+            MasterMsg::FailReserved { exec } => {
+                self.on_executor_lost(exec, true);
+                Ok(())
+            }
         }
     }
 
@@ -323,19 +462,42 @@ impl Master {
             }
         }
         // The commit protocol: an output is processed exactly once, and
-        // only for the attempt the master considers current (a stale
-        // attempt from an evicted container is discarded).
+        // only for an attempt the master considers current. Stale attempts
+        // (evicted containers, fenced masters, losing speculative
+        // duplicates) are discarded.
         let Some(&(fop, index)) = self.attempt_of.get(&attempt) else {
             return;
         };
         let valid = matches!(
-            self.tasks[fop][index],
-            TaskState::Running { attempt: a, .. } if a == attempt
+            &self.tasks[fop][index],
+            TaskState::Running { attempts } if attempts.iter().any(|&(a, _)| a == attempt)
         );
         if !valid {
             return;
         }
         self.attempt_of.remove(&attempt);
+        if let Some(t0) = self.launch_times.remove(&attempt) {
+            self.fop_durations[fop].push(t0.elapsed().as_millis() as u64);
+        }
+        // First commit wins: if this was the speculative duplicate, it
+        // beat the original. Either way every other in-flight attempt of
+        // this task becomes a loser — unregistered now, so its eventual
+        // completion is stale and only frees its executor slot.
+        if self.speculative.remove(&attempt) {
+            self.metrics.speculative_wins += 1;
+        }
+        if let TaskState::Running { attempts } = &self.tasks[fop][index] {
+            let losers: Vec<AttemptId> = attempts
+                .iter()
+                .map(|&(a, _)| a)
+                .filter(|&a| a != attempt)
+                .collect();
+            for a in losers {
+                self.attempt_of.remove(&a);
+                self.launch_times.remove(&a);
+                self.speculative.remove(&a);
+            }
+        }
         if cache_hit {
             self.metrics.cache_hits += 1;
         }
@@ -366,6 +528,96 @@ impl Master {
             self.take_snapshot();
         }
         self.fire_due_faults();
+    }
+
+    /// Handles a user-code failure (error or caught panic) of one task
+    /// attempt: reverts the attempt, charges the task's retry budget and
+    /// the executor's fault threshold, and fails the job terminally once
+    /// the budget is exhausted.
+    fn on_task_failed(
+        &mut self,
+        exec: ExecId,
+        attempt: AttemptId,
+        reason: String,
+    ) -> Result<(), RuntimeError> {
+        if let Some(info) = self.executors.get_mut(&exec) {
+            if info.alive {
+                info.busy = info.busy.saturating_sub(1);
+            }
+        }
+        // Stale failures (already-discarded attempts) only free the slot.
+        let Some(&(fop, index)) = self.attempt_of.get(&attempt) else {
+            return Ok(());
+        };
+        let current = matches!(
+            &self.tasks[fop][index],
+            TaskState::Running { attempts } if attempts.iter().any(|&(a, _)| a == attempt)
+        );
+        if !current {
+            return Ok(());
+        }
+        self.attempt_of.remove(&attempt);
+        self.launch_times.remove(&attempt);
+        self.speculative.remove(&attempt);
+        self.metrics.task_failures += 1;
+        self.events.push(JobEvent::TaskFailed { fop, index, exec });
+        if let TaskState::Running { attempts } = &mut self.tasks[fop][index] {
+            attempts.retain(|&(a, _)| a != attempt);
+            if attempts.is_empty() {
+                self.tasks[fop][index] = TaskState::Pending;
+            }
+        }
+
+        let failures = {
+            let f = self.task_failure_counts.entry((fop, index)).or_insert(0);
+            *f += 1;
+            *f
+        };
+        if failures >= self.job.config.max_task_attempts {
+            return Err(RuntimeError::TaskFailed {
+                fop,
+                index,
+                attempts: failures,
+                reason,
+                events: self.events.clone(),
+            });
+        }
+
+        let exec_faults = {
+            let f = self.exec_failures.entry(exec).or_insert(0);
+            *f += 1;
+            *f
+        };
+        if exec_faults >= self.job.config.executor_fault_threshold
+            && !self.blacklisted.contains(&exec)
+        {
+            self.blacklist(exec);
+        }
+        Ok(())
+    }
+
+    /// Blacklists an executor after repeated user-code failures: it gets
+    /// no new work but stays alive, so outputs already committed to it
+    /// remain readable. A replacement container takes over its share.
+    fn blacklist(&mut self, exec: ExecId) {
+        self.blacklisted.insert(exec);
+        self.metrics.blacklisted_executors += 1;
+        self.events.push(JobEvent::ExecutorBlacklisted(exec));
+        // Re-route receiver assignments that have not yet produced data.
+        let stale: Vec<(FopId, usize)> = self
+            .assigned
+            .iter()
+            .filter(|(&(f, i), &e)| {
+                e == exec && !matches!(self.tasks[f][i], TaskState::Done { .. })
+            })
+            .map(|(&k, _)| k)
+            .collect();
+        for k in stale {
+            self.assigned.remove(&k);
+        }
+        let kind = self.executors[&exec].handle.kind;
+        let replacement = self.spawn_executor(kind);
+        self.events.push(JobEvent::ContainerAdded(replacement));
     }
 
     /// Where a completed task's output now lives: reserved anchors keep it
@@ -465,16 +717,29 @@ impl Master {
             .map(|s| self.stage_complete(s))
             .collect();
 
-        // Revert running attempts scheduled on the lost executor.
-        for f in 0..self.tasks.len() {
-            for i in 0..self.tasks[f].len() {
-                if let TaskState::Running { attempt, exec: e } = self.tasks[f][i] {
-                    if e == exec {
-                        self.attempt_of.remove(&attempt);
-                        self.tasks[f][i] = TaskState::Pending;
+        // Revert running attempts scheduled on the lost executor. A task
+        // racing a speculative duplicate keeps its surviving attempts.
+        let mut dropped_attempts: Vec<AttemptId> = Vec::new();
+        for ts in &mut self.tasks {
+            for t in ts.iter_mut() {
+                if let TaskState::Running { attempts } = t {
+                    dropped_attempts.extend(
+                        attempts
+                            .iter()
+                            .filter(|&&(_, e)| e == exec)
+                            .map(|&(a, _)| a),
+                    );
+                    attempts.retain(|&(_, e)| e != exec);
+                    if attempts.is_empty() {
+                        *t = TaskState::Pending;
                     }
                 }
             }
+        }
+        for a in dropped_attempts {
+            self.attempt_of.remove(&a);
+            self.launch_times.remove(&a);
+            self.speculative.remove(&a);
         }
         // Destroy data whose only copy lived on the lost executor.
         for f in 0..self.tasks.len() {
@@ -488,6 +753,8 @@ impl Master {
                 if lost {
                     self.outputs.remove(&(f, i));
                     self.tasks[f][i] = TaskState::Pending;
+                    self.events
+                        .push(JobEvent::TaskReverted { fop: f, index: i });
                 }
             }
         }
@@ -509,8 +776,24 @@ impl Master {
 
     /// Simulates a master crash: all in-memory progress is lost and the
     /// replacement master resumes from the replicated snapshot.
+    ///
+    /// Attempt accounting (retry budgets, executor fault counts) is
+    /// in-memory master state, so it resets with the crash; only progress
+    /// metadata survives. Chaos-injection bookkeeping deliberately
+    /// survives — it models the *test harness's* fault schedule, not
+    /// master state, keeping injected faults bounded per task across the
+    /// restart.
     fn simulate_master_failure(&mut self) {
         self.events.push(JobEvent::MasterRecovered);
+        let done_before: Vec<Vec<bool>> = self
+            .tasks
+            .iter()
+            .map(|ts| {
+                ts.iter()
+                    .map(|t| matches!(t, TaskState::Done { .. }))
+                    .collect()
+            })
+            .collect();
         let snap = self.snapshot.clone().unwrap_or_else(|| ProgressSnapshot {
             tasks: self
                 .tasks
@@ -536,6 +819,10 @@ impl Master {
         self.next_attempt = snap.next_attempt.max(self.next_attempt) + 1_000_000;
         self.attempt_of.clear();
         self.assigned.clear();
+        self.launch_times.clear();
+        self.speculative.clear();
+        self.task_failure_counts.clear();
+        self.exec_failures.clear();
         for info in self.executors.values_mut() {
             if info.alive {
                 info.busy = 0;
@@ -561,6 +848,16 @@ impl Master {
                 if lost {
                     self.outputs.remove(&(f, i));
                     self.tasks[f][i] = TaskState::Pending;
+                }
+            }
+        }
+        // Log every commit the restart rolled back (snapshot lag or data
+        // on since-lost containers); their recomputation follows.
+        for (f, was) in done_before.iter().enumerate() {
+            for (i, &was_done) in was.iter().enumerate() {
+                if was_done && !matches!(self.tasks[f][i], TaskState::Done { .. }) {
+                    self.events
+                        .push(JobEvent::TaskReverted { fop: f, index: i });
                 }
             }
         }
@@ -596,7 +893,7 @@ impl Master {
     /// One scheduling pass: over every runnable stage, assign reserved
     /// receivers first, then launch every ready pending task with the
     /// round-robin, cache-aware policy.
-    fn schedule(&mut self) {
+    fn schedule(&mut self) -> Result<(), RuntimeError> {
         for stage in self.job.plan.stage_dag.topo_order() {
             if !self.stage_runnable(stage) {
                 continue;
@@ -618,11 +915,12 @@ impl Master {
             for f in ordered {
                 for i in 0..self.tasks[f].len() {
                     if matches!(self.tasks[f][i], TaskState::Pending) && self.task_ready(f, i) {
-                        self.launch(f, i);
+                        self.launch(f, i)?;
                     }
                 }
             }
         }
+        Ok(())
     }
 
     /// Pre-assigns each reserved task of the stage to a reserved executor
@@ -633,7 +931,9 @@ impl Master {
         let reserved: Vec<ExecId> = self
             .executors
             .iter()
-            .filter(|(_, e)| e.alive && e.handle.kind == Placement::Reserved)
+            .filter(|(id, e)| {
+                e.alive && e.handle.kind == Placement::Reserved && !self.blacklisted.contains(id)
+            })
             .map(|(&id, _)| id)
             .collect();
         if reserved.is_empty() {
@@ -668,20 +968,21 @@ impl Master {
         true
     }
 
-    fn launch(&mut self, fop: FopId, index: usize) {
+    fn launch(&mut self, fop: FopId, index: usize) -> Result<(), RuntimeError> {
         let placement = self.job.plan.fops[fop].placement;
         let cache_pref = self.cache_preference(fop);
         let Some(exec) = self.pick_executor(placement, fop, index, cache_pref) else {
-            return; // No free executor; retry on the next event.
+            return Ok(()); // No free executor; retry on the next event.
         };
 
         let attempt = self.next_attempt;
         self.next_attempt += 1;
 
-        let (mains, sides) = self.assemble_inputs(fop, index, exec);
+        let (mains, sides) = self.assemble_inputs(fop, index, exec)?;
         let preaggregate = placement == Placement::Transient
             && self.job.config.partial_aggregation
             && combine_consumer(&self.job.dag, &self.job.plan, fop).is_some();
+        let inject = self.decide_injection(fop, index);
 
         // Launch accounting.
         self.metrics.tasks_launched += 1;
@@ -698,8 +999,13 @@ impl Master {
             relaunch,
         });
         self.attempt_of.insert(attempt, (fop, index));
-        self.tasks[fop][index] = TaskState::Running { attempt, exec };
-        let info = self.executors.get_mut(&exec).expect("picked executor");
+        self.launch_times.insert(attempt, Instant::now());
+        self.tasks[fop][index] = TaskState::Running {
+            attempts: vec![(attempt, exec)],
+        };
+        let info = self.executors.get_mut(&exec).ok_or_else(|| {
+            RuntimeError::Invariant(format!("picked executor {exec} is not registered"))
+        })?;
         info.busy += 1;
         info.handle.run(TaskSpec {
             attempt,
@@ -708,7 +1014,159 @@ impl Master {
             mains,
             sides,
             preaggregate,
+            inject,
         });
+        Ok(())
+    }
+
+    /// Decides fault injection for the next launch of task `(fop, index)`,
+    /// combining targeted first-attempt delays with the probabilistic
+    /// chaos plan. Decisions depend only on `(seed, task, launch
+    /// ordinal)`, so a chaos run replays identically from its seed.
+    fn decide_injection(&mut self, fop: FopId, index: usize) -> Option<InjectedFault> {
+        let ordinal = {
+            let c = self.launch_seq.entry((fop, index)).or_insert(0);
+            let o = *c;
+            *c += 1;
+            o
+        };
+        if ordinal == 0 {
+            if let Some(&(_, _, ms)) = self
+                .faults
+                .first_attempt_delays
+                .iter()
+                .find(|&&(f, i, _)| f == fop && i == index)
+            {
+                return Some(InjectedFault::Delay(ms));
+            }
+        }
+        let chaos = self.faults.chaos.as_ref()?;
+        let mut h = chaos.seed;
+        for v in [fop as u64, index as u64, ordinal as u64] {
+            h = mix64(h ^ v);
+        }
+        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let injected = self.injected_faults.entry((fop, index)).or_insert(0);
+        if *injected < chaos.max_faults_per_task {
+            if u < chaos.error_prob {
+                *injected += 1;
+                return Some(InjectedFault::Error);
+            }
+            if u < chaos.error_prob + chaos.panic_prob {
+                *injected += 1;
+                return Some(InjectedFault::Panic);
+            }
+        }
+        if u < chaos.error_prob + chaos.panic_prob + chaos.delay_prob {
+            let ms = 1 + mix64(h) % chaos.delay_ms.max(1);
+            return Some(InjectedFault::Delay(ms));
+        }
+        None
+    }
+
+    /// Straggler mitigation: for every fop with enough completed-attempt
+    /// samples, duplicate any single-attempt task whose elapsed time
+    /// exceeds `speculation_multiplier` × the fop's median duration
+    /// (floored by `speculation_floor_ms`). First commit wins.
+    fn maybe_speculate(&mut self) -> Result<(), RuntimeError> {
+        if !self.job.config.speculation {
+            return Ok(());
+        }
+        let min_samples = self.job.config.speculation_min_samples.max(1);
+        let mult = self.job.config.speculation_multiplier;
+        let floor = self.job.config.speculation_floor_ms;
+        let mut stragglers: Vec<(FopId, usize, ExecId)> = Vec::new();
+        for f in 0..self.tasks.len() {
+            if self.fop_durations[f].len() < min_samples {
+                continue;
+            }
+            let mut durs = self.fop_durations[f].clone();
+            durs.sort_unstable();
+            let median = durs[durs.len() / 2];
+            let threshold = ((median as f64 * mult) as u64).max(floor);
+            for i in 0..self.tasks[f].len() {
+                if let TaskState::Running { attempts } = &self.tasks[f][i] {
+                    // Never stack duplicates: one speculative race at a time.
+                    if attempts.len() != 1 {
+                        continue;
+                    }
+                    let (a, e) = attempts[0];
+                    let elapsed = self
+                        .launch_times
+                        .get(&a)
+                        .map(|t| t.elapsed().as_millis() as u64);
+                    if elapsed.is_some_and(|ms| ms > threshold) {
+                        stragglers.push((f, i, e));
+                    }
+                }
+            }
+        }
+        for (f, i, avoid) in stragglers {
+            self.launch_speculative(f, i, avoid)?;
+        }
+        Ok(())
+    }
+
+    /// Launches a speculative duplicate of a straggling attempt on a
+    /// different executor. The duplicate shares the task's identity, so
+    /// whichever attempt finishes first commits and the other is
+    /// discarded by the commit protocol (never double-committed).
+    fn launch_speculative(
+        &mut self,
+        fop: FopId,
+        index: usize,
+        avoid: ExecId,
+    ) -> Result<(), RuntimeError> {
+        let kind = self.job.plan.fops[fop].placement;
+        let slots = self.job.config.slots_per_executor.max(1);
+        let pick = self
+            .executors
+            .iter()
+            .filter(|(&id, e)| {
+                e.alive
+                    && e.handle.kind == kind
+                    && e.busy < slots
+                    && id != avoid
+                    && !self.blacklisted.contains(&id)
+            })
+            .max_by_key(|(&id, e)| (slots - e.busy, std::cmp::Reverse(id)))
+            .map(|(&id, _)| id);
+        let Some(exec) = pick else {
+            return Ok(()); // No spare executor: keep waiting on the original.
+        };
+
+        let attempt = self.next_attempt;
+        self.next_attempt += 1;
+        let (mains, sides) = self.assemble_inputs(fop, index, exec)?;
+        let preaggregate = kind == Placement::Transient
+            && self.job.config.partial_aggregation
+            && combine_consumer(&self.job.dag, &self.job.plan, fop).is_some();
+        let inject = self.decide_injection(fop, index);
+
+        self.metrics.tasks_launched += 1;
+        self.metrics.speculative_launches += 1;
+        self.events
+            .push(JobEvent::SpeculativeLaunched { fop, index, exec });
+        self.attempt_of.insert(attempt, (fop, index));
+        self.launch_times.insert(attempt, Instant::now());
+        self.speculative.insert(attempt);
+        if let TaskState::Running { attempts } = &mut self.tasks[fop][index] {
+            attempts.push((attempt, exec));
+        }
+        let info = self.executors.get_mut(&exec).ok_or_else(|| {
+            RuntimeError::Invariant(format!("speculative executor {exec} is not registered"))
+        })?;
+        info.busy += 1;
+        info.handle.run(TaskSpec {
+            attempt,
+            fop,
+            index,
+            mains,
+            sides,
+            preaggregate,
+            inject,
+        });
+        Ok(())
     }
 
     /// A cacheable side-input key of this fop, if any (used for
@@ -735,17 +1193,22 @@ impl Master {
     ) -> Option<ExecId> {
         if kind == Placement::Reserved {
             if let Some(&e) = self.assigned.get(&(fop, index)) {
-                if self.executors.get(&e).map(|i| i.alive) == Some(true) {
+                if self.executors.get(&e).map(|i| i.alive) == Some(true)
+                    && !self.blacklisted.contains(&e)
+                {
                     return Some(e);
                 }
             }
-            // The assigned receiver died; fall through to any reserved.
+            // The assigned receiver died or was blacklisted; fall through
+            // to any reserved.
         }
         let slots = self.job.config.slots_per_executor.max(1);
         let candidates: Vec<Candidate> = self
             .executors
             .iter()
-            .filter(|(_, e)| e.alive && e.handle.kind == kind && e.busy < slots)
+            .filter(|(id, e)| {
+                e.alive && e.handle.kind == kind && e.busy < slots && !self.blacklisted.contains(id)
+            })
             .map(|(&id, e)| Candidate {
                 exec: id,
                 free_slots: slots - e.busy,
@@ -763,12 +1226,19 @@ impl Master {
     }
 
     /// Routes and packages a task's inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Invariant`] when a required input is not
+    /// materialized — a scheduler bug (`task_ready` must gate every
+    /// launch), surfaced instead of panicking the master.
+    #[allow(clippy::type_complexity)]
     fn assemble_inputs(
         &mut self,
         fop: FopId,
         index: usize,
         exec: ExecId,
-    ) -> (Vec<Vec<Value>>, BTreeMap<usize, SideData>) {
+    ) -> Result<(Vec<Vec<Value>>, BTreeMap<usize, SideData>), RuntimeError> {
         let dst_par = self.job.plan.fops[fop].parallelism;
         let mut mains: Vec<Vec<Value>> = Vec::new();
         let mut sides: BTreeMap<usize, SideData> = BTreeMap::new();
@@ -778,10 +1248,12 @@ impl Master {
                 InputSlot::Main(_) => {
                     let mut part: Vec<Value> = Vec::new();
                     for si in required_src_indices(&e, index, src_par, dst_par) {
-                        let records = self
-                            .outputs
-                            .get(&(e.src, si))
-                            .expect("task launched before inputs ready");
+                        let records = self.outputs.get(&(e.src, si)).ok_or_else(|| {
+                            RuntimeError::Invariant(format!(
+                                "task {fop}.{index} launched before input {}.{si} was ready",
+                                e.src
+                            ))
+                        })?;
                         match e.dep {
                             DepType::ManyToMany => {
                                 let routed = route(records, e.dep, si, dst_par);
@@ -818,7 +1290,7 @@ impl Master {
                 }
             }
         }
-        (mains, sides)
+        Ok((mains, sides))
     }
 
     /// Materializes the full broadcast dataset of a producer fop.
@@ -858,12 +1330,21 @@ impl Master {
         }
     }
 
-    fn shutdown(self) {
-        for (_, info) in self.executors {
+    fn shutdown(&mut self) {
+        for (_, info) in std::mem::take(&mut self.executors) {
             info.handle.stop();
             info.handle.join();
         }
     }
+}
+
+/// splitmix64 finalizer: the bit mixer behind deterministic chaos
+/// decisions (one independent uniform draw per `(seed, task, ordinal)`).
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Which producer task indices a consumer task needs along an edge.

@@ -32,6 +32,22 @@ pub struct SideData {
     pub expect_cached: bool,
 }
 
+/// A fault the master injects into one task attempt (chaos testing).
+///
+/// Injection rides inside the [`TaskSpec`] so the decision stays with the
+/// master — deterministic per seed — while the *effect* exercises the real
+/// executor-side failure paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// The user function returns an error (`Result` path).
+    Error,
+    /// The user function panics (unwind-isolation path).
+    Panic,
+    /// The task stalls for this many milliseconds before computing
+    /// (straggler / speculation path).
+    Delay(u64),
+}
+
 /// One task launch: the master assembles and routes all main inputs, so
 /// the executor only computes.
 #[derive(Debug, Clone)]
@@ -50,6 +66,8 @@ pub struct TaskSpec {
     /// (set when all consumers are combine operators and partial
     /// aggregation is enabled).
     pub preaggregate: bool,
+    /// Fault to inject into this attempt, if any (chaos testing only).
+    pub inject: Option<InjectedFault>,
 }
 
 /// Messages executors (and eviction injectors) send to the master.
@@ -69,6 +87,16 @@ pub enum MasterMsg {
         cache_hit: bool,
         /// Keys the executor caches after this task.
         cached_keys: Vec<CacheKey>,
+    },
+    /// A task attempt failed on an executor: the user function returned an
+    /// error or panicked (the panic was caught; the worker slot survives).
+    TaskFailed {
+        /// Executor that ran the attempt.
+        exec: ExecId,
+        /// The failed attempt.
+        attempt: AttemptId,
+        /// Human-readable failure reason (error message or panic payload).
+        reason: String,
     },
     /// The resource manager evicted a transient container.
     Evict {

@@ -4,8 +4,10 @@
 ///
 /// `relaunched_tasks` mirrors the paper's "ratio of relaunched tasks to
 /// original tasks" metric (Figures 5–7): every task launch beyond the
-/// first attempt of each task counts as a relaunch.
-#[derive(Debug, Clone, Default)]
+/// first attempt of each task counts as a relaunch. `tasks_launched`
+/// therefore decomposes as `original_tasks + relaunched_tasks +
+/// speculative_launches` in runs where every task eventually commits.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct JobMetrics {
     /// Tasks in the physical plan (the denominator of the relaunch ratio).
     pub original_tasks: usize,
@@ -32,6 +34,14 @@ pub struct JobMetrics {
     pub records_preaggregated: usize,
     /// Completed-stage recomputations triggered by reserved failures.
     pub stage_recomputations: usize,
+    /// Task attempts that failed in user code (error or caught panic).
+    pub task_failures: usize,
+    /// Speculative duplicate attempts launched against stragglers.
+    pub speculative_launches: usize,
+    /// Tasks whose speculative attempt committed before the original.
+    pub speculative_wins: usize,
+    /// Executors blacklisted for repeated user-code failures.
+    pub blacklisted_executors: usize,
 }
 
 impl JobMetrics {

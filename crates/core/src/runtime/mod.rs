@@ -14,7 +14,7 @@ pub use cache::{CacheKey, LruCache};
 pub use config::RuntimeConfig;
 pub use executor::{ExecutorHandle, JobContext};
 pub use local::LocalCluster;
-pub use master::{FaultPlan, JobEvent, JobResult, Master};
-pub use message::{AttemptId, ExecId, MasterMsg};
+pub use master::{ChaosPlan, FaultPlan, JobEvent, JobResult, Master};
+pub use message::{AttemptId, ExecId, InjectedFault, MasterMsg};
 pub use metrics::JobMetrics;
 pub use policy::{Candidate, LeastLoaded, RoundRobinCacheAware, SchedulingPolicy, TaskToPlace};

@@ -58,9 +58,16 @@ impl fmt::Debug for dyn SchedulingPolicy {
 
 /// The paper's default policy: prefer an executor with the task's input
 /// cached; otherwise round-robin.
+///
+/// Rotation is keyed on the last-picked [`ExecId`], not a call counter:
+/// when the candidate set churns (evictions, blacklisting, replacements
+/// with fresh ids), a counter-based cursor skips or repeats executors,
+/// starving some of work. Advancing past the last-picked id stays fair
+/// under any membership change, because candidates always arrive in
+/// ascending id order.
 #[derive(Debug, Default)]
 pub struct RoundRobinCacheAware {
-    cursor: usize,
+    last: Option<ExecId>,
 }
 
 impl SchedulingPolicy for RoundRobinCacheAware {
@@ -70,11 +77,21 @@ impl SchedulingPolicy for RoundRobinCacheAware {
         }
         if task.cache_pref.is_some() {
             if let Some(c) = candidates.iter().find(|c| c.has_cached_input) {
+                // Locality picks do not move the rotation point.
                 return Some(c.exec);
             }
         }
-        let pick = candidates[self.cursor % candidates.len()].exec;
-        self.cursor += 1;
+        let pick = match self.last {
+            Some(last) => {
+                candidates
+                    .iter()
+                    .find(|c| c.exec > last)
+                    .unwrap_or(&candidates[0])
+                    .exec
+            }
+            None => candidates[0].exec,
+        };
+        self.last = Some(pick);
         Some(pick)
     }
 
@@ -137,6 +154,34 @@ mod tests {
         assert_eq!(p.pick(task(Some(7)), &cs), Some(2));
         // Without a preference the cache flag is ignored.
         assert_eq!(p.pick(task(None), &cs), Some(1));
+    }
+
+    #[test]
+    fn round_robin_stays_fair_under_churn() {
+        // A call-count cursor indexes into whatever slice it is handed, so
+        // membership churn makes it skip or repeat executors. Keying on the
+        // last-picked id keeps the rotation fair across churn.
+        let mut p = RoundRobinCacheAware::default();
+        let before = vec![cand(1, 1, false), cand(2, 1, false), cand(3, 1, false)];
+        assert_eq!(p.pick(task(None), &before), Some(1));
+        assert_eq!(p.pick(task(None), &before), Some(2));
+        // Executor 2 dies; a replacement joins with a fresh id.
+        let after = vec![cand(1, 1, false), cand(3, 1, false), cand(4, 1, false)];
+        // Rotation resumes after the last pick (2): 3, then 4, then wraps.
+        assert_eq!(p.pick(task(None), &after), Some(3));
+        assert_eq!(p.pick(task(None), &after), Some(4));
+        assert_eq!(p.pick(task(None), &after), Some(1));
+    }
+
+    #[test]
+    fn round_robin_wraps_when_last_pick_was_highest() {
+        let mut p = RoundRobinCacheAware::default();
+        let cs = vec![cand(5, 1, false), cand(9, 1, false)];
+        assert_eq!(p.pick(task(None), &cs), Some(5));
+        assert_eq!(p.pick(task(None), &cs), Some(9));
+        // Whole set replaced by lower ids: wrap to the first candidate.
+        let fresh = vec![cand(2, 1, false), cand(3, 1, false)];
+        assert_eq!(p.pick(task(None), &fresh), Some(2));
     }
 
     #[test]

@@ -1,0 +1,373 @@
+//! Task-failure domain tests: UDF fault isolation, bounded retries,
+//! executor blacklisting, speculative execution, and master-restart
+//! recovery (§3.2.5–§3.2.6 plus the runtime's failure model).
+
+use pado_core::compiler::compile;
+use pado_core::runtime::master::JobEvent;
+use pado_core::runtime::{ChaosPlan, FaultPlan, LocalCluster, RuntimeConfig};
+use pado_core::RuntimeError;
+use pado_dag::{CombineFn, LogicalDag, ParDoFn, Pipeline, SourceFn, UdfError, Value};
+
+fn ints(n: i64) -> Vec<Value> {
+    (0..n).map(Value::from).collect()
+}
+
+fn wordcount_dag(partitions: usize) -> LogicalDag {
+    let p = Pipeline::new();
+    p.read(
+        "Read",
+        partitions,
+        SourceFn::from_vec(vec![
+            Value::from("a b a"),
+            Value::from("c a"),
+            Value::from("b"),
+            Value::from("a c c"),
+        ]),
+    )
+    .par_do(
+        "Map",
+        ParDoFn::per_element(|line, emit| {
+            for w in line.as_str().unwrap_or("").split_whitespace() {
+                emit(Value::pair(Value::from(w), Value::from(1i64)));
+            }
+        }),
+    )
+    .combine_per_key("Reduce", CombineFn::sum_i64())
+    .sink("Out");
+    p.build().unwrap()
+}
+
+fn fast_config() -> RuntimeConfig {
+    RuntimeConfig {
+        tick_ms: 5,
+        event_timeout_ms: 10_000,
+        ..Default::default()
+    }
+}
+
+/// A deterministically-failing UDF consumes exactly `max_task_attempts`
+/// attempts and fails the job with `RuntimeError::TaskFailed` — no hang,
+/// no crashed worker thread, full event log attached.
+#[test]
+fn deterministic_udf_error_exhausts_retry_budget() {
+    let p = Pipeline::new();
+    p.read("Read", 2, SourceFn::from_vec(ints(4)))
+        .par_do(
+            "Boom",
+            ParDoFn::try_per_element(|_, _| Err(UdfError::new("boom"))),
+        )
+        .sink("Out");
+    let dag = p.build().unwrap();
+    let config = RuntimeConfig {
+        max_task_attempts: 3,
+        // High threshold: this test isolates the retry budget.
+        executor_fault_threshold: 100,
+        ..fast_config()
+    };
+    let err = LocalCluster::new(2, 1)
+        .with_config(config)
+        .run(&dag)
+        .unwrap_err();
+    let RuntimeError::TaskFailed {
+        fop,
+        index,
+        attempts,
+        reason,
+        events,
+    } = err
+    else {
+        panic!("expected TaskFailed, got {err:?}");
+    };
+    assert_eq!(attempts, 3, "budget is total attempts, first included");
+    assert!(reason.contains("boom"), "UDF error surfaced: {reason}");
+    let failures = events
+        .iter()
+        .filter(
+            |e| matches!(e, JobEvent::TaskFailed { fop: f, index: i, .. } if *f == fop && *i == index),
+        )
+        .count();
+    assert_eq!(failures, 3, "one TaskFailed event per consumed attempt");
+}
+
+/// A deterministically-panicking UDF takes the same path: the panic is
+/// caught, the worker slot survives to run retries, and the job fails
+/// terminally with the panic payload as the reason.
+#[test]
+fn deterministic_udf_panic_is_isolated_and_bounded() {
+    let p = Pipeline::new();
+    p.read("Read", 2, SourceFn::from_vec(ints(4)))
+        .par_do(
+            "Panic",
+            ParDoFn::per_element(|_, _| panic!("task exploded")),
+        )
+        .sink("Out");
+    let dag = p.build().unwrap();
+    let config = RuntimeConfig {
+        max_task_attempts: 2,
+        executor_fault_threshold: 100,
+        ..fast_config()
+    };
+    let err = LocalCluster::new(1, 1)
+        .with_config(config)
+        .run(&dag)
+        .unwrap_err();
+    let RuntimeError::TaskFailed {
+        attempts, reason, ..
+    } = err
+    else {
+        panic!("expected TaskFailed, got {err:?}");
+    };
+    assert_eq!(attempts, 2);
+    assert!(reason.contains("task exploded"), "payload kept: {reason}");
+}
+
+/// Repeated user-code failures on one executor blacklist it: a
+/// replacement takes over, the job still completes correctly, and the
+/// failure-domain metrics record what happened.
+#[test]
+fn faulty_executor_is_blacklisted_and_replaced() {
+    let dag = wordcount_dag(4);
+    let config = RuntimeConfig {
+        max_task_attempts: 4,
+        executor_fault_threshold: 2,
+        ..fast_config()
+    };
+    let faults = FaultPlan {
+        chaos: Some(ChaosPlan {
+            seed: 7,
+            error_prob: 1.0,
+            panic_prob: 0.0,
+            delay_prob: 0.0,
+            delay_ms: 0,
+            max_faults_per_task: 2,
+        }),
+        ..Default::default()
+    };
+    let result = LocalCluster::new(1, 1)
+        .with_config(config)
+        .run_with_faults(&dag, faults)
+        .unwrap();
+    assert!(
+        result.metrics.blacklisted_executors >= 1,
+        "two failures on the sole transient executor must blacklist it"
+    );
+    assert!(result.metrics.task_failures >= 2);
+    assert!(result
+        .events
+        .iter()
+        .any(|e| matches!(e, JobEvent::ExecutorBlacklisted(_))));
+    // Every blacklisting provisions a replacement container.
+    let blacklists = result
+        .events
+        .iter()
+        .filter(|e| matches!(e, JobEvent::ExecutorBlacklisted(_)))
+        .count();
+    let additions = result
+        .events
+        .iter()
+        .filter(|e| matches!(e, JobEvent::ContainerAdded(_)))
+        .count();
+    assert!(additions >= blacklists);
+    // The job is still correct.
+    let count_a = result.outputs["Out"]
+        .iter()
+        .find(|r| r.key().and_then(|k| k.as_str()) == Some("a"))
+        .and_then(|r| r.val().and_then(|v| v.as_i64()));
+    assert_eq!(count_a, Some(4));
+}
+
+/// A straggling first attempt gets a speculative duplicate on another
+/// executor; the duplicate commits first (speculation win) and the job
+/// result is unaffected.
+#[test]
+fn straggler_gets_speculative_duplicate_that_wins() {
+    let p = Pipeline::new();
+    let read = p.read("Read", 6, SourceFn::from_vec(ints(30)));
+    read.par_do(
+        "Key",
+        ParDoFn::per_element(|v, e| {
+            e(Value::pair(Value::from(v.as_i64().unwrap() % 3), v.clone()))
+        }),
+    )
+    .combine_per_key("Sum", CombineFn::sum_i64())
+    .sink("Out");
+    let read_op = read.op_id();
+    let dag = p.build().unwrap();
+    let plan = compile(&dag).unwrap();
+    let source_fop = plan
+        .fops
+        .iter()
+        .find(|f| f.chain.contains(&read_op))
+        .expect("source fop")
+        .id;
+    let config = RuntimeConfig {
+        speculation: true,
+        speculation_multiplier: 2.0,
+        speculation_floor_ms: 40,
+        speculation_min_samples: 3,
+        ..fast_config()
+    };
+    // Stall one source task's first attempt far past the median of its
+    // five fast siblings.
+    let faults = FaultPlan {
+        first_attempt_delays: vec![(source_fop, 0, 500)],
+        ..Default::default()
+    };
+    let result = LocalCluster::new(2, 2)
+        .with_config(config)
+        .run_with_faults(&dag, faults)
+        .unwrap();
+    assert!(
+        result.metrics.speculative_launches >= 1,
+        "straggler must be speculated: {:?}",
+        result.metrics
+    );
+    assert!(
+        result.metrics.speculative_wins >= 1,
+        "the duplicate beats a 500 ms stall: {:?}",
+        result.metrics
+    );
+    assert!(result
+        .events
+        .iter()
+        .any(|e| matches!(e, JobEvent::SpeculativeLaunched { .. })));
+    assert_eq!(
+        result.metrics.tasks_launched,
+        result.metrics.original_tasks
+            + result.metrics.relaunched_tasks
+            + result.metrics.speculative_launches,
+        "speculative launches are neither originals nor relaunches"
+    );
+    let total: i64 = result.outputs["Out"]
+        .iter()
+        .map(|r| r.val().unwrap().as_i64().unwrap())
+        .sum();
+    assert_eq!(total, (0..30).sum::<i64>());
+}
+
+/// Commit-once: a second `TaskCommitted` for the same task is legal only
+/// after an intervening `TaskReverted` (its output was lost).
+fn assert_no_double_commit(events: &[JobEvent]) {
+    use std::collections::HashMap;
+    let mut committed: HashMap<(usize, usize), bool> = HashMap::new();
+    for e in events {
+        match e {
+            JobEvent::TaskCommitted { fop, index } => {
+                let slot = committed.entry((*fop, *index)).or_insert(false);
+                assert!(!*slot, "double commit of task {fop}.{index}");
+                *slot = true;
+            }
+            JobEvent::TaskReverted { fop, index } => {
+                committed.insert((*fop, *index), false);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Master restart (satellite of §3.2.6): the replacement master resumes
+/// from the snapshot, never relaunches a commit that survived recovery,
+/// and the outputs match the fault-free run.
+#[test]
+fn master_restart_recovers_without_relaunching_committed_tasks() {
+    let p = Pipeline::new();
+    p.read("Read", 4, SourceFn::from_vec(ints(16)))
+        .par_do(
+            "Key",
+            ParDoFn::per_element(|v, e| {
+                e(Value::pair(Value::from(v.as_i64().unwrap() % 2), v.clone()))
+            }),
+        )
+        .group_by_key("Group")
+        .par_do("Post", ParDoFn::per_element(|v, e| e(v.clone())))
+        .sink("Out");
+    let dag = p.build().unwrap();
+    let config = RuntimeConfig {
+        snapshot_every: 1,
+        ..fast_config()
+    };
+    let baseline = LocalCluster::new(2, 2)
+        .with_config(config.clone())
+        .run(&dag)
+        .unwrap();
+    let faults = FaultPlan {
+        master_failure_after: Some(6),
+        ..Default::default()
+    };
+    let result = LocalCluster::new(2, 2)
+        .with_config(config)
+        .run_with_faults(&dag, faults)
+        .unwrap();
+
+    let events = &result.events;
+    let rec_idx = events
+        .iter()
+        .position(|e| matches!(e, JobEvent::MasterRecovered))
+        .expect("recovery logged");
+
+    // Tasks committed before the crash and not rolled back by recovery
+    // must never launch again.
+    let committed_before: Vec<(usize, usize)> = events[..rec_idx]
+        .iter()
+        .filter_map(|e| match e {
+            JobEvent::TaskCommitted { fop, index } => Some((*fop, *index)),
+            _ => None,
+        })
+        .collect();
+    let reverted_after: Vec<(usize, usize)> = events[rec_idx..]
+        .iter()
+        .filter_map(|e| match e {
+            JobEvent::TaskReverted { fop, index } => Some((*fop, *index)),
+            _ => None,
+        })
+        .collect();
+    for e in &events[rec_idx..] {
+        if let JobEvent::TaskLaunched { fop, index, .. } = e {
+            let t = (*fop, *index);
+            assert!(
+                !committed_before.contains(&t) || reverted_after.contains(&t),
+                "surviving commit {t:?} relaunched after recovery"
+            );
+        }
+    }
+    assert_no_double_commit(events);
+
+    // Recovery is invisible in the result.
+    let sort = |r: &Vec<Value>| {
+        let mut v = r.clone();
+        v.sort();
+        v
+    };
+    assert_eq!(sort(&result.outputs["Out"]), sort(&baseline.outputs["Out"]));
+}
+
+/// The wedge path surfaces `RuntimeError::Wedged` with the partial event
+/// log and metrics (and its message keeps the historical "aborted" text).
+#[test]
+fn wedged_job_reports_partial_events_and_metrics() {
+    let p = Pipeline::new();
+    // Transient work with zero transient executors: never schedulable.
+    p.read("Read", 2, SourceFn::from_vec(ints(4)))
+        .combine_per_key("Agg", CombineFn::sum_i64());
+    let dag = p.build().unwrap();
+    let config = RuntimeConfig {
+        event_timeout_ms: 150,
+        tick_ms: 5,
+        ..Default::default()
+    };
+    let err = LocalCluster::new(0, 1)
+        .with_config(config)
+        .run(&dag)
+        .unwrap_err();
+    let RuntimeError::Wedged {
+        waited_ms,
+        metrics,
+        events: _,
+    } = err.clone()
+    else {
+        panic!("expected Wedged, got {err:?}");
+    };
+    assert!(waited_ms >= 150);
+    assert_eq!(metrics.tasks_launched, 0, "nothing ever launched");
+    assert!(err.to_string().contains("aborted"), "{err}");
+}

@@ -45,5 +45,5 @@ pub use builder::{PCollection, Pipeline};
 pub use error::{DagError, Result};
 pub use graph::{Edge, LogicalDag, OpId};
 pub use operator::{DepType, Operator, OperatorKind, SourceKind};
-pub use udf::{CombineFn, Emit, ParDoFn, SourceFn, TaskInput};
+pub use udf::{CombineFn, Emit, ParDoFn, SourceFn, TaskInput, UdfError};
 pub use value::Value;

@@ -50,10 +50,46 @@ impl<'a> TaskInput<'a> {
     }
 }
 
+/// An error raised by user code inside a task.
+///
+/// User functions can report failures without panicking by using the
+/// `try_*` [`ParDoFn`] constructors; the runtime treats an error exactly
+/// like a caught panic — the attempt fails, the executor survives, and the
+/// master decides whether to retry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UdfError(String);
+
+impl UdfError {
+    /// Builds an error carrying a human-readable reason.
+    pub fn new(reason: impl Into<String>) -> Self {
+        UdfError(reason.into())
+    }
+
+    /// The reason this UDF failed.
+    pub fn reason(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for UdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "user function failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for UdfError {}
+
+type ParDoBody = dyn Fn(TaskInput<'_>, Emit<'_>) -> Result<(), UdfError> + Send + Sync;
+
 /// A parallel-do (flat-map style) function, executed once per task over its
 /// whole input partition.
+///
+/// Internally every `ParDoFn` is fallible; the plain constructors wrap
+/// infallible closures, while the `try_*` constructors let user code
+/// surface a [`UdfError`] that the runtime converts into a failed attempt
+/// instead of a crashed executor thread.
 #[derive(Clone)]
-pub struct ParDoFn(Arc<dyn Fn(TaskInput<'_>, Emit<'_>) + Send + Sync>);
+pub struct ParDoFn(Arc<ParDoBody>);
 
 impl ParDoFn {
     /// Wraps a per-partition function.
@@ -75,6 +111,36 @@ impl ParDoFn {
     where
         F: Fn(TaskInput<'_>, Emit<'_>) + Send + Sync + 'static,
     {
+        ParDoFn::try_new(move |input, emit| {
+            f(input, emit);
+            Ok(())
+        })
+    }
+
+    /// Wraps a fallible per-partition function.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pado_dag::{ParDoFn, TaskInput, UdfError, Value};
+    ///
+    /// let strict = ParDoFn::try_new(|input: TaskInput<'_>, emit| {
+    ///     for v in input.main() {
+    ///         let n = v.as_i64().ok_or_else(|| UdfError::new("expected an integer"))?;
+    ///         emit(Value::from(n * 2));
+    ///     }
+    ///     Ok(())
+    /// });
+    /// let part = vec![Value::from("not a number")];
+    /// let err = strict
+    ///     .try_call(TaskInput::new(std::slice::from_ref(&part), None), &mut |_| {})
+    ///     .unwrap_err();
+    /// assert!(err.to_string().contains("expected an integer"));
+    /// ```
+    pub fn try_new<F>(f: F) -> Self
+    where
+        F: Fn(TaskInput<'_>, Emit<'_>) -> Result<(), UdfError> + Send + Sync + 'static,
+    {
         ParDoFn(Arc::new(f))
     }
 
@@ -90,6 +156,22 @@ impl ParDoFn {
                     f(v, emit);
                 }
             }
+        })
+    }
+
+    /// Wraps a fallible element-wise function; the first error aborts the
+    /// task attempt.
+    pub fn try_per_element<F>(f: F) -> Self
+    where
+        F: Fn(&Value, Emit<'_>) -> Result<(), UdfError> + Send + Sync + 'static,
+    {
+        ParDoFn::try_new(move |input, emit| {
+            for part in input.mains {
+                for v in part {
+                    f(v, emit)?;
+                }
+            }
+            Ok(())
         })
     }
 
@@ -109,7 +191,23 @@ impl ParDoFn {
     }
 
     /// Invokes the function on one task input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wrapped function returns an error; engine code should
+    /// use [`ParDoFn::try_call`] instead.
     pub fn call(&self, input: TaskInput<'_>, emit: Emit<'_>) {
+        if let Err(e) = (self.0)(input, emit) {
+            panic!("{e}");
+        }
+    }
+
+    /// Invokes the function on one task input, surfacing UDF errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`UdfError`] raised by the wrapped function, if any.
+    pub fn try_call(&self, input: TaskInput<'_>, emit: Emit<'_>) -> Result<(), UdfError> {
         (self.0)(input, emit)
     }
 }

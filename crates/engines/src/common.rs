@@ -226,6 +226,16 @@ pub struct RunMetrics {
     pub bytes_checkpointed: f64,
     /// Bytes pushed from transient to reserved executors (Pado only).
     pub bytes_pushed: f64,
+    /// Task attempts that failed in user code. The simulated engines do
+    /// not model UDF faults, so they report 0; the field exists for
+    /// report parity with the runtime's `JobMetrics`.
+    pub task_failures: usize,
+    /// Speculative duplicate attempts launched (0 in simulation; parity
+    /// with the runtime's `JobMetrics`).
+    pub speculative_launches: usize,
+    /// Speculative duplicates that committed first (0 in simulation;
+    /// parity with the runtime's `JobMetrics`).
+    pub speculative_wins: usize,
 }
 
 impl RunMetrics {

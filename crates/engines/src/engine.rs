@@ -259,10 +259,14 @@ impl SimEngine {
         // steering signal is the structural recomputation score weighted
         // by the fused chain's task duration.
         let prefer_long: Vec<bool> = if config.lifetime_aware && config.n_transient_long > 0 {
-            let scores = pado_core::compiler::recomputation_scores(dag, &plan.placement)
-                .unwrap_or_default();
+            let scores =
+                pado_core::compiler::recomputation_scores(dag, &plan.placement).unwrap_or_default();
             let weight = |f: &pado_core::compiler::Fop| {
-                let cascade: f64 = f.chain.iter().map(|&op| scores.get(op).copied().unwrap_or(1.0)).sum();
+                let cascade: f64 = f
+                    .chain
+                    .iter()
+                    .map(|&op| scores.get(op).copied().unwrap_or(1.0))
+                    .sum();
                 costs.compute_us[f.id] as f64 * cascade
             };
             let mut transient: Vec<f64> = plan
