@@ -6,9 +6,8 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pado_core::compiler::compile;
 use pado_core::exec::route;
 use pado_core::runtime::LruCache;
-use pado_dag::{CombineFn, DepType, Value};
+use pado_dag::{block_from_vec, Block, CombineFn, DepType, Value};
 use pado_simcluster::Network;
-use std::sync::Arc;
 
 fn bench_compile(c: &mut Criterion) {
     let (als, _) = pado_workloads::als::paper();
@@ -22,9 +21,11 @@ fn bench_compile(c: &mut Criterion) {
 }
 
 fn bench_route(c: &mut Criterion) {
-    let records: Vec<Value> = (0..10_000)
-        .map(|i| Value::pair(Value::from(i % 500), Value::from(i)))
-        .collect();
+    let records: Block = block_from_vec(
+        (0..10_000)
+            .map(|i| Value::pair(Value::from(i % 500), Value::from(i)))
+            .collect(),
+    );
     c.bench_function("route_shuffle_10k_records_64_parts", |b| {
         b.iter(|| route(black_box(&records), DepType::ManyToMany, 0, 64))
     });
@@ -48,7 +49,7 @@ fn bench_cache(c: &mut Criterion) {
         b.iter(|| {
             let mut cache = LruCache::new(64 * 1024);
             for k in 0..256usize {
-                let data = Arc::new(vec![Value::from(k as i64); 64]);
+                let data = block_from_vec(vec![Value::from(k as i64); 64]);
                 cache.put(k, data);
                 black_box(cache.get(k / 2));
             }

@@ -1,0 +1,264 @@
+//! Data-plane benchmark: throughput and peak memory of the block-based
+//! intermediate-data path against the pre-refactor cloning plane.
+//!
+//! Two layers:
+//! - **kernels** time just the route+push path — the shared-block plane
+//!   (route once, hand `Arc` references to every consumer) against an
+//!   in-bench reimplementation of the old cloning plane (route per
+//!   consumer, deep-clone the broadcast per consumer task, as the old
+//!   master/executor pair did) — and assert the block plane moves
+//!   broadcast records at least 2× faster while cloning zero of them;
+//! - **end-to-end** runs shuffle-heavy and broadcast-heavy pipelines on
+//!   the in-process cluster, reporting records/sec, total record clones,
+//!   and peak resident set (`VmHWM`).
+//!
+//! Usage: `cargo run -p pado-bench --release --bin dataplane [-- --smoke]`
+//! `--smoke` shrinks datasets for CI. Exits non-zero if the block plane
+//! loses its guarantees (speedup or clone counts).
+
+use std::time::Instant;
+
+use pado_core::exec::{route, route_hash};
+use pado_core::runtime::{LocalCluster, RuntimeConfig};
+use pado_dag::value::clone_count;
+use pado_dag::{
+    block_from_vec, Block, CombineFn, DepType, ParDoFn, Pipeline, SourceFn, TaskInput, Value,
+};
+
+/// Peak resident set size of this process in bytes (`VmHWM`), if the
+/// platform exposes it.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+fn fmt_rate(records: u64, secs: f64) -> String {
+    format!("{:>8.1}M rec/s", records as f64 / secs / 1e6)
+}
+
+/// The pre-refactor routing: clone every record into its bucket.
+fn route_cloning(records: &[Value], dep: DepType, src_index: usize, p: usize) -> Vec<Vec<Value>> {
+    let p = p.max(1);
+    let mut buckets: Vec<Vec<Value>> = vec![Vec::new(); p];
+    match dep {
+        DepType::OneToOne | DepType::ManyToOne => {
+            buckets[src_index % p].extend(records.iter().cloned());
+        }
+        DepType::OneToMany => {
+            for b in &mut buckets {
+                b.extend(records.iter().cloned());
+            }
+        }
+        DepType::ManyToMany => {
+            for r in records {
+                let i = (route_hash(r) % p as u64) as usize;
+                buckets[i].push(r.clone());
+            }
+        }
+    }
+    buckets
+}
+
+fn checksum(records: &[Value]) -> i64 {
+    records
+        .iter()
+        .map(|v| v.as_i64().unwrap_or(1))
+        .fold(0i64, |a, b| a.wrapping_add(b))
+}
+
+/// Broadcast kernel: one producer output pushed to `consumers` tasks.
+/// Returns (blocks secs, cloning secs, records moved).
+fn broadcast_kernel(n: usize, consumers: usize) -> (f64, f64, u64) {
+    let data: Vec<Value> = (0..n as i64).map(Value::from).collect();
+    let block: Block = block_from_vec(data.clone());
+    let moved = (n * consumers) as u64;
+
+    // Block plane: route once, every consumer reads the shared block.
+    let before = clone_count();
+    let t0 = Instant::now();
+    let mut sum = 0i64;
+    let buckets = route(&block, DepType::OneToMany, 0, consumers);
+    for b in &buckets {
+        sum = sum.wrapping_add(checksum(b));
+    }
+    let block_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        clone_count() - before,
+        0,
+        "block broadcast must clone zero records"
+    );
+
+    // Cloning plane: the old master routed per consumer launch and the
+    // old executor deep-cloned the broadcast before applying the chain.
+    let before = clone_count();
+    let t0 = Instant::now();
+    let mut old_sum = 0i64;
+    for i in 0..consumers {
+        let routed = route_cloning(&data, DepType::OneToMany, 0, consumers);
+        let task_input: Vec<Value> = routed[i].clone();
+        old_sum = old_sum.wrapping_add(checksum(&task_input));
+    }
+    let cloning_secs = t0.elapsed().as_secs_f64();
+    assert!(
+        clone_count() - before >= moved,
+        "cloning baseline under-counts"
+    );
+    assert_eq!(sum, old_sum, "planes disagree on broadcast contents");
+    (block_secs, cloning_secs, moved)
+}
+
+/// Shuffle kernel: one producer output hashed to `consumers` tasks, each
+/// consumer pulling its bucket. Returns (blocks secs, cloning secs, records).
+fn shuffle_kernel(n: usize, consumers: usize) -> (f64, f64, u64) {
+    let data: Vec<Value> = (0..n as i64)
+        .map(|i| Value::pair(Value::from(i % 1024), Value::from(i)))
+        .collect();
+    let block: Block = block_from_vec(data.clone());
+
+    // Block plane: one routing pass (memoized by the master), consumers
+    // share the bucket blocks.
+    let t0 = Instant::now();
+    let buckets = route(&block, DepType::ManyToMany, 0, consumers);
+    let mut sum = 0i64;
+    for b in &buckets {
+        sum = sum.wrapping_add(b.len() as i64);
+    }
+    let block_secs = t0.elapsed().as_secs_f64();
+
+    // Cloning plane: the old master re-routed the whole output once per
+    // consumer task.
+    let t0 = Instant::now();
+    let mut old_sum = 0i64;
+    for i in 0..consumers {
+        let routed = route_cloning(&data, DepType::ManyToMany, 0, consumers);
+        old_sum = old_sum.wrapping_add(routed[i].len() as i64);
+    }
+    let cloning_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(sum, old_sum, "planes disagree on shuffle sizes");
+    (block_secs, cloning_secs, n as u64)
+}
+
+/// End-to-end cluster run; returns (secs, records out, clone delta).
+fn run_pipeline(dag: &pado_dag::LogicalDag, snapshot_every: usize) -> (f64, u64, u64) {
+    let config = RuntimeConfig {
+        slots_per_executor: 2,
+        snapshot_every,
+        ..Default::default()
+    };
+    let before = clone_count();
+    let t0 = Instant::now();
+    let result = LocalCluster::new(2, 2)
+        .with_config(config)
+        .run(dag)
+        .expect("pipeline run");
+    let secs = t0.elapsed().as_secs_f64();
+    let out: u64 = result.outputs.values().map(|v| v.len() as u64).sum();
+    (secs, out, clone_count() - before)
+}
+
+fn shuffle_heavy_dag(n: i64) -> pado_dag::LogicalDag {
+    let p = Pipeline::new();
+    p.read(
+        "Read",
+        8,
+        SourceFn::new(move |i, par| {
+            let per = n / par as i64;
+            (0..per)
+                .map(|j| Value::pair(Value::from((i as i64 * per + j) % 4096), Value::from(1i64)))
+                .collect()
+        }),
+    )
+    .combine_per_key("Count", CombineFn::sum_i64())
+    .sink("Out");
+    p.build().unwrap()
+}
+
+fn broadcast_heavy_dag(n: i64, consumers: usize) -> pado_dag::LogicalDag {
+    let p = Pipeline::new();
+    let bcast = p.read(
+        "Bcast",
+        1,
+        SourceFn::new(move |_, _| (0..n).map(Value::from).collect()),
+    );
+    let data = p.read(
+        "Data",
+        consumers,
+        SourceFn::new(|i, _| vec![Value::from(i as i64)]),
+    );
+    data.par_do_with_side(
+        "Scan",
+        &bcast,
+        ParDoFn::new(|input: TaskInput<'_>, emit| {
+            let sum: i64 = input
+                .side
+                .unwrap_or(&[])
+                .iter()
+                .map(|v| v.as_i64().unwrap_or(0))
+                .fold(0, i64::wrapping_add);
+            for v in input.main() {
+                emit(Value::from(v.as_i64().unwrap().wrapping_add(sum)));
+            }
+        }),
+    )
+    .sink("Out");
+    p.build().unwrap()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n_kernel, consumers) = if smoke { (20_000, 8) } else { (200_000, 16) };
+    let n_e2e: i64 = if smoke { 20_000 } else { 200_000 };
+
+    println!(
+        "data-plane bench ({})",
+        if smoke { "smoke" } else { "full" }
+    );
+    println!("\n== kernels: route+push, {n_kernel} records -> {consumers} consumers ==");
+
+    let (b, c, moved) = broadcast_kernel(n_kernel, consumers);
+    let speedup = c / b;
+    println!(
+        "broadcast  blocks {}   cloning {}   speedup {speedup:>6.1}x",
+        fmt_rate(moved, b),
+        fmt_rate(moved, c),
+    );
+    assert!(
+        speedup >= 2.0,
+        "block plane must beat the cloning plane >=2x on broadcast (got {speedup:.2}x)"
+    );
+
+    let (b, c, n_rec) = shuffle_kernel(n_kernel, consumers);
+    println!(
+        "shuffle    blocks {}   cloning {}   speedup {:>6.1}x",
+        fmt_rate(n_rec, b),
+        fmt_rate(n_rec, c),
+        c / b,
+    );
+
+    println!("\n== end-to-end: in-process cluster, snapshots every 2 completions ==");
+    let (secs, out, clones) = run_pipeline(&shuffle_heavy_dag(n_e2e), 2);
+    println!(
+        "shuffle-heavy    {n_e2e} rec  {}  {out} out  {clones} record clones",
+        fmt_rate(n_e2e as u64, secs),
+    );
+    let (secs, out, clones) = run_pipeline(&broadcast_heavy_dag(n_e2e, consumers), 2);
+    let pushed = n_e2e as u64 * consumers as u64;
+    println!(
+        "broadcast-heavy  {pushed} rec pushed  {}  {out} out  {clones} record clones",
+        fmt_rate(pushed, secs),
+    );
+    assert!(
+        clones < n_e2e as u64,
+        "broadcast-heavy job cloned {clones} records (dataset {n_e2e}): sharing is broken"
+    );
+
+    if let Some(rss) = peak_rss_bytes() {
+        println!(
+            "\npeak resident set: {:.1} MiB",
+            rss as f64 / (1024.0 * 1024.0)
+        );
+    }
+    println!("\nall data-plane guarantees held");
+}

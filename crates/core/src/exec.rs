@@ -8,8 +8,12 @@
 use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
-use pado_dag::{DepType, LogicalDag, OperatorKind, TaskInput, UdfError, Value};
+use pado_dag::{
+    block_from_vec, empty_block, Block, DepType, LogicalDag, MainSlot, OperatorKind, TaskInput,
+    UdfError, Value,
+};
 
 use crate::compiler::Fop;
 
@@ -107,19 +111,21 @@ pub fn apply_chain(
     dag: &LogicalDag,
     fop: &Fop,
     index: usize,
-    mains: &[Vec<Value>],
-    sides: &BTreeMap<usize, Vec<Value>>,
+    mains: &[MainSlot],
+    sides: &BTreeMap<usize, Block>,
 ) -> Result<Vec<Value>, UdfError> {
     let head = fop.head();
-    let side0 = sides.get(&0).map(|v| v.as_slice());
+    let side0 = sides.get(&0).map(|b| b.as_ref());
     let mut data = if dag.op(head).kind.is_source() {
         source_partition(dag, head, index, fop.parallelism)
     } else {
         apply_op(dag, head, TaskInput::new(mains, side0))?
     };
     for (pos, &op) in fop.chain.iter().enumerate().skip(1) {
-        let side = sides.get(&pos).map(|v| v.as_slice());
-        let link = vec![data];
+        let side = sides.get(&pos).map(|b| b.as_ref());
+        // Hand the previous member's output over as one shared block; the
+        // records are moved, not cloned.
+        let link = [MainSlot::from_vec(data)];
         data = apply_op(dag, op, TaskInput::new(&link, side))?;
     }
     Ok(data)
@@ -136,36 +142,37 @@ pub fn route_hash(v: &Value) -> u64 {
     h.finish()
 }
 
-/// Routes one task's output records to consumer task indices along a typed
-/// edge. Returns `dst_parallelism` buckets.
+/// Routes one task's output block to consumer task indices along a typed
+/// edge. Returns `dst_parallelism` bucket blocks.
+///
+/// One-to-one, many-to-one, and broadcast edges never copy a record: the
+/// target buckets share the input block itself. Only the hash shuffle
+/// (many-to-many) materializes new blocks, cloning each record exactly
+/// once — and the master memoizes that per `(output, dst_parallelism)`,
+/// so fan-out to N consumers still costs one pass, not N.
 pub fn route(
-    records: &[Value],
+    records: &Block,
     dep: DepType,
     src_index: usize,
     dst_parallelism: usize,
-) -> Vec<Vec<Value>> {
+) -> Vec<Block> {
     let p = dst_parallelism.max(1);
-    let mut buckets: Vec<Vec<Value>> = vec![Vec::new(); p];
     match dep {
-        DepType::OneToOne => {
-            buckets[src_index % p].extend(records.iter().cloned());
+        DepType::OneToOne | DepType::ManyToOne => {
+            let mut buckets: Vec<Block> = vec![empty_block(); p];
+            buckets[src_index % p] = Arc::clone(records);
+            buckets
         }
-        DepType::OneToMany => {
-            for b in &mut buckets {
-                b.extend(records.iter().cloned());
-            }
-        }
-        DepType::ManyToOne => {
-            buckets[src_index % p].extend(records.iter().cloned());
-        }
+        DepType::OneToMany => vec![Arc::clone(records); p],
         DepType::ManyToMany => {
-            for r in records {
+            let mut buckets: Vec<Vec<Value>> = vec![Vec::new(); p];
+            for r in records.iter() {
                 let i = (route_hash(r) % p as u64) as usize;
                 buckets[i].push(r.clone());
             }
+            buckets.into_iter().map(block_from_vec).collect()
         }
     }
-    buckets
 }
 
 #[cfg(test)]
@@ -181,11 +188,11 @@ mod tests {
         let c = read.combine_per_key("C", CombineFn::sum_i64());
         let cid = c.op_id();
         let dag = p.build().unwrap();
-        let input = vec![vec![
+        let input = [MainSlot::from_vec(vec![
             Value::pair(Value::from("a"), Value::from(1i64)),
             Value::pair(Value::from("b"), Value::from(5i64)),
             Value::pair(Value::from("a"), Value::from(2i64)),
-        ]];
+        ])];
         let out = apply_op(&dag, cid, TaskInput::new(&input, None)).unwrap();
         assert_eq!(
             out,
@@ -203,9 +210,9 @@ mod tests {
         let a = read.aggregate("A", CombineFn::sum_f64());
         let aid = a.op_id();
         let dag = p.build().unwrap();
-        let input = vec![
-            vec![Value::from(1.0), Value::from(2.0)],
-            vec![Value::from(3.0)],
+        let input = [
+            MainSlot::from_vec(vec![Value::from(1.0), Value::from(2.0)]),
+            MainSlot::from_vec(vec![Value::from(3.0)]),
         ];
         let out = apply_op(&dag, aid, TaskInput::new(&input, None)).unwrap();
         assert_eq!(out, vec![Value::from(6.0)]);
@@ -218,11 +225,11 @@ mod tests {
         let g = read.group_by_key("G");
         let gid = g.op_id();
         let dag = p.build().unwrap();
-        let input = vec![vec![
+        let input = [MainSlot::from_vec(vec![
             Value::pair(Value::from("b"), Value::from(1i64)),
             Value::pair(Value::from("a"), Value::from(2i64)),
             Value::pair(Value::from("b"), Value::from(3i64)),
-        ]];
+        ])];
         let out = apply_op(&dag, gid, TaskInput::new(&input, None)).unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!(out[0].key().unwrap().as_str(), Some("a"));
@@ -250,49 +257,51 @@ mod tests {
     }
 
     #[test]
-    fn route_one_to_one_targets_same_index() {
-        let recs = vec![Value::from(1i64)];
+    fn route_one_to_one_targets_same_index_sharing_the_block() {
+        let recs = block_from_vec(vec![Value::from(1i64)]);
         let buckets = route(&recs, DepType::OneToOne, 2, 4);
-        assert!(buckets[2] == recs);
+        assert!(Arc::ptr_eq(&buckets[2], &recs), "bucket shares the block");
         assert!(buckets[0].is_empty() && buckets[1].is_empty() && buckets[3].is_empty());
     }
 
     #[test]
-    fn route_broadcast_copies_everywhere() {
-        let recs = vec![Value::from(1i64), Value::from(2i64)];
+    fn route_broadcast_shares_the_block_everywhere() {
+        let recs = block_from_vec(vec![Value::from(1i64), Value::from(2i64)]);
         let buckets = route(&recs, DepType::OneToMany, 0, 3);
-        assert!(buckets.iter().all(|b| b == &recs));
+        assert!(buckets.iter().all(|b| Arc::ptr_eq(b, &recs)));
     }
 
     #[test]
     fn route_many_to_one_round_robins_by_source() {
-        let recs = vec![Value::Unit];
+        let recs = block_from_vec(vec![Value::Unit]);
         assert_eq!(route(&recs, DepType::ManyToOne, 5, 2)[1].len(), 1);
         assert_eq!(route(&recs, DepType::ManyToOne, 4, 2)[0].len(), 1);
     }
 
     #[test]
     fn route_shuffle_is_deterministic_and_key_consistent() {
-        let recs: Vec<Value> = (0..100)
-            .map(|i| Value::pair(Value::from(i % 10), Value::from(i)))
-            .collect();
+        let recs = block_from_vec(
+            (0..100)
+                .map(|i| Value::pair(Value::from(i % 10), Value::from(i)))
+                .collect(),
+        );
         let a = route(&recs, DepType::ManyToMany, 0, 4);
         let b = route(&recs, DepType::ManyToMany, 7, 4);
         assert_eq!(a, b, "routing ignores source index for shuffles");
         // Same key always lands in the same bucket.
         for (i, bucket) in a.iter().enumerate() {
-            for r in bucket {
+            for r in bucket.iter() {
                 let h = (route_hash(r) % 4) as usize;
                 assert_eq!(h, i);
             }
         }
         // All records preserved.
-        assert_eq!(a.iter().map(Vec::len).sum::<usize>(), 100);
+        assert_eq!(a.iter().map(|b| b.len()).sum::<usize>(), 100);
     }
 
     #[test]
     fn route_zero_parallelism_clamps_to_one() {
-        let recs = vec![Value::Unit];
+        let recs = block_from_vec(vec![Value::Unit]);
         let buckets = route(&recs, DepType::ManyToMany, 0, 0);
         assert_eq!(buckets.len(), 1);
         assert_eq!(buckets[0].len(), 1);

@@ -8,7 +8,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use pado_dag::Value;
+use pado_dag::{Block, Value};
 
 /// Cache key: the plan-wide id of the fused operator whose output is
 /// cached, qualified by the consumer-side routing (broadcast inputs are
@@ -26,7 +26,7 @@ pub struct LruCache {
 
 #[derive(Debug)]
 struct Entry {
-    data: Arc<Vec<Value>>,
+    data: Block,
     bytes: usize,
     last_used: u64,
 }
@@ -58,7 +58,7 @@ impl LruCache {
     }
 
     /// Looks up a dataset, refreshing its recency.
-    pub fn get(&mut self, key: CacheKey) -> Option<Arc<Vec<Value>>> {
+    pub fn get(&mut self, key: CacheKey) -> Option<Block> {
         self.clock += 1;
         let clock = self.clock;
         self.entries.get_mut(&key).map(|e| {
@@ -69,15 +69,19 @@ impl LruCache {
 
     /// Inserts a dataset, evicting least-recently-used entries as needed.
     ///
-    /// Datasets larger than the whole capacity are not cached at all.
-    /// Returns whether the dataset was cached.
-    pub fn put(&mut self, key: CacheKey, data: Arc<Vec<Value>>) -> bool {
+    /// Datasets larger than the whole capacity are not cached at all, but
+    /// any older version under the same key is still dropped so the cache
+    /// never serves stale data. Returns whether the dataset was cached.
+    pub fn put(&mut self, key: CacheKey, data: Block) -> bool {
         let bytes: usize = data.iter().map(Value::size_bytes).sum();
-        if bytes > self.capacity_bytes {
-            return false;
-        }
+        // Drop any existing version of this key *before* deciding whether
+        // the new one fits: rejecting an oversized dataset must not leave a
+        // stale version behind for `get` to serve.
         if let Some(old) = self.entries.remove(&key) {
             self.used_bytes -= old.bytes;
+        }
+        if bytes > self.capacity_bytes {
+            return false;
         }
         while self.used_bytes + bytes > self.capacity_bytes {
             let lru = self
@@ -112,9 +116,12 @@ impl LruCache {
 mod tests {
     use super::*;
 
-    fn dataset(n_records: usize) -> Arc<Vec<Value>> {
+    fn dataset(n_records: usize) -> Block {
         // Each I64 record accounts 8 bytes.
-        Arc::new((0..n_records).map(|i| Value::from(i as i64)).collect())
+        (0..n_records)
+            .map(|i| Value::from(i as i64))
+            .collect::<Vec<_>>()
+            .into()
     }
 
     #[test]
@@ -136,6 +143,18 @@ mod tests {
     fn oversized_entry_is_rejected() {
         let mut c = LruCache::new(8);
         assert!(!c.put(1, dataset(2)));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn oversized_reinsert_drops_the_stale_version() {
+        let mut c = LruCache::new(8);
+        assert!(c.put(1, dataset(1)));
+        // The new version no longer fits; the cache must not keep serving
+        // the old one.
+        assert!(!c.put(1, dataset(2)));
+        assert!(c.get(1).is_none(), "stale entry survived oversized put");
+        assert_eq!(c.used_bytes(), 0);
         assert!(c.is_empty());
     }
 

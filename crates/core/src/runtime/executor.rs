@@ -14,12 +14,12 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{Receiver, Sender};
-use pado_dag::{LogicalDag, OperatorKind, Value};
+use pado_dag::{Block, LogicalDag, OperatorKind, UdfError, Value};
 use parking_lot::Mutex;
 
 use crate::compiler::{PhysicalPlan, Placement};
 use crate::exec::apply_chain;
-use crate::runtime::cache::LruCache;
+use crate::runtime::cache::{CacheKey, LruCache};
 use crate::runtime::config::RuntimeConfig;
 use crate::runtime::message::{ExecId, ExecutorMsg, InjectedFault, MasterMsg, TaskSpec};
 
@@ -142,12 +142,22 @@ fn worker_loop(
     }
 }
 
+/// Everything a successful task attempt reports back to the master.
+struct TaskOutput {
+    output: Block,
+    preaggregated: usize,
+    cache_hit: bool,
+    cached_keys: Vec<CacheKey>,
+}
+
 /// Executes one task: resolve side inputs through the cache, apply the
-/// fused chain (fault-isolated), optionally pre-aggregate the output.
+/// fused chain, optionally pre-aggregate the output.
 ///
-/// User code runs inside `catch_unwind`, so a panicking or erroring UDF
-/// yields a [`MasterMsg::TaskFailed`] instead of killing the worker slot:
-/// the slot stays alive to run the retry.
+/// The *entire* task body — side-input resolution, plan lookup, chain
+/// application, pre-aggregation — runs inside `catch_unwind`, so any
+/// panic (a UDF's, or a runtime bug's) yields a [`MasterMsg::TaskFailed`]
+/// instead of killing the worker slot silently: the slot stays alive and
+/// the master learns the attempt died.
 fn run_task(exec: ExecId, job: &JobContext, cache: &Mutex<LruCache>, spec: TaskSpec) -> MasterMsg {
     match spec.inject {
         Some(InjectedFault::Delay(ms)) => {
@@ -164,8 +174,46 @@ fn run_task(exec: ExecId, job: &JobContext, cache: &Mutex<LruCache>, spec: TaskS
         Some(InjectedFault::Panic) | None => {}
     }
 
+    let attempt = spec.attempt;
+    let computed = panic::catch_unwind(AssertUnwindSafe(|| task_body(job, cache, spec)));
+    match computed {
+        Ok(Ok(done)) => MasterMsg::TaskDone {
+            exec,
+            attempt,
+            output: done.output,
+            preaggregated: done.preaggregated,
+            cache_hit: done.cache_hit,
+            cached_keys: done.cached_keys,
+        },
+        Ok(Err(udf)) => MasterMsg::TaskFailed {
+            exec,
+            attempt,
+            reason: udf.to_string(),
+        },
+        Err(payload) => MasterMsg::TaskFailed {
+            exec,
+            attempt,
+            reason: panic_reason(payload.as_ref()),
+        },
+    }
+}
+
+/// The fault-isolated body of one task attempt.
+///
+/// Side inputs resolve to shared blocks (a cache hit or the master's copy;
+/// never a record clone), the fused chain computes the output records, and
+/// the result is sealed into a [`Block`] exactly once.
+fn task_body(
+    job: &JobContext,
+    cache: &Mutex<LruCache>,
+    spec: TaskSpec,
+) -> Result<TaskOutput, UdfError> {
+    if spec.inject == Some(InjectedFault::Panic) {
+        panic!("injected: user function panic");
+    }
+
     let mut cache_hit = false;
-    let mut sides: BTreeMap<usize, Vec<Value>> = BTreeMap::new();
+    let mut sides: BTreeMap<usize, Block> = BTreeMap::new();
     for (member, side) in &spec.sides {
         let records = match side.key {
             Some(key) => {
@@ -185,34 +233,11 @@ fn run_task(exec: ExecId, job: &JobContext, cache: &Mutex<LruCache>, spec: TaskS
             }
             None => Arc::clone(&side.records),
         };
-        sides.insert(*member, records.as_ref().clone());
+        sides.insert(*member, records);
     }
 
     let fop = &job.plan.fops[spec.fop];
-    let attempt = spec.attempt;
-    let computed = panic::catch_unwind(AssertUnwindSafe(|| {
-        if spec.inject == Some(InjectedFault::Panic) {
-            panic!("injected: user function panic");
-        }
-        apply_chain(&job.dag, fop, spec.index, &spec.mains, &sides)
-    }));
-    let mut output = match computed {
-        Ok(Ok(records)) => records,
-        Ok(Err(udf)) => {
-            return MasterMsg::TaskFailed {
-                exec,
-                attempt,
-                reason: udf.to_string(),
-            };
-        }
-        Err(payload) => {
-            return MasterMsg::TaskFailed {
-                exec,
-                attempt,
-                reason: panic_reason(payload.as_ref()),
-            };
-        }
-    };
+    let mut output = apply_chain(&job.dag, fop, spec.index, &spec.mains, &sides)?;
 
     let mut preaggregated = 0usize;
     if spec.preaggregate {
@@ -224,14 +249,12 @@ fn run_task(exec: ExecId, job: &JobContext, cache: &Mutex<LruCache>, spec: TaskS
     }
 
     let cached_keys = cache.lock().keys();
-    MasterMsg::TaskDone {
-        exec,
-        attempt,
-        output,
+    Ok(TaskOutput {
+        output: output.into(),
         preaggregated,
         cache_hit,
         cached_keys,
-    }
+    })
 }
 
 /// Extracts a readable message from a caught panic payload.
@@ -284,6 +307,11 @@ pub fn preaggregate(records: Vec<Value>, f: &pado_dag::CombineFn, keyed: bool) -
             }
         }
         accs.into_iter().map(|(k, v)| Value::pair(k, v)).collect()
+    } else if records.is_empty() {
+        // An empty partition contributes nothing. Emitting the combiner's
+        // identity here — as the keyed branch never does — would add one
+        // spurious record per empty partition to the shuffled stream.
+        Vec::new()
     } else {
         vec![f.merge_all(records)]
     }
@@ -322,5 +350,62 @@ mod tests {
     fn preaggregate_empty_keyed_is_empty() {
         let out = preaggregate(Vec::new(), &CombineFn::sum_i64(), true);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn preaggregate_empty_global_is_empty() {
+        // An empty partition must contribute zero records, exactly like
+        // the keyed path — not one identity record.
+        let out = preaggregate(Vec::new(), &CombineFn::sum_i64(), false);
+        assert!(out.is_empty());
+    }
+
+    /// A runtime bug inside the task body — here an out-of-range fop id
+    /// hitting the plan lookup, which the old narrow `catch_unwind`
+    /// around `apply_chain` alone did not cover — must surface as
+    /// `TaskFailed`, not kill the worker slot silently.
+    #[test]
+    fn runtime_panic_in_task_body_reports_task_failed() {
+        use crate::compiler::compile;
+        use pado_dag::{Pipeline, SourceFn};
+
+        let p = Pipeline::new();
+        p.read("R", 1, SourceFn::from_vec(vec![Value::from(1i64)]))
+            .sink("S");
+        let dag = p.build().unwrap();
+        let plan = compile(&dag).unwrap();
+        let job = Arc::new(JobContext {
+            dag,
+            plan,
+            config: RuntimeConfig::default(),
+        });
+        let cache = Arc::new(Mutex::new(LruCache::new(1024)));
+        let spec = TaskSpec {
+            attempt: 7,
+            fop: 999, // No such fop: plan lookup panics inside the body.
+            index: 0,
+            mains: Vec::new(),
+            sides: BTreeMap::new(),
+            preaggregate: false,
+            inject: None,
+        };
+        install_panic_hook_filter();
+        let msg = std::thread::Builder::new()
+            .name(format!("{WORKER_THREAD_PREFIX}test-slot0"))
+            .spawn(move || run_task(3, &job, &cache, spec))
+            .unwrap()
+            .join()
+            .expect("run_task must catch the panic, not unwind the slot");
+        match msg {
+            MasterMsg::TaskFailed {
+                exec,
+                attempt,
+                reason,
+            } => {
+                assert_eq!((exec, attempt), (3, 7));
+                assert!(reason.starts_with("panic:"), "reason: {reason}");
+            }
+            other => panic!("expected TaskFailed, got {other:?}"),
+        }
     }
 }

@@ -23,7 +23,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
-use pado_dag::{DepType, Value};
+use pado_dag::{block_from_vec, Block, DepType, MainSlot, Value};
 
 use crate::compiler::{FopId, InputSlot, Placement, PlanEdge};
 use crate::error::RuntimeError;
@@ -182,12 +182,14 @@ struct ExecInfo {
 /// Progress metadata replicated for master fault tolerance (§3.2.6): the
 /// record of finished tasks and where their outputs live. Intermediate
 /// records themselves live on executors; the in-process stand-in keeps
-/// them alongside via shared `Arc`s.
+/// them alongside as shared [`Block`]s, so cloning this snapshot — and
+/// restoring from it after a master restart — costs O(references), never
+/// O(records).
 #[derive(Debug, Clone)]
 struct ProgressSnapshot {
     tasks: Vec<Vec<TaskState>>,
-    outputs: HashMap<(FopId, usize), Arc<Vec<Value>>>,
-    result_parts: BTreeMap<(FopId, usize), Vec<Value>>,
+    outputs: HashMap<(FopId, usize), Block>,
+    result_parts: BTreeMap<(FopId, usize), Block>,
     first_attempted: Vec<Vec<bool>>,
     next_attempt: AttemptId,
     metrics: JobMetrics,
@@ -204,8 +206,19 @@ pub struct Master {
 
     tasks: Vec<Vec<TaskState>>,
     first_attempted: Vec<Vec<bool>>,
-    outputs: HashMap<(FopId, usize), Arc<Vec<Value>>>,
-    result_parts: BTreeMap<(FopId, usize), Vec<Value>>,
+    /// The location table's data side: every committed output, as a shared
+    /// block created once by the finishing executor.
+    outputs: HashMap<(FopId, usize), Block>,
+    result_parts: BTreeMap<(FopId, usize), Block>,
+    /// Memoized shuffle routing: buckets of output `(fop, index)` hashed
+    /// to `dst_par` consumers. Shared by every consumer task (and every
+    /// relaunch) that reads the same output at the same parallelism, so a
+    /// shuffle's record pass happens once per output, not once per
+    /// consumer. Invalidated whenever the source output changes.
+    routed: HashMap<(FopId, usize, usize), Vec<Block>>,
+    /// Memoized concatenation of a multi-part broadcast dataset, keyed by
+    /// producer fop. Invalidated with [`Master::invalidate_derived`].
+    side_cache: HashMap<FopId, Block>,
     assigned: HashMap<(FopId, usize), ExecId>,
     attempt_of: HashMap<AttemptId, (FopId, usize)>,
     next_attempt: AttemptId,
@@ -268,6 +281,8 @@ impl Master {
             first_attempted,
             outputs: HashMap::new(),
             result_parts: BTreeMap::new(),
+            routed: HashMap::new(),
+            side_cache: HashMap::new(),
             assigned: HashMap::new(),
             attempt_of: HashMap::new(),
             next_attempt: 1,
@@ -449,7 +464,7 @@ impl Master {
         &mut self,
         exec: ExecId,
         attempt: AttemptId,
-        output: Vec<Value>,
+        output: Block,
         preaggregated: usize,
         cache_hit: bool,
         cached_keys: Vec<CacheKey>,
@@ -512,10 +527,14 @@ impl Master {
         }
         if self.job.plan.out_edges(fop).is_empty() {
             // Terminal operator: the output is written to the job sink and
-            // is safe regardless of container fate.
-            self.result_parts.insert((fop, index), output.clone());
+            // is safe regardless of container fate. Sink and location
+            // table share the block.
+            self.result_parts.insert((fop, index), Arc::clone(&output));
         }
-        self.outputs.insert((fop, index), Arc::new(output));
+        // A recommit after a revert replaces the output; anything routed
+        // from the old version must not be served for the new one.
+        self.invalidate_derived(fop, index);
+        self.outputs.insert((fop, index), output);
         self.tasks[fop][index] = TaskState::Done { locations };
         self.events.push(JobEvent::TaskCommitted { fop, index });
 
@@ -752,6 +771,7 @@ impl Master {
                 };
                 if lost {
                     self.outputs.remove(&(f, i));
+                    self.invalidate_derived(f, i);
                     self.tasks[f][i] = TaskState::Pending;
                     self.events
                         .push(JobEvent::TaskReverted { fop: f, index: i });
@@ -813,6 +833,10 @@ impl Master {
         self.tasks = snap.tasks;
         self.outputs = snap.outputs;
         self.result_parts = snap.result_parts;
+        // Routing memos derive from the failed master's in-memory outputs;
+        // the replacement rebuilds them on demand.
+        self.routed.clear();
+        self.side_cache.clear();
         self.first_attempted = snap.first_attempted;
         self.metrics = snap.metrics;
         // Fence all attempts issued by the failed master.
@@ -1227,6 +1251,12 @@ impl Master {
 
     /// Routes and packages a task's inputs.
     ///
+    /// Main inputs are slots of shared blocks: narrow edges hand the
+    /// producer's output block itself to the consumer, and shuffles hand
+    /// the consumer its memoized bucket block. Assembling a task clones
+    /// zero records (the one record pass per shuffled output happens in
+    /// [`Master::routed_bucket`], shared across consumers and relaunches).
+    ///
     /// # Errors
     ///
     /// Returns [`RuntimeError::Invariant`] when a required input is not
@@ -1238,31 +1268,28 @@ impl Master {
         fop: FopId,
         index: usize,
         exec: ExecId,
-    ) -> Result<(Vec<Vec<Value>>, BTreeMap<usize, SideData>), RuntimeError> {
+    ) -> Result<(Vec<MainSlot>, BTreeMap<usize, SideData>), RuntimeError> {
         let dst_par = self.job.plan.fops[fop].parallelism;
-        let mut mains: Vec<Vec<Value>> = Vec::new();
+        let mut mains: Vec<MainSlot> = Vec::new();
         let mut sides: BTreeMap<usize, SideData> = BTreeMap::new();
         for e in self.job.plan.in_edges(fop) {
             let src_par = self.job.plan.fops[e.src].parallelism;
             match e.slot {
                 InputSlot::Main(_) => {
-                    let mut part: Vec<Value> = Vec::new();
+                    let mut parts: Vec<Block> = Vec::new();
                     for si in required_src_indices(&e, index, src_par, dst_par) {
-                        let records = self.outputs.get(&(e.src, si)).ok_or_else(|| {
+                        let block = match e.dep {
+                            DepType::ManyToMany => self.routed_bucket(e.src, si, dst_par, index),
+                            _ => self.outputs.get(&(e.src, si)).map(Arc::clone),
+                        };
+                        parts.push(block.ok_or_else(|| {
                             RuntimeError::Invariant(format!(
                                 "task {fop}.{index} launched before input {}.{si} was ready",
                                 e.src
                             ))
-                        })?;
-                        match e.dep {
-                            DepType::ManyToMany => {
-                                let routed = route(records, e.dep, si, dst_par);
-                                part.extend(routed[index].iter().cloned());
-                            }
-                            _ => part.extend(records.iter().cloned()),
-                        }
+                        })?);
                     }
-                    mains.push(part);
+                    mains.push(MainSlot::from_blocks(parts));
                 }
                 InputSlot::Side => {
                     let records = self.side_records(e.src, src_par);
@@ -1293,12 +1320,44 @@ impl Master {
         Ok((mains, sides))
     }
 
-    /// Materializes the full broadcast dataset of a producer fop.
-    fn side_records(&self, src: FopId, src_par: usize) -> Arc<Vec<Value>> {
+    /// The shuffle bucket `dst_index` of output `(src, si)` hashed to
+    /// `dst_par` consumers, routing (one record pass, the only record
+    /// clones in the data plane) at most once per output.
+    fn routed_bucket(
+        &mut self,
+        src: FopId,
+        si: usize,
+        dst_par: usize,
+        dst_index: usize,
+    ) -> Option<Block> {
+        let key = (src, si, dst_par);
+        if !self.routed.contains_key(&key) {
+            let records = self.outputs.get(&(src, si))?;
+            let buckets = route(records, DepType::ManyToMany, si, dst_par);
+            self.routed.insert(key, buckets);
+        }
+        Some(Arc::clone(&self.routed[&key][dst_index]))
+    }
+
+    /// Drops everything derived from output `(fop, index)` — shuffle
+    /// buckets and broadcast concatenations — when that output is reverted
+    /// or replaced.
+    fn invalidate_derived(&mut self, fop: FopId, index: usize) {
+        self.routed.retain(|&(f, i, _), _| f != fop || i != index);
+        self.side_cache.remove(&fop);
+    }
+
+    /// The full broadcast dataset of a producer fop, as one shared block.
+    /// Single-part producers share their output block outright; multi-part
+    /// concatenations are built once and memoized.
+    fn side_records(&mut self, src: FopId, src_par: usize) -> Block {
         if src_par == 1 {
             if let Some(r) = self.outputs.get(&(src, 0)) {
                 return Arc::clone(r);
             }
+        }
+        if let Some(b) = self.side_cache.get(&src) {
+            return Arc::clone(b);
         }
         let mut all = Vec::new();
         for si in 0..src_par {
@@ -1306,7 +1365,9 @@ impl Master {
                 all.extend(r.iter().cloned());
             }
         }
-        Arc::new(all)
+        let block = block_from_vec(all);
+        self.side_cache.insert(src, Arc::clone(&block));
+        block
     }
 
     fn collect_result(&self) -> JobResult {

@@ -1,9 +1,8 @@
 //! Control-plane messages between the master and executors.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
 
-use pado_dag::Value;
+use pado_dag::{Block, MainSlot};
 
 use crate::compiler::FopId;
 use crate::runtime::cache::CacheKey;
@@ -26,8 +25,8 @@ pub type AttemptId = u64;
 pub struct SideData {
     /// Cache key, present when this input is cacheable (§3.2.7).
     pub key: Option<CacheKey>,
-    /// The broadcast records.
-    pub records: Arc<Vec<Value>>,
+    /// The broadcast records, shared with the master's location table.
+    pub records: Block,
     /// Whether the master believes the executor caches this key already.
     pub expect_cached: bool,
 }
@@ -58,8 +57,9 @@ pub struct TaskSpec {
     pub fop: FopId,
     /// The task index within the fop.
     pub index: usize,
-    /// Routed main input partitions, by slot.
-    pub mains: Vec<Vec<Value>>,
+    /// Routed main inputs, one slot per main edge; blocks are shared with
+    /// the master's location table, never copied.
+    pub mains: Vec<MainSlot>,
     /// Side inputs by fused-chain member index.
     pub sides: BTreeMap<usize, SideData>,
     /// Whether the task should pre-aggregate its output before pushing
@@ -79,8 +79,9 @@ pub enum MasterMsg {
         exec: ExecId,
         /// The completed attempt.
         attempt: AttemptId,
-        /// Output records of the task.
-        output: Vec<Value>,
+        /// Output block of the task, created once here and only referenced
+        /// afterwards.
+        output: Block,
         /// Records removed by transient-side pre-aggregation.
         preaggregated: usize,
         /// Whether the side input was served from the executor cache.

@@ -1,0 +1,176 @@
+//! Immutable shared data blocks — the unit of intermediate data.
+//!
+//! A [`Block`] is created exactly once, when a task finishes (or when a
+//! routing pass buckets a finished output), and is only *referenced* from
+//! then on: the master's location table, progress snapshots, executor
+//! caches, and consumer task inputs all hold `Arc` clones of the same
+//! allocation. Records are never copied to move a block around, which
+//! makes pushing a completed output to its consumers, snapshotting the
+//! master's progress, and recovering from a master restart all O(refs)
+//! instead of O(records).
+//!
+//! Sharing invariants:
+//! - a block's records are immutable after creation (there is no `&mut`
+//!   path to a block's contents anywhere in the engine);
+//! - any component may hold a block indefinitely; dropping the last
+//!   reference frees it;
+//! - code that needs to *change* records builds a new block.
+
+use std::sync::{Arc, OnceLock};
+
+use crate::value::Value;
+
+/// An immutable, reference-counted run of records.
+pub type Block = Arc<[Value]>;
+
+/// Builds a block from owned records (moves them; no per-record clone).
+pub fn block_from_vec(records: Vec<Value>) -> Block {
+    records.into()
+}
+
+/// The shared empty block (one static allocation, cloned by reference).
+pub fn empty_block() -> Block {
+    static EMPTY: OnceLock<Block> = OnceLock::new();
+    EMPTY.get_or_init(|| Vec::new().into()).clone()
+}
+
+/// One *main* input slot of a task: the blocks it reads, in producer-index
+/// order.
+///
+/// A slot fed by a one-to-one edge or by an interior fused chain member
+/// always holds a single block; slots fed by gather (many-to-one) or
+/// shuffle (many-to-many) edges hold one block per producer task. Holding
+/// blocks — not concatenated vectors — is what lets a consumer read its
+/// inputs without taking ownership of a single record.
+#[derive(Debug, Clone, Default)]
+pub struct MainSlot {
+    parts: Vec<Block>,
+}
+
+impl MainSlot {
+    /// Builds a single-block slot from owned records (no per-record clone).
+    pub fn from_vec(records: Vec<Value>) -> Self {
+        MainSlot {
+            parts: vec![records.into()],
+        }
+    }
+
+    /// Builds a single-block slot sharing an existing block.
+    pub fn from_block(block: Block) -> Self {
+        MainSlot { parts: vec![block] }
+    }
+
+    /// Builds a slot over several shared blocks; empty blocks are dropped.
+    pub fn from_blocks(parts: Vec<Block>) -> Self {
+        MainSlot {
+            parts: parts.into_iter().filter(|b| !b.is_empty()).collect(),
+        }
+    }
+
+    /// The underlying blocks, in producer-index order.
+    pub fn parts(&self) -> &[Block] {
+        &self.parts
+    }
+
+    /// Total number of records across all blocks.
+    pub fn len(&self) -> usize {
+        self.parts.iter().map(|b| b.len()).sum()
+    }
+
+    /// Whether the slot holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.parts.iter().all(|b| b.is_empty())
+    }
+
+    /// The first record, if any.
+    pub fn first(&self) -> Option<&Value> {
+        self.parts.iter().find_map(|b| b.first())
+    }
+
+    /// Iterates over all records, in block order.
+    pub fn iter(&self) -> impl Iterator<Item = &Value> {
+        self.parts.iter().flat_map(|b| b.iter())
+    }
+
+    /// The records as one contiguous slice.
+    ///
+    /// Slots fed by one-to-one edges and interior fused chain members are
+    /// always a single block, so this is the natural zero-copy accessor
+    /// for whole-partition user functions. Use [`MainSlot::iter`] for
+    /// slots that may gather several producer blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot holds more than one block; the runtime catches
+    /// the panic and fails the task attempt with a readable reason.
+    pub fn contiguous(&self) -> &[Value] {
+        match self.parts.len() {
+            0 => &[],
+            1 => &self.parts[0],
+            n => {
+                panic!("MainSlot::contiguous() on a {n}-block slot; use iter() for gathered inputs")
+            }
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a MainSlot {
+    type Item = &'a Value;
+    type IntoIter = std::iter::FlatMap<
+        std::slice::Iter<'a, Block>,
+        std::slice::Iter<'a, Value>,
+        fn(&'a Block) -> std::slice::Iter<'a, Value>,
+    >;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.parts.iter().flat_map(|b| b.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(n: i64) -> Vec<Value> {
+        (0..n).map(Value::from).collect()
+    }
+
+    #[test]
+    fn from_blocks_drops_empties_and_flattens() {
+        let slot = MainSlot::from_blocks(vec![
+            block_from_vec(ints(2)),
+            empty_block(),
+            block_from_vec(ints(3)),
+        ]);
+        assert_eq!(slot.parts().len(), 2);
+        assert_eq!(slot.len(), 5);
+        assert!(!slot.is_empty());
+        let collected: Vec<i64> = slot.iter().map(|v| v.as_i64().unwrap()).collect();
+        assert_eq!(collected, vec![0, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn contiguous_serves_single_block_slots() {
+        let slot = MainSlot::from_vec(ints(4));
+        assert_eq!(slot.contiguous().len(), 4);
+        assert_eq!(slot.first(), Some(&Value::from(0i64)));
+        let empty = MainSlot::default();
+        assert!(empty.contiguous().is_empty());
+        assert!(empty.first().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn contiguous_panics_on_multi_block_slots() {
+        let slot = MainSlot::from_blocks(vec![block_from_vec(ints(1)), block_from_vec(ints(1))]);
+        let _ = slot.contiguous();
+    }
+
+    #[test]
+    fn empty_block_is_shared() {
+        let a = empty_block();
+        let b = empty_block();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(a.is_empty());
+    }
+}

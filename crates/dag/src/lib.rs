@@ -34,13 +34,15 @@
 
 pub mod codec;
 
+mod block;
 mod builder;
 mod error;
 mod graph;
 mod operator;
 mod udf;
-mod value;
+pub mod value;
 
+pub use block::{block_from_vec, empty_block, Block, MainSlot};
 pub use builder::{PCollection, Pipeline};
 pub use error::{DagError, Result};
 pub use graph::{Edge, LogicalDag, OpId};

@@ -8,6 +8,7 @@
 use std::fmt;
 use std::sync::Arc;
 
+use crate::block::MainSlot;
 use crate::value::Value;
 
 /// The output callback handed to user functions; each call emits one record.
@@ -15,33 +16,44 @@ pub type Emit<'a> = &'a mut dyn FnMut(Value);
 
 /// The input of a single task invocation.
 ///
-/// `mains` holds one vector per *main* (one-to-one or many-to-x) input edge,
-/// in edge-declaration order. `side` holds the fully materialized broadcast
-/// (one-to-many) input, if the operator has one.
+/// `mains` holds one [`MainSlot`] per *main* (one-to-one or many-to-x)
+/// input edge, in edge-declaration order; each slot references the shared
+/// blocks produced upstream without copying any record. `side` holds the
+/// fully materialized broadcast (one-to-many) input, if the operator has
+/// one.
 #[derive(Debug, Clone, Copy)]
 pub struct TaskInput<'a> {
-    /// One partition of records per main input edge.
-    pub mains: &'a [Vec<Value>],
+    /// One slot of shared record blocks per main input edge.
+    pub mains: &'a [MainSlot],
     /// The broadcast side input, if any.
     pub side: Option<&'a [Value]>,
 }
 
 impl<'a> TaskInput<'a> {
-    /// Builds a task input over the given main partitions.
-    pub fn new(mains: &'a [Vec<Value>], side: Option<&'a [Value]>) -> Self {
+    /// Builds a task input over the given main slots.
+    pub fn new(mains: &'a [MainSlot], side: Option<&'a [Value]>) -> Self {
         TaskInput { mains, side }
     }
 
-    /// Returns the records of the first (and usually only) main input.
+    /// Returns the records of the first (and usually only) main input as
+    /// one contiguous slice.
     ///
-    /// Returns an empty slice when the operator has no main inputs.
+    /// Returns an empty slice when the operator has no main inputs. Slots
+    /// fed by one-to-one edges and interior fused members are always one
+    /// block, so this never copies; see [`MainSlot::contiguous`] for the
+    /// multi-block behavior.
     pub fn main(&self) -> &'a [Value] {
-        self.mains.first().map(|v| v.as_slice()).unwrap_or(&[])
+        self.mains.first().map(|s| s.contiguous()).unwrap_or(&[])
+    }
+
+    /// Iterates over every record of every main input, in slot order.
+    pub fn records(&self) -> impl Iterator<Item = &'a Value> {
+        self.mains.iter().flat_map(|s| s.iter())
     }
 
     /// Total number of records across all main inputs.
     pub fn len(&self) -> usize {
-        self.mains.iter().map(Vec::len).sum()
+        self.mains.iter().map(MainSlot::len).sum()
     }
 
     /// Whether all main inputs are empty.
@@ -97,14 +109,14 @@ impl ParDoFn {
     /// # Examples
     ///
     /// ```
-    /// use pado_dag::{ParDoFn, TaskInput, Value};
+    /// use pado_dag::{MainSlot, ParDoFn, TaskInput, Value};
     ///
     /// let count = ParDoFn::new(|input: TaskInput<'_>, emit| {
     ///     emit(Value::from(input.main().len() as i64));
     /// });
-    /// let part = vec![Value::Unit, Value::Unit];
+    /// let part = [MainSlot::from_vec(vec![Value::Unit, Value::Unit])];
     /// let mut out = Vec::new();
-    /// count.call(TaskInput::new(std::slice::from_ref(&part), None), &mut |v| out.push(v));
+    /// count.call(TaskInput::new(&part, None), &mut |v| out.push(v));
     /// assert_eq!(out, vec![Value::from(2i64)]);
     /// ```
     pub fn new<F>(f: F) -> Self
@@ -122,7 +134,7 @@ impl ParDoFn {
     /// # Examples
     ///
     /// ```
-    /// use pado_dag::{ParDoFn, TaskInput, UdfError, Value};
+    /// use pado_dag::{MainSlot, ParDoFn, TaskInput, UdfError, Value};
     ///
     /// let strict = ParDoFn::try_new(|input: TaskInput<'_>, emit| {
     ///     for v in input.main() {
@@ -131,9 +143,9 @@ impl ParDoFn {
     ///     }
     ///     Ok(())
     /// });
-    /// let part = vec![Value::from("not a number")];
+    /// let part = [MainSlot::from_vec(vec![Value::from("not a number")])];
     /// let err = strict
-    ///     .try_call(TaskInput::new(std::slice::from_ref(&part), None), &mut |_| {})
+    ///     .try_call(TaskInput::new(&part, None), &mut |_| {})
     ///     .unwrap_err();
     /// assert!(err.to_string().contains("expected an integer"));
     /// ```
@@ -400,7 +412,10 @@ mod tests {
     #[test]
     fn per_element_visits_all_mains() {
         let f = ParDoFn::per_element(|v, emit| emit(v.clone()));
-        let mains = vec![vec![Value::from(1i64)], vec![Value::from(2i64)]];
+        let mains = vec![
+            MainSlot::from_vec(vec![Value::from(1i64)]),
+            MainSlot::from_vec(vec![Value::from(2i64)]),
+        ];
         let mut out = Vec::new();
         f.call(TaskInput::new(&mains, None), &mut |v| out.push(v));
         assert_eq!(out, vec![Value::from(1i64), Value::from(2i64)]);
@@ -412,7 +427,7 @@ mod tests {
             let inc = side[0].as_i64().unwrap();
             emit(Value::from(v.as_i64().unwrap() + inc));
         });
-        let mains = vec![vec![Value::from(1i64)]];
+        let mains = vec![MainSlot::from_vec(vec![Value::from(1i64)])];
         let side = vec![Value::from(10i64)];
         let mut out = Vec::new();
         f.call(TaskInput::new(&mains, Some(&side)), &mut |v| out.push(v));
@@ -421,12 +436,16 @@ mod tests {
 
     #[test]
     fn task_input_len_and_main() {
-        let mains = vec![vec![Value::Unit; 2], vec![Value::Unit; 3]];
+        let mains = vec![
+            MainSlot::from_vec(vec![Value::Unit; 2]),
+            MainSlot::from_vec(vec![Value::Unit; 3]),
+        ];
         let ti = TaskInput::new(&mains, None);
         assert_eq!(ti.len(), 5);
         assert!(!ti.is_empty());
         assert_eq!(ti.main().len(), 2);
-        let empty: Vec<Vec<Value>> = Vec::new();
+        assert_eq!(ti.records().count(), 5);
+        let empty: Vec<MainSlot> = Vec::new();
         assert!(TaskInput::new(&empty, None).is_empty());
         assert_eq!(TaskInput::new(&empty, None).main().len(), 0);
     }

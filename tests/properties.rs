@@ -172,16 +172,17 @@ proptest! {
         parts in 1usize..16,
         src in 0usize..8,
     ) {
-        let records: Vec<Value> = keys
-            .iter()
-            .map(|&k| Value::pair(Value::from(k), Value::from(k * 2)))
-            .collect();
+        let records = pado::dag::block_from_vec(
+            keys.iter()
+                .map(|&k| Value::pair(Value::from(k), Value::from(k * 2)))
+                .collect(),
+        );
         let buckets = route(&records, DepType::ManyToMany, src, parts);
         prop_assert_eq!(buckets.len(), parts);
-        let total: usize = buckets.iter().map(Vec::len).sum();
+        let total: usize = buckets.iter().map(|b| b.len()).sum();
         prop_assert_eq!(total, records.len());
         for (i, bucket) in buckets.iter().enumerate() {
-            for r in bucket {
+            for r in bucket.iter() {
                 prop_assert_eq!((route_hash(r) % parts as u64) as usize, i);
             }
         }
