@@ -4,12 +4,19 @@
 //! job on the in-process cluster, and checks the result byte-for-byte
 //! against a fault-free baseline plus the commit/retry invariants.
 //!
-//! Usage: `cargo run -p pado-bench --bin chaos [n_seeds]`
+//! Usage: `cargo run -p pado-bench --bin chaos [n_seeds] [--network]`
+//! `--network` adds the transport dimension: seeded message
+//! drop/duplicate/reorder/delay in both directions plus timed executor
+//! partitions kept below the dead-executor threshold, so outputs must
+//! still match the fault-free baseline byte-for-byte.
 //! Exits non-zero if any seed violates an invariant.
 
 use std::collections::HashMap;
 
-use pado_core::runtime::{ChaosPlan, FaultPlan, JobEvent, JobResult, LocalCluster, RuntimeConfig};
+use pado_core::runtime::{
+    ChaosPlan, DirectionFaults, FaultPlan, JobEvent, JobResult, LocalCluster, NetworkFault,
+    PartitionSpec, RuntimeConfig,
+};
 use pado_dag::codec::encode_batch;
 use pado_dag::{CombineFn, LogicalDag, ParDoFn, Pipeline, SourceFn, TaskInput, Value};
 use rand::rngs::StdRng;
@@ -80,6 +87,12 @@ fn chaos_config() -> RuntimeConfig {
         executor_fault_threshold: 2,
         speculation_floor_ms: 50,
         tick_ms: 5,
+        // Tight transport tunings so lost messages retry quickly, while
+        // the dead threshold stays far above any injected partition.
+        heartbeat_interval_ms: 20,
+        dead_executor_timeout_ms: 600,
+        retransmit_base_ms: 20,
+        retransmit_max_ms: 160,
         ..Default::default()
     }
 }
@@ -92,7 +105,51 @@ fn encode_outputs(result: &JobResult) -> Vec<(String, Vec<u8>)> {
         .collect()
 }
 
-fn random_fault_plan(rng: &mut StdRng, seed: u64) -> FaultPlan {
+/// A seeded network-fault dimension: moderate drop/dup/reorder/delay in
+/// both directions, plus (one seed in four) a timed partition of one
+/// transient executor that heals well below the dead threshold.
+fn random_network(
+    rng: &mut StdRng,
+    seed: u64,
+    n_transient: usize,
+    n_reserved: usize,
+) -> NetworkFault {
+    let dir = |rng: &mut StdRng| DirectionFaults {
+        drop_prob: rng.gen_range(0.0..0.15),
+        dup_prob: rng.gen_range(0.0..0.10),
+        reorder_prob: rng.gen_range(0.0..0.10),
+        delay_prob: rng.gen_range(0.0..0.15),
+        delay_ms: rng.gen_range(1..10u64),
+    };
+    let to_executor = dir(rng);
+    let to_master = dir(rng);
+    let partitions = if rng.gen_bool(0.25) {
+        // Executors spawn reserved-first, so transient ids start at
+        // n_reserved. Healing at most 370 ms after job start stays far
+        // below the 600 ms dead threshold.
+        vec![PartitionSpec {
+            exec: n_reserved + rng.gen_range(0..n_transient),
+            start_ms: rng.gen_range(20..120u64),
+            duration_ms: rng.gen_range(50..250u64),
+        }]
+    } else {
+        Vec::new()
+    };
+    NetworkFault {
+        seed: seed ^ 0x4E45_54FA,
+        to_executor,
+        to_master,
+        partitions,
+    }
+}
+
+fn random_fault_plan(
+    rng: &mut StdRng,
+    seed: u64,
+    network: bool,
+    n_transient: usize,
+    n_reserved: usize,
+) -> FaultPlan {
     let evictions = (0..rng.gen_range(0..3usize))
         .map(|_| (rng.gen_range(1..10usize), rng.gen_range(0..3usize)))
         .collect();
@@ -117,6 +174,8 @@ fn random_fault_plan(rng: &mut StdRng, seed: u64) -> FaultPlan {
             max_faults_per_task: MAX_FAULTS_PER_TASK,
         }),
         first_attempt_delays: Vec::new(),
+        first_attempt_done_delays: Vec::new(),
+        network: network.then(|| random_network(rng, seed, n_transient, n_reserved)),
     }
 }
 
@@ -174,14 +233,43 @@ fn violations(result: &JobResult, faults: &FaultPlan) -> Vec<String> {
             result.metrics
         ));
     }
+
+    // Retransmissions must stay bounded: with a healthy ack path every
+    // message eventually lands, so no single frame should need anywhere
+    // near this many tries even under heavy loss.
+    if result.metrics.max_message_retransmissions > 64 {
+        out.push(format!(
+            "a message needed {} retransmissions",
+            result.metrics.max_message_retransmissions
+        ));
+    }
+    if faults.network.is_none()
+        && (result.metrics.messages_dropped
+            + result.metrics.messages_duplicated
+            + result.metrics.messages_retransmitted
+            + result.metrics.messages_deduplicated
+            + result.metrics.heartbeats_missed
+            + result.metrics.executors_declared_dead)
+            > 0
+    {
+        out.push(format!(
+            "transport metrics nonzero without network faults: {:?}",
+            result.metrics
+        ));
+    }
     out
 }
 
 fn main() {
-    let n_seeds: u64 = std::env::args()
-        .nth(1)
-        .map(|a| a.parse().expect("n_seeds must be an integer"))
-        .unwrap_or(100);
+    let mut n_seeds: u64 = 100;
+    let mut network = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--network" {
+            network = true;
+        } else {
+            n_seeds = arg.parse().expect("n_seeds must be an integer");
+        }
+    }
 
     let shapes: Vec<(&str, LogicalDag)> = vec![
         ("wordcount", wordcount_dag()),
@@ -211,7 +299,7 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(seed);
         let n_transient = rng.gen_range(1..4usize);
         let n_reserved = rng.gen_range(1..3usize);
-        let faults = random_fault_plan(&mut rng, seed);
+        let faults = random_fault_plan(&mut rng, seed, network, n_transient, n_reserved);
         let result = match LocalCluster::new(n_transient, n_reserved)
             .with_config(chaos_config())
             .run_with_faults(dag, faults.clone())
@@ -243,6 +331,17 @@ fn main() {
         );
         for p in &probs {
             println!("       !! {p}");
+        }
+        if network {
+            println!(
+                "       net: dropped={} dup={} retx={} dedup={} max_retx={} dead={}",
+                result.metrics.messages_dropped,
+                result.metrics.messages_duplicated,
+                result.metrics.messages_retransmitted,
+                result.metrics.messages_deduplicated,
+                result.metrics.max_message_retransmissions,
+                result.metrics.executors_declared_dead,
+            );
         }
         total_failures += result.metrics.task_failures;
         total_spec += result.metrics.speculative_launches;

@@ -82,6 +82,10 @@ pub enum RuntimeError {
     /// A scheduler invariant was violated (a bug in the runtime, not in
     /// user code); surfaced instead of panicking the master thread.
     Invariant(String),
+    /// The runtime configuration is self-contradictory (e.g. a
+    /// retransmission backoff that outlives the dead-executor timeout);
+    /// rejected before the job starts.
+    Config(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -109,6 +113,7 @@ impl fmt::Display for RuntimeError {
                 events.len()
             ),
             RuntimeError::Invariant(msg) => write!(f, "scheduler invariant violated: {msg}"),
+            RuntimeError::Config(msg) => write!(f, "invalid runtime configuration: {msg}"),
         }
     }
 }

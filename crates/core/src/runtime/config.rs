@@ -40,6 +40,25 @@ pub struct RuntimeConfig {
     /// Master scheduling-loop tick in milliseconds: the granularity at
     /// which straggler checks and the wedge timeout are evaluated.
     pub tick_ms: u64,
+    /// Milliseconds between executor heartbeats.
+    pub heartbeat_interval_ms: u64,
+    /// Heartbeat silence after which the master declares an executor dead
+    /// and relaunches its uncommitted tasks (its committed blocks stay
+    /// served). Must leave room for several retransmission rounds, so a
+    /// lossy-but-connected executor is never mistaken for a dead one.
+    pub dead_executor_timeout_ms: u64,
+    /// Initial retransmission backoff for an unacknowledged control
+    /// message, in milliseconds; doubles per retry.
+    pub retransmit_base_ms: u64,
+    /// Ceiling of the exponential retransmission backoff, in milliseconds.
+    pub retransmit_max_ms: u64,
+    /// Maximum unacknowledged control messages in flight per link
+    /// direction; further sends queue in order behind the window.
+    pub transport_inflight_cap: usize,
+    /// Receiver-side dedup window: out-of-order sequence numbers tracked
+    /// per link direction. Must be at least the in-flight cap, or fresh
+    /// messages could evict dedup state for live ones.
+    pub transport_dedup_window: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -57,7 +76,74 @@ impl Default for RuntimeConfig {
             speculation_floor_ms: 200,
             speculation_min_samples: 3,
             tick_ms: 25,
+            heartbeat_interval_ms: 50,
+            dead_executor_timeout_ms: 1_500,
+            retransmit_base_ms: 80,
+            retransmit_max_ms: 640,
+            transport_inflight_cap: 64,
+            transport_dedup_window: 1_024,
         }
+    }
+}
+
+impl RuntimeConfig {
+    /// Rejects configurations whose interactions are nonsensical — e.g. a
+    /// retransmission backoff that outlives the dead-executor timeout
+    /// would declare every executor dead before a single lost message
+    /// could be retried. Called by the cluster harness before a job runs.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tick_ms == 0 {
+            return Err("tick_ms must be at least 1".into());
+        }
+        if self.tick_ms >= self.event_timeout_ms {
+            return Err(format!(
+                "tick_ms ({}) must be below event_timeout_ms ({}) or the wedge \
+                 timeout never fires",
+                self.tick_ms, self.event_timeout_ms
+            ));
+        }
+        if self.transport_dedup_window == 0 {
+            return Err("transport_dedup_window must be at least 1".into());
+        }
+        if self.transport_inflight_cap == 0 {
+            return Err("transport_inflight_cap must be at least 1".into());
+        }
+        if self.transport_inflight_cap > self.transport_dedup_window {
+            return Err(format!(
+                "transport_inflight_cap ({}) must not exceed transport_dedup_window \
+                 ({}): more in-flight messages than dedup slots lets fresh sends \
+                 evict dedup state for live ones",
+                self.transport_inflight_cap, self.transport_dedup_window
+            ));
+        }
+        if self.retransmit_base_ms == 0 {
+            return Err("retransmit_base_ms must be at least 1".into());
+        }
+        if self.retransmit_base_ms > self.retransmit_max_ms {
+            return Err(format!(
+                "retransmit_base_ms ({}) must not exceed retransmit_max_ms ({})",
+                self.retransmit_base_ms, self.retransmit_max_ms
+            ));
+        }
+        if self.retransmit_base_ms >= self.dead_executor_timeout_ms {
+            return Err(format!(
+                "retransmit_base_ms ({}) must be below dead_executor_timeout_ms \
+                 ({}): a lost message must get at least one retry before its \
+                 executor can be declared dead",
+                self.retransmit_base_ms, self.dead_executor_timeout_ms
+            ));
+        }
+        if self.heartbeat_interval_ms == 0 {
+            return Err("heartbeat_interval_ms must be at least 1".into());
+        }
+        if self.heartbeat_interval_ms >= self.dead_executor_timeout_ms {
+            return Err(format!(
+                "heartbeat_interval_ms ({}) must be below dead_executor_timeout_ms \
+                 ({}) or every executor is declared dead before its first beat",
+                self.heartbeat_interval_ms, self.dead_executor_timeout_ms
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -77,5 +163,78 @@ mod tests {
         assert!(c.tick_ms >= 1);
         // Ticks must subdivide the wedge timeout, or it never fires.
         assert!(c.tick_ms < c.event_timeout_ms);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_tick() {
+        let c = RuntimeConfig {
+            tick_ms: 0,
+            ..RuntimeConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("tick_ms"));
+    }
+
+    #[test]
+    fn validate_rejects_tick_at_or_above_event_timeout() {
+        let c = RuntimeConfig {
+            tick_ms: 500,
+            event_timeout_ms: 500,
+            ..RuntimeConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("event_timeout_ms"));
+    }
+
+    #[test]
+    fn validate_rejects_zero_dedup_window() {
+        let c = RuntimeConfig {
+            transport_dedup_window: 0,
+            ..RuntimeConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("transport_dedup_window"));
+    }
+
+    #[test]
+    fn validate_rejects_inflight_cap_beyond_dedup_window() {
+        let c = RuntimeConfig {
+            transport_inflight_cap: 128,
+            transport_dedup_window: 64,
+            ..RuntimeConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("transport_inflight_cap"));
+    }
+
+    #[test]
+    fn validate_rejects_backoff_at_or_above_dead_timeout() {
+        let c = RuntimeConfig {
+            retransmit_base_ms: 2_000,
+            retransmit_max_ms: 4_000,
+            dead_executor_timeout_ms: 1_500,
+            ..RuntimeConfig::default()
+        };
+        assert!(c
+            .validate()
+            .unwrap_err()
+            .contains("dead_executor_timeout_ms"));
+    }
+
+    #[test]
+    fn validate_rejects_inverted_backoff_bounds() {
+        let c = RuntimeConfig {
+            retransmit_base_ms: 100,
+            retransmit_max_ms: 50,
+            ..RuntimeConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("retransmit_max_ms"));
+    }
+
+    #[test]
+    fn validate_rejects_heartbeat_at_or_above_dead_timeout() {
+        let c = RuntimeConfig {
+            heartbeat_interval_ms: 1_500,
+            dead_executor_timeout_ms: 1_500,
+            ..RuntimeConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("heartbeat_interval_ms"));
     }
 }

@@ -6,14 +6,22 @@
 //! routes all inputs, and executors send finished outputs back. This keeps
 //! every placement decision (and therefore every eviction consequence) in
 //! one deterministic place, while preserving the paper's control flow.
+//!
+//! Since the control plane crosses an unreliable wire (see
+//! [`transport`](crate::runtime::transport)), each executor also runs a
+//! *control thread* between its worker slots and the network: it
+//! acknowledges and deduplicates inbound frames from the master, sends
+//! worker results through a reliable (retransmitting) endpoint, and beats
+//! a heartbeat so the master's failure detector can tell a dead executor
+//! from a slow one. Worker slots never touch the wire directly.
 
 use std::collections::BTreeMap;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::{Arc, Once};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use pado_dag::{Block, LogicalDag, OperatorKind, UdfError, Value};
 use parking_lot::Mutex;
 
@@ -22,6 +30,9 @@ use crate::exec::apply_chain;
 use crate::runtime::cache::{CacheKey, LruCache};
 use crate::runtime::config::RuntimeConfig;
 use crate::runtime::message::{ExecId, ExecutorMsg, InjectedFault, MasterMsg, TaskSpec};
+use crate::runtime::transport::{
+    DedupWindow, Direction, ExecIn, FaultyLink, NetPolicy, ReliableSender, TransportCounters, Wire,
+};
 
 /// Worker-thread name prefix; the panic hook filter keys off it.
 const WORKER_THREAD_PREFIX: &str = "pado-exec-";
@@ -58,66 +69,95 @@ pub struct JobContext {
     pub config: RuntimeConfig,
 }
 
-/// A live executor: its task queue plus its worker threads.
+/// A live executor: its control thread, task queue, and worker threads.
 #[derive(Debug)]
 pub struct ExecutorHandle {
     /// Executor id (never reused across replacements).
     pub id: ExecId,
     /// Transient or reserved.
     pub kind: Placement,
-    sender: Sender<ExecutorMsg>,
-    workers: Vec<JoinHandle<()>>,
+    ctrl: Sender<ExecIn>,
+    threads: Vec<JoinHandle<()>>,
 }
 
 impl ExecutorHandle {
-    /// Spawns an executor with `config.slots_per_executor` worker threads.
+    /// Spawns an executor: `config.slots_per_executor` worker threads plus
+    /// one control thread bridging them to the (possibly faulty) wire.
+    ///
+    /// `to_master` is the master's inbound wire; `net` injects the seeded
+    /// network faults (`None` = perfectly reliable transport).
     pub fn spawn(
         id: ExecId,
         kind: Placement,
         job: Arc<JobContext>,
-        to_master: Sender<MasterMsg>,
+        to_master: Sender<Wire<MasterMsg>>,
+        net: Option<Arc<NetPolicy>>,
+        counters: Arc<TransportCounters>,
     ) -> Self {
         install_panic_hook_filter();
-        let (tx, rx) = crossbeam::channel::unbounded::<ExecutorMsg>();
+        let (ctrl_tx, ctrl_rx) = crossbeam::channel::unbounded::<ExecIn>();
+        let (task_tx, task_rx) = crossbeam::channel::unbounded::<ExecutorMsg>();
         let cache = Arc::new(Mutex::new(LruCache::new(job.config.cache_capacity_bytes)));
         let slots = job.config.slots_per_executor.max(1);
-        let workers = (0..slots)
+        let mut threads: Vec<JoinHandle<()>> = (0..slots)
             .map(|slot| {
-                let rx = rx.clone();
+                let task_rx = task_rx.clone();
                 let job = Arc::clone(&job);
-                let to_master = to_master.clone();
+                let ctrl_tx = ctrl_tx.clone();
                 let cache = Arc::clone(&cache);
                 std::thread::Builder::new()
                     .name(format!("pado-exec-{id}-slot{slot}"))
-                    .spawn(move || worker_loop(id, rx, job, to_master, cache))
+                    .spawn(move || worker_loop(id, task_rx, job, ctrl_tx, cache))
                     .expect("spawn executor worker thread")
             })
             .collect();
+        let seed = net.as_ref().map_or(0, |p| p.seed());
+        let ctrs = Arc::clone(&counters);
+        let link = FaultyLink::new(to_master, id, Direction::ToMaster, net, counters);
+        let out = ReliableSender::new(
+            link,
+            id,
+            |from, seq, payload| Wire::Msg { from, seq, payload },
+            job.config.transport_inflight_cap,
+            Duration::from_millis(job.config.retransmit_base_ms),
+            Duration::from_millis(job.config.retransmit_max_ms),
+            seed ^ (id as u64),
+        );
+        let heartbeat = Duration::from_millis(job.config.heartbeat_interval_ms.max(1));
+        let dedup = DedupWindow::new(job.config.transport_dedup_window);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("pado-exec-{id}-ctrl"))
+                .spawn(move || {
+                    control_loop(id, ctrl_rx, task_tx, out, dedup, heartbeat, slots, ctrs)
+                })
+                .expect("spawn executor control thread"),
+        );
         ExecutorHandle {
             id,
             kind,
-            sender: tx,
-            workers,
+            ctrl: ctrl_tx,
+            threads,
         }
     }
 
-    /// Enqueues a task on this executor.
-    pub fn run(&self, spec: TaskSpec) {
-        // A send can only fail after Stop; the master never runs-after-stop.
-        let _ = self.sender.send(ExecutorMsg::Run(spec));
+    /// The executor's inbound wire endpoint: what the master's faulty link
+    /// to this executor feeds.
+    pub fn inbound(&self) -> Sender<ExecIn> {
+        self.ctrl.clone()
     }
 
-    /// Tells every worker slot to shut down.
+    /// Resource-manager kill: tears the container down. This is an RM
+    /// action, not a network message — it bypasses the faulty wire, so
+    /// even a partitioned executor can be destroyed.
     pub fn stop(&self) {
-        for _ in 0..self.workers.len() {
-            let _ = self.sender.send(ExecutorMsg::Stop);
-        }
+        let _ = self.ctrl.send(ExecIn::Kill);
     }
 
-    /// Joins all worker threads (call after [`ExecutorHandle::stop`]).
+    /// Joins all executor threads (call after [`ExecutorHandle::stop`]).
     pub fn join(self) {
-        for w in self.workers {
-            let _ = w.join();
+        for t in self.threads {
+            let _ = t.join();
         }
     }
 }
@@ -126,7 +166,7 @@ fn worker_loop(
     exec: ExecId,
     rx: Receiver<ExecutorMsg>,
     job: Arc<JobContext>,
-    to_master: Sender<MasterMsg>,
+    ctrl: Sender<ExecIn>,
     cache: Arc<Mutex<LruCache>>,
 ) {
     while let Ok(msg) = rx.recv() {
@@ -134,9 +174,74 @@ fn worker_loop(
             ExecutorMsg::Stop => break,
             ExecutorMsg::Run(spec) => {
                 let done = run_task(exec, &job, &cache, spec);
-                if to_master.send(done).is_err() {
-                    break; // The master is gone; the job ended.
+                if ctrl.send(ExecIn::Out(done)).is_err() {
+                    break; // The control thread is gone; the executor died.
                 }
+            }
+        }
+    }
+}
+
+/// The executor's network-facing loop: heartbeats, acks + dedup on
+/// inbound frames, reliable retransmission on outbound reports, and the
+/// out-of-band kill path.
+#[allow(clippy::too_many_arguments)]
+fn control_loop(
+    exec: ExecId,
+    ctrl_rx: Receiver<ExecIn>,
+    task_tx: Sender<ExecutorMsg>,
+    mut out: ReliableSender<MasterMsg, Wire<MasterMsg>>,
+    mut dedup: DedupWindow,
+    heartbeat: Duration,
+    slots: usize,
+    counters: Arc<TransportCounters>,
+) {
+    let mut next_beat = Instant::now();
+    loop {
+        let now = Instant::now();
+        if now >= next_beat {
+            out.link().send(Wire::Heartbeat { from: exec });
+            next_beat = now + heartbeat;
+        }
+        out.pump(now);
+        let deadline = out
+            .next_deadline()
+            .map_or(next_beat, |d| d.min(next_beat))
+            .max(now + Duration::from_millis(1));
+        match ctrl_rx.recv_timeout(deadline - now) {
+            Ok(ExecIn::Kill) => {
+                for _ in 0..slots {
+                    let _ = task_tx.send(ExecutorMsg::Stop);
+                }
+                return;
+            }
+            Ok(ExecIn::Out(msg)) => out.send(msg),
+            Ok(ExecIn::Net(Wire::Msg { seq, payload, .. })) => {
+                // Always ack — the first ack may have been lost — but only
+                // forward first deliveries to the task queue.
+                out.link().send(Wire::Ack { from: exec, seq });
+                if dedup.fresh(seq) {
+                    let _ = task_tx.send(payload);
+                } else {
+                    counters
+                        .deduplicated
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            }
+            Ok(ExecIn::Net(Wire::Ack { seq, .. })) => out.on_ack(seq),
+            // Masters don't heartbeat executors; Direct frames are
+            // master-side only. Tolerate both.
+            Ok(ExecIn::Net(Wire::Heartbeat { .. })) => {}
+            Ok(ExecIn::Net(Wire::Direct(payload))) => {
+                let _ = task_tx.send(payload);
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => {
+                // The master dropped our inbound sender: job over.
+                for _ in 0..slots {
+                    let _ = task_tx.send(ExecutorMsg::Stop);
+                }
+                return;
             }
         }
     }
@@ -171,11 +276,20 @@ fn run_task(exec: ExecId, job: &JobContext, cache: &Mutex<LruCache>, spec: TaskS
                 reason: "injected: user function error".into(),
             };
         }
-        Some(InjectedFault::Panic) | None => {}
+        Some(InjectedFault::Panic) | Some(InjectedFault::DelayDone(_)) | None => {}
     }
 
     let attempt = spec.attempt;
+    let done_delay = match spec.inject {
+        Some(InjectedFault::DelayDone(ms)) => Some(Duration::from_millis(ms)),
+        _ => None,
+    };
     let computed = panic::catch_unwind(AssertUnwindSafe(|| task_body(job, cache, spec)));
+    if let Some(d) = done_delay {
+        // The output exists but the report stalls in flight: the window
+        // where an eviction or partition races the TaskDone.
+        std::thread::sleep(d);
+    }
     match computed {
         Ok(Ok(done)) => MasterMsg::TaskDone {
             exec,

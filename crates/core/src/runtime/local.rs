@@ -128,6 +128,7 @@ impl LocalCluster {
         dag: &LogicalDag,
         faults: FaultPlan,
     ) -> Result<JobResult, RuntimeError> {
+        self.config.validate().map_err(RuntimeError::Config)?;
         let plan = compile_with(dag, &self.plan_config)?;
         let job = Arc::new(JobContext {
             dag: dag.clone(),
@@ -197,5 +198,20 @@ mod tests {
         assert_eq!(count_of(&result, "b"), 2);
         assert_eq!(count_of(&result, "c"), 3);
         assert_eq!(result.metrics.evictions, 2);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_before_running() {
+        let dag = wordcount_dag(vec!["a"], 1);
+        let cluster = LocalCluster::new(1, 1).with_config(RuntimeConfig {
+            transport_dedup_window: 0,
+            ..RuntimeConfig::default()
+        });
+        match cluster.run(&dag) {
+            Err(RuntimeError::Config(msg)) => {
+                assert!(msg.contains("transport_dedup_window"));
+            }
+            other => panic!("expected Config error, got {other:?}"),
+        }
     }
 }

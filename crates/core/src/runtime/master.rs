@@ -19,6 +19,7 @@
 //! outputs were lost.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -30,9 +31,15 @@ use crate::error::RuntimeError;
 use crate::exec::route;
 use crate::runtime::cache::CacheKey;
 use crate::runtime::executor::{combine_consumer, ExecutorHandle, JobContext};
-use crate::runtime::message::{AttemptId, ExecId, InjectedFault, MasterMsg, SideData, TaskSpec};
+use crate::runtime::message::{
+    AttemptId, ExecId, ExecutorMsg, InjectedFault, MasterMsg, SideData, TaskSpec,
+};
 use crate::runtime::metrics::JobMetrics;
 use crate::runtime::policy::{Candidate, RoundRobinCacheAware, SchedulingPolicy, TaskToPlace};
+use crate::runtime::transport::{
+    mix64, DedupWindow, Direction, ExecIn, FaultyLink, NetPolicy, NetworkFault, ReliableSender,
+    TransportCounters, Wire,
+};
 
 /// Probabilistic user-code fault injection, decided deterministically per
 /// `(seed, task, launch ordinal)` so every chaos run is exactly
@@ -78,6 +85,13 @@ pub struct FaultPlan {
     /// milliseconds — a targeted straggler, used to exercise speculative
     /// execution deterministically.
     pub first_attempt_delays: Vec<(FopId, usize, u64)>,
+    /// Stall the *first* attempt of task `(fop, index)` by the given
+    /// milliseconds *after* it computes, before its `TaskDone` is sent —
+    /// deterministically exercising the computed-but-unreported window.
+    pub first_attempt_done_delays: Vec<(FopId, usize, u64)>,
+    /// Seeded network faults on the master↔executor control plane
+    /// (`None` = perfectly reliable transport).
+    pub network: Option<NetworkFault>,
 }
 
 /// One entry of the master's execution event log — the progress record a
@@ -140,10 +154,29 @@ pub enum JobEvent {
     ContainerEvicted(ExecId),
     /// A reserved executor failed.
     ReservedFailed(ExecId),
+    /// The heartbeat failure detector declared an executor dead (treated
+    /// like an eviction: uncommitted work relaunches, committed blocks on
+    /// other executors keep serving).
+    ExecutorDeclaredDead(ExecId),
     /// A replacement container was provisioned.
     ContainerAdded(ExecId),
     /// The master restarted from its replicated progress snapshot.
     MasterRecovered,
+}
+
+/// Out-of-band fault-injection endpoint: the resource manager's direct
+/// channel to the master. Messages sent here bypass the faulty network.
+#[derive(Debug, Clone)]
+pub struct Injector {
+    tx: Sender<Wire<MasterMsg>>,
+}
+
+impl Injector {
+    /// Delivers a resource-manager notice (eviction, reserved failure)
+    /// directly to the master.
+    pub fn send(&self, msg: MasterMsg) {
+        let _ = self.tx.send(Wire::Direct(msg));
+    }
 }
 
 /// The result of a completed job.
@@ -177,6 +210,29 @@ struct ExecInfo {
     alive: bool,
     busy: usize,
     cached: HashSet<CacheKey>,
+    /// Reliable (retransmitting) endpoint of the master→executor wire.
+    out: ReliableSender<ExecutorMsg, ExecIn>,
+    /// Duplicate suppression for frames this executor sends the master.
+    dedup: DedupWindow,
+    /// Last time any frame (heartbeat, ack, or report) arrived from this
+    /// executor — the failure detector's input.
+    last_heartbeat: Instant,
+    /// Whether the detector already flagged the current silence (so one
+    /// quiet spell counts one missed-heartbeat, not one per tick).
+    hb_flagged: bool,
+}
+
+/// Why an executor was lost, for loss-specific accounting. All kinds
+/// share the recovery path: revert uncommitted work, keep committed
+/// blocks that survive elsewhere, spawn a replacement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LossKind {
+    /// The resource manager reclaimed a transient container.
+    Eviction,
+    /// A reserved executor's machine failed (§3.2.6).
+    ReservedFailure,
+    /// The heartbeat failure detector timed the executor out.
+    DeclaredDead,
 }
 
 /// Progress metadata replicated for master fault tolerance (§3.2.6): the
@@ -198,8 +254,12 @@ struct ProgressSnapshot {
 /// The master event loop for one job.
 pub struct Master {
     job: Arc<JobContext>,
-    tx: Sender<MasterMsg>,
-    rx: Receiver<MasterMsg>,
+    tx: Sender<Wire<MasterMsg>>,
+    rx: Receiver<Wire<MasterMsg>>,
+    /// Seeded network-fault policy shared with every executor's links.
+    net: Option<Arc<NetPolicy>>,
+    /// Transport counters shared with every link in the job.
+    counters: Arc<TransportCounters>,
     executors: BTreeMap<ExecId, ExecInfo>,
     next_exec_id: ExecId,
     policy: Box<dyn SchedulingPolicy>,
@@ -251,6 +311,17 @@ pub struct Master {
     fop_durations: Vec<Vec<u64>>,
     /// In-flight attempts that are speculative duplicates.
     speculative: HashSet<AttemptId>,
+
+    // --- Transport / delivery domain ---
+    /// Every attempt whose terminal report (`TaskDone` or `TaskFailed`)
+    /// was already processed. The by-construction idempotence keystone:
+    /// the dedup windows suppress most duplicate deliveries, but any
+    /// replay that slips past them (window overflow, reordering across a
+    /// restart) hits this set and becomes a complete no-op — no double
+    /// commit, no double slot-free, no double retry charge. Part of the
+    /// replicated completion log: it survives a simulated master restart,
+    /// exactly as the progress snapshot does.
+    completed_attempts: HashSet<AttemptId>,
 }
 
 impl Master {
@@ -262,6 +333,8 @@ impl Master {
         faults: FaultPlan,
     ) -> Self {
         let (tx, rx) = crossbeam::channel::unbounded();
+        let net = faults.network.clone().map(NetPolicy::new);
+        let counters = Arc::new(TransportCounters::default());
         let n_fops = job.plan.fops.len();
         let tasks = (0..n_fops)
             .map(|f| vec![TaskState::Pending; job.plan.fops[f].parallelism])
@@ -274,6 +347,8 @@ impl Master {
             job,
             tx,
             rx,
+            net,
+            counters,
             executors: BTreeMap::new(),
             next_exec_id: 0,
             policy: Box::new(RoundRobinCacheAware::default()),
@@ -303,6 +378,7 @@ impl Master {
             launch_times: HashMap::new(),
             fop_durations: vec![Vec::new(); n_fops],
             speculative: HashSet::new(),
+            completed_attempts: HashSet::new(),
         };
         master.metrics.original_tasks = master.job.plan.total_tasks();
         for _ in 0..n_reserved {
@@ -314,9 +390,14 @@ impl Master {
         master
     }
 
-    /// A sender evictions and failures can be injected through externally.
-    pub fn injector(&self) -> Sender<MasterMsg> {
-        self.tx.clone()
+    /// An endpoint evictions and failures can be injected through
+    /// externally. Injected messages model resource-manager actions, so
+    /// they ride the out-of-band [`Wire::Direct`] path and bypass the
+    /// faulty network — an eviction notice is not a datagram.
+    pub fn injector(&self) -> Injector {
+        Injector {
+            tx: self.tx.clone(),
+        }
     }
 
     /// Replaces the task scheduling policy (§3.2.3's pluggable policy).
@@ -327,7 +408,31 @@ impl Master {
     fn spawn_executor(&mut self, kind: Placement) -> ExecId {
         let id = self.next_exec_id;
         self.next_exec_id += 1;
-        let handle = ExecutorHandle::spawn(id, kind, Arc::clone(&self.job), self.tx.clone());
+        let handle = ExecutorHandle::spawn(
+            id,
+            kind,
+            Arc::clone(&self.job),
+            self.tx.clone(),
+            self.net.clone(),
+            Arc::clone(&self.counters),
+        );
+        let link = FaultyLink::new(
+            handle.inbound(),
+            id,
+            Direction::ToExecutor,
+            self.net.clone(),
+            Arc::clone(&self.counters),
+        );
+        let seed = self.net.as_ref().map_or(0, |p| p.seed());
+        let out = ReliableSender::new(
+            link,
+            id,
+            |from, seq, payload| ExecIn::Net(Wire::Msg { from, seq, payload }),
+            self.job.config.transport_inflight_cap,
+            Duration::from_millis(self.job.config.retransmit_base_ms),
+            Duration::from_millis(self.job.config.retransmit_max_ms),
+            seed ^ mix64(id as u64),
+        );
         self.executors.insert(
             id,
             ExecInfo {
@@ -335,6 +440,10 @@ impl Master {
                 alive: true,
                 busy: 0,
                 cached: HashSet::new(),
+                out,
+                dedup: DedupWindow::new(self.job.config.transport_dedup_window),
+                last_heartbeat: Instant::now(),
+                hb_flagged: false,
             },
         );
         id
@@ -352,13 +461,14 @@ impl Master {
     pub fn run(mut self) -> Result<JobResult, RuntimeError> {
         let outcome = self.run_loop();
         self.shutdown();
+        self.merge_transport_metrics();
         outcome.map(|()| self.collect_result())
     }
 
-    /// The tick-driven master event loop: waits up to one tick for an
-    /// event, then re-evaluates stragglers, the wedge timeout, and the
-    /// schedule. Ticks make speculation and the timeout responsive even
-    /// while no completions arrive.
+    /// The tick-driven master event loop: waits up to one tick for a
+    /// frame, then re-evaluates retransmissions, the failure detector,
+    /// stragglers, the wedge timeout, and the schedule. Ticks make all of
+    /// these responsive even while no completions arrive.
     fn run_loop(&mut self) -> Result<(), RuntimeError> {
         self.schedule()?;
         let tick = Duration::from_millis(self.job.config.tick_ms.max(1));
@@ -367,13 +477,18 @@ impl Master {
         let mut last_spec_check = Instant::now();
         while !self.complete() {
             match self.rx.recv_timeout(tick) {
-                Ok(msg) => {
-                    last_progress = Instant::now();
-                    self.handle(msg)?;
+                Ok(frame) => {
+                    // Only substantive deliveries reset the wedge timer:
+                    // heartbeats, acks, and suppressed duplicates prove
+                    // the wire is alive, not that the job is advancing.
+                    if self.handle_frame(frame)? {
+                        last_progress = Instant::now();
+                    }
                     self.note_stage_transitions();
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     if last_progress.elapsed() >= timeout {
+                        self.merge_transport_metrics();
                         return Err(RuntimeError::Wedged {
                             waited_ms: last_progress.elapsed().as_millis() as u64,
                             events: self.events.clone(),
@@ -385,6 +500,7 @@ impl Master {
                     return Err(RuntimeError::Disconnected("executors".into()));
                 }
             }
+            self.pump_transport();
             // Straggler checks are time-gated so a burst of completions
             // does not rescan the task table once per message.
             if last_spec_check.elapsed() >= tick {
@@ -394,6 +510,115 @@ impl Master {
             self.schedule()?;
         }
         Ok(())
+    }
+
+    /// Dispatches one wire frame. Returns whether it constituted job
+    /// progress (for the wedge timer).
+    fn handle_frame(&mut self, frame: Wire<MasterMsg>) -> Result<bool, RuntimeError> {
+        match frame {
+            Wire::Heartbeat { from } => {
+                self.note_liveness(from);
+                Ok(false)
+            }
+            Wire::Ack { from, seq } => {
+                self.note_liveness(from);
+                if let Some(info) = self.executors.get_mut(&from) {
+                    if info.alive {
+                        info.out.on_ack(seq);
+                    }
+                }
+                Ok(false)
+            }
+            Wire::Msg { from, seq, payload } => {
+                self.note_liveness(from);
+                let Some(info) = self.executors.get_mut(&from) else {
+                    return Ok(false);
+                };
+                if !info.alive {
+                    // Frames from an evicted or declared-dead executor are
+                    // dropped unacknowledged; the container is being torn
+                    // down out-of-band anyway.
+                    return Ok(false);
+                }
+                info.out.link().send(ExecIn::Net(Wire::Ack { from, seq }));
+                if info.dedup.fresh(seq) {
+                    self.handle(payload)?;
+                    Ok(true)
+                } else {
+                    self.counters.deduplicated.fetch_add(1, Ordering::Relaxed);
+                    Ok(false)
+                }
+            }
+            Wire::Direct(msg) => {
+                self.handle(msg)?;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Records proof of life from an executor: any frame counts, so a
+    /// partitioned-then-healed executor revives on its first retransmitted
+    /// report even before its next heartbeat.
+    fn note_liveness(&mut self, exec: ExecId) {
+        if let Some(info) = self.executors.get_mut(&exec) {
+            if info.alive {
+                info.last_heartbeat = Instant::now();
+                info.hb_flagged = false;
+            }
+        }
+    }
+
+    /// Drives the transport between frames: retransmits due unacked
+    /// messages, releases delayed frames, and runs the heartbeat failure
+    /// detector. Silence past `4×heartbeat_interval` flags the executor
+    /// (slow: tasks on it will look like stragglers and feed speculation);
+    /// silence past `dead_executor_timeout_ms` declares it dead and routes
+    /// into the eviction recovery path.
+    fn pump_transport(&mut self) {
+        let now = Instant::now();
+        let miss_after = Duration::from_millis(
+            self.job
+                .config
+                .heartbeat_interval_ms
+                .saturating_mul(4)
+                .max(1),
+        );
+        let dead_after = Duration::from_millis(self.job.config.dead_executor_timeout_ms);
+        let mut dead: Vec<ExecId> = Vec::new();
+        for (&id, info) in self.executors.iter_mut() {
+            if !info.alive {
+                continue;
+            }
+            info.out.pump(now);
+            let age = now.duration_since(info.last_heartbeat);
+            if age >= dead_after {
+                dead.push(id);
+            } else if age >= miss_after && !info.hb_flagged {
+                info.hb_flagged = true;
+                self.metrics.heartbeats_missed += 1;
+            }
+        }
+        for id in dead {
+            self.on_executor_lost(id, LossKind::DeclaredDead);
+        }
+    }
+
+    /// Folds the shared transport counters into the job metrics.
+    /// Assignment (not accumulation), so the fold is idempotent across
+    /// the wedge path and the normal exit path.
+    fn merge_transport_metrics(&mut self) {
+        self.metrics.messages_dropped = self.counters.dropped.load(Ordering::Relaxed) as usize;
+        self.metrics.messages_duplicated =
+            self.counters.duplicated.load(Ordering::Relaxed) as usize;
+        self.metrics.messages_retransmitted =
+            self.counters.retransmitted.load(Ordering::Relaxed) as usize;
+        self.metrics.messages_deduplicated =
+            self.counters.deduplicated.load(Ordering::Relaxed) as usize;
+        self.metrics.max_message_retransmissions = self
+            .counters
+            .max_transmissions
+            .load(Ordering::Relaxed)
+            .saturating_sub(1) as usize;
     }
 
     fn complete(&self) -> bool {
@@ -450,11 +675,11 @@ impl Master {
                 reason,
             } => self.on_task_failed(exec, attempt, reason),
             MasterMsg::Evict { exec } => {
-                self.on_executor_lost(exec, false);
+                self.on_executor_lost(exec, LossKind::Eviction);
                 Ok(())
             }
             MasterMsg::FailReserved { exec } => {
-                self.on_executor_lost(exec, true);
+                self.on_executor_lost(exec, LossKind::ReservedFailure);
                 Ok(())
             }
         }
@@ -469,6 +694,13 @@ impl Master {
         cache_hit: bool,
         cached_keys: Vec<CacheKey>,
     ) {
+        // Idempotence by construction: one terminal report per attempt is
+        // ever processed. A duplicate delivery that slipped past the
+        // dedup window must not re-commit, re-charge, or free a busy slot
+        // a second time.
+        if !self.completed_attempts.insert(attempt) {
+            return;
+        }
         // Refresh the container manager's view of the executor cache.
         if let Some(info) = self.executors.get_mut(&exec) {
             if info.alive {
@@ -559,6 +791,11 @@ impl Master {
         attempt: AttemptId,
         reason: String,
     ) -> Result<(), RuntimeError> {
+        // Same idempotence gate as `on_task_done`: an attempt reports
+        // terminally once, however many times the network replays it.
+        if !self.completed_attempts.insert(attempt) {
+            return Ok(());
+        }
         if let Some(info) = self.executors.get_mut(&exec) {
             if info.alive {
                 info.busy = info.busy.saturating_sub(1);
@@ -675,7 +912,7 @@ impl Master {
             let (_, k) = self.faults.evictions[self.fault_cursor_evict];
             self.fault_cursor_evict += 1;
             if let Some(victim) = self.nth_alive(Placement::Transient, k) {
-                self.on_executor_lost(victim, false);
+                self.on_executor_lost(victim, LossKind::Eviction);
             }
         }
         while self.fault_cursor_fail < self.faults.reserved_failures.len()
@@ -684,7 +921,7 @@ impl Master {
             let (_, k) = self.faults.reserved_failures[self.fault_cursor_fail];
             self.fault_cursor_fail += 1;
             if let Some(victim) = self.nth_alive(Placement::Reserved, k) {
-                self.on_executor_lost(victim, true);
+                self.on_executor_lost(victim, LossKind::ReservedFailure);
             }
         }
         if let Some(n) = self.faults.master_failure_after {
@@ -709,11 +946,12 @@ impl Master {
         }
     }
 
-    /// Handles the loss of a container: eviction (transient) or machine
-    /// failure (reserved). Uncommitted attempts revert to pending; outputs
-    /// whose only location died are reverted, which for reserved failures
-    /// re-opens completed ancestor stages exactly as §3.2.6 prescribes.
-    fn on_executor_lost(&mut self, exec: ExecId, reserved_failure: bool) {
+    /// Handles the loss of a container: eviction (transient), machine
+    /// failure (reserved), or a heartbeat-detector death sentence.
+    /// Uncommitted attempts revert to pending; outputs whose only
+    /// location died are reverted, which for reserved failures re-opens
+    /// completed ancestor stages exactly as §3.2.6 prescribes.
+    fn on_executor_lost(&mut self, exec: ExecId, kind_of_loss: LossKind) {
         let Some(info) = self.executors.get_mut(&exec) else {
             return;
         };
@@ -722,14 +960,23 @@ impl Master {
         }
         info.alive = false;
         info.cached.clear();
+        // The kill is a resource-manager action, delivered out-of-band:
+        // it reaches even an executor the network has partitioned away.
         info.handle.stop();
         let kind = info.handle.kind;
-        if reserved_failure {
-            self.metrics.reserved_failures += 1;
-            self.events.push(JobEvent::ReservedFailed(exec));
-        } else {
-            self.metrics.evictions += 1;
-            self.events.push(JobEvent::ContainerEvicted(exec));
+        match kind_of_loss {
+            LossKind::ReservedFailure => {
+                self.metrics.reserved_failures += 1;
+                self.events.push(JobEvent::ReservedFailed(exec));
+            }
+            LossKind::Eviction => {
+                self.metrics.evictions += 1;
+                self.events.push(JobEvent::ContainerEvicted(exec));
+            }
+            LossKind::DeclaredDead => {
+                self.metrics.executors_declared_dead += 1;
+                self.events.push(JobEvent::ExecutorDeclaredDead(exec));
+            }
         }
 
         let complete_before: Vec<bool> = (0..self.job.plan.stage_dag.stages.len())
@@ -799,10 +1046,14 @@ impl Master {
     ///
     /// Attempt accounting (retry budgets, executor fault counts) is
     /// in-memory master state, so it resets with the crash; only progress
-    /// metadata survives. Chaos-injection bookkeeping deliberately
-    /// survives — it models the *test harness's* fault schedule, not
-    /// master state, keeping injected faults bounded per task across the
-    /// restart.
+    /// metadata survives. `completed_attempts` survives too — it is the
+    /// replicated completion log the idempotent handlers key on, and a
+    /// restarted master must still reject replays of pre-crash reports.
+    /// Chaos-injection bookkeeping deliberately survives — it models the
+    /// *test harness's* fault schedule, not master state, keeping
+    /// injected faults bounded per task across the restart. Transport
+    /// sessions (sequence numbers, dedup windows) also continue: the
+    /// in-process model restarts master *state*, not its sockets.
     fn simulate_master_failure(&mut self) {
         self.events.push(JobEvent::MasterRecovered);
         let done_before: Vec<Vec<bool>> = self
@@ -1031,7 +1282,7 @@ impl Master {
             RuntimeError::Invariant(format!("picked executor {exec} is not registered"))
         })?;
         info.busy += 1;
-        info.handle.run(TaskSpec {
+        info.out.send(ExecutorMsg::Run(TaskSpec {
             attempt,
             fop,
             index,
@@ -1039,7 +1290,7 @@ impl Master {
             sides,
             preaggregate,
             inject,
-        });
+        }));
         Ok(())
     }
 
@@ -1063,6 +1314,14 @@ impl Master {
             {
                 return Some(InjectedFault::Delay(ms));
             }
+            if let Some(&(_, _, ms)) = self
+                .faults
+                .first_attempt_done_delays
+                .iter()
+                .find(|&&(f, i, _)| f == fop && i == index)
+            {
+                return Some(InjectedFault::DelayDone(ms));
+            }
         }
         let chaos = self.faults.chaos.as_ref()?;
         let mut h = chaos.seed;
@@ -1083,7 +1342,14 @@ impl Master {
         }
         if u < chaos.error_prob + chaos.panic_prob + chaos.delay_prob {
             let ms = 1 + mix64(h) % chaos.delay_ms.max(1);
-            return Some(InjectedFault::Delay(ms));
+            // Half the stalls land before the compute (a straggler), half
+            // after it (output computed, report not yet sent) — the window
+            // where evictions and partitions race the TaskDone.
+            return Some(if mix64(h ^ 0x0D0E) & 1 == 0 {
+                InjectedFault::Delay(ms)
+            } else {
+                InjectedFault::DelayDone(ms)
+            });
         }
         None
     }
@@ -1181,7 +1447,7 @@ impl Master {
             RuntimeError::Invariant(format!("speculative executor {exec} is not registered"))
         })?;
         info.busy += 1;
-        info.handle.run(TaskSpec {
+        info.out.send(ExecutorMsg::Run(TaskSpec {
             attempt,
             fop,
             index,
@@ -1189,7 +1455,7 @@ impl Master {
             sides,
             preaggregate,
             inject,
-        });
+        }));
         Ok(())
     }
 
@@ -1399,15 +1665,6 @@ impl Master {
     }
 }
 
-/// splitmix64 finalizer: the bit mixer behind deterministic chaos
-/// decisions (one independent uniform draw per `(seed, task, ordinal)`).
-fn mix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
 /// Which producer task indices a consumer task needs along an edge.
 pub fn required_src_indices(
     edge: &PlanEdge,
@@ -1478,5 +1735,167 @@ mod tests {
             required_src_indices(&edge(DepType::ManyToOne), 1, 5, 2),
             vec![1, 3]
         );
+    }
+
+    // --- Evict/commit race regression tests ---
+    //
+    // These drive the master's private `handle` directly, manufacturing
+    // the in-flight attempt state, because the end-to-end path cannot
+    // deterministically order an eviction against an in-flight TaskDone
+    // (the chaos suites cover the stochastic orderings).
+
+    fn test_master() -> Master {
+        use pado_dag::{Pipeline, SourceFn};
+        let p = Pipeline::new();
+        p.read("R", 1, SourceFn::from_vec(vec![Value::from(1i64)]))
+            .sink("S");
+        let dag = p.build().unwrap();
+        let plan = crate::compiler::compile(&dag).unwrap();
+        let job = Arc::new(JobContext {
+            dag,
+            plan,
+            config: crate::runtime::RuntimeConfig::default(),
+        });
+        Master::new(job, 1, 1, FaultPlan::default())
+    }
+
+    /// A fop with no consumers (its output goes to the job sink).
+    fn terminal_fop(m: &Master) -> FopId {
+        (0..m.job.plan.fops.len())
+            .find(|&f| m.job.plan.out_edges(f).is_empty())
+            .expect("plan has a terminal fop")
+    }
+
+    fn done_msg(exec: ExecId, attempt: AttemptId) -> MasterMsg {
+        MasterMsg::TaskDone {
+            exec,
+            attempt,
+            output: block_from_vec(vec![Value::from(1i64)]),
+            preaggregated: 0,
+            cache_hit: false,
+            cached_keys: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn task_done_after_evict_is_discarded_consistently() {
+        let mut m = test_master();
+        let f = terminal_fop(&m);
+        let exec: ExecId = 1; // Spawn order is reserved-first: 1 is transient.
+        m.tasks[f][0] = TaskState::Running {
+            attempts: vec![(7, exec)],
+        };
+        m.attempt_of.insert(7, (f, 0));
+        m.executors.get_mut(&exec).unwrap().busy = 1;
+
+        m.handle(MasterMsg::Evict { exec }).unwrap();
+        assert!(
+            matches!(m.tasks[f][0], TaskState::Pending),
+            "eviction reverts the in-flight attempt"
+        );
+        assert_eq!(m.metrics.evictions, 1);
+
+        // The TaskDone the evicted executor had in flight lands late: it
+        // must be a complete no-op — no panic, no commit, no resurrected
+        // task state, relaunch bookkeeping untouched.
+        let commits_before = m
+            .events
+            .iter()
+            .filter(|e| matches!(e, JobEvent::TaskCommitted { .. }))
+            .count();
+        m.handle(done_msg(exec, 7)).unwrap();
+        assert!(matches!(m.tasks[f][0], TaskState::Pending));
+        assert!(m.outputs.is_empty());
+        let commits_after = m
+            .events
+            .iter()
+            .filter(|e| matches!(e, JobEvent::TaskCommitted { .. }))
+            .count();
+        assert_eq!(commits_before, commits_after, "no post-evict commit");
+        m.shutdown();
+    }
+
+    #[test]
+    fn evict_after_task_done_keeps_committed_terminal_output() {
+        let mut m = test_master();
+        let f = terminal_fop(&m);
+        let exec: ExecId = 1;
+        m.tasks[f][0] = TaskState::Running {
+            attempts: vec![(7, exec)],
+        };
+        m.attempt_of.insert(7, (f, 0));
+        m.executors.get_mut(&exec).unwrap().busy = 1;
+
+        m.handle(done_msg(exec, 7)).unwrap();
+        assert!(matches!(m.tasks[f][0], TaskState::Done { .. }));
+        assert_eq!(m.executors[&exec].busy, 0);
+
+        // The other ordering: eviction lands after the commit. Terminal
+        // outputs live in the job sink, so the task must stay Done (no
+        // revert, no relaunch) even though its only executor location died.
+        m.handle(MasterMsg::Evict { exec }).unwrap();
+        assert!(
+            matches!(m.tasks[f][0], TaskState::Done { .. }),
+            "committed terminal output survives the eviction"
+        );
+        assert!(!m
+            .events
+            .iter()
+            .any(|e| matches!(e, JobEvent::TaskReverted { .. })));
+        m.shutdown();
+    }
+
+    #[test]
+    fn duplicate_task_done_is_idempotent() {
+        let mut m = test_master();
+        let f = terminal_fop(&m);
+        let exec: ExecId = 1;
+        m.tasks[f][0] = TaskState::Running {
+            attempts: vec![(7, exec)],
+        };
+        m.attempt_of.insert(7, (f, 0));
+        // Two busy slots: a duplicate delivery must not free the second.
+        m.executors.get_mut(&exec).unwrap().busy = 2;
+
+        m.handle(done_msg(exec, 7)).unwrap();
+        m.handle(done_msg(exec, 7)).unwrap();
+        assert_eq!(
+            m.executors[&exec].busy, 1,
+            "duplicate TaskDone must not double-free a busy slot"
+        );
+        let commits = m
+            .events
+            .iter()
+            .filter(|e| matches!(e, JobEvent::TaskCommitted { .. }))
+            .count();
+        assert_eq!(commits, 1, "first-commit-wins under duplicate delivery");
+        m.shutdown();
+    }
+
+    #[test]
+    fn duplicate_task_failed_charges_budget_once() {
+        let mut m = test_master();
+        let f = terminal_fop(&m);
+        let exec: ExecId = 1;
+        m.tasks[f][0] = TaskState::Running {
+            attempts: vec![(9, exec)],
+        };
+        m.attempt_of.insert(9, (f, 0));
+        m.executors.get_mut(&exec).unwrap().busy = 2;
+
+        let fail = |m: &mut Master| {
+            m.handle(MasterMsg::TaskFailed {
+                exec,
+                attempt: 9,
+                reason: "injected".into(),
+            })
+            .unwrap()
+        };
+        fail(&mut m);
+        fail(&mut m);
+        assert_eq!(m.metrics.task_failures, 1, "one failure, not two");
+        assert_eq!(m.task_failure_counts[&(f, 0)], 1, "retry charged once");
+        assert_eq!(m.executors[&exec].busy, 1);
+        m.shutdown();
     }
 }

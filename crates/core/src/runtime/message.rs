@@ -45,6 +45,10 @@ pub enum InjectedFault {
     /// The task stalls for this many milliseconds before computing
     /// (straggler / speculation path).
     Delay(u64),
+    /// The task computes normally, then stalls for this many milliseconds
+    /// before reporting `TaskDone` — the window where output exists but
+    /// the report is still in flight when an eviction lands.
+    DelayDone(u64),
 }
 
 /// One task launch: the master assembles and routes all main inputs, so
@@ -71,7 +75,11 @@ pub struct TaskSpec {
 }
 
 /// Messages executors (and eviction injectors) send to the master.
-#[derive(Debug)]
+///
+/// `Clone` because the transport layer buffers sent messages for
+/// retransmission until they are acknowledged; `Block` payloads are
+/// `Arc`-shared, so the clone is shallow.
+#[derive(Debug, Clone)]
 pub enum MasterMsg {
     /// A task attempt finished on an executor.
     TaskDone {
@@ -112,7 +120,10 @@ pub enum MasterMsg {
 }
 
 /// Messages the master sends to executors.
-#[derive(Debug)]
+///
+/// `Clone` for the same reason as [`MasterMsg`]: unacknowledged launches
+/// stay buffered in the transport for retransmission.
+#[derive(Debug, Clone)]
 pub enum ExecutorMsg {
     /// Run a task.
     Run(TaskSpec),

@@ -42,6 +42,24 @@ pub struct JobMetrics {
     pub speculative_wins: usize,
     /// Executors blacklisted for repeated user-code failures.
     pub blacklisted_executors: usize,
+    /// Control-plane messages the (simulated) network dropped, including
+    /// partition black-holes.
+    pub messages_dropped: usize,
+    /// Control-plane messages the network delivered twice.
+    pub messages_duplicated: usize,
+    /// Retransmissions of unacknowledged control messages.
+    pub messages_retransmitted: usize,
+    /// Received duplicates suppressed by a dedup window.
+    pub messages_deduplicated: usize,
+    /// Highest retransmission count any single message needed (0 when
+    /// every message was acknowledged on its first transmission) — the
+    /// per-message boundedness witness.
+    pub max_message_retransmissions: usize,
+    /// Heartbeat-staleness flags raised by the failure detector (an
+    /// executor went quiet past the miss threshold, dead or not).
+    pub heartbeats_missed: usize,
+    /// Executors declared dead by the heartbeat failure detector.
+    pub executors_declared_dead: usize,
 }
 
 impl JobMetrics {

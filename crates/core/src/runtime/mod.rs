@@ -9,12 +9,14 @@ pub mod master;
 pub mod message;
 pub mod metrics;
 pub mod policy;
+pub mod transport;
 
 pub use cache::{CacheKey, LruCache};
 pub use config::RuntimeConfig;
 pub use executor::{ExecutorHandle, JobContext};
 pub use local::LocalCluster;
-pub use master::{ChaosPlan, FaultPlan, JobEvent, JobResult, Master};
+pub use master::{ChaosPlan, FaultPlan, Injector, JobEvent, JobResult, Master};
 pub use message::{AttemptId, ExecId, InjectedFault, MasterMsg};
 pub use metrics::JobMetrics;
 pub use policy::{Candidate, LeastLoaded, RoundRobinCacheAware, SchedulingPolicy, TaskToPlace};
+pub use transport::{DirectionFaults, NetworkFault, PartitionSpec};

@@ -125,6 +125,8 @@ fn random_fault_plan(rng: &mut StdRng, seed: u64) -> FaultPlan {
             max_faults_per_task: MAX_FAULTS_PER_TASK,
         }),
         first_attempt_delays: Vec::new(),
+        first_attempt_done_delays: Vec::new(),
+        network: None,
     }
 }
 

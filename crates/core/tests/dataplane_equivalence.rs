@@ -273,6 +273,8 @@ fn chaos_outputs_match_cloning_reference_plane() {
                     max_faults_per_task: 2,
                 }),
                 first_attempt_delays: Vec::new(),
+                first_attempt_done_delays: Vec::new(),
+                network: None,
             };
             let result = LocalCluster::new(2, 2)
                 .with_config(config())

@@ -265,6 +265,58 @@ fn assert_no_double_commit(events: &[JobEvent]) {
     }
 }
 
+/// A task whose computation finishes but whose `TaskDone` report stalls
+/// (`DelayDone`) while its executor is evicted: the stale report arrives
+/// from a dead container and must be discarded, the task relaunches, and
+/// the output is unchanged. This pins the evict-vs-commit race end to
+/// end at the transport boundary.
+#[test]
+fn delayed_done_report_from_evicted_executor_is_discarded() {
+    let dag = wordcount_dag(4);
+    let plan = compile(&dag).unwrap();
+    let source_fop = plan
+        .fops
+        .iter()
+        .find(|f| plan.in_edges(f.id).is_empty())
+        .expect("source fop")
+        .id;
+    let config = RuntimeConfig {
+        speculation: false,
+        ..fast_config()
+    };
+    let baseline = LocalCluster::new(1, 1)
+        .with_config(config.clone())
+        .run(&dag)
+        .unwrap();
+    // Task 0 computes, then sits on its Done report for 300 ms; after one
+    // other completion the sole transient container (running it) is
+    // evicted, so the report outlives its executor.
+    let faults = FaultPlan {
+        first_attempt_done_delays: vec![(source_fop, 0, 300)],
+        evictions: vec![(1, 0)],
+        ..Default::default()
+    };
+    let result = LocalCluster::new(1, 1)
+        .with_config(config)
+        .run_with_faults(&dag, faults)
+        .unwrap();
+    assert_eq!(
+        result.outputs["Out"], baseline.outputs["Out"],
+        "stale Done report leaked into the result"
+    );
+    assert_eq!(result.metrics.evictions, 1);
+    assert!(
+        result.metrics.relaunched_tasks >= 1,
+        "the stalled task must relaunch after its executor died: {:?}",
+        result.metrics
+    );
+    assert_eq!(
+        result.metrics.task_failures, 0,
+        "a delayed report is not a user-code failure"
+    );
+    assert_no_double_commit(&result.events);
+}
+
 /// Master restart (satellite of §3.2.6): the replacement master resumes
 /// from the snapshot, never relaunches a commit that survived recovery,
 /// and the outputs match the fault-free run.

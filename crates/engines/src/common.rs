@@ -236,6 +236,22 @@ pub struct RunMetrics {
     /// Speculative duplicates that committed first (0 in simulation;
     /// parity with the runtime's `JobMetrics`).
     pub speculative_wins: usize,
+    /// Control-plane messages the network dropped. The simulated engines
+    /// assume a reliable control plane, so they report 0; the field
+    /// exists for report parity with the runtime's `JobMetrics`.
+    pub messages_dropped: usize,
+    /// Control-plane messages delivered twice (0 in simulation; parity
+    /// with the runtime's `JobMetrics`).
+    pub messages_duplicated: usize,
+    /// Control-plane retransmissions (0 in simulation; parity with the
+    /// runtime's `JobMetrics`).
+    pub messages_retransmitted: usize,
+    /// Missed-heartbeat flags (0 in simulation; parity with the
+    /// runtime's `JobMetrics`).
+    pub heartbeats_missed: usize,
+    /// Executors declared dead by a failure detector (0 in simulation;
+    /// parity with the runtime's `JobMetrics`).
+    pub executors_declared_dead: usize,
 }
 
 impl RunMetrics {

@@ -13,4 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> network-chaos equivalence suite"
+cargo test -p pado-core --test network_chaos -q
+
 echo "All checks passed."
