@@ -4,12 +4,16 @@
 //! job on the in-process cluster, and checks the result byte-for-byte
 //! against a fault-free baseline plus the commit/retry invariants.
 //!
-//! Usage: `cargo run -p pado-bench --bin chaos [n_seeds] [--network]`
+//! Usage: `cargo run -p pado-bench --bin chaos [n_seeds] [--network]
+//! [--journal <path>]`
 //! `--network` adds the transport dimension: seeded message
 //! drop/duplicate/reorder/delay in both directions plus timed executor
 //! partitions kept below the dead-executor threshold, so outputs must
 //! still match the fault-free baseline byte-for-byte.
-//! Exits non-zero if any seed violates an invariant.
+//! `--journal <path>` writes a Chrome-trace JSON of the last seed's
+//! journal to `<path>` (open it in chrome://tracing or Perfetto).
+//! Every seed's journal additionally replays through the generic
+//! invariant checker. Exits non-zero if any seed violates an invariant.
 
 use std::collections::HashMap;
 
@@ -182,7 +186,14 @@ fn random_fault_plan(
 /// Checks the per-seed invariants; returns violation descriptions.
 fn violations(result: &JobResult, faults: &FaultPlan) -> Vec<String> {
     let mut out = Vec::new();
-    let events = &result.events;
+
+    // Replay through the generic invariant checker first.
+    for v in pado_core::runtime::check(&result.journal, true) {
+        out.push(v.to_string());
+    }
+
+    let events = result.journal.to_events();
+    let events = &events;
 
     let mut failures: HashMap<(usize, usize), usize> = HashMap::new();
     for e in events {
@@ -197,8 +208,10 @@ fn violations(result: &JobResult, faults: &FaultPlan) -> Vec<String> {
             ));
         }
     }
+    // The journal survives master restarts, so the failure metric always
+    // equals the event count.
     let total_failures: usize = failures.values().sum();
-    if faults.master_failure_after.is_none() && result.metrics.task_failures != total_failures {
+    if result.metrics.task_failures != total_failures {
         out.push(format!(
             "metrics say {} failures, event log says {total_failures}",
             result.metrics.task_failures
@@ -208,7 +221,7 @@ fn violations(result: &JobResult, faults: &FaultPlan) -> Vec<String> {
     let mut committed: HashMap<(usize, usize), bool> = HashMap::new();
     for e in events {
         match e {
-            JobEvent::TaskCommitted { fop, index } => {
+            JobEvent::TaskCommitted { fop, index, .. } => {
                 let slot = committed.entry((*fop, *index)).or_insert(false);
                 if *slot {
                     out.push(format!("double commit of task {fop}.{index}"));
@@ -263,9 +276,13 @@ fn violations(result: &JobResult, faults: &FaultPlan) -> Vec<String> {
 fn main() {
     let mut n_seeds: u64 = 100;
     let mut network = false;
-    for arg in std::env::args().skip(1) {
+    let mut journal_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         if arg == "--network" {
             network = true;
+        } else if arg == "--journal" {
+            journal_path = Some(args.next().expect("--journal needs a path"));
         } else {
             n_seeds = arg.parse().expect("n_seeds must be an integer");
         }
@@ -293,6 +310,7 @@ fn main() {
     let (mut ok, mut bad) = (0u64, 0u64);
     let mut total_failures = 0usize;
     let mut total_spec = 0usize;
+    let mut last_journal = None;
     for seed in 0..n_seeds {
         let shape = (seed % shapes.len() as u64) as usize;
         let (name, dag) = &shapes[shape];
@@ -345,11 +363,22 @@ fn main() {
         }
         total_failures += result.metrics.task_failures;
         total_spec += result.metrics.speculative_launches;
+        last_journal = Some(result.journal);
         if probs.is_empty() {
             ok += 1;
         } else {
             bad += 1;
         }
+    }
+    if let (Some(path), Some(journal)) = (&journal_path, &last_journal) {
+        if let Some(dir) = std::path::Path::new(path)
+            .parent()
+            .filter(|d| !d.as_os_str().is_empty())
+        {
+            std::fs::create_dir_all(dir).expect("create trace directory");
+        }
+        std::fs::write(path, journal.chrome_trace()).expect("write Chrome trace");
+        println!("wrote Chrome trace of the last seed to {path}");
     }
     println!(
         "\n{ok}/{n_seeds} seeds clean, {bad} violating; \

@@ -12,9 +12,13 @@
 //!   the in-process cluster, reporting records/sec, total record clones,
 //!   and peak resident set (`VmHWM`).
 //!
-//! Usage: `cargo run -p pado-bench --release --bin dataplane [-- --smoke]`
-//! `--smoke` shrinks datasets for CI. Exits non-zero if the block plane
-//! loses its guarantees (speedup or clone counts).
+//! Usage: `cargo run -p pado-bench --release --bin dataplane
+//! [-- --smoke] [--trace <path>]`
+//! `--smoke` shrinks datasets for CI. `--trace <path>` writes a
+//! Chrome-trace JSON of the broadcast-heavy end-to-end run's event
+//! journal to `<path>` (open it in chrome://tracing or Perfetto). Exits
+//! non-zero if the block plane loses its guarantees (speedup or clone
+//! counts).
 
 use std::time::Instant;
 
@@ -140,8 +144,12 @@ fn shuffle_kernel(n: usize, consumers: usize) -> (f64, f64, u64) {
     (block_secs, cloning_secs, n as u64)
 }
 
-/// End-to-end cluster run; returns (secs, records out, clone delta).
-fn run_pipeline(dag: &pado_dag::LogicalDag, snapshot_every: usize) -> (f64, u64, u64) {
+/// End-to-end cluster run; returns (secs, records out, clone delta) plus
+/// the run's event journal (for `--trace` export).
+fn run_pipeline(
+    dag: &pado_dag::LogicalDag,
+    snapshot_every: usize,
+) -> (f64, u64, u64, pado_core::runtime::EventJournal) {
     let config = RuntimeConfig {
         slots_per_executor: 2,
         snapshot_every,
@@ -154,8 +162,9 @@ fn run_pipeline(dag: &pado_dag::LogicalDag, snapshot_every: usize) -> (f64, u64,
         .run(dag)
         .expect("pipeline run");
     let secs = t0.elapsed().as_secs_f64();
+    pado_core::runtime::assert_clean(&result.journal, true);
     let out: u64 = result.outputs.values().map(|v| v.len() as u64).sum();
-    (secs, out, clone_count() - before)
+    (secs, out, clone_count() - before, result.journal)
 }
 
 fn shuffle_heavy_dag(n: i64) -> pado_dag::LogicalDag {
@@ -208,6 +217,13 @@ fn broadcast_heavy_dag(n: i64, consumers: usize) -> pado_dag::LogicalDag {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut trace_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--trace" {
+            trace_path = Some(args.next().expect("--trace needs a path"));
+        }
+    }
     let (n_kernel, consumers) = if smoke { (20_000, 8) } else { (200_000, 16) };
     let n_e2e: i64 = if smoke { 20_000 } else { 200_000 };
 
@@ -238,12 +254,22 @@ fn main() {
     );
 
     println!("\n== end-to-end: in-process cluster, snapshots every 2 completions ==");
-    let (secs, out, clones) = run_pipeline(&shuffle_heavy_dag(n_e2e), 2);
+    let (secs, out, clones, _) = run_pipeline(&shuffle_heavy_dag(n_e2e), 2);
     println!(
         "shuffle-heavy    {n_e2e} rec  {}  {out} out  {clones} record clones",
         fmt_rate(n_e2e as u64, secs),
     );
-    let (secs, out, clones) = run_pipeline(&broadcast_heavy_dag(n_e2e, consumers), 2);
+    let (secs, out, clones, journal) = run_pipeline(&broadcast_heavy_dag(n_e2e, consumers), 2);
+    if let Some(path) = &trace_path {
+        if let Some(dir) = std::path::Path::new(path)
+            .parent()
+            .filter(|d| !d.as_os_str().is_empty())
+        {
+            std::fs::create_dir_all(dir).expect("create trace directory");
+        }
+        std::fs::write(path, journal.chrome_trace()).expect("write Chrome trace");
+        println!("wrote Chrome trace of the broadcast-heavy run to {path}");
+    }
     let pushed = n_e2e as u64 * consumers as u64;
     println!(
         "broadcast-heavy  {pushed} rec pushed  {}  {out} out  {clones} record clones",

@@ -3,7 +3,12 @@
 //! recomputation-cost scores, and the fused physical plan — a textual
 //! rendition of the paper's Figure 3.
 //!
-//! Usage: `cargo run -p pado-bench --bin explain [als|mlr|mr]`
+//! Usage: `cargo run -p pado-bench --bin explain [als|mlr|mr|timeline]`
+//!
+//! `timeline` instead prints the event-journal timeline of a small
+//! deterministic demo job (fixed chaos seed, one scripted eviction) —
+//! the exact bytes pinned by the golden test in
+//! `crates/bench/tests/golden_timeline.rs`.
 
 use pado_core::compiler::{compile, partition, place_operators, recomputation_scores, Placement};
 use pado_dag::LogicalDag;
@@ -69,6 +74,12 @@ fn explain(name: &str, dag: &LogicalDag) {
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    if which == "timeline" {
+        // Bare output so `explain timeline > .../golden/timeline.txt`
+        // regenerates the golden file verbatim.
+        print!("{}", pado_bench::demo_timeline());
+        return;
+    }
     if which == "mr" || which == "all" {
         explain("Map-Reduce (Figure 3a)", &mr::paper().0);
     }

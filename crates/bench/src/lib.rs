@@ -301,6 +301,68 @@ pub fn ascii_cdf_chart(series: &[(&str, Vec<(u64, f64)>)], width: usize, height:
     out
 }
 
+/// Runs a small deterministic demo job and returns its frozen event
+/// journal: a serial chain (parallelism 1 everywhere) on one transient
+/// plus one reserved executor, with a fixed-seed chaos plan (UDF errors
+/// only) and one scripted eviction. Only one task is ever in flight, so
+/// the canonical journal — and thus the time-elided timeline — is
+/// byte-stable run over run. This is the job behind `explain timeline`
+/// and the golden timeline test.
+pub fn demo_journal() -> pado_core::runtime::EventJournal {
+    use pado_core::runtime::{ChaosPlan, FaultPlan, LocalCluster, RuntimeConfig};
+    use pado_dag::{CombineFn, ParDoFn, Pipeline, SourceFn, Value};
+
+    let p = Pipeline::new();
+    p.read(
+        "Read",
+        1,
+        SourceFn::from_vec((0..12i64).map(Value::from).collect()),
+    )
+    .par_do(
+        "Key",
+        ParDoFn::per_element(|v, e| {
+            e(Value::pair(Value::from(v.as_i64().unwrap() % 2), v.clone()))
+        }),
+    )
+    .combine_per_key("Sum", CombineFn::sum_i64())
+    .sink("Out");
+    let dag = p.build().unwrap();
+    let config = RuntimeConfig {
+        slots_per_executor: 1,
+        speculation: false,
+        // No blacklisting: a blacklist provisions a replacement container
+        // that would run tasks concurrently with the old one, and the
+        // interleaving of their commits is thread-timing, not seed.
+        executor_fault_threshold: 100,
+        heartbeat_interval_ms: 1_000,
+        dead_executor_timeout_ms: 60_000,
+        ..Default::default()
+    };
+    let faults = FaultPlan {
+        evictions: vec![(1, 0)],
+        chaos: Some(ChaosPlan {
+            seed: 7,
+            error_prob: 0.5,
+            panic_prob: 0.0,
+            delay_prob: 0.0,
+            delay_ms: 0,
+            max_faults_per_task: 1,
+        }),
+        ..Default::default()
+    };
+    LocalCluster::new(1, 1)
+        .with_config(config)
+        .run_with_faults(&dag, faults)
+        .expect("demo job")
+        .journal
+}
+
+/// The demo job's human-readable timeline with the timestamp column
+/// elided (the byte-stable, golden-tested form).
+pub fn demo_timeline() -> String {
+    demo_journal().render_timeline(false)
+}
+
 #[cfg(test)]
 mod chart_tests {
     use super::*;

@@ -1,0 +1,37 @@
+//! Golden test for the event-journal timeline: the deterministic demo
+//! job (fixed chaos seed, one scripted eviction, strictly serial
+//! execution) must render exactly the checked-in bytes.
+//!
+//! If an intentional change to the journal, the scheduler, or the
+//! timeline format shifts the output, regenerate with:
+//!
+//! ```text
+//! cargo run -p pado-bench --bin explain timeline \
+//!     > crates/bench/tests/golden/timeline.txt
+//! ```
+
+#[test]
+fn demo_timeline_matches_golden() {
+    let got = pado_bench::demo_timeline();
+    let want = include_str!("golden/timeline.txt");
+    assert_eq!(
+        got, want,
+        "demo timeline drifted from the golden file; if intentional, \
+         regenerate with `cargo run -p pado-bench --bin explain timeline \
+         > crates/bench/tests/golden/timeline.txt`"
+    );
+}
+
+#[test]
+fn demo_journal_replays_cleanly_and_derives_consistent_metrics() {
+    let journal = pado_bench::demo_journal();
+    pado_core::runtime::assert_clean(&journal, true);
+    let m = journal.derive_metrics();
+    assert_eq!(m.evictions, 1, "the scripted eviction is in the journal");
+    assert!(m.task_failures > 0, "the chaos seed injects UDF failures");
+    assert_eq!(
+        m.tasks_launched,
+        m.original_tasks + m.relaunched_tasks + m.speculative_launches,
+        "launch ledger balances: {m:?}"
+    );
+}

@@ -29,6 +29,7 @@ use crate::compiler::{PhysicalPlan, Placement};
 use crate::exec::apply_chain;
 use crate::runtime::cache::{CacheKey, LruCache};
 use crate::runtime::config::RuntimeConfig;
+use crate::runtime::journal::{JobEvent, Journal};
 use crate::runtime::message::{ExecId, ExecutorMsg, InjectedFault, MasterMsg, TaskSpec};
 use crate::runtime::transport::{
     DedupWindow, Direction, ExecIn, FaultyLink, NetPolicy, ReliableSender, TransportCounters, Wire,
@@ -85,7 +86,10 @@ impl ExecutorHandle {
     /// one control thread bridging them to the (possibly faulty) wire.
     ///
     /// `to_master` is the master's inbound wire; `net` injects the seeded
-    /// network faults (`None` = perfectly reliable transport).
+    /// network faults (`None` = perfectly reliable transport); `journal`
+    /// is the job's shared execution journal (worker slots log task
+    /// starts, the reliable endpoint logs retransmissions).
+    #[allow(clippy::too_many_arguments)]
     pub fn spawn(
         id: ExecId,
         kind: Placement,
@@ -93,6 +97,7 @@ impl ExecutorHandle {
         to_master: Sender<Wire<MasterMsg>>,
         net: Option<Arc<NetPolicy>>,
         counters: Arc<TransportCounters>,
+        journal: Journal,
     ) -> Self {
         install_panic_hook_filter();
         let (ctrl_tx, ctrl_rx) = crossbeam::channel::unbounded::<ExecIn>();
@@ -105,9 +110,10 @@ impl ExecutorHandle {
                 let job = Arc::clone(&job);
                 let ctrl_tx = ctrl_tx.clone();
                 let cache = Arc::clone(&cache);
+                let journal = journal.clone();
                 std::thread::Builder::new()
                     .name(format!("pado-exec-{id}-slot{slot}"))
-                    .spawn(move || worker_loop(id, task_rx, job, ctrl_tx, cache))
+                    .spawn(move || worker_loop(id, task_rx, job, ctrl_tx, cache, journal))
                     .expect("spawn executor worker thread")
             })
             .collect();
@@ -122,7 +128,8 @@ impl ExecutorHandle {
             Duration::from_millis(job.config.retransmit_base_ms),
             Duration::from_millis(job.config.retransmit_max_ms),
             seed ^ (id as u64),
-        );
+        )
+        .with_journal(journal, true);
         let heartbeat = Duration::from_millis(job.config.heartbeat_interval_ms.max(1));
         let dedup = DedupWindow::new(job.config.transport_dedup_window);
         threads.push(
@@ -168,12 +175,13 @@ fn worker_loop(
     job: Arc<JobContext>,
     ctrl: Sender<ExecIn>,
     cache: Arc<Mutex<LruCache>>,
+    journal: Journal,
 ) {
     while let Ok(msg) = rx.recv() {
         match msg {
             ExecutorMsg::Stop => break,
             ExecutorMsg::Run(spec) => {
-                let done = run_task(exec, &job, &cache, spec);
+                let done = run_task(exec, &job, &cache, &journal, spec);
                 if ctrl.send(ExecIn::Out(done)).is_err() {
                     break; // The control thread is gone; the executor died.
                 }
@@ -263,7 +271,25 @@ struct TaskOutput {
 /// panic (a UDF's, or a runtime bug's) yields a [`MasterMsg::TaskFailed`]
 /// instead of killing the worker slot silently: the slot stays alive and
 /// the master learns the attempt died.
-fn run_task(exec: ExecId, job: &JobContext, cache: &Mutex<LruCache>, spec: TaskSpec) -> MasterMsg {
+fn run_task(
+    exec: ExecId,
+    job: &JobContext,
+    cache: &Mutex<LruCache>,
+    journal: &Journal,
+    spec: TaskSpec,
+) -> MasterMsg {
+    // Every attempt that reaches a worker slot logs a start — including
+    // ones an injected fault will fail before the body runs (the fault
+    // models user code dying, which starts executing first).
+    journal.emit(
+        job.plan.fops.get(spec.fop).map(|f| f.stage),
+        JobEvent::TaskStarted {
+            fop: spec.fop,
+            index: spec.index,
+            attempt: spec.attempt,
+            exec,
+        },
+    );
     match spec.inject {
         Some(InjectedFault::Delay(ms)) => {
             // Simulated straggler: stall, then compute normally.
@@ -506,7 +532,7 @@ mod tests {
         install_panic_hook_filter();
         let msg = std::thread::Builder::new()
             .name(format!("{WORKER_THREAD_PREFIX}test-slot0"))
-            .spawn(move || run_task(3, &job, &cache, spec))
+            .spawn(move || run_task(3, &job, &cache, &Journal::new(), spec))
             .unwrap()
             .join()
             .expect("run_task must catch the panic, not unwind the slot");

@@ -1,0 +1,640 @@
+//! Replayable invariant checker for the execution journal.
+//!
+//! [`check`] replays a frozen [`EventJournal`] — no access to the plan,
+//! the master, or live state; the journal's embedded
+//! [`JournalMeta`](crate::runtime::journal::JournalMeta) is all it needs
+//! — and asserts the runtime laws the paper's protocol implies:
+//!
+//! 1. **Commit-once** (§3.2): at most one committing attempt per task
+//!    between reverts; each attempt reports terminally at most once, and
+//!    only after it was launched.
+//! 2. **Inputs-before-launch** (§3.2.3): a task launches only when every
+//!    required producer output is committed and not since reverted.
+//! 3. **Placement** (§3.2): no launch on a blacklisted executor or one
+//!    already evicted / failed / declared dead; no commit arrives from a
+//!    lost executor (the master must discard those reports).
+//! 4. **Recovery** (§3.2.5–§3.2.6): every container loss or blacklisting
+//!    is followed by a replacement container, and on a successful run
+//!    every reverted task is re-committed, every task ends committed, and
+//!    every stage ends complete.
+//! 5. **Bounded retransmission**: no message is retransmitted more than
+//!    the journal's configured bound.
+//! 6. **Stage bracketing**: `StageCompleted` only fires on an open
+//!    stage, `StageReopened` only on a complete one.
+//! 7. **Retry budget**: per-task failure counts stay below
+//!    `max_task_attempts` on successful runs (counts reset when a
+//!    recovered master resets its bookkeeping).
+//!
+//! Test suites call [`assert_clean`] on every seeded run, so the ~220
+//! chaos / network-chaos / equivalence seeds verify protocol
+//! conformance, not just byte-identical outputs.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use crate::compiler::FopId;
+use crate::runtime::journal::{EventJournal, JobEvent};
+use crate::runtime::message::{AttemptId, ExecId};
+
+/// One invariant violation found during replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Canonical position of the offending record (index into
+    /// [`EventJournal::records`]); `usize::MAX` for end-of-journal
+    /// checks that have no single offending record.
+    pub position: usize,
+    /// Human-readable diagnostic naming the entities involved.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.position == usize::MAX {
+            write!(f, "[end] {}", self.message)
+        } else {
+            write!(f, "[#{}] {}", self.position, self.message)
+        }
+    }
+}
+
+/// Replays the journal and returns every invariant violation found.
+/// `success` tells the checker whether the job completed (end-of-journal
+/// completeness laws only hold for successful runs; a failed job is
+/// allowed to end with reverted tasks, open stages, and an exhausted
+/// retry budget).
+pub fn check(journal: &EventJournal, success: bool) -> Vec<Violation> {
+    let meta = journal.meta();
+    let mut violations = Vec::new();
+    // attempt -> (fop, index, exec) of its launch
+    let mut launched: HashMap<AttemptId, (FopId, usize, ExecId)> = HashMap::new();
+    // attempts that already reported terminally (committed or failed)
+    let mut terminal: HashSet<AttemptId> = HashSet::new();
+    // task -> currently-committing attempt
+    let mut committed: HashMap<(FopId, usize), AttemptId> = HashMap::new();
+    let mut blacklisted: HashSet<ExecId> = HashSet::new();
+    let mut lost: HashSet<ExecId> = HashSet::new();
+    let mut stage_complete = vec![false; meta.n_stages];
+    // container losses + blacklistings not yet matched by a replacement
+    let mut pending_replacements: usize = 0;
+    // task -> failures since the last master recovery
+    let mut failures: HashMap<(FopId, usize), usize> = HashMap::new();
+    // (exec, to_master, seq) -> retransmission count
+    let mut retransmits: HashMap<(ExecId, bool, u64), usize> = HashMap::new();
+
+    let check_launch = |pos: usize,
+                        fop: FopId,
+                        index: usize,
+                        attempt: AttemptId,
+                        exec: ExecId,
+                        kind: &str,
+                        launched: &mut HashMap<AttemptId, (FopId, usize, ExecId)>,
+                        committed: &HashMap<(FopId, usize), AttemptId>,
+                        blacklisted: &HashSet<ExecId>,
+                        lost: &HashSet<ExecId>,
+                        violations: &mut Vec<Violation>| {
+        if launched.insert(attempt, (fop, index, exec)).is_some() {
+            violations.push(Violation {
+                position: pos,
+                message: format!("{kind} of task {fop}.{index} reuses attempt id {attempt}"),
+            });
+        }
+        if let Some(winner) = committed.get(&(fop, index)) {
+            violations.push(Violation {
+                position: pos,
+                message: format!(
+                    "{kind} of task {fop}.{index} (attempt {attempt}) while already \
+                         committed by attempt {winner}"
+                ),
+            });
+        }
+        if blacklisted.contains(&exec) {
+            violations.push(Violation {
+                position: pos,
+                message: format!(
+                    "{kind} of task {fop}.{index} attempt {attempt} on blacklisted exec {exec}"
+                ),
+            });
+        }
+        if lost.contains(&exec) {
+            violations.push(Violation {
+                position: pos,
+                message: format!(
+                    "{kind} of task {fop}.{index} attempt {attempt} on lost exec {exec}"
+                ),
+            });
+        }
+        if let Some(required) = meta.required.get(fop).and_then(|f| f.get(index)) {
+            for &(sf, si) in required {
+                if !committed.contains_key(&(sf, si)) {
+                    violations.push(Violation {
+                        position: pos,
+                        message: format!(
+                            "{kind} of task {fop}.{index} attempt {attempt} before its \
+                                 input {sf}.{si} is locatable"
+                        ),
+                    });
+                }
+            }
+        }
+    };
+
+    for (pos, record) in journal.records().iter().enumerate() {
+        match &record.event {
+            JobEvent::TaskLaunched {
+                fop,
+                index,
+                attempt,
+                exec,
+                ..
+            } => check_launch(
+                pos,
+                *fop,
+                *index,
+                *attempt,
+                *exec,
+                "launch",
+                &mut launched,
+                &committed,
+                &blacklisted,
+                &lost,
+                &mut violations,
+            ),
+            JobEvent::SpeculativeLaunched {
+                fop,
+                index,
+                attempt,
+                exec,
+                ..
+            } => check_launch(
+                pos,
+                *fop,
+                *index,
+                *attempt,
+                *exec,
+                "speculative launch",
+                &mut launched,
+                &committed,
+                &blacklisted,
+                &lost,
+                &mut violations,
+            ),
+            JobEvent::TaskStarted {
+                fop,
+                index,
+                attempt,
+                exec,
+            } => match launched.get(attempt) {
+                None => violations.push(Violation {
+                    position: pos,
+                    message: format!(
+                        "start of task {fop}.{index} attempt {attempt} that was never launched"
+                    ),
+                }),
+                Some(&(lf, li, le)) => {
+                    if (lf, li, le) != (*fop, *index, *exec) {
+                        violations.push(Violation {
+                            position: pos,
+                            message: format!(
+                                "start of attempt {attempt} as task {fop}.{index} on exec \
+                                 {exec}, but it launched as task {lf}.{li} on exec {le}"
+                            ),
+                        });
+                    }
+                }
+            },
+            JobEvent::TaskCommitted {
+                fop,
+                index,
+                attempt,
+                exec,
+                ..
+            } => {
+                match launched.get(attempt) {
+                    None => violations.push(Violation {
+                        position: pos,
+                        message: format!(
+                            "commit of task {fop}.{index} attempt {attempt} that was never \
+                             launched"
+                        ),
+                    }),
+                    Some(&(lf, li, _)) if (lf, li) != (*fop, *index) => {
+                        violations.push(Violation {
+                            position: pos,
+                            message: format!(
+                                "commit of attempt {attempt} as task {fop}.{index}, but it \
+                                 launched as task {lf}.{li}"
+                            ),
+                        });
+                    }
+                    Some(_) => {}
+                }
+                if !terminal.insert(*attempt) {
+                    violations.push(Violation {
+                        position: pos,
+                        message: format!(
+                            "attempt {attempt} of task {fop}.{index} reported terminally twice"
+                        ),
+                    });
+                }
+                if lost.contains(exec) {
+                    violations.push(Violation {
+                        position: pos,
+                        message: format!(
+                            "commit of task {fop}.{index} attempt {attempt} accepted from \
+                             lost exec {exec}"
+                        ),
+                    });
+                }
+                if let Some(winner) = committed.insert((*fop, *index), *attempt) {
+                    violations.push(Violation {
+                        position: pos,
+                        message: format!(
+                            "double commit of task {fop}.{index}: attempt {winner} committed, \
+                             then attempt {attempt} committed without an intervening revert"
+                        ),
+                    });
+                }
+            }
+            JobEvent::TaskFailed {
+                fop,
+                index,
+                attempt,
+                ..
+            } => {
+                if !launched.contains_key(attempt) {
+                    violations.push(Violation {
+                        position: pos,
+                        message: format!(
+                            "failure of task {fop}.{index} attempt {attempt} that was never \
+                             launched"
+                        ),
+                    });
+                }
+                if !terminal.insert(*attempt) {
+                    violations.push(Violation {
+                        position: pos,
+                        message: format!(
+                            "attempt {attempt} of task {fop}.{index} reported terminally twice"
+                        ),
+                    });
+                }
+                let count = failures.entry((*fop, *index)).or_insert(0);
+                *count += 1;
+                let over_budget = *count > meta.max_task_attempts
+                    || (success && *count >= meta.max_task_attempts && meta.max_task_attempts > 0);
+                if over_budget {
+                    violations.push(Violation {
+                        position: pos,
+                        message: format!(
+                            "task {fop}.{index} failed {count} times (budget {}) {}",
+                            meta.max_task_attempts,
+                            if success {
+                                "yet the job succeeded"
+                            } else {
+                                "exceeding the retry budget"
+                            }
+                        ),
+                    });
+                }
+            }
+            JobEvent::TaskReverted { fop, index } => {
+                if committed.remove(&(*fop, *index)).is_none() {
+                    violations.push(Violation {
+                        position: pos,
+                        message: format!("revert of task {fop}.{index} that was not committed"),
+                    });
+                }
+            }
+            JobEvent::ExecutorBlacklisted(e) => {
+                if !blacklisted.insert(*e) {
+                    violations.push(Violation {
+                        position: pos,
+                        message: format!("exec {e} blacklisted twice"),
+                    });
+                }
+                pending_replacements += 1;
+            }
+            JobEvent::ContainerEvicted(e)
+            | JobEvent::ReservedFailed(e)
+            | JobEvent::ExecutorDeclaredDead(e) => {
+                if !lost.insert(*e) {
+                    violations.push(Violation {
+                        position: pos,
+                        message: format!("exec {e} lost twice"),
+                    });
+                }
+                pending_replacements += 1;
+            }
+            JobEvent::ContainerAdded(e) => {
+                if lost.contains(e) || blacklisted.contains(e) {
+                    violations.push(Violation {
+                        position: pos,
+                        message: format!("replacement container reuses retired exec id {e}"),
+                    });
+                }
+                if pending_replacements == 0 {
+                    violations.push(Violation {
+                        position: pos,
+                        message: format!("container {e} added with no preceding loss"),
+                    });
+                } else {
+                    pending_replacements -= 1;
+                }
+            }
+            JobEvent::HeartbeatMissed(_) => {}
+            JobEvent::StageCompleted(s) => match stage_complete.get_mut(*s) {
+                None => violations.push(Violation {
+                    position: pos,
+                    message: format!("completion of unknown stage {s}"),
+                }),
+                Some(flag) if *flag => violations.push(Violation {
+                    position: pos,
+                    message: format!("stage {s} completed while already complete"),
+                }),
+                Some(flag) => *flag = true,
+            },
+            JobEvent::StageReopened { stage, .. } => match stage_complete.get_mut(*stage) {
+                None => violations.push(Violation {
+                    position: pos,
+                    message: format!("reopening of unknown stage {stage}"),
+                }),
+                Some(flag) if !*flag => violations.push(Violation {
+                    position: pos,
+                    message: format!("stage {stage} reopened while already open"),
+                }),
+                Some(flag) => *flag = false,
+            },
+            JobEvent::MessageRetransmitted {
+                exec,
+                to_master,
+                seq,
+            } => {
+                let count = retransmits.entry((*exec, *to_master, *seq)).or_insert(0);
+                *count += 1;
+                if *count == meta.retransmit_bound + 1 {
+                    let dir = if *to_master { "to-master" } else { "to-exec" };
+                    violations.push(Violation {
+                        position: pos,
+                        message: format!(
+                            "message seq {seq} on the {dir} link of exec {exec} retransmitted \
+                             more than {} times",
+                            meta.retransmit_bound
+                        ),
+                    });
+                }
+            }
+            JobEvent::MasterRecovered => {
+                // A recovered master rebuilds its per-task failure budget
+                // from scratch, so the replay budget resets with it.
+                failures.clear();
+            }
+        }
+    }
+
+    if success {
+        for (fop, &par) in meta.parallelism.iter().enumerate() {
+            for index in 0..par {
+                if !committed.contains_key(&(fop, index)) {
+                    violations.push(Violation {
+                        position: usize::MAX,
+                        message: format!("job succeeded but task {fop}.{index} never committed"),
+                    });
+                }
+            }
+        }
+        for (s, &complete) in stage_complete.iter().enumerate() {
+            if !complete {
+                violations.push(Violation {
+                    position: usize::MAX,
+                    message: format!("job succeeded but stage {s} never completed"),
+                });
+            }
+        }
+        if pending_replacements > 0 {
+            violations.push(Violation {
+                position: usize::MAX,
+                message: format!(
+                    "{pending_replacements} container loss(es) never followed by a replacement"
+                ),
+            });
+        }
+    }
+
+    violations
+}
+
+/// Panics with every violation found, or returns quietly on a clean
+/// journal. The panic message includes the rendered timeline position of
+/// each violation so a failing seed is directly debuggable.
+pub fn assert_clean(journal: &EventJournal, success: bool) {
+    let violations = check(journal, success);
+    if !violations.is_empty() {
+        let rendered: Vec<String> = violations.iter().map(|v| v.to_string()).collect();
+        panic!(
+            "journal violates {} invariant(s):\n  {}",
+            rendered.len(),
+            rendered.join("\n  ")
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::journal::{JournalMeta, JournalRecord};
+
+    /// Two chained single-task fops in one stage: 1.0 requires 0.0.
+    fn meta() -> JournalMeta {
+        JournalMeta {
+            n_stages: 1,
+            stage_of: vec![0, 0],
+            parallelism: vec![1, 1],
+            required: vec![vec![vec![]], vec![vec![(0, 0)]]],
+            max_task_attempts: 4,
+            retransmit_bound: 2,
+        }
+    }
+
+    fn journal(events: Vec<JobEvent>) -> EventJournal {
+        let records = events
+            .into_iter()
+            .enumerate()
+            .map(|(i, event)| JournalRecord {
+                seq: i as u64,
+                at_us: i as u64 * 10,
+                stage: Some(0),
+                event,
+            })
+            .collect();
+        EventJournal::from_parts(meta(), records)
+    }
+
+    fn launch(fop: FopId, index: usize, attempt: AttemptId, exec: ExecId) -> JobEvent {
+        JobEvent::TaskLaunched {
+            fop,
+            index,
+            attempt,
+            exec,
+            relaunch: false,
+            side_bytes_sent: 0,
+            side_bytes_saved: 0,
+            side_cache_misses: 0,
+        }
+    }
+
+    fn commit(fop: FopId, index: usize, attempt: AttemptId, exec: ExecId) -> JobEvent {
+        JobEvent::TaskCommitted {
+            fop,
+            index,
+            attempt,
+            exec,
+            speculative: false,
+            bytes_pushed: 0,
+            preaggregated: 0,
+            cache_hit: false,
+        }
+    }
+
+    #[test]
+    fn clean_successful_run_passes() {
+        let j = journal(vec![
+            launch(0, 0, 1, 0),
+            commit(0, 0, 1, 0),
+            launch(1, 0, 2, 1),
+            commit(1, 0, 2, 1),
+            JobEvent::StageCompleted(0),
+        ]);
+        assert_clean(&j, true);
+    }
+
+    #[test]
+    fn injected_double_commit_is_detected_naming_both_attempts() {
+        let j = journal(vec![
+            launch(0, 0, 7, 0),
+            JobEvent::SpeculativeLaunched {
+                fop: 0,
+                index: 0,
+                attempt: 9,
+                exec: 1,
+                side_bytes_sent: 0,
+                side_bytes_saved: 0,
+                side_cache_misses: 0,
+            },
+            commit(0, 0, 7, 0),
+            commit(0, 0, 9, 1),
+        ]);
+        let violations = check(&j, false);
+        assert_eq!(violations.len(), 1, "violations: {violations:?}");
+        let msg = &violations[0].message;
+        assert!(msg.contains("double commit of task 0.0"), "got: {msg}");
+        assert!(
+            msg.contains("attempt 7") && msg.contains("attempt 9"),
+            "diagnostic must name both attempts, got: {msg}"
+        );
+    }
+
+    #[test]
+    fn launch_before_inputs_locatable_is_detected() {
+        let j = journal(vec![launch(1, 0, 1, 0)]);
+        let violations = check(&j, false);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.message.contains("before its input 0.0 is locatable")),
+            "got: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn launch_on_lost_or_blacklisted_executor_is_detected() {
+        let j = journal(vec![
+            JobEvent::ContainerEvicted(3),
+            JobEvent::ContainerAdded(4),
+            launch(0, 0, 1, 3),
+        ]);
+        assert!(check(&j, false)
+            .iter()
+            .any(|v| v.message.contains("on lost exec 3")),);
+        let j = journal(vec![
+            JobEvent::ExecutorBlacklisted(2),
+            JobEvent::ContainerAdded(4),
+            launch(0, 0, 1, 2),
+        ]);
+        assert!(check(&j, false)
+            .iter()
+            .any(|v| v.message.contains("on blacklisted exec 2")),);
+    }
+
+    #[test]
+    fn eviction_without_replacement_fails_successful_runs_only() {
+        let events = vec![
+            launch(0, 0, 1, 0),
+            commit(0, 0, 1, 0),
+            launch(1, 0, 2, 1),
+            commit(1, 0, 2, 1),
+            JobEvent::StageCompleted(0),
+            JobEvent::ContainerEvicted(5),
+        ];
+        let violations = check(&journal(events.clone()), true);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.message.contains("never followed by a replacement")),
+            "got: {violations:?}"
+        );
+        assert!(check(&journal(events), false).is_empty());
+    }
+
+    #[test]
+    fn stage_bracketing_is_enforced() {
+        let j = journal(vec![
+            JobEvent::StageCompleted(0),
+            JobEvent::StageCompleted(0),
+        ]);
+        assert!(check(&j, false)
+            .iter()
+            .any(|v| v.message.contains("already complete")),);
+        let j = journal(vec![JobEvent::StageReopened {
+            stage: 0,
+            recompute: true,
+        }]);
+        assert!(check(&j, false)
+            .iter()
+            .any(|v| v.message.contains("already open")),);
+    }
+
+    #[test]
+    fn retransmission_bound_is_enforced() {
+        let retry = JobEvent::MessageRetransmitted {
+            exec: 1,
+            to_master: true,
+            seq: 5,
+        };
+        let j = journal(vec![retry.clone(), retry.clone()]);
+        assert!(check(&j, false).is_empty(), "bound is 2, two retries fine");
+        let j = journal(vec![retry.clone(), retry.clone(), retry]);
+        let violations = check(&j, false);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.message.contains("retransmitted more than 2 times")),
+            "got: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn incomplete_task_fails_successful_run() {
+        let j = journal(vec![
+            launch(0, 0, 1, 0),
+            commit(0, 0, 1, 0),
+            JobEvent::StageCompleted(0),
+        ]);
+        let violations = check(&j, true);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.message.contains("task 1.0 never committed")),
+            "got: {violations:?}"
+        );
+    }
+}

@@ -1,0 +1,810 @@
+//! Structured execution journal: the single source of truth for what
+//! happened during a job.
+//!
+//! Every runtime component — the master's scheduler and commit protocol,
+//! executor worker slots, and the retransmitting transport endpoints —
+//! emits [`JobEvent`]s through a shared [`Journal`] handle. Each record
+//! carries a raw emission sequence number, a microsecond timestamp from
+//! the job epoch, and its causal keys (stage / task / attempt / executor
+//! ids live on the event variants themselves). A frozen [`EventJournal`]
+//! is attached to every [`JobResult`](crate::runtime::JobResult) and is
+//! what the rest of the system consumes:
+//!
+//! - [`EventJournal::derive_metrics`] folds the journal into
+//!   [`JobMetrics`] — counters are *derived* from events, never mirrored
+//!   by hand, so the metrics cannot drift from the log;
+//! - [`crate::runtime::invariants::check`] replays a journal and asserts
+//!   the runtime's protocol laws (commit-once, inputs-before-launch, …);
+//! - [`EventJournal::render_timeline`] prints a human-readable timeline;
+//! - [`EventJournal::chrome_trace`] exports `chrome://tracing` JSON.
+//!
+//! # Canonical order
+//!
+//! The master is single-threaded, so its emissions form a causal total
+//! order by raw sequence number. Executor worker slots emit
+//! [`JobEvent::TaskStarted`] concurrently, and transport endpoints emit
+//! [`JobEvent::MessageRetransmitted`] from both sides of the wire;
+//! freezing sorts each `TaskStarted` to sit directly after the launch of
+//! the same attempt, which makes the canonical order deterministic for a
+//! fixed seed whenever execution is serial (the golden-timeline
+//! configuration) and keeps "launch happens-before start" a structural
+//! fact the invariant checker can rely on.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use crate::compiler::FopId;
+use crate::runtime::message::{AttemptId, ExecId};
+use crate::runtime::metrics::JobMetrics;
+
+/// Per-message retransmission bound the invariant checker enforces: with
+/// a healthy ack path every message eventually lands, and even under
+/// heavy loss no single frame should need anywhere near this many tries.
+pub const MAX_RETRANSMISSIONS_PER_MESSAGE: usize = 64;
+
+/// One entry of the execution journal — the progress record a deployment
+/// would surface in a UI and replicate for master fault tolerance.
+///
+/// Task events carry their attempt id and executor; together with the
+/// record-level stage and timestamp every event is causally keyed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobEvent {
+    /// A task attempt was sent to an executor.
+    TaskLaunched {
+        /// Fused operator.
+        fop: FopId,
+        /// Task index.
+        index: usize,
+        /// The attempt id this launch was fenced with.
+        attempt: AttemptId,
+        /// Executor chosen.
+        exec: ExecId,
+        /// Whether this is a relaunch (not the first attempt).
+        relaunch: bool,
+        /// Side-input bytes shipped with this launch (cache misses).
+        side_bytes_sent: usize,
+        /// Side-input bytes served from the executor cache instead.
+        side_bytes_saved: usize,
+        /// Cacheable side inputs this launch had to ship.
+        side_cache_misses: usize,
+    },
+    /// A speculative duplicate of a straggling attempt was launched.
+    SpeculativeLaunched {
+        /// Fused operator.
+        fop: FopId,
+        /// Task index.
+        index: usize,
+        /// The duplicate's attempt id.
+        attempt: AttemptId,
+        /// Executor running the duplicate.
+        exec: ExecId,
+        /// Side-input bytes shipped with this launch (cache misses).
+        side_bytes_sent: usize,
+        /// Side-input bytes served from the executor cache instead.
+        side_bytes_saved: usize,
+        /// Cacheable side inputs this launch had to ship.
+        side_cache_misses: usize,
+    },
+    /// An executor worker slot began executing an attempt (emitted from
+    /// the executor, not the master).
+    TaskStarted {
+        /// Fused operator.
+        fop: FopId,
+        /// Task index.
+        index: usize,
+        /// The attempt now running.
+        attempt: AttemptId,
+        /// The executor it runs on.
+        exec: ExecId,
+    },
+    /// A task's output was pushed and committed.
+    TaskCommitted {
+        /// Fused operator.
+        fop: FopId,
+        /// Task index.
+        index: usize,
+        /// The committing attempt.
+        attempt: AttemptId,
+        /// Executor the attempt ran on.
+        exec: ExecId,
+        /// Whether the committing attempt was the speculative duplicate.
+        speculative: bool,
+        /// Output bytes pushed from a transient container to reserved
+        /// executors by this commit (0 when kept locally).
+        bytes_pushed: usize,
+        /// Records removed by transient-side partial aggregation.
+        preaggregated: usize,
+        /// Whether the attempt served its side input from the cache.
+        cache_hit: bool,
+    },
+    /// A task attempt failed in user code (error or caught panic).
+    TaskFailed {
+        /// Fused operator.
+        fop: FopId,
+        /// Task index.
+        index: usize,
+        /// The failed attempt.
+        attempt: AttemptId,
+        /// Executor the attempt ran on.
+        exec: ExecId,
+    },
+    /// A committed task's output was lost (container loss or master
+    /// recovery) and the task reverted to pending.
+    TaskReverted {
+        /// Fused operator.
+        fop: FopId,
+        /// Task index.
+        index: usize,
+    },
+    /// An executor was blacklisted after repeated user-code failures.
+    ExecutorBlacklisted(ExecId),
+    /// A Pado Stage finished (all its tasks committed).
+    StageCompleted(usize),
+    /// A completed stage re-opened.
+    StageReopened {
+        /// The stage that reverted to incomplete.
+        stage: usize,
+        /// `true` when a container loss destroyed the stage's preserved
+        /// outputs (the §3.2.6 recomputation path); `false` when a master
+        /// restart merely rolled the stage back to an older snapshot.
+        recompute: bool,
+    },
+    /// A transient container was evicted.
+    ContainerEvicted(ExecId),
+    /// A reserved executor failed.
+    ReservedFailed(ExecId),
+    /// The heartbeat failure detector declared an executor dead (treated
+    /// like an eviction: uncommitted work relaunches, committed blocks on
+    /// other executors keep serving).
+    ExecutorDeclaredDead(ExecId),
+    /// A replacement container was provisioned.
+    ContainerAdded(ExecId),
+    /// The failure detector flagged an executor as silent past the
+    /// heartbeat-miss threshold (slow, not yet dead).
+    HeartbeatMissed(ExecId),
+    /// A transport endpoint retransmitted an unacknowledged message
+    /// (emitted from the sending side of the wire).
+    MessageRetransmitted {
+        /// The executor endpoint of the link.
+        exec: ExecId,
+        /// `true` for the executor→master direction.
+        to_master: bool,
+        /// The link-level sequence number being retried.
+        seq: u64,
+    },
+    /// The master restarted from its replicated progress snapshot.
+    MasterRecovered,
+}
+
+/// One journal record: an event plus its emission order, timestamp, and
+/// the stage it belongs to (when the emitter knows it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// Raw emission sequence number (order the record entered the
+    /// journal; unique, monotone).
+    pub seq: u64,
+    /// Microseconds since the job epoch.
+    pub at_us: u64,
+    /// The Pado stage this event belongs to, when known.
+    pub stage: Option<usize>,
+    /// The event itself.
+    pub event: JobEvent,
+}
+
+/// Static plan facts embedded in every frozen journal so it replays
+/// self-contained: the invariant checker needs no access to the plan,
+/// only the journal.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct JournalMeta {
+    /// Number of stages in the physical plan.
+    pub n_stages: usize,
+    /// Stage of each fused operator.
+    pub stage_of: Vec<usize>,
+    /// Task count of each fused operator.
+    pub parallelism: Vec<usize>,
+    /// For each task `(fop, index)`, the producer tasks whose outputs
+    /// must be locatable before it may launch.
+    pub required: Vec<Vec<Vec<(FopId, usize)>>>,
+    /// The configured per-task retry budget.
+    pub max_task_attempts: usize,
+    /// The per-message retransmission bound the checker enforces.
+    pub retransmit_bound: usize,
+}
+
+impl JournalMeta {
+    /// Tasks in the physical plan.
+    pub fn original_tasks(&self) -> usize {
+        self.parallelism.iter().sum()
+    }
+}
+
+/// Cloneable writer handle to the shared journal. The master, every
+/// executor worker slot, and every transport endpoint hold one.
+#[derive(Debug, Clone, Default)]
+pub struct Journal {
+    inner: Arc<Mutex<Vec<JournalRecord>>>,
+    epoch: Option<Instant>,
+}
+
+impl Journal {
+    /// An empty journal whose epoch is now.
+    pub fn new() -> Self {
+        Journal {
+            inner: Arc::new(Mutex::new(Vec::new())),
+            epoch: Some(Instant::now()),
+        }
+    }
+
+    /// Appends one event, stamping its sequence number and timestamp.
+    pub fn emit(&self, stage: Option<usize>, event: JobEvent) {
+        let at_us = self
+            .epoch
+            .map_or(0, |e| e.elapsed().as_micros().min(u64::MAX as u128) as u64);
+        let mut records = self.inner.lock();
+        let seq = records.len() as u64;
+        records.push(JournalRecord {
+            seq,
+            at_us,
+            stage,
+            event,
+        });
+    }
+
+    /// Snapshots the journal into its canonical, replayable form.
+    pub fn freeze(&self, meta: JournalMeta) -> EventJournal {
+        let records = self.inner.lock().clone();
+        EventJournal::from_parts(meta, records)
+    }
+}
+
+/// A frozen, canonically-ordered journal: what a [`JobResult`] carries
+/// and what the invariant checker and exporters consume.
+///
+/// [`JobResult`]: crate::runtime::JobResult
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventJournal {
+    meta: JournalMeta,
+    records: Vec<JournalRecord>,
+}
+
+impl EventJournal {
+    /// Builds a journal from raw parts, applying the canonical order:
+    /// records sort by their raw sequence number, except that each
+    /// `TaskStarted` is anchored directly after the launch of the same
+    /// attempt (the executor's emission races the master's otherwise).
+    pub fn from_parts(meta: JournalMeta, mut records: Vec<JournalRecord>) -> Self {
+        let mut launch_seq: HashMap<AttemptId, u64> = HashMap::new();
+        for r in &records {
+            match &r.event {
+                JobEvent::TaskLaunched { attempt, .. }
+                | JobEvent::SpeculativeLaunched { attempt, .. } => {
+                    launch_seq.entry(*attempt).or_insert(r.seq);
+                }
+                _ => {}
+            }
+        }
+        records.sort_by_key(|r| match &r.event {
+            JobEvent::TaskStarted { attempt, .. } => (
+                launch_seq.get(attempt).copied().unwrap_or(r.seq),
+                1u8,
+                r.seq,
+            ),
+            _ => (r.seq, 0, r.seq),
+        });
+        EventJournal { meta, records }
+    }
+
+    /// The embedded plan facts.
+    pub fn meta(&self) -> &JournalMeta {
+        &self.meta
+    }
+
+    /// The canonical record sequence.
+    pub fn records(&self) -> &[JournalRecord] {
+        &self.records
+    }
+
+    /// The canonical event sequence (records without their keys).
+    pub fn events(&self) -> impl Iterator<Item = &JobEvent> + '_ {
+        self.records.iter().map(|r| &r.event)
+    }
+
+    /// The canonical event sequence as an owned log (for error payloads).
+    pub fn to_events(&self) -> Vec<JobEvent> {
+        self.events().cloned().collect()
+    }
+
+    /// Derives the event-sourced [`JobMetrics`] counters by folding the
+    /// journal. Wire-level drop/duplicate/dedup counts happen below the
+    /// journal's causal horizon (inside the simulated network) and are
+    /// folded in from [`TransportCounters`] by the master; every other
+    /// counter is computed here, so it cannot disagree with the log.
+    ///
+    /// [`TransportCounters`]: crate::runtime::transport::TransportCounters
+    pub fn derive_metrics(&self) -> JobMetrics {
+        let mut m = JobMetrics {
+            original_tasks: self.meta.original_tasks(),
+            ..JobMetrics::default()
+        };
+        for r in &self.records {
+            match &r.event {
+                JobEvent::TaskLaunched {
+                    relaunch,
+                    side_bytes_sent,
+                    side_bytes_saved,
+                    side_cache_misses,
+                    ..
+                } => {
+                    m.tasks_launched += 1;
+                    if *relaunch {
+                        m.relaunched_tasks += 1;
+                    }
+                    m.side_bytes_sent += side_bytes_sent;
+                    m.side_bytes_saved += side_bytes_saved;
+                    m.cache_misses += side_cache_misses;
+                }
+                JobEvent::SpeculativeLaunched {
+                    side_bytes_sent,
+                    side_bytes_saved,
+                    side_cache_misses,
+                    ..
+                } => {
+                    m.tasks_launched += 1;
+                    m.speculative_launches += 1;
+                    m.side_bytes_sent += side_bytes_sent;
+                    m.side_bytes_saved += side_bytes_saved;
+                    m.cache_misses += side_cache_misses;
+                }
+                JobEvent::TaskStarted { .. } => {}
+                JobEvent::TaskCommitted {
+                    speculative,
+                    bytes_pushed,
+                    preaggregated,
+                    cache_hit,
+                    ..
+                } => {
+                    if *speculative {
+                        m.speculative_wins += 1;
+                    }
+                    m.bytes_pushed += bytes_pushed;
+                    m.records_preaggregated += preaggregated;
+                    if *cache_hit {
+                        m.cache_hits += 1;
+                    }
+                }
+                JobEvent::TaskFailed { .. } => m.task_failures += 1,
+                JobEvent::TaskReverted { .. } => {}
+                JobEvent::ExecutorBlacklisted(_) => m.blacklisted_executors += 1,
+                JobEvent::StageCompleted(_) => {}
+                JobEvent::StageReopened { recompute, .. } => {
+                    if *recompute {
+                        m.stage_recomputations += 1;
+                    }
+                }
+                JobEvent::ContainerEvicted(_) => m.evictions += 1,
+                JobEvent::ReservedFailed(_) => m.reserved_failures += 1,
+                JobEvent::ExecutorDeclaredDead(_) => m.executors_declared_dead += 1,
+                JobEvent::ContainerAdded(_) => {}
+                JobEvent::HeartbeatMissed(_) => m.heartbeats_missed += 1,
+                JobEvent::MessageRetransmitted { .. } => m.messages_retransmitted += 1,
+                JobEvent::MasterRecovered => {}
+            }
+        }
+        m
+    }
+
+    /// Renders a human-readable timeline, one line per canonical record.
+    /// With `show_times` false the (wall-clock) timestamp column is
+    /// elided, making the output byte-stable for a fixed seed under
+    /// serial execution — the golden-test form.
+    pub fn render_timeline(&self, show_times: bool) -> String {
+        let mut out = String::new();
+        for (pos, r) in self.records.iter().enumerate() {
+            out.push_str(&format!("{pos:>5}  "));
+            if show_times {
+                out.push_str(&format!("[{:>9} us]  ", r.at_us));
+            }
+            match r.stage {
+                Some(s) => out.push_str(&format!("s{s}  ")),
+                None => out.push_str("--  "),
+            }
+            out.push_str(&describe(&r.event));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Exports the journal as Chrome-trace (`chrome://tracing` /
+    /// Perfetto) JSON: one duration event per task attempt (launch or
+    /// start → terminal report), plus instant events for faults and
+    /// recovery actions. Rows (`tid`) are executors.
+    pub fn chrome_trace(&self) -> String {
+        let end_us = self.records.iter().map(|r| r.at_us).max().unwrap_or(0);
+        // attempt -> (fop, index, exec, stage, start_us, speculative)
+        type OpenSlice = (FopId, usize, ExecId, Option<usize>, u64, bool);
+        let mut open: HashMap<AttemptId, OpenSlice> = HashMap::new();
+        let mut parts: Vec<String> = Vec::new();
+        #[allow(clippy::too_many_arguments)]
+        fn slice(
+            parts: &mut Vec<String>,
+            name: &str,
+            cat: &str,
+            ts: u64,
+            dur: u64,
+            tid: ExecId,
+            fop: FopId,
+            index: usize,
+            attempt: AttemptId,
+            stage: Option<usize>,
+        ) {
+            parts.push(format!(
+                "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"ts\":{ts},\
+                 \"dur\":{dur},\"pid\":0,\"tid\":{tid},\"args\":{{\"fop\":{fop},\
+                 \"index\":{index},\"attempt\":{attempt},\"stage\":{}}}}}",
+                stage.map_or("null".to_string(), |s| s.to_string())
+            ));
+        }
+        for r in &self.records {
+            match &r.event {
+                JobEvent::TaskLaunched {
+                    fop,
+                    index,
+                    attempt,
+                    exec,
+                    ..
+                } => {
+                    open.insert(*attempt, (*fop, *index, *exec, r.stage, r.at_us, false));
+                }
+                JobEvent::SpeculativeLaunched {
+                    fop,
+                    index,
+                    attempt,
+                    exec,
+                    ..
+                } => {
+                    open.insert(*attempt, (*fop, *index, *exec, r.stage, r.at_us, true));
+                }
+                JobEvent::TaskStarted { attempt, .. } => {
+                    if let Some(o) = open.get_mut(attempt) {
+                        o.4 = r.at_us; // Refine the slice start to actual execution.
+                    }
+                }
+                JobEvent::TaskCommitted { attempt, .. } => {
+                    if let Some((fop, index, exec, stage, t0, spec)) = open.remove(attempt) {
+                        let name = format!("t{fop}.{index} a{attempt}");
+                        let cat = if spec { "speculative" } else { "task" };
+                        slice(
+                            &mut parts,
+                            &name,
+                            cat,
+                            t0,
+                            r.at_us.saturating_sub(t0),
+                            exec,
+                            fop,
+                            index,
+                            *attempt,
+                            stage,
+                        );
+                    }
+                }
+                JobEvent::TaskFailed { attempt, .. } => {
+                    if let Some((fop, index, exec, stage, t0, _)) = open.remove(attempt) {
+                        let name = format!("t{fop}.{index} a{attempt} FAILED");
+                        slice(
+                            &mut parts,
+                            &name,
+                            "failed",
+                            t0,
+                            r.at_us.saturating_sub(t0),
+                            exec,
+                            fop,
+                            index,
+                            *attempt,
+                            stage,
+                        );
+                    }
+                }
+                _ => {}
+            }
+            if let Some((name, tid)) = instant_of(&r.event) {
+                parts.push(format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"fault\",\"ph\":\"i\",\"ts\":{},\
+                     \"pid\":0,\"tid\":{tid},\"s\":\"g\"}}",
+                    r.at_us
+                ));
+            }
+        }
+        // Attempts that never reported terminally (discarded losers,
+        // attempts stranded on lost executors) stretch to the job end.
+        let mut leftovers: Vec<_> = open.into_iter().collect();
+        leftovers.sort_by_key(|&(a, _)| a);
+        for (attempt, (fop, index, exec, stage, t0, _)) in leftovers {
+            let name = format!("t{fop}.{index} a{attempt} (abandoned)");
+            slice(
+                &mut parts,
+                &name,
+                "abandoned",
+                t0,
+                end_us.saturating_sub(t0),
+                exec,
+                fop,
+                index,
+                attempt,
+                stage,
+            );
+        }
+        format!(
+            "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{}]}}\n",
+            parts.join(",")
+        )
+    }
+}
+
+/// Instant-event rendering for the Chrome trace: fault and topology
+/// events pinned to the executor row they concern (row 0 for the master).
+fn instant_of(event: &JobEvent) -> Option<(String, ExecId)> {
+    match event {
+        JobEvent::ContainerEvicted(e) => Some((format!("evicted exec {e}"), *e)),
+        JobEvent::ReservedFailed(e) => Some((format!("reserved failure exec {e}"), *e)),
+        JobEvent::ExecutorDeclaredDead(e) => Some((format!("declared dead exec {e}"), *e)),
+        JobEvent::ExecutorBlacklisted(e) => Some((format!("blacklisted exec {e}"), *e)),
+        JobEvent::ContainerAdded(e) => Some((format!("container added exec {e}"), *e)),
+        JobEvent::HeartbeatMissed(e) => Some((format!("heartbeat missed exec {e}"), *e)),
+        JobEvent::TaskReverted { fop, index } => Some((format!("revert t{fop}.{index}"), 0)),
+        JobEvent::StageCompleted(s) => Some((format!("stage {s} complete"), 0)),
+        JobEvent::StageReopened { stage, recompute } => Some((
+            if *recompute {
+                format!("stage {stage} reopened (recompute)")
+            } else {
+                format!("stage {stage} reopened (rollback)")
+            },
+            0,
+        )),
+        JobEvent::MasterRecovered => Some(("master recovered".to_string(), 0)),
+        _ => None,
+    }
+}
+
+/// One-line human description of an event (the timeline body).
+fn describe(event: &JobEvent) -> String {
+    match event {
+        JobEvent::TaskLaunched {
+            fop,
+            index,
+            attempt,
+            exec,
+            relaunch,
+            ..
+        } => {
+            let tag = if *relaunch { " (relaunch)" } else { "" };
+            format!("launch        task {fop}.{index} attempt {attempt} on exec {exec}{tag}")
+        }
+        JobEvent::SpeculativeLaunched {
+            fop,
+            index,
+            attempt,
+            exec,
+            ..
+        } => format!("speculate     task {fop}.{index} attempt {attempt} on exec {exec}"),
+        JobEvent::TaskStarted {
+            fop,
+            index,
+            attempt,
+            exec,
+        } => format!("start         task {fop}.{index} attempt {attempt} on exec {exec}"),
+        JobEvent::TaskCommitted {
+            fop,
+            index,
+            attempt,
+            exec,
+            speculative,
+            bytes_pushed,
+            ..
+        } => {
+            let mut line =
+                format!("commit        task {fop}.{index} attempt {attempt} on exec {exec}");
+            if *speculative {
+                line.push_str(" [speculative]");
+            }
+            if *bytes_pushed > 0 {
+                line.push_str(&format!(" (pushed {bytes_pushed} B)"));
+            }
+            line
+        }
+        JobEvent::TaskFailed {
+            fop,
+            index,
+            attempt,
+            exec,
+        } => format!("fail          task {fop}.{index} attempt {attempt} on exec {exec}"),
+        JobEvent::TaskReverted { fop, index } => {
+            format!("revert        task {fop}.{index}")
+        }
+        JobEvent::ExecutorBlacklisted(e) => format!("blacklist     exec {e}"),
+        JobEvent::StageCompleted(s) => format!("stage-done    stage {s}"),
+        JobEvent::StageReopened { stage, recompute } => {
+            if *recompute {
+                format!("stage-reopen  stage {stage} (recompute)")
+            } else {
+                format!("stage-reopen  stage {stage} (rollback)")
+            }
+        }
+        JobEvent::ContainerEvicted(e) => format!("evict         exec {e}"),
+        JobEvent::ReservedFailed(e) => format!("reserved-fail exec {e}"),
+        JobEvent::ExecutorDeclaredDead(e) => format!("declared-dead exec {e}"),
+        JobEvent::ContainerAdded(e) => format!("container-add exec {e}"),
+        JobEvent::HeartbeatMissed(e) => format!("hb-miss       exec {e}"),
+        JobEvent::MessageRetransmitted {
+            exec,
+            to_master,
+            seq,
+        } => {
+            let dir = if *to_master { "to-master" } else { "to-exec" };
+            format!("retransmit    {dir} link of exec {exec}, seq {seq}")
+        }
+        JobEvent::MasterRecovered => "master-recovered".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64, event: JobEvent) -> JournalRecord {
+        JournalRecord {
+            seq,
+            at_us: seq * 10,
+            stage: Some(0),
+            event,
+        }
+    }
+
+    fn launched(attempt: AttemptId, relaunch: bool) -> JobEvent {
+        JobEvent::TaskLaunched {
+            fop: 0,
+            index: 0,
+            attempt,
+            exec: 1,
+            relaunch,
+            side_bytes_sent: 8,
+            side_bytes_saved: 0,
+            side_cache_misses: 1,
+        }
+    }
+
+    fn committed(attempt: AttemptId) -> JobEvent {
+        JobEvent::TaskCommitted {
+            fop: 0,
+            index: 0,
+            attempt,
+            exec: 1,
+            speculative: false,
+            bytes_pushed: 64,
+            preaggregated: 3,
+            cache_hit: true,
+        }
+    }
+
+    #[test]
+    fn task_started_anchors_after_its_launch() {
+        // Raw order: launch a1, commit a1, (late-arriving) start a1.
+        let records = vec![
+            rec(0, launched(1, false)),
+            rec(1, committed(1)),
+            rec(
+                2,
+                JobEvent::TaskStarted {
+                    fop: 0,
+                    index: 0,
+                    attempt: 1,
+                    exec: 1,
+                },
+            ),
+        ];
+        let ej = EventJournal::from_parts(JournalMeta::default(), records);
+        let kinds: Vec<&'static str> = ej
+            .events()
+            .map(|e| match e {
+                JobEvent::TaskLaunched { .. } => "launch",
+                JobEvent::TaskStarted { .. } => "start",
+                JobEvent::TaskCommitted { .. } => "commit",
+                _ => "other",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["launch", "start", "commit"]);
+    }
+
+    #[test]
+    fn derive_metrics_folds_every_event_kind() {
+        let records = vec![
+            rec(0, launched(1, false)),
+            rec(
+                1,
+                JobEvent::TaskFailed {
+                    fop: 0,
+                    index: 0,
+                    attempt: 1,
+                    exec: 1,
+                },
+            ),
+            rec(2, launched(2, true)),
+            rec(3, committed(2)),
+            rec(4, JobEvent::ContainerEvicted(1)),
+            rec(5, JobEvent::TaskReverted { fop: 0, index: 0 }),
+            rec(6, JobEvent::ContainerAdded(2)),
+            rec(
+                7,
+                JobEvent::StageReopened {
+                    stage: 0,
+                    recompute: true,
+                },
+            ),
+            rec(8, JobEvent::HeartbeatMissed(2)),
+            rec(
+                9,
+                JobEvent::MessageRetransmitted {
+                    exec: 2,
+                    to_master: true,
+                    seq: 4,
+                },
+            ),
+        ];
+        let meta = JournalMeta {
+            parallelism: vec![1],
+            ..JournalMeta::default()
+        };
+        let m = EventJournal::from_parts(meta, records).derive_metrics();
+        assert_eq!(m.original_tasks, 1);
+        assert_eq!(m.tasks_launched, 2);
+        assert_eq!(m.relaunched_tasks, 1);
+        assert_eq!(m.task_failures, 1);
+        assert_eq!(m.evictions, 1);
+        assert_eq!(m.stage_recomputations, 1);
+        assert_eq!(m.heartbeats_missed, 1);
+        assert_eq!(m.messages_retransmitted, 1);
+        assert_eq!(m.bytes_pushed, 64);
+        assert_eq!(m.records_preaggregated, 3);
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.cache_misses, 2);
+        assert_eq!(m.side_bytes_sent, 16);
+    }
+
+    #[test]
+    fn timeline_elides_times_when_asked() {
+        let j = Journal::new();
+        j.emit(Some(0), launched(1, false));
+        let ej = j.freeze(JournalMeta::default());
+        let with = ej.render_timeline(true);
+        let without = ej.render_timeline(false);
+        assert!(with.contains("us]"));
+        assert!(!without.contains("us]"));
+        assert!(without.contains("launch"));
+        assert!(without.contains("task 0.0 attempt 1 on exec 1"));
+    }
+
+    #[test]
+    fn chrome_trace_emits_duration_per_attempt() {
+        let j = Journal::new();
+        j.emit(Some(0), launched(1, false));
+        j.emit(
+            Some(0),
+            JobEvent::TaskStarted {
+                fop: 0,
+                index: 0,
+                attempt: 1,
+                exec: 1,
+            },
+        );
+        j.emit(Some(0), committed(1));
+        j.emit(Some(0), JobEvent::ContainerEvicted(1));
+        let trace = j.freeze(JournalMeta::default()).chrome_trace();
+        assert!(trace.starts_with('{') && trace.trim_end().ends_with('}'));
+        assert!(trace.contains("\"ph\":\"X\""), "one slice per attempt");
+        assert!(trace.contains("t0.0 a1"));
+        assert!(trace.contains("evicted exec 1"));
+        assert!(trace.contains("\"ph\":\"i\""), "instant for the eviction");
+    }
+}

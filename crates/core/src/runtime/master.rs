@@ -31,6 +31,9 @@ use crate::error::RuntimeError;
 use crate::exec::route;
 use crate::runtime::cache::CacheKey;
 use crate::runtime::executor::{combine_consumer, ExecutorHandle, JobContext};
+use crate::runtime::journal::{
+    EventJournal, Journal, JournalMeta, MAX_RETRANSMISSIONS_PER_MESSAGE,
+};
 use crate::runtime::message::{
     AttemptId, ExecId, ExecutorMsg, InjectedFault, MasterMsg, SideData, TaskSpec,
 };
@@ -94,75 +97,9 @@ pub struct FaultPlan {
     pub network: Option<NetworkFault>,
 }
 
-/// One entry of the master's execution event log — the progress record a
-/// deployment would surface in a UI and replicate for master fault
-/// tolerance.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum JobEvent {
-    /// A task attempt was sent to an executor.
-    TaskLaunched {
-        /// Fused operator.
-        fop: FopId,
-        /// Task index.
-        index: usize,
-        /// Executor chosen.
-        exec: ExecId,
-        /// Whether this is a relaunch (not the first attempt).
-        relaunch: bool,
-    },
-    /// A task's output was pushed and committed.
-    TaskCommitted {
-        /// Fused operator.
-        fop: FopId,
-        /// Task index.
-        index: usize,
-    },
-    /// A task attempt failed in user code (error or caught panic).
-    TaskFailed {
-        /// Fused operator.
-        fop: FopId,
-        /// Task index.
-        index: usize,
-        /// Executor the attempt ran on.
-        exec: ExecId,
-    },
-    /// A committed task's output was lost (container loss or master
-    /// recovery) and the task reverted to pending.
-    TaskReverted {
-        /// Fused operator.
-        fop: FopId,
-        /// Task index.
-        index: usize,
-    },
-    /// A speculative duplicate of a straggling attempt was launched.
-    SpeculativeLaunched {
-        /// Fused operator.
-        fop: FopId,
-        /// Task index.
-        index: usize,
-        /// Executor running the duplicate.
-        exec: ExecId,
-    },
-    /// An executor was blacklisted after repeated user-code failures.
-    ExecutorBlacklisted(ExecId),
-    /// A Pado Stage finished (all its tasks committed).
-    StageCompleted(usize),
-    /// A completed stage re-opened (a reserved failure destroyed its
-    /// preserved outputs).
-    StageReopened(usize),
-    /// A transient container was evicted.
-    ContainerEvicted(ExecId),
-    /// A reserved executor failed.
-    ReservedFailed(ExecId),
-    /// The heartbeat failure detector declared an executor dead (treated
-    /// like an eviction: uncommitted work relaunches, committed blocks on
-    /// other executors keep serving).
-    ExecutorDeclaredDead(ExecId),
-    /// A replacement container was provisioned.
-    ContainerAdded(ExecId),
-    /// The master restarted from its replicated progress snapshot.
-    MasterRecovered,
-}
+// The event schema lives with the journal; re-exported here because the
+// events were born in this module and callers still import them from it.
+pub use crate::runtime::journal::JobEvent;
 
 /// Out-of-band fault-injection endpoint: the resource manager's direct
 /// channel to the master. Messages sent here bypass the faulty network.
@@ -185,10 +122,11 @@ pub struct JobResult {
     /// Output records per terminal operator (keyed by operator name),
     /// concatenated in task-index order.
     pub outputs: BTreeMap<String, Vec<Value>>,
-    /// Execution counters.
+    /// Execution counters, derived from the journal (plus the wire-level
+    /// transport counters the journal cannot see).
     pub metrics: JobMetrics,
-    /// The ordered execution event log.
-    pub events: Vec<JobEvent>,
+    /// The canonically-ordered execution journal.
+    pub journal: EventJournal,
 }
 
 #[derive(Debug, Clone)]
@@ -235,6 +173,15 @@ enum LossKind {
     DeclaredDead,
 }
 
+/// Side-input traffic of one launch, embedded in its journal event (the
+/// journal is the metrics source of truth, so the bytes ride the event).
+#[derive(Debug, Clone, Copy, Default)]
+struct SideStats {
+    sent: usize,
+    saved: usize,
+    misses: usize,
+}
+
 /// Progress metadata replicated for master fault tolerance (§3.2.6): the
 /// record of finished tasks and where their outputs live. Intermediate
 /// records themselves live on executors; the in-process stand-in keeps
@@ -248,7 +195,6 @@ struct ProgressSnapshot {
     result_parts: BTreeMap<(FopId, usize), Block>,
     first_attempted: Vec<Vec<bool>>,
     next_attempt: AttemptId,
-    metrics: JobMetrics,
 }
 
 /// The master event loop for one job.
@@ -283,8 +229,14 @@ pub struct Master {
     attempt_of: HashMap<AttemptId, (FopId, usize)>,
     next_attempt: AttemptId,
 
-    metrics: JobMetrics,
-    events: Vec<JobEvent>,
+    /// Shared writer handle of the execution journal. Executor worker
+    /// slots and transport endpoints hold clones; the master itself emits
+    /// every scheduling, commit, and fault event through it. Metrics are
+    /// *derived* from the journal on demand, never mirrored by hand.
+    journal: Journal,
+    /// Plan facts embedded in every frozen journal (what the invariant
+    /// checker replays against).
+    meta: JournalMeta,
     stage_completed: Vec<bool>,
     done_events: usize,
     faults: FaultPlan,
@@ -343,6 +295,30 @@ impl Master {
             .map(|f| vec![false; job.plan.fops[f].parallelism])
             .collect();
         let n_stages = job.plan.stage_dag.stages.len();
+        let meta = JournalMeta {
+            n_stages,
+            stage_of: job.plan.fops.iter().map(|f| f.stage).collect(),
+            parallelism: job.plan.fops.iter().map(|f| f.parallelism).collect(),
+            required: (0..n_fops)
+                .map(|f| {
+                    let dst_par = job.plan.fops[f].parallelism;
+                    (0..dst_par)
+                        .map(|i| {
+                            let mut req = Vec::new();
+                            for e in job.plan.in_edges(f) {
+                                let src_par = job.plan.fops[e.src].parallelism;
+                                for si in required_src_indices(&e, i, src_par, dst_par) {
+                                    req.push((e.src, si));
+                                }
+                            }
+                            req
+                        })
+                        .collect()
+                })
+                .collect(),
+            max_task_attempts: job.config.max_task_attempts,
+            retransmit_bound: MAX_RETRANSMISSIONS_PER_MESSAGE,
+        };
         let mut master = Master {
             job,
             tx,
@@ -361,8 +337,8 @@ impl Master {
             assigned: HashMap::new(),
             attempt_of: HashMap::new(),
             next_attempt: 1,
-            metrics: JobMetrics::default(),
-            events: Vec::new(),
+            journal: Journal::new(),
+            meta,
             stage_completed: vec![false; n_stages],
             done_events: 0,
             faults,
@@ -380,7 +356,6 @@ impl Master {
             speculative: HashSet::new(),
             completed_attempts: HashSet::new(),
         };
-        master.metrics.original_tasks = master.job.plan.total_tasks();
         for _ in 0..n_reserved {
             master.spawn_executor(Placement::Reserved);
         }
@@ -415,6 +390,7 @@ impl Master {
             self.tx.clone(),
             self.net.clone(),
             Arc::clone(&self.counters),
+            self.journal.clone(),
         );
         let link = FaultyLink::new(
             handle.inbound(),
@@ -432,7 +408,8 @@ impl Master {
             Duration::from_millis(self.job.config.retransmit_base_ms),
             Duration::from_millis(self.job.config.retransmit_max_ms),
             seed ^ mix64(id as u64),
-        );
+        )
+        .with_journal(self.journal.clone(), false);
         self.executors.insert(
             id,
             ExecInfo {
@@ -460,8 +437,9 @@ impl Master {
     /// are stopped and joined on every exit path.
     pub fn run(mut self) -> Result<JobResult, RuntimeError> {
         let outcome = self.run_loop();
+        // Join executors before freezing the journal so every in-flight
+        // executor-side emission (task starts, retransmissions) lands.
         self.shutdown();
-        self.merge_transport_metrics();
         outcome.map(|()| self.collect_result())
     }
 
@@ -488,11 +466,12 @@ impl Master {
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     if last_progress.elapsed() >= timeout {
-                        self.merge_transport_metrics();
+                        let journal = self.frozen_journal();
+                        let metrics = Box::new(self.snapshot_metrics(&journal));
                         return Err(RuntimeError::Wedged {
                             waited_ms: last_progress.elapsed().as_millis() as u64,
-                            events: self.events.clone(),
-                            metrics: Box::new(self.metrics.clone()),
+                            events: journal.to_events(),
+                            metrics,
                         });
                     }
                 }
@@ -595,7 +574,7 @@ impl Master {
                 dead.push(id);
             } else if age >= miss_after && !info.hb_flagged {
                 info.hb_flagged = true;
-                self.metrics.heartbeats_missed += 1;
+                self.journal.emit(None, JobEvent::HeartbeatMissed(id));
             }
         }
         for id in dead {
@@ -603,22 +582,27 @@ impl Master {
         }
     }
 
-    /// Folds the shared transport counters into the job metrics.
-    /// Assignment (not accumulation), so the fold is idempotent across
-    /// the wedge path and the normal exit path.
-    fn merge_transport_metrics(&mut self) {
-        self.metrics.messages_dropped = self.counters.dropped.load(Ordering::Relaxed) as usize;
-        self.metrics.messages_duplicated =
-            self.counters.duplicated.load(Ordering::Relaxed) as usize;
-        self.metrics.messages_retransmitted =
-            self.counters.retransmitted.load(Ordering::Relaxed) as usize;
-        self.metrics.messages_deduplicated =
-            self.counters.deduplicated.load(Ordering::Relaxed) as usize;
-        self.metrics.max_message_retransmissions = self
+    /// The journal frozen into its canonical, replayable form.
+    fn frozen_journal(&self) -> EventJournal {
+        self.journal.freeze(self.meta.clone())
+    }
+
+    /// The job metrics at this moment: every counter the journal can see
+    /// is derived from it; the wire-level counts (drops, duplicates,
+    /// dedup suppressions, the transmission high-water mark) happen below
+    /// the journal's causal horizon inside the simulated network, so they
+    /// fold in from the shared transport counters.
+    fn snapshot_metrics(&self, journal: &EventJournal) -> JobMetrics {
+        let mut m = journal.derive_metrics();
+        m.messages_dropped = self.counters.dropped.load(Ordering::Relaxed) as usize;
+        m.messages_duplicated = self.counters.duplicated.load(Ordering::Relaxed) as usize;
+        m.messages_deduplicated = self.counters.deduplicated.load(Ordering::Relaxed) as usize;
+        m.max_message_retransmissions = self
             .counters
             .max_transmissions
             .load(Ordering::Relaxed)
             .saturating_sub(1) as usize;
+        m
     }
 
     fn complete(&self) -> bool {
@@ -642,15 +626,24 @@ impl Master {
     }
 
     /// Emits `StageCompleted` / `StageReopened` events on transitions.
+    /// Loss-caused reopens are emitted eagerly (with `recompute: true`)
+    /// inside [`Master::on_executor_lost`]; any flip still unlogged here
+    /// is a master-restart rollback, not a recomputation.
     fn note_stage_transitions(&mut self) {
         for stage in 0..self.stage_completed.len() {
             let now = self.stage_complete(stage);
             if now != self.stage_completed[stage] {
-                self.events.push(if now {
-                    JobEvent::StageCompleted(stage)
-                } else {
-                    JobEvent::StageReopened(stage)
-                });
+                self.journal.emit(
+                    Some(stage),
+                    if now {
+                        JobEvent::StageCompleted(stage)
+                    } else {
+                        JobEvent::StageReopened {
+                            stage,
+                            recompute: false,
+                        }
+                    },
+                );
                 self.stage_completed[stage] = now;
             }
         }
@@ -730,9 +723,7 @@ impl Master {
         // beat the original. Either way every other in-flight attempt of
         // this task becomes a loser — unregistered now, so its eventual
         // completion is stale and only frees its executor slot.
-        if self.speculative.remove(&attempt) {
-            self.metrics.speculative_wins += 1;
-        }
+        let speculative = self.speculative.remove(&attempt);
         if let TaskState::Running { attempts } = &self.tasks[fop][index] {
             let losers: Vec<AttemptId> = attempts
                 .iter()
@@ -745,18 +736,10 @@ impl Master {
                 self.speculative.remove(&a);
             }
         }
-        if cache_hit {
-            self.metrics.cache_hits += 1;
-        }
-        self.metrics.records_preaggregated += preaggregated;
-
         let locations = self.commit_locations(fop, exec, &output);
         let bytes: usize = output.iter().map(Value::size_bytes).sum();
-        if self.job.plan.fops[fop].placement == Placement::Transient
-            && locations.iter().any(|l| l != &exec)
-        {
-            self.metrics.bytes_pushed += bytes;
-        }
+        let pushed = self.job.plan.fops[fop].placement == Placement::Transient
+            && locations.iter().any(|l| l != &exec);
         if self.job.plan.out_edges(fop).is_empty() {
             // Terminal operator: the output is written to the job sink and
             // is safe regardless of container fate. Sink and location
@@ -768,7 +751,19 @@ impl Master {
         self.invalidate_derived(fop, index);
         self.outputs.insert((fop, index), output);
         self.tasks[fop][index] = TaskState::Done { locations };
-        self.events.push(JobEvent::TaskCommitted { fop, index });
+        self.journal.emit(
+            Some(self.meta.stage_of[fop]),
+            JobEvent::TaskCommitted {
+                fop,
+                index,
+                attempt,
+                exec,
+                speculative,
+                bytes_pushed: if pushed { bytes } else { 0 },
+                preaggregated,
+                cache_hit,
+            },
+        );
 
         self.done_events += 1;
         if self.job.config.snapshot_every > 0
@@ -815,8 +810,15 @@ impl Master {
         self.attempt_of.remove(&attempt);
         self.launch_times.remove(&attempt);
         self.speculative.remove(&attempt);
-        self.metrics.task_failures += 1;
-        self.events.push(JobEvent::TaskFailed { fop, index, exec });
+        self.journal.emit(
+            Some(self.meta.stage_of[fop]),
+            JobEvent::TaskFailed {
+                fop,
+                index,
+                attempt,
+                exec,
+            },
+        );
         if let TaskState::Running { attempts } = &mut self.tasks[fop][index] {
             attempts.retain(|&(a, _)| a != attempt);
             if attempts.is_empty() {
@@ -835,7 +837,7 @@ impl Master {
                 index,
                 attempts: failures,
                 reason,
-                events: self.events.clone(),
+                events: self.frozen_journal().to_events(),
             });
         }
 
@@ -857,8 +859,7 @@ impl Master {
     /// remain readable. A replacement container takes over its share.
     fn blacklist(&mut self, exec: ExecId) {
         self.blacklisted.insert(exec);
-        self.metrics.blacklisted_executors += 1;
-        self.events.push(JobEvent::ExecutorBlacklisted(exec));
+        self.journal.emit(None, JobEvent::ExecutorBlacklisted(exec));
         // Re-route receiver assignments that have not yet produced data.
         let stale: Vec<(FopId, usize)> = self
             .assigned
@@ -873,7 +874,8 @@ impl Master {
         }
         let kind = self.executors[&exec].handle.kind;
         let replacement = self.spawn_executor(kind);
-        self.events.push(JobEvent::ContainerAdded(replacement));
+        self.journal
+            .emit(None, JobEvent::ContainerAdded(replacement));
     }
 
     /// Where a completed task's output now lives: reserved anchors keep it
@@ -964,20 +966,18 @@ impl Master {
         // it reaches even an executor the network has partitioned away.
         info.handle.stop();
         let kind = info.handle.kind;
-        match kind_of_loss {
-            LossKind::ReservedFailure => {
-                self.metrics.reserved_failures += 1;
-                self.events.push(JobEvent::ReservedFailed(exec));
-            }
-            LossKind::Eviction => {
-                self.metrics.evictions += 1;
-                self.events.push(JobEvent::ContainerEvicted(exec));
-            }
-            LossKind::DeclaredDead => {
-                self.metrics.executors_declared_dead += 1;
-                self.events.push(JobEvent::ExecutorDeclaredDead(exec));
-            }
-        }
+        // Sync the stage bracket first: a commit in the same frame may
+        // have just completed a stage whose `StageCompleted` is not yet
+        // logged, and the reopen below must nest inside it.
+        self.note_stage_transitions();
+        self.journal.emit(
+            None,
+            match kind_of_loss {
+                LossKind::ReservedFailure => JobEvent::ReservedFailed(exec),
+                LossKind::Eviction => JobEvent::ContainerEvicted(exec),
+                LossKind::DeclaredDead => JobEvent::ExecutorDeclaredDead(exec),
+            },
+        );
 
         let complete_before: Vec<bool> = (0..self.job.plan.stage_dag.stages.len())
             .map(|s| self.stage_complete(s))
@@ -1020,25 +1020,37 @@ impl Master {
                     self.outputs.remove(&(f, i));
                     self.invalidate_derived(f, i);
                     self.tasks[f][i] = TaskState::Pending;
-                    self.events
-                        .push(JobEvent::TaskReverted { fop: f, index: i });
+                    self.journal.emit(
+                        Some(self.meta.stage_of[f]),
+                        JobEvent::TaskReverted { fop: f, index: i },
+                    );
                 }
             }
         }
         // Invalidate receiver assignments pointing at the lost executor.
         self.assigned.retain(|_, &mut e| e != exec);
 
-        // Count completed stages that re-opened (reserved-failure
-        // recomputation, §3.2.6).
+        // Completed stages the loss re-opened (reserved-failure
+        // recomputation, §3.2.6) are logged eagerly with `recompute:
+        // true`; flipping the bracket state here keeps
+        // `note_stage_transitions` from double-logging them.
         for (s, was_complete) in complete_before.iter().enumerate() {
             if *was_complete && !self.stage_complete(s) {
-                self.metrics.stage_recomputations += 1;
+                self.journal.emit(
+                    Some(s),
+                    JobEvent::StageReopened {
+                        stage: s,
+                        recompute: true,
+                    },
+                );
+                self.stage_completed[s] = false;
             }
         }
 
         // The resource manager immediately provides a replacement.
         let replacement = self.spawn_executor(kind);
-        self.events.push(JobEvent::ContainerAdded(replacement));
+        self.journal
+            .emit(None, JobEvent::ContainerAdded(replacement));
     }
 
     /// Simulates a master crash: all in-memory progress is lost and the
@@ -1055,7 +1067,9 @@ impl Master {
     /// sessions (sequence numbers, dedup windows) also continue: the
     /// in-process model restarts master *state*, not its sockets.
     fn simulate_master_failure(&mut self) {
-        self.events.push(JobEvent::MasterRecovered);
+        // The journal survives: it is part of the replicated progress
+        // record (and why journal-derived metrics never roll back).
+        self.journal.emit(None, JobEvent::MasterRecovered);
         let done_before: Vec<Vec<bool>> = self
             .tasks
             .iter()
@@ -1079,7 +1093,6 @@ impl Master {
                 .map(|ts| vec![false; ts.len()])
                 .collect(),
             next_attempt: self.next_attempt,
-            metrics: self.metrics.clone(),
         });
         self.tasks = snap.tasks;
         self.outputs = snap.outputs;
@@ -1089,7 +1102,6 @@ impl Master {
         self.routed.clear();
         self.side_cache.clear();
         self.first_attempted = snap.first_attempted;
-        self.metrics = snap.metrics;
         // Fence all attempts issued by the failed master.
         self.next_attempt = snap.next_attempt.max(self.next_attempt) + 1_000_000;
         self.attempt_of.clear();
@@ -1131,8 +1143,10 @@ impl Master {
         for (f, was) in done_before.iter().enumerate() {
             for (i, &was_done) in was.iter().enumerate() {
                 if was_done && !matches!(self.tasks[f][i], TaskState::Done { .. }) {
-                    self.events
-                        .push(JobEvent::TaskReverted { fop: f, index: i });
+                    self.journal.emit(
+                        Some(self.meta.stage_of[f]),
+                        JobEvent::TaskReverted { fop: f, index: i },
+                    );
                 }
             }
         }
@@ -1161,7 +1175,6 @@ impl Master {
             result_parts: self.result_parts.clone(),
             first_attempted: self.first_attempted.clone(),
             next_attempt: self.next_attempt,
-            metrics: self.metrics.clone(),
         });
     }
 
@@ -1253,26 +1266,30 @@ impl Master {
         let attempt = self.next_attempt;
         self.next_attempt += 1;
 
-        let (mains, sides) = self.assemble_inputs(fop, index, exec)?;
+        let (mains, sides, side_stats) = self.assemble_inputs(fop, index, exec)?;
         let preaggregate = placement == Placement::Transient
             && self.job.config.partial_aggregation
             && combine_consumer(&self.job.dag, &self.job.plan, fop).is_some();
         let inject = self.decide_injection(fop, index);
 
         // Launch accounting.
-        self.metrics.tasks_launched += 1;
         let relaunch = self.first_attempted[fop][index];
-        if relaunch {
-            self.metrics.relaunched_tasks += 1;
-        } else {
+        if !relaunch {
             self.first_attempted[fop][index] = true;
         }
-        self.events.push(JobEvent::TaskLaunched {
-            fop,
-            index,
-            exec,
-            relaunch,
-        });
+        self.journal.emit(
+            Some(self.meta.stage_of[fop]),
+            JobEvent::TaskLaunched {
+                fop,
+                index,
+                attempt,
+                exec,
+                relaunch,
+                side_bytes_sent: side_stats.sent,
+                side_bytes_saved: side_stats.saved,
+                side_cache_misses: side_stats.misses,
+            },
+        );
         self.attempt_of.insert(attempt, (fop, index));
         self.launch_times.insert(attempt, Instant::now());
         self.tasks[fop][index] = TaskState::Running {
@@ -1427,16 +1444,24 @@ impl Master {
 
         let attempt = self.next_attempt;
         self.next_attempt += 1;
-        let (mains, sides) = self.assemble_inputs(fop, index, exec)?;
+        let (mains, sides, side_stats) = self.assemble_inputs(fop, index, exec)?;
         let preaggregate = kind == Placement::Transient
             && self.job.config.partial_aggregation
             && combine_consumer(&self.job.dag, &self.job.plan, fop).is_some();
         let inject = self.decide_injection(fop, index);
 
-        self.metrics.tasks_launched += 1;
-        self.metrics.speculative_launches += 1;
-        self.events
-            .push(JobEvent::SpeculativeLaunched { fop, index, exec });
+        self.journal.emit(
+            Some(self.meta.stage_of[fop]),
+            JobEvent::SpeculativeLaunched {
+                fop,
+                index,
+                attempt,
+                exec,
+                side_bytes_sent: side_stats.sent,
+                side_bytes_saved: side_stats.saved,
+                side_cache_misses: side_stats.misses,
+            },
+        );
         self.attempt_of.insert(attempt, (fop, index));
         self.launch_times.insert(attempt, Instant::now());
         self.speculative.insert(attempt);
@@ -1534,10 +1559,11 @@ impl Master {
         fop: FopId,
         index: usize,
         exec: ExecId,
-    ) -> Result<(Vec<MainSlot>, BTreeMap<usize, SideData>), RuntimeError> {
+    ) -> Result<(Vec<MainSlot>, BTreeMap<usize, SideData>, SideStats), RuntimeError> {
         let dst_par = self.job.plan.fops[fop].parallelism;
         let mut mains: Vec<MainSlot> = Vec::new();
         let mut sides: BTreeMap<usize, SideData> = BTreeMap::new();
+        let mut stats = SideStats::default();
         for e in self.job.plan.in_edges(fop) {
             let src_par = self.job.plan.fops[e.src].parallelism;
             match e.slot {
@@ -1565,11 +1591,11 @@ impl Master {
                         .map(|k| self.executors[&exec].cached.contains(&k))
                         .unwrap_or(false);
                     if expect_cached {
-                        self.metrics.side_bytes_saved += bytes;
+                        stats.saved += bytes;
                     } else {
-                        self.metrics.side_bytes_sent += bytes;
+                        stats.sent += bytes;
                         if key.is_some() {
-                            self.metrics.cache_misses += 1;
+                            stats.misses += 1;
                         }
                     }
                     sides.insert(
@@ -1583,7 +1609,7 @@ impl Master {
                 }
             }
         }
-        Ok((mains, sides))
+        Ok((mains, sides, stats))
     }
 
     /// The shuffle bucket `dst_index` of output `(src, si)` hashed to
@@ -1650,10 +1676,12 @@ impl Master {
                 .or_default()
                 .extend(records.iter().cloned());
         }
+        let journal = self.frozen_journal();
+        let metrics = self.snapshot_metrics(&journal);
         JobResult {
             outputs,
-            metrics: self.metrics.clone(),
-            events: self.events.clone(),
+            metrics,
+            journal,
         }
     }
 
@@ -1759,6 +1787,17 @@ mod tests {
         Master::new(job, 1, 1, FaultPlan::default())
     }
 
+    /// The canonical event log, frozen from the live journal.
+    fn events(m: &Master) -> Vec<JobEvent> {
+        m.frozen_journal().to_events()
+    }
+
+    /// The journal-derived metrics, as `run()` would report them.
+    fn derived(m: &Master) -> JobMetrics {
+        let journal = m.frozen_journal();
+        m.snapshot_metrics(&journal)
+    }
+
     /// A fop with no consumers (its output goes to the job sink).
     fn terminal_fop(m: &Master) -> FopId {
         (0..m.job.plan.fops.len())
@@ -1793,21 +1832,19 @@ mod tests {
             matches!(m.tasks[f][0], TaskState::Pending),
             "eviction reverts the in-flight attempt"
         );
-        assert_eq!(m.metrics.evictions, 1);
+        assert_eq!(derived(&m).evictions, 1);
 
         // The TaskDone the evicted executor had in flight lands late: it
         // must be a complete no-op — no panic, no commit, no resurrected
         // task state, relaunch bookkeeping untouched.
-        let commits_before = m
-            .events
+        let commits_before = events(&m)
             .iter()
             .filter(|e| matches!(e, JobEvent::TaskCommitted { .. }))
             .count();
         m.handle(done_msg(exec, 7)).unwrap();
         assert!(matches!(m.tasks[f][0], TaskState::Pending));
         assert!(m.outputs.is_empty());
-        let commits_after = m
-            .events
+        let commits_after = events(&m)
             .iter()
             .filter(|e| matches!(e, JobEvent::TaskCommitted { .. }))
             .count();
@@ -1838,8 +1875,7 @@ mod tests {
             matches!(m.tasks[f][0], TaskState::Done { .. }),
             "committed terminal output survives the eviction"
         );
-        assert!(!m
-            .events
+        assert!(!events(&m)
             .iter()
             .any(|e| matches!(e, JobEvent::TaskReverted { .. })));
         m.shutdown();
@@ -1863,8 +1899,7 @@ mod tests {
             m.executors[&exec].busy, 1,
             "duplicate TaskDone must not double-free a busy slot"
         );
-        let commits = m
-            .events
+        let commits = events(&m)
             .iter()
             .filter(|e| matches!(e, JobEvent::TaskCommitted { .. }))
             .count();
@@ -1893,7 +1928,7 @@ mod tests {
         };
         fail(&mut m);
         fail(&mut m);
-        assert_eq!(m.metrics.task_failures, 1, "one failure, not two");
+        assert_eq!(derived(&m).task_failures, 1, "one failure, not two");
         assert_eq!(m.task_failure_counts[&(f, 0)], 1, "retry charged once");
         assert_eq!(m.executors[&exec].busy, 1);
         m.shutdown();

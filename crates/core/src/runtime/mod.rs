@@ -4,6 +4,8 @@
 pub mod cache;
 pub mod config;
 pub mod executor;
+pub mod invariants;
+pub mod journal;
 pub mod local;
 pub mod master;
 pub mod message;
@@ -14,8 +16,10 @@ pub mod transport;
 pub use cache::{CacheKey, LruCache};
 pub use config::RuntimeConfig;
 pub use executor::{ExecutorHandle, JobContext};
+pub use invariants::{assert_clean, check, Violation};
+pub use journal::{EventJournal, JobEvent, Journal, JournalMeta, JournalRecord};
 pub use local::LocalCluster;
-pub use master::{ChaosPlan, FaultPlan, Injector, JobEvent, JobResult, Master};
+pub use master::{ChaosPlan, FaultPlan, Injector, JobResult, Master};
 pub use message::{AttemptId, ExecId, InjectedFault, MasterMsg};
 pub use metrics::JobMetrics;
 pub use policy::{Candidate, LeastLoaded, RoundRobinCacheAware, SchedulingPolicy, TaskToPlace};

@@ -35,6 +35,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::Sender;
 
+use crate::runtime::journal::{JobEvent, Journal};
 use crate::runtime::message::{ExecId, ExecutorMsg, MasterMsg};
 
 /// Per-peer monotone sequence number; the unit of acknowledgement.
@@ -354,6 +355,10 @@ pub struct ReliableSender<T, W> {
     unacked: BTreeMap<Seq, Pending<T>>,
     backlog: VecDeque<T>,
     counters: Arc<TransportCounters>,
+    /// The job's execution journal plus this endpoint's direction
+    /// (`to_master`); when set, every retransmission is logged so the
+    /// invariant checker can bound per-message retries.
+    journal: Option<(Journal, bool)>,
 }
 
 impl<T: Clone, W: Clone> ReliableSender<T, W> {
@@ -382,7 +387,17 @@ impl<T: Clone, W: Clone> ReliableSender<T, W> {
             unacked: BTreeMap::new(),
             backlog: VecDeque::new(),
             counters,
+            journal: None,
         }
+    }
+
+    /// Attaches the job's execution journal: each retransmission emits a
+    /// [`JobEvent::MessageRetransmitted`] record. `to_master` marks the
+    /// executor→master direction.
+    #[must_use]
+    pub fn with_journal(mut self, journal: Journal, to_master: bool) -> Self {
+        self.journal = Some((journal, to_master));
+        self
     }
 
     /// Sends a payload reliably: transmits now if an in-flight slot is
@@ -463,6 +478,16 @@ impl<T: Clone, W: Clone> ReliableSender<T, W> {
                 .next_at = now + delay;
             self.counters.retransmitted.fetch_add(1, Ordering::Relaxed);
             self.counters.note_transmissions(transmissions);
+            if let Some((journal, to_master)) = &self.journal {
+                journal.emit(
+                    None,
+                    JobEvent::MessageRetransmitted {
+                        exec: self.peer,
+                        to_master: *to_master,
+                        seq,
+                    },
+                );
+            }
             self.link.send(frame);
         }
         self.link.pump();

@@ -131,7 +131,25 @@ fn random_fault_plan(rng: &mut StdRng, seed: u64) -> FaultPlan {
 }
 
 fn check_invariants(seed: u64, result: &JobResult, faults: &FaultPlan) {
-    let events = &result.events;
+    // Every seeded run must replay cleanly through the generic
+    // invariant checker before the harness-specific checks below.
+    pado_core::runtime::assert_clean(&result.journal, true);
+
+    // The metrics surfaced on the result must be exactly what the
+    // journal derives (modulo the four wire-level counters the journal
+    // cannot see, which we copy over before comparing).
+    let mut derived = result.journal.derive_metrics();
+    derived.messages_dropped = result.metrics.messages_dropped;
+    derived.messages_duplicated = result.metrics.messages_duplicated;
+    derived.messages_deduplicated = result.metrics.messages_deduplicated;
+    derived.max_message_retransmissions = result.metrics.max_message_retransmissions;
+    assert_eq!(
+        derived, result.metrics,
+        "seed {seed}: journal-derived metrics drifted from reported metrics"
+    );
+
+    let events = result.journal.to_events();
+    let events = &events;
 
     // Retry budget: chaos injection is capped below the budget, so no
     // task may ever reach `max_task_attempts` user-code failures.
@@ -147,27 +165,19 @@ fn check_invariants(seed: u64, result: &JobResult, faults: &FaultPlan) {
             "seed {seed}: task {task:?} burned {n} attempts (budget {MAX_TASK_ATTEMPTS})"
         );
     }
+    // The journal survives master restarts (unlike the old snapshot
+    // counters), so the failure metric always equals the event count.
     let total_failures: usize = failures.values().sum();
-    if faults.master_failure_after.is_none() {
-        assert_eq!(
-            result.metrics.task_failures, total_failures,
-            "seed {seed}: metric and event log disagree on failures"
-        );
-    } else {
-        // A restarted master resumes its counters from the snapshot;
-        // failures between the snapshot and the crash survive only in
-        // the event log.
-        assert!(
-            result.metrics.task_failures <= total_failures,
-            "seed {seed}: restored metrics count failures the log never saw"
-        );
-    }
+    assert_eq!(
+        result.metrics.task_failures, total_failures,
+        "seed {seed}: metric and event log disagree on failures"
+    );
 
     // Commit-once: a re-commit requires an intervening revert.
     let mut committed: HashMap<(usize, usize), bool> = HashMap::new();
     for e in events {
         match e {
-            JobEvent::TaskCommitted { fop, index } => {
+            JobEvent::TaskCommitted { fop, index, .. } => {
                 let slot = committed.entry((*fop, *index)).or_insert(false);
                 assert!(!*slot, "seed {seed}: double commit of task {fop}.{index}");
                 *slot = true;

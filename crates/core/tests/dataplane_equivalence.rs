@@ -249,6 +249,7 @@ fn cluster_outputs_match_cloning_reference_plane() {
             expected,
             "{name}: block data plane diverged from cloning reference"
         );
+        pado_core::runtime::assert_clean(&result.journal, true);
     }
 }
 
@@ -285,6 +286,7 @@ fn chaos_outputs_match_cloning_reference_plane() {
                 expected,
                 "{name} seed {seed}: chaos run diverged from reference"
             );
+            pado_core::runtime::assert_clean(&result.journal, true);
         }
     }
 }

@@ -152,18 +152,17 @@ fn faulty_executor_is_blacklisted_and_replaced() {
         "two failures on the sole transient executor must blacklist it"
     );
     assert!(result.metrics.task_failures >= 2);
-    assert!(result
-        .events
+    pado_core::runtime::assert_clean(&result.journal, true);
+    let events = result.journal.to_events();
+    assert!(events
         .iter()
         .any(|e| matches!(e, JobEvent::ExecutorBlacklisted(_))));
     // Every blacklisting provisions a replacement container.
-    let blacklists = result
-        .events
+    let blacklists = events
         .iter()
         .filter(|e| matches!(e, JobEvent::ExecutorBlacklisted(_)))
         .count();
-    let additions = result
-        .events
+    let additions = events
         .iter()
         .filter(|e| matches!(e, JobEvent::ContainerAdded(_)))
         .count();
@@ -228,9 +227,11 @@ fn straggler_gets_speculative_duplicate_that_wins() {
         result.metrics
     );
     assert!(result
-        .events
+        .journal
+        .to_events()
         .iter()
         .any(|e| matches!(e, JobEvent::SpeculativeLaunched { .. })));
+    pado_core::runtime::assert_clean(&result.journal, true);
     assert_eq!(
         result.metrics.tasks_launched,
         result.metrics.original_tasks
@@ -252,7 +253,7 @@ fn assert_no_double_commit(events: &[JobEvent]) {
     let mut committed: HashMap<(usize, usize), bool> = HashMap::new();
     for e in events {
         match e {
-            JobEvent::TaskCommitted { fop, index } => {
+            JobEvent::TaskCommitted { fop, index, .. } => {
                 let slot = committed.entry((*fop, *index)).or_insert(false);
                 assert!(!*slot, "double commit of task {fop}.{index}");
                 *slot = true;
@@ -314,7 +315,8 @@ fn delayed_done_report_from_evicted_executor_is_discarded() {
         result.metrics.task_failures, 0,
         "a delayed report is not a user-code failure"
     );
-    assert_no_double_commit(&result.events);
+    assert_no_double_commit(&result.journal.to_events());
+    pado_core::runtime::assert_clean(&result.journal, true);
 }
 
 /// Master restart (satellite of §3.2.6): the replacement master resumes
@@ -351,7 +353,9 @@ fn master_restart_recovers_without_relaunching_committed_tasks() {
         .run_with_faults(&dag, faults)
         .unwrap();
 
-    let events = &result.events;
+    pado_core::runtime::assert_clean(&result.journal, true);
+    let events = result.journal.to_events();
+    let events = &events;
     let rec_idx = events
         .iter()
         .position(|e| matches!(e, JobEvent::MasterRecovered))
@@ -362,7 +366,7 @@ fn master_restart_recovers_without_relaunching_committed_tasks() {
     let committed_before: Vec<(usize, usize)> = events[..rec_idx]
         .iter()
         .filter_map(|e| match e {
-            JobEvent::TaskCommitted { fop, index } => Some((*fop, *index)),
+            JobEvent::TaskCommitted { fop, index, .. } => Some((*fop, *index)),
             _ => None,
         })
         .collect();

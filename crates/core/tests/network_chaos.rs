@@ -197,7 +197,7 @@ fn assert_no_double_commit(seed: u64, events: &[JobEvent]) {
     let mut committed: HashMap<(usize, usize), bool> = HashMap::new();
     for e in events {
         match e {
-            JobEvent::TaskCommitted { fop, index } => {
+            JobEvent::TaskCommitted { fop, index, .. } => {
                 let slot = committed.entry((*fop, *index)).or_insert(false);
                 assert!(!*slot, "seed {seed}: double commit of task {fop}.{index}");
                 *slot = true;
@@ -249,7 +249,8 @@ fn hundred_seeds_of_network_chaos_preserve_outputs() {
             baselines[shape],
             "seed {seed} ({name}): outputs diverged from fault-free baseline"
         );
-        assert_no_double_commit(seed, &result.events);
+        pado_core::runtime::assert_clean(&result.journal, true);
+        assert_no_double_commit(seed, &result.journal.to_events());
         assert!(
             result.metrics.max_message_retransmissions <= MAX_RETRANSMISSIONS,
             "seed {seed}: a message needed {} retransmissions",
@@ -328,11 +329,13 @@ fn partitioned_then_healed_rejoins_without_relaunches() {
     );
     assert!(
         !result
-            .events
+            .journal
+            .to_events()
             .iter()
             .any(|e| matches!(e, JobEvent::ExecutorDeclaredDead(_))),
         "no death sentence in the event log"
     );
+    pado_core::runtime::assert_clean(&result.journal, true);
 }
 
 /// A partition that outlives the dead-executor threshold trips the
@@ -385,9 +388,9 @@ fn partitioned_past_threshold_declared_dead() {
         "the detector flags the silence before the death sentence: {:?}",
         result.metrics
     );
+    let events = result.journal.to_events();
     assert_eq!(
-        result
-            .events
+        events
             .iter()
             .filter(|e| matches!(e, JobEvent::ExecutorDeclaredDead(_)))
             .count(),
@@ -397,7 +400,7 @@ fn partitioned_past_threshold_declared_dead() {
     // plus at most one post-death relaunch), and at least one task that
     // was stranded on the dead executor actually relaunched.
     let mut launches: HashMap<(usize, usize), usize> = HashMap::new();
-    for e in &result.events {
+    for e in &events {
         if let JobEvent::TaskLaunched { fop, index, .. } = e {
             *launches.entry((*fop, *index)).or_default() += 1;
         }
@@ -413,7 +416,8 @@ fn partitioned_past_threshold_declared_dead() {
         "the dead executor's assignments must relaunch: {:?}",
         result.metrics
     );
-    assert_no_double_commit(0, &result.events);
+    assert_no_double_commit(0, &events);
+    pado_core::runtime::assert_clean(&result.journal, true);
 }
 
 /// Without injected faults the transport is invisible: every message is
@@ -437,5 +441,6 @@ fn fault_free_runs_report_zero_transport_metrics() {
         assert_eq!(m.max_message_retransmissions, 0, "{name}: {m:?}");
         assert_eq!(m.heartbeats_missed, 0, "{name}: {m:?}");
         assert_eq!(m.executors_declared_dead, 0, "{name}: {m:?}");
+        pado_core::runtime::assert_clean(&result.journal, true);
     }
 }

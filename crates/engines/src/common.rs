@@ -226,33 +226,14 @@ pub struct RunMetrics {
     pub bytes_checkpointed: f64,
     /// Bytes pushed from transient to reserved executors (Pado only).
     pub bytes_pushed: f64,
-    /// Task attempts that failed in user code. The simulated engines do
-    /// not model UDF faults, so they report 0; the field exists for
-    /// report parity with the runtime's `JobMetrics`.
-    pub task_failures: usize,
-    /// Speculative duplicate attempts launched (0 in simulation; parity
-    /// with the runtime's `JobMetrics`).
-    pub speculative_launches: usize,
-    /// Speculative duplicates that committed first (0 in simulation;
-    /// parity with the runtime's `JobMetrics`).
-    pub speculative_wins: usize,
-    /// Control-plane messages the network dropped. The simulated engines
-    /// assume a reliable control plane, so they report 0; the field
-    /// exists for report parity with the runtime's `JobMetrics`.
-    pub messages_dropped: usize,
-    /// Control-plane messages delivered twice (0 in simulation; parity
-    /// with the runtime's `JobMetrics`).
-    pub messages_duplicated: usize,
-    /// Control-plane retransmissions (0 in simulation; parity with the
-    /// runtime's `JobMetrics`).
-    pub messages_retransmitted: usize,
-    /// Missed-heartbeat flags (0 in simulation; parity with the
-    /// runtime's `JobMetrics`).
-    pub heartbeats_missed: usize,
-    /// Executors declared dead by a failure detector (0 in simulation;
-    /// parity with the runtime's `JobMetrics`).
-    pub executors_declared_dead: usize,
 }
+
+// Note: `RunMetrics` deliberately carries *no* mirror of the runtime's
+// failure/transport counters (task failures, speculation, message drops,
+// heartbeats). The simulated engines model none of those, and the real
+// runtime now derives every such counter from its event journal
+// (`EventJournal::derive_metrics`), so hand-mirrored zero fields here
+// could only drift from the source of truth.
 
 impl RunMetrics {
     /// Job completion time in minutes.
