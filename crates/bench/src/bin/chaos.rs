@@ -1,8 +1,9 @@
 //! Standalone seeded chaos driver for the runtime's failure domain: each
 //! seed derives a randomized fault plan (evictions, reserved failures,
-//! master restarts, probabilistic UDF errors/panics/delays), runs a real
-//! job on the in-process cluster, and checks the result byte-for-byte
-//! against a fault-free baseline plus the commit/retry invariants.
+//! master restarts, probabilistic UDF errors/panics/OOMs/delays, and
+//! mid-job store-budget shrinks), runs a real job on the in-process
+//! cluster, and checks the result byte-for-byte against a fault-free
+//! baseline plus the commit/retry invariants.
 //!
 //! Usage: `cargo run -p pado-bench --bin chaos [n_seeds] [--network]
 //! [--journal <path>]`
@@ -165,6 +166,19 @@ fn random_fault_plan(
     } else {
         None
     };
+    // Memory-pressure dimension: one seed in three squeezes a reserved
+    // executor's store budget mid-job. The store clamps the applied
+    // budget up to pinned occupancy and spills the rest, so the job must
+    // still finish byte-identical.
+    let budget_shrinks = if rng.gen_bool(0.35) {
+        vec![(
+            rng.gen_range(2..6usize),
+            rng.gen_range(0..n_reserved),
+            rng.gen_range(64..512usize),
+        )]
+    } else {
+        Vec::new()
+    };
     FaultPlan {
         evictions,
         reserved_failures,
@@ -173,10 +187,12 @@ fn random_fault_plan(
             seed,
             error_prob: 0.15,
             panic_prob: 0.10,
+            oom_prob: 0.10,
             delay_prob: 0.20,
             delay_ms: 8,
             max_faults_per_task: MAX_FAULTS_PER_TASK,
         }),
+        budget_shrinks,
         first_attempt_delays: Vec::new(),
         first_attempt_done_delays: Vec::new(),
         network: network.then(|| random_network(rng, seed, n_transient, n_reserved)),
@@ -304,12 +320,25 @@ fn main() {
         .collect();
 
     println!(
-        "{:>5}  {:<10} {:>5} {:>4} {:>7} {:>5} {:>5} {:>5} {:>5}  verdict",
-        "seed", "shape", "evict", "rsvd", "restart", "fail", "spec", "black", "launch"
+        "{:>5}  {:<10} {:>5} {:>4} {:>7} {:>5} {:>5} {:>5} {:>5} {:>4} {:>5} {:>5}  verdict",
+        "seed",
+        "shape",
+        "evict",
+        "rsvd",
+        "restart",
+        "fail",
+        "spec",
+        "black",
+        "launch",
+        "oom",
+        "spill",
+        "defer"
     );
     let (mut ok, mut bad) = (0u64, 0u64);
     let mut total_failures = 0usize;
     let mut total_spec = 0usize;
+    let mut total_oom = 0usize;
+    let mut total_spills = 0usize;
     let mut last_journal = None;
     for seed in 0..n_seeds {
         let shape = (seed % shapes.len() as u64) as usize;
@@ -335,7 +364,7 @@ fn main() {
         }
         let verdict = if probs.is_empty() { "ok" } else { "VIOLATION" };
         println!(
-            "{seed:>5}  {name:<10} {:>5} {:>4} {:>7} {:>5} {:>5} {:>5} {:>5}  {verdict}",
+            "{seed:>5}  {name:<10} {:>5} {:>4} {:>7} {:>5} {:>5} {:>5} {:>5} {:>4} {:>5} {:>5}  {verdict}",
             faults.evictions.len(),
             faults.reserved_failures.len(),
             faults
@@ -346,6 +375,9 @@ fn main() {
             result.metrics.speculative_launches,
             result.metrics.blacklisted_executors,
             result.metrics.tasks_launched,
+            result.metrics.oom_injected,
+            result.metrics.blocks_spilled,
+            result.metrics.pushes_deferred,
         );
         for p in &probs {
             println!("       !! {p}");
@@ -363,6 +395,8 @@ fn main() {
         }
         total_failures += result.metrics.task_failures;
         total_spec += result.metrics.speculative_launches;
+        total_oom += result.metrics.oom_injected;
+        total_spills += result.metrics.blocks_spilled;
         last_journal = Some(result.journal);
         if probs.is_empty() {
             ok += 1;
@@ -382,7 +416,8 @@ fn main() {
     }
     println!(
         "\n{ok}/{n_seeds} seeds clean, {bad} violating; \
-         {total_failures} injected task failures survived, {total_spec} speculative launches"
+         {total_failures} injected task failures survived, {total_spec} speculative launches, \
+         {total_oom} injected allocation failures, {total_spills} blocks spilled"
     );
     if bad > 0 {
         std::process::exit(1);

@@ -13,12 +13,20 @@
 //!   and peak resident set (`VmHWM`).
 //!
 //! Usage: `cargo run -p pado-bench --release --bin dataplane
-//! [-- --smoke] [--trace <path>]`
+//! [-- --smoke] [--trace <path>] [--mem-budget <bytes|auto>]`
 //! `--smoke` shrinks datasets for CI. `--trace <path>` writes a
 //! Chrome-trace JSON of the broadcast-heavy end-to-end run's event
-//! journal to `<path>` (open it in chrome://tracing or Perfetto). Exits
-//! non-zero if the block plane loses its guarantees (speedup or clone
-//! counts).
+//! journal to `<path>` (open it in chrome://tracing or Perfetto).
+//! `--mem-budget` adds a third section: the shuffle-heavy pipeline runs
+//! once unlimited and once under a per-executor byte budget (`auto`
+//! probes the working set and squeezes to a quarter of it), reporting
+//! peak store occupancy, spill volume, and deferred pushes; outputs
+//! must stay byte-identical, the peak must respect the budget, and the
+//! tight run must spill at least one block. With `--trace`, the budgeted
+//! run's journal (spill/load instants included) is written to
+//! `<path stem>-mem<ext>` next to the broadcast trace. Exits non-zero
+//! if the block plane loses its guarantees (speedup, clone counts, or
+//! memory bounds).
 
 use std::time::Instant;
 
@@ -144,17 +152,24 @@ fn shuffle_kernel(n: usize, consumers: usize) -> (f64, f64, u64) {
     (block_secs, cloning_secs, n as u64)
 }
 
-/// End-to-end cluster run; returns (secs, records out, clone delta) plus
-/// the run's event journal (for `--trace` export).
+/// End-to-end cluster run under a per-executor store budget
+/// (`usize::MAX` = unlimited); returns (secs, clone delta, result).
 fn run_pipeline(
     dag: &pado_dag::LogicalDag,
     snapshot_every: usize,
-) -> (f64, u64, u64, pado_core::runtime::EventJournal) {
-    let config = RuntimeConfig {
+    mem_budget: usize,
+) -> (f64, u64, pado_core::runtime::JobResult) {
+    let mut config = RuntimeConfig {
         slots_per_executor: 2,
         snapshot_every,
         ..Default::default()
     };
+    if mem_budget != usize::MAX {
+        config.executor_memory_bytes = mem_budget;
+        // The input cache shares the budget; keep it a small slice so
+        // pinned inputs and pushed blocks get the headroom.
+        config.cache_capacity_bytes = (mem_budget / 4).max(1);
+    }
     let before = clone_count();
     let t0 = Instant::now();
     let result = LocalCluster::new(2, 2)
@@ -163,8 +178,45 @@ fn run_pipeline(
         .expect("pipeline run");
     let secs = t0.elapsed().as_secs_f64();
     pado_core::runtime::assert_clean(&result.journal, true);
-    let out: u64 = result.outputs.values().map(|v| v.len() as u64).sum();
-    (secs, out, clone_count() - before, result.journal)
+    (secs, clone_count() - before, result)
+}
+
+fn out_records(result: &pado_core::runtime::JobResult) -> u64 {
+    result.outputs.values().map(|v| v.len() as u64).sum()
+}
+
+/// Codec-encoded outputs; byte equality is the strongest form of "the
+/// budget did not change the answer".
+fn encode_outputs(result: &pado_core::runtime::JobResult) -> Vec<(String, Vec<u8>)> {
+    result
+        .outputs
+        .iter()
+        .map(|(name, records)| (name.clone(), pado_dag::codec::encode_batch(records)))
+        .collect()
+}
+
+fn write_trace(path: &str, journal: &pado_core::runtime::EventJournal) {
+    if let Some(dir) = std::path::Path::new(path)
+        .parent()
+        .filter(|d| !d.as_os_str().is_empty())
+    {
+        std::fs::create_dir_all(dir).expect("create trace directory");
+    }
+    std::fs::write(path, journal.chrome_trace()).expect("write Chrome trace");
+}
+
+/// `traces/dataplane.trace.json` -> `traces/dataplane-mem.trace.json`.
+fn mem_trace_path(path: &str) -> String {
+    let p = std::path::Path::new(path);
+    let name = p
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let renamed = match name.split_once('.') {
+        Some((stem, ext)) => format!("{stem}-mem.{ext}"),
+        None => format!("{name}-mem"),
+    };
+    p.with_file_name(renamed).to_string_lossy().into_owned()
 }
 
 fn shuffle_heavy_dag(n: i64) -> pado_dag::LogicalDag {
@@ -218,10 +270,13 @@ fn broadcast_heavy_dag(n: i64, consumers: usize) -> pado_dag::LogicalDag {
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let mut trace_path: Option<String> = None;
+    let mut mem_budget_arg: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--trace" {
             trace_path = Some(args.next().expect("--trace needs a path"));
+        } else if arg == "--mem-budget" {
+            mem_budget_arg = Some(args.next().expect("--mem-budget needs bytes or 'auto'"));
         }
     }
     let (n_kernel, consumers) = if smoke { (20_000, 8) } else { (200_000, 16) };
@@ -254,31 +309,87 @@ fn main() {
     );
 
     println!("\n== end-to-end: in-process cluster, snapshots every 2 completions ==");
-    let (secs, out, clones, _) = run_pipeline(&shuffle_heavy_dag(n_e2e), 2);
+    let (secs, clones, result) = run_pipeline(&shuffle_heavy_dag(n_e2e), 2, usize::MAX);
     println!(
-        "shuffle-heavy    {n_e2e} rec  {}  {out} out  {clones} record clones",
+        "shuffle-heavy    {n_e2e} rec  {}  {} out  {clones} record clones",
         fmt_rate(n_e2e as u64, secs),
+        out_records(&result),
     );
-    let (secs, out, clones, journal) = run_pipeline(&broadcast_heavy_dag(n_e2e, consumers), 2);
+    let (secs, clones, result) =
+        run_pipeline(&broadcast_heavy_dag(n_e2e, consumers), 2, usize::MAX);
     if let Some(path) = &trace_path {
-        if let Some(dir) = std::path::Path::new(path)
-            .parent()
-            .filter(|d| !d.as_os_str().is_empty())
-        {
-            std::fs::create_dir_all(dir).expect("create trace directory");
-        }
-        std::fs::write(path, journal.chrome_trace()).expect("write Chrome trace");
+        write_trace(path, &result.journal);
         println!("wrote Chrome trace of the broadcast-heavy run to {path}");
     }
     let pushed = n_e2e as u64 * consumers as u64;
     println!(
-        "broadcast-heavy  {pushed} rec pushed  {}  {out} out  {clones} record clones",
+        "broadcast-heavy  {pushed} rec pushed  {}  {} out  {clones} record clones",
         fmt_rate(pushed, secs),
+        out_records(&result),
     );
     assert!(
         clones < n_e2e as u64,
         "broadcast-heavy job cloned {clones} records (dataset {n_e2e}): sharing is broken"
     );
+
+    if let Some(spec) = &mem_budget_arg {
+        println!("\n== memory budget: byte-accounted stores, spill-to-disk ==");
+        let dag = shuffle_heavy_dag(n_e2e);
+
+        // Unlimited baseline: no accounting, no spills, no deferrals.
+        let (_, _, unlimited) = run_pipeline(&dag, 2, usize::MAX);
+        let m = &unlimited.metrics;
+        assert_eq!(
+            m.blocks_spilled + m.pushes_deferred + m.oom_injected,
+            0,
+            "unlimited run must not spill, defer, or OOM: {m:?}"
+        );
+        assert_eq!(m.peak_store_bytes, 0, "unlimited stores must not account");
+
+        let budget = if spec == "auto" {
+            // Probe under a roomy limited budget to learn the working
+            // set, then squeeze to a quarter of its peak.
+            let (_, _, probe) = run_pipeline(&dag, 2, 64 << 20);
+            let peak = probe.metrics.peak_store_bytes;
+            println!("probe: working-set peak {peak} B (64 MiB roomy budget)");
+            (peak / 4).max(1024)
+        } else {
+            spec.parse()
+                .expect("--mem-budget takes a byte count or 'auto'")
+        };
+
+        let (secs, _, tight) = run_pipeline(&dag, 2, budget);
+        if let Some(path) = &trace_path {
+            let mem_path = mem_trace_path(path);
+            write_trace(&mem_path, &tight.journal);
+            println!("wrote Chrome trace of the budgeted run to {mem_path}");
+        }
+        let m = &tight.metrics;
+        println!(
+            "budget {budget} B  {}  peak store {} B  spilled {} blocks / {} B  \
+             loads {}  deferred pushes {}",
+            fmt_rate(n_e2e as u64, secs),
+            m.peak_store_bytes,
+            m.blocks_spilled,
+            m.spill_bytes,
+            m.blocks_loaded,
+            m.pushes_deferred,
+        );
+        assert_eq!(
+            encode_outputs(&tight),
+            encode_outputs(&unlimited),
+            "budgeted run diverged from the unlimited baseline"
+        );
+        assert!(
+            m.peak_store_bytes <= budget,
+            "peak store occupancy {} B broke the {budget} B budget",
+            m.peak_store_bytes
+        );
+        assert!(
+            m.blocks_spilled > 0 && m.blocks_loaded > 0,
+            "a quarter-working-set budget must force at least one spill/load pair: {m:?}"
+        );
+    }
 
     if let Some(rss) = peak_rss_bytes() {
         println!(

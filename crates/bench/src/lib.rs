@@ -344,6 +344,7 @@ pub fn demo_journal() -> pado_core::runtime::EventJournal {
             seed: 7,
             error_prob: 0.5,
             panic_prob: 0.0,
+            oom_prob: 0.0,
             delay_prob: 0.0,
             delay_ms: 0,
             max_faults_per_task: 1,

@@ -79,6 +79,17 @@ pub enum RuntimeError {
         /// small on the hot `Result` paths).
         metrics: Box<JobMetrics>,
     },
+    /// A single block (or one task's pinned input set) exceeds the
+    /// per-executor store budget: no amount of spilling can ever fit
+    /// it, so the job fails cleanly instead of wedging.
+    MemoryExceeded {
+        /// Bytes that were required resident at once.
+        bytes: usize,
+        /// The configured `executor_memory_bytes` budget.
+        budget: usize,
+        /// What needed the bytes (block ref or task id).
+        context: String,
+    },
     /// A scheduler invariant was violated (a bug in the runtime, not in
     /// user code); surfaced instead of panicking the master thread.
     Invariant(String),
@@ -111,6 +122,15 @@ impl fmt::Display for RuntimeError {
                 f,
                 "job aborted: no progress within {waited_ms} ms ({} events logged)",
                 events.len()
+            ),
+            RuntimeError::MemoryExceeded {
+                bytes,
+                budget,
+                context,
+            } => write!(
+                f,
+                "executor memory exceeded: {context} needs {bytes} B resident but the \
+                 store budget is {budget} B"
             ),
             RuntimeError::Invariant(msg) => write!(f, "scheduler invariant violated: {msg}"),
             RuntimeError::Config(msg) => write!(f, "invalid runtime configuration: {msg}"),

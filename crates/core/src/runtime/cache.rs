@@ -8,7 +8,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use pado_dag::{Block, Value};
+use pado_dag::Block;
+
+use crate::runtime::store::block_bytes;
 
 /// Cache key: the plan-wide id of the fused operator whose output is
 /// cached, qualified by the consumer-side routing (broadcast inputs are
@@ -22,6 +24,10 @@ pub struct LruCache {
     used_bytes: usize,
     clock: u64,
     entries: HashMap<CacheKey, Entry>,
+    /// Pin counts of entries currently read by running tasks: pinned
+    /// entries are never evicted or shed (a put that would need to
+    /// evict a pinned entry is refused instead).
+    pins: HashMap<CacheKey, usize>,
 }
 
 #[derive(Debug)]
@@ -39,12 +45,18 @@ impl LruCache {
             used_bytes: 0,
             clock: 0,
             entries: HashMap::new(),
+            pins: HashMap::new(),
         }
     }
 
     /// Bytes currently held.
     pub fn used_bytes(&self) -> usize {
         self.used_bytes
+    }
+
+    /// The configured capacity in bytes.
+    pub fn capacity_bytes(&self) -> usize {
+        self.capacity_bytes
     }
 
     /// Number of cached datasets.
@@ -67,13 +79,15 @@ impl LruCache {
         })
     }
 
-    /// Inserts a dataset, evicting least-recently-used entries as needed.
+    /// Inserts a dataset, evicting least-recently-used unpinned entries
+    /// as needed.
     ///
     /// Datasets larger than the whole capacity are not cached at all, but
     /// any older version under the same key is still dropped so the cache
-    /// never serves stale data. Returns whether the dataset was cached.
+    /// never serves stale data. A put that could only fit by evicting
+    /// pinned entries is refused. Returns whether the dataset was cached.
     pub fn put(&mut self, key: CacheKey, data: Block) -> bool {
-        let bytes: usize = data.iter().map(Value::size_bytes).sum();
+        let bytes = block_bytes(&data);
         // Drop any existing version of this key *before* deciding whether
         // the new one fits: rejecting an oversized dataset must not leave a
         // stale version behind for `get` to serve.
@@ -84,14 +98,11 @@ impl LruCache {
             return false;
         }
         while self.used_bytes + bytes > self.capacity_bytes {
-            let lru = self
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| *k)
-                .expect("cache over capacity implies at least one entry");
-            let evicted = self.entries.remove(&lru).expect("key just found");
-            self.used_bytes -= evicted.bytes;
+            if self.shed_lru_unpinned().is_none() {
+                // Only pinned entries remain: refuse rather than evict
+                // data a running task is reading.
+                return false;
+            }
         }
         self.clock += 1;
         self.entries.insert(
@@ -110,11 +121,48 @@ impl LruCache {
     pub fn keys(&self) -> Vec<CacheKey> {
         self.entries.keys().copied().collect()
     }
+
+    /// Pins a cached entry for the duration of a task that reads it.
+    /// Returns false when the key is not cached.
+    pub fn pin(&mut self, key: CacheKey) -> bool {
+        if !self.entries.contains_key(&key) {
+            return false;
+        }
+        *self.pins.entry(key).or_insert(0) += 1;
+        true
+    }
+
+    /// Drops one pin of an entry; unknown keys are tolerated.
+    pub fn unpin(&mut self, key: CacheKey) {
+        if let Some(n) = self.pins.get_mut(&key) {
+            *n -= 1;
+            if *n == 0 {
+                self.pins.remove(&key);
+            }
+        }
+    }
+
+    /// Evicts the least-recently-used unpinned entry, returning the
+    /// bytes freed (None when every entry is pinned or the cache is
+    /// empty). Used for its own evictions and when the executor store
+    /// needs combined-budget headroom.
+    pub fn shed_lru_unpinned(&mut self) -> Option<usize> {
+        let lru = self
+            .entries
+            .iter()
+            .filter(|(k, _)| self.pins.get(*k).copied().unwrap_or(0) == 0)
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| *k)?;
+        let evicted = self.entries.remove(&lru)?;
+        self.used_bytes -= evicted.bytes;
+        Some(evicted.bytes)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pado_dag::Value;
 
     fn dataset(n_records: usize) -> Block {
         // Each I64 record accounts 8 bytes.
@@ -178,6 +226,25 @@ mod tests {
         assert!(c.get(2).is_none());
         assert!(c.get(3).is_some());
         assert_eq!(c.used_bytes(), 64);
+    }
+
+    #[test]
+    fn pinned_entries_are_never_evicted() {
+        let mut c = LruCache::new(24);
+        c.put(1, dataset(1));
+        c.put(2, dataset(1));
+        assert!(c.pin(1));
+        assert!(c.pin(2));
+        assert!(!c.pin(99), "cannot pin what is not cached");
+        // Fitting 16 B would need an eviction, but both entries are
+        // pinned: the put is refused and nothing is evicted.
+        assert!(!c.put(3, dataset(2)));
+        assert!(c.get(1).is_some());
+        assert!(c.get(2).is_some());
+        c.unpin(2);
+        assert!(c.put(3, dataset(2)));
+        assert!(c.get(2).is_none(), "unpinned entry was shed");
+        assert!(c.get(1).is_some(), "pinned entry survived");
     }
 
     #[test]

@@ -6,7 +6,16 @@ pub struct RuntimeConfig {
     /// Task slots (worker threads) per executor (§3.2.3).
     pub slots_per_executor: usize,
     /// Capacity of each executor's task-input cache in bytes (§3.2.7).
+    /// The cache lives *inside* the executor store budget, so this must
+    /// not exceed `executor_memory_bytes`.
     pub cache_capacity_bytes: usize,
+    /// Byte budget of each executor's block store — preserved outputs,
+    /// pushed partitions, and the input cache combined. `usize::MAX`
+    /// (the default) disables accounting; anything smaller makes the
+    /// store spill unpinned blocks to disk under pressure, defers
+    /// pushes without headroom, and refuses launches whose inputs
+    /// cannot be pinned.
+    pub executor_memory_bytes: usize,
     /// Whether transient tasks pre-aggregate their combine-bound outputs
     /// before pushing (task output partial aggregation, §3.2.7).
     pub partial_aggregation: bool,
@@ -66,6 +75,7 @@ impl Default for RuntimeConfig {
         RuntimeConfig {
             slots_per_executor: 4,
             cache_capacity_bytes: 64 << 20,
+            executor_memory_bytes: usize::MAX,
             partial_aggregation: true,
             event_timeout_ms: 30_000,
             snapshot_every: 16,
@@ -131,6 +141,20 @@ impl RuntimeConfig {
                  ({}): a lost message must get at least one retry before its \
                  executor can be declared dead",
                 self.retransmit_base_ms, self.dead_executor_timeout_ms
+            ));
+        }
+        if self.executor_memory_bytes == 0 {
+            return Err(
+                "executor_memory_bytes must be at least 1 (use usize::MAX for \
+                        unlimited)"
+                    .into(),
+            );
+        }
+        if self.cache_capacity_bytes > self.executor_memory_bytes {
+            return Err(format!(
+                "cache_capacity_bytes ({}) must not exceed executor_memory_bytes \
+                 ({}): the input cache lives inside the executor store budget",
+                self.cache_capacity_bytes, self.executor_memory_bytes
             ));
         }
         if self.heartbeat_interval_ms == 0 {
@@ -226,6 +250,27 @@ mod tests {
             ..RuntimeConfig::default()
         };
         assert!(c.validate().unwrap_err().contains("retransmit_max_ms"));
+    }
+
+    #[test]
+    fn validate_rejects_cache_beyond_executor_budget() {
+        let c = RuntimeConfig {
+            cache_capacity_bytes: 2 << 20,
+            executor_memory_bytes: 1 << 20,
+            ..RuntimeConfig::default()
+        };
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("cache_capacity_bytes"));
+        assert!(err.contains("executor_memory_bytes"));
+    }
+
+    #[test]
+    fn validate_rejects_zero_executor_budget() {
+        let c = RuntimeConfig {
+            executor_memory_bytes: 0,
+            ..RuntimeConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("executor_memory_bytes"));
     }
 
     #[test]

@@ -27,10 +27,11 @@ use parking_lot::Mutex;
 
 use crate::compiler::{PhysicalPlan, Placement};
 use crate::exec::apply_chain;
-use crate::runtime::cache::{CacheKey, LruCache};
+use crate::runtime::cache::CacheKey;
 use crate::runtime::config::RuntimeConfig;
 use crate::runtime::journal::{JobEvent, Journal};
 use crate::runtime::message::{ExecId, ExecutorMsg, InjectedFault, MasterMsg, TaskSpec};
+use crate::runtime::store::{ExecutorStore, StoreHandle};
 use crate::runtime::transport::{
     DedupWindow, Direction, ExecIn, FaultyLink, NetPolicy, ReliableSender, TransportCounters, Wire,
 };
@@ -88,7 +89,9 @@ impl ExecutorHandle {
     /// `to_master` is the master's inbound wire; `net` injects the seeded
     /// network faults (`None` = perfectly reliable transport); `journal`
     /// is the job's shared execution journal (worker slots log task
-    /// starts, the reliable endpoint logs retransmissions).
+    /// starts, the reliable endpoint logs retransmissions); `store` is
+    /// this executor's byte-accounted memory domain, shared with the
+    /// master (which pins inputs and admits pushes into it).
     #[allow(clippy::too_many_arguments)]
     pub fn spawn(
         id: ExecId,
@@ -98,22 +101,22 @@ impl ExecutorHandle {
         net: Option<Arc<NetPolicy>>,
         counters: Arc<TransportCounters>,
         journal: Journal,
+        store: StoreHandle,
     ) -> Self {
         install_panic_hook_filter();
         let (ctrl_tx, ctrl_rx) = crossbeam::channel::unbounded::<ExecIn>();
         let (task_tx, task_rx) = crossbeam::channel::unbounded::<ExecutorMsg>();
-        let cache = Arc::new(Mutex::new(LruCache::new(job.config.cache_capacity_bytes)));
         let slots = job.config.slots_per_executor.max(1);
         let mut threads: Vec<JoinHandle<()>> = (0..slots)
             .map(|slot| {
                 let task_rx = task_rx.clone();
                 let job = Arc::clone(&job);
                 let ctrl_tx = ctrl_tx.clone();
-                let cache = Arc::clone(&cache);
+                let store = Arc::clone(&store);
                 let journal = journal.clone();
                 std::thread::Builder::new()
                     .name(format!("pado-exec-{id}-slot{slot}"))
-                    .spawn(move || worker_loop(id, task_rx, job, ctrl_tx, cache, journal))
+                    .spawn(move || worker_loop(id, task_rx, job, ctrl_tx, store, journal))
                     .expect("spawn executor worker thread")
             })
             .collect();
@@ -174,14 +177,14 @@ fn worker_loop(
     rx: Receiver<ExecutorMsg>,
     job: Arc<JobContext>,
     ctrl: Sender<ExecIn>,
-    cache: Arc<Mutex<LruCache>>,
+    store: StoreHandle,
     journal: Journal,
 ) {
     while let Ok(msg) = rx.recv() {
         match msg {
             ExecutorMsg::Stop => break,
             ExecutorMsg::Run(spec) => {
-                let done = run_task(exec, &job, &cache, &journal, spec);
+                let done = run_task(exec, &job, &store, &journal, spec);
                 if ctrl.send(ExecIn::Out(done)).is_err() {
                     break; // The control thread is gone; the executor died.
                 }
@@ -211,7 +214,15 @@ fn control_loop(
             out.link().send(Wire::Heartbeat { from: exec });
             next_beat = now + heartbeat;
         }
-        out.pump(now);
+        if out.pump(now).is_err() {
+            // A transport bookkeeping invariant broke: tear the worker
+            // slots down cleanly (the master's own pump surfaces the
+            // positioned error and fails the job).
+            for _ in 0..slots {
+                let _ = task_tx.send(ExecutorMsg::Stop);
+            }
+            return;
+        }
         let deadline = out
             .next_deadline()
             .map_or(next_beat, |d| d.min(next_beat))
@@ -274,7 +285,7 @@ struct TaskOutput {
 fn run_task(
     exec: ExecId,
     job: &JobContext,
-    cache: &Mutex<LruCache>,
+    store: &Mutex<ExecutorStore>,
     journal: &Journal,
     spec: TaskSpec,
 ) -> MasterMsg {
@@ -302,6 +313,26 @@ fn run_task(
                 reason: "injected: user function error".into(),
             };
         }
+        Some(InjectedFault::Oom) => {
+            // A mid-task allocation failure: journaled so the invariant
+            // checker can demand the attempt fails (and never commits),
+            // then reported as an ordinary task failure — the degraded
+            // outcome of memory pressure is a retry, never an abort.
+            journal.emit(
+                job.plan.fops.get(spec.fop).map(|f| f.stage),
+                JobEvent::OomInjected {
+                    fop: spec.fop,
+                    index: spec.index,
+                    attempt: spec.attempt,
+                    exec,
+                },
+            );
+            return MasterMsg::TaskFailed {
+                exec,
+                attempt: spec.attempt,
+                reason: "injected: allocation failure (store budget exhausted)".into(),
+            };
+        }
         Some(InjectedFault::Panic) | Some(InjectedFault::DelayDone(_)) | None => {}
     }
 
@@ -310,7 +341,7 @@ fn run_task(
         Some(InjectedFault::DelayDone(ms)) => Some(Duration::from_millis(ms)),
         _ => None,
     };
-    let computed = panic::catch_unwind(AssertUnwindSafe(|| task_body(job, cache, spec)));
+    let computed = panic::catch_unwind(AssertUnwindSafe(|| task_body(job, store, spec)));
     if let Some(d) = done_delay {
         // The output exists but the report stalls in flight: the window
         // where an eviction or partition races the TaskDone.
@@ -338,14 +369,33 @@ fn run_task(
     }
 }
 
+/// Unpins the cache entries a task read, even when the task body panics
+/// mid-chain (the unwind runs this guard's `Drop`): a leaked pin would
+/// make the entry unshedable forever.
+struct CachePinGuard<'a> {
+    store: &'a Mutex<ExecutorStore>,
+    keys: Vec<CacheKey>,
+}
+
+impl Drop for CachePinGuard<'_> {
+    fn drop(&mut self) {
+        let mut s = self.store.lock();
+        for k in &self.keys {
+            s.cache_unpin(*k);
+        }
+    }
+}
+
 /// The fault-isolated body of one task attempt.
 ///
 /// Side inputs resolve to shared blocks (a cache hit or the master's copy;
 /// never a record clone), the fused chain computes the output records, and
-/// the result is sealed into a [`Block`] exactly once.
+/// the result is sealed into a [`Block`] exactly once. Cache entries a
+/// task reads stay pinned until it finishes, so concurrent slots cannot
+/// shed an input mid-use.
 fn task_body(
     job: &JobContext,
-    cache: &Mutex<LruCache>,
+    store: &Mutex<ExecutorStore>,
     spec: TaskSpec,
 ) -> Result<TaskOutput, UdfError> {
     if spec.inject == Some(InjectedFault::Panic) {
@@ -353,20 +403,29 @@ fn task_body(
     }
 
     let mut cache_hit = false;
+    let mut pins = CachePinGuard {
+        store,
+        keys: Vec::new(),
+    };
     let mut sides: BTreeMap<usize, Block> = BTreeMap::new();
     for (member, side) in &spec.sides {
         let records = match side.key {
             Some(key) => {
-                let mut c = cache.lock();
-                match c.get(key) {
+                let mut s = store.lock();
+                match s.cache_get(key) {
                     Some(hit) => {
                         if side.expect_cached {
                             cache_hit = true;
                         }
+                        if s.cache_pin(key) {
+                            pins.keys.push(key);
+                        }
                         hit
                     }
                     None => {
-                        c.put(key, Arc::clone(&side.records));
+                        if s.cache_put(key, Arc::clone(&side.records)) && s.cache_pin(key) {
+                            pins.keys.push(key);
+                        }
                         Arc::clone(&side.records)
                     }
                 }
@@ -388,7 +447,8 @@ fn task_body(
         }
     }
 
-    let cached_keys = cache.lock().keys();
+    drop(pins);
+    let cached_keys = store.lock().cache_keys();
     Ok(TaskOutput {
         output: output.into(),
         preaggregated,
@@ -519,7 +579,7 @@ mod tests {
             plan,
             config: RuntimeConfig::default(),
         });
-        let cache = Arc::new(Mutex::new(LruCache::new(1024)));
+        let store = ExecutorStore::handle(3, usize::MAX, 1024, Journal::new());
         let spec = TaskSpec {
             attempt: 7,
             fop: 999, // No such fop: plan lookup panics inside the body.
@@ -532,7 +592,7 @@ mod tests {
         install_panic_hook_filter();
         let msg = std::thread::Builder::new()
             .name(format!("{WORKER_THREAD_PREFIX}test-slot0"))
-            .spawn(move || run_task(3, &job, &cache, &Journal::new(), spec))
+            .spawn(move || run_task(3, &job, &store, &Journal::new(), spec))
             .unwrap()
             .join()
             .expect("run_task must catch the panic, not unwind the slot");

@@ -24,6 +24,11 @@
 //! 7. **Retry budget**: per-task failure counts stay below
 //!    `max_task_attempts` on successful runs (counts reset when a
 //!    recovered master resets its bookkeeping).
+//! 8. **Memory accounting**: every store event's self-reported occupancy
+//!    stays within the executor's (possibly chaos-shrunk) budget; pinned
+//!    blocks are never spilled; a spilled block is reloaded before it is
+//!    pinned again; every resumed push was first deferred; an attempt
+//!    hit by an injected allocation failure never commits.
 //!
 //! Test suites call [`assert_clean`] on every seeded run, so the ~220
 //! chaos / network-chaos / equivalence seeds verify protocol
@@ -35,6 +40,7 @@ use std::fmt;
 use crate::compiler::FopId;
 use crate::runtime::journal::{EventJournal, JobEvent};
 use crate::runtime::message::{AttemptId, ExecId};
+use crate::runtime::store::BlockRef;
 
 /// One invariant violation found during replay.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,6 +86,38 @@ pub fn check(journal: &EventJournal, success: bool) -> Vec<Violation> {
     let mut failures: HashMap<(FopId, usize), usize> = HashMap::new();
     // (exec, to_master, seq) -> retransmission count
     let mut retransmits: HashMap<(ExecId, bool, u64), usize> = HashMap::new();
+    // --- Memory-pressure domain (law 8) ---
+    // exec -> applied store budget, seeded from the meta and updated by
+    // `StoreBudgetChanged` (0 and usize::MAX both mean unlimited)
+    let mut budgets: HashMap<ExecId, usize> = HashMap::new();
+    // (exec, block) pairs currently on the disk tier
+    let mut spilled_blocks: HashSet<(ExecId, BlockRef)> = HashSet::new();
+    // (exec, block) -> live pin count
+    let mut block_pins: HashMap<(ExecId, BlockRef), usize> = HashMap::new();
+    // (fop, index, dest exec) -> deferrals not yet resumed
+    let mut deferred: HashMap<(FopId, usize, ExecId), usize> = HashMap::new();
+    // attempts hit by an injected allocation failure: must never commit
+    let mut oomed: HashSet<AttemptId> = HashSet::new();
+
+    // Self-reported store occupancy must fit the executor's budget.
+    fn check_occupancy(
+        pos: usize,
+        exec: ExecId,
+        resident: usize,
+        budgets: &HashMap<ExecId, usize>,
+        default_budget: usize,
+        violations: &mut Vec<Violation>,
+    ) {
+        let budget = budgets.get(&exec).copied().unwrap_or(default_budget);
+        if budget != 0 && budget != usize::MAX && resident > budget {
+            violations.push(Violation {
+                position: pos,
+                message: format!(
+                    "store occupancy {resident} B on exec {exec} exceeds its {budget} B budget"
+                ),
+            });
+        }
+    }
 
     let check_launch = |pos: usize,
                         fop: FopId,
@@ -254,6 +292,15 @@ pub fn check(journal: &EventJournal, success: bool) -> Vec<Violation> {
                         ),
                     });
                 }
+                if oomed.contains(attempt) {
+                    violations.push(Violation {
+                        position: pos,
+                        message: format!(
+                            "attempt {attempt} of task {fop}.{index} committed despite an \
+                             injected allocation failure"
+                        ),
+                    });
+                }
             }
             JobEvent::TaskFailed {
                 fop,
@@ -324,6 +371,12 @@ pub fn check(journal: &EventJournal, success: bool) -> Vec<Violation> {
                     });
                 }
                 pending_replacements += 1;
+                // The executor's memory died with it: clear its replayed
+                // store state (the live store does the same, silently).
+                budgets.remove(e);
+                spilled_blocks.retain(|(ex, _)| ex != e);
+                block_pins.retain(|(ex, _), _| ex != e);
+                deferred.retain(|(_, _, ex), _| ex != e);
             }
             JobEvent::ContainerAdded(e) => {
                 if lost.contains(e) || blacklisted.contains(e) {
@@ -388,6 +441,147 @@ pub fn check(journal: &EventJournal, success: bool) -> Vec<Violation> {
                 // from scratch, so the replay budget resets with it.
                 failures.clear();
             }
+            JobEvent::BlockAdmitted {
+                exec,
+                block,
+                resident,
+                ..
+            } => {
+                spilled_blocks.remove(&(*exec, *block));
+                check_occupancy(
+                    pos,
+                    *exec,
+                    *resident,
+                    &budgets,
+                    meta.executor_memory_bytes,
+                    &mut violations,
+                );
+            }
+            JobEvent::BlockSpilled {
+                exec,
+                block,
+                resident,
+                ..
+            } => {
+                if block_pins.get(&(*exec, *block)).copied().unwrap_or(0) > 0 {
+                    violations.push(Violation {
+                        position: pos,
+                        message: format!("pinned block {block} spilled on exec {exec}"),
+                    });
+                }
+                if !spilled_blocks.insert((*exec, *block)) {
+                    violations.push(Violation {
+                        position: pos,
+                        message: format!("{block} spilled twice on exec {exec} without a reload"),
+                    });
+                }
+                check_occupancy(
+                    pos,
+                    *exec,
+                    *resident,
+                    &budgets,
+                    meta.executor_memory_bytes,
+                    &mut violations,
+                );
+            }
+            JobEvent::BlockLoaded {
+                exec,
+                block,
+                resident,
+                ..
+            } => {
+                if !spilled_blocks.remove(&(*exec, *block)) {
+                    violations.push(Violation {
+                        position: pos,
+                        message: format!("reload of {block} on exec {exec} that was not spilled"),
+                    });
+                }
+                check_occupancy(
+                    pos,
+                    *exec,
+                    *resident,
+                    &budgets,
+                    meta.executor_memory_bytes,
+                    &mut violations,
+                );
+            }
+            JobEvent::BlockReleased {
+                exec,
+                block,
+                resident,
+                ..
+            } => {
+                spilled_blocks.remove(&(*exec, *block));
+                check_occupancy(
+                    pos,
+                    *exec,
+                    *resident,
+                    &budgets,
+                    meta.executor_memory_bytes,
+                    &mut violations,
+                );
+            }
+            JobEvent::BlockPinned { exec, block } => {
+                if spilled_blocks.contains(&(*exec, *block)) {
+                    violations.push(Violation {
+                        position: pos,
+                        message: format!(
+                            "{block} pinned on exec {exec} while spilled (use before reload)"
+                        ),
+                    });
+                }
+                *block_pins.entry((*exec, *block)).or_insert(0) += 1;
+            }
+            JobEvent::BlockUnpinned { exec, block } => match block_pins.get_mut(&(*exec, *block)) {
+                Some(n) => {
+                    *n -= 1;
+                    if *n == 0 {
+                        block_pins.remove(&(*exec, *block));
+                    }
+                }
+                None => violations.push(Violation {
+                    position: pos,
+                    message: format!("unpin of {block} on exec {exec} that holds no pin"),
+                }),
+            },
+            JobEvent::StoreBudgetChanged { exec, budget } => {
+                budgets.insert(*exec, *budget);
+            }
+            JobEvent::PushDeferred {
+                fop, index, exec, ..
+            } => {
+                *deferred.entry((*fop, *index, *exec)).or_insert(0) += 1;
+            }
+            JobEvent::PushResumed {
+                fop, index, exec, ..
+            } => match deferred.get_mut(&(*fop, *index, *exec)) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => violations.push(Violation {
+                    position: pos,
+                    message: format!(
+                        "push of output {fop}.{index} to exec {exec} resumed without a \
+                         matching deferral"
+                    ),
+                }),
+            },
+            JobEvent::OomInjected {
+                fop,
+                index,
+                attempt,
+                ..
+            } => {
+                if !launched.contains_key(attempt) {
+                    violations.push(Violation {
+                        position: pos,
+                        message: format!(
+                            "allocation failure injected into attempt {attempt} of task \
+                             {fop}.{index} that was never launched"
+                        ),
+                    });
+                }
+                oomed.insert(*attempt);
+            }
+            JobEvent::CacheHit { .. } | JobEvent::CacheMiss { .. } => {}
         }
     }
 
@@ -452,10 +646,11 @@ mod tests {
             required: vec![vec![vec![]], vec![vec![(0, 0)]]],
             max_task_attempts: 4,
             retransmit_bound: 2,
+            executor_memory_bytes: 0,
         }
     }
 
-    fn journal(events: Vec<JobEvent>) -> EventJournal {
+    fn journal_with(meta: JournalMeta, events: Vec<JobEvent>) -> EventJournal {
         let records = events
             .into_iter()
             .enumerate()
@@ -466,7 +661,11 @@ mod tests {
                 event,
             })
             .collect();
-        EventJournal::from_parts(meta(), records)
+        EventJournal::from_parts(meta, records)
+    }
+
+    fn journal(events: Vec<JobEvent>) -> EventJournal {
+        journal_with(meta(), events)
     }
 
     fn launch(fop: FopId, index: usize, attempt: AttemptId, exec: ExecId) -> JobEvent {
@@ -620,6 +819,176 @@ mod tests {
                 .any(|v| v.message.contains("retransmitted more than 2 times")),
             "got: {violations:?}"
         );
+    }
+
+    fn blk(fop: FopId, index: usize) -> BlockRef {
+        BlockRef::Output { fop, index }
+    }
+
+    #[test]
+    fn store_occupancy_over_budget_is_detected() {
+        // The configured budget bounds self-reported occupancy.
+        let m = JournalMeta {
+            executor_memory_bytes: 64,
+            ..meta()
+        };
+        let j = journal_with(
+            m,
+            vec![JobEvent::BlockAdmitted {
+                exec: 0,
+                block: blk(0, 0),
+                bytes: 80,
+                resident: 80,
+            }],
+        );
+        assert!(
+            check(&j, false)
+                .iter()
+                .any(|v| v.message.contains("exceeds its 64 B budget")),
+            "got: {:?}",
+            check(&j, false)
+        );
+        // A chaos shrink lowers the enforced budget mid-run, even when
+        // the job started unlimited.
+        let j = journal(vec![
+            JobEvent::StoreBudgetChanged {
+                exec: 0,
+                budget: 32,
+            },
+            JobEvent::BlockAdmitted {
+                exec: 0,
+                block: blk(0, 0),
+                bytes: 40,
+                resident: 40,
+            },
+        ]);
+        assert!(check(&j, false)
+            .iter()
+            .any(|v| v.message.contains("exceeds its 32 B budget")));
+    }
+
+    #[test]
+    fn pinned_block_spill_is_detected() {
+        let j = journal(vec![
+            JobEvent::BlockAdmitted {
+                exec: 0,
+                block: blk(0, 0),
+                bytes: 8,
+                resident: 8,
+            },
+            JobEvent::BlockPinned {
+                exec: 0,
+                block: blk(0, 0),
+            },
+            JobEvent::BlockSpilled {
+                exec: 0,
+                block: blk(0, 0),
+                bytes: 8,
+                resident: 0,
+            },
+        ]);
+        assert!(check(&j, false)
+            .iter()
+            .any(|v| v.message.contains("pinned block output 0.0 spilled")));
+    }
+
+    #[test]
+    fn spilled_block_must_reload_before_pinning() {
+        let spill_then_pin = vec![
+            JobEvent::BlockAdmitted {
+                exec: 0,
+                block: blk(0, 0),
+                bytes: 8,
+                resident: 8,
+            },
+            JobEvent::BlockSpilled {
+                exec: 0,
+                block: blk(0, 0),
+                bytes: 8,
+                resident: 0,
+            },
+            JobEvent::BlockPinned {
+                exec: 0,
+                block: blk(0, 0),
+            },
+        ];
+        assert!(check(&journal(spill_then_pin), false)
+            .iter()
+            .any(|v| v.message.contains("while spilled")));
+        let with_reload = vec![
+            JobEvent::BlockAdmitted {
+                exec: 0,
+                block: blk(0, 0),
+                bytes: 8,
+                resident: 8,
+            },
+            JobEvent::BlockSpilled {
+                exec: 0,
+                block: blk(0, 0),
+                bytes: 8,
+                resident: 0,
+            },
+            JobEvent::BlockLoaded {
+                exec: 0,
+                block: blk(0, 0),
+                bytes: 8,
+                resident: 8,
+            },
+            JobEvent::BlockPinned {
+                exec: 0,
+                block: blk(0, 0),
+            },
+            JobEvent::BlockUnpinned {
+                exec: 0,
+                block: blk(0, 0),
+            },
+        ];
+        assert!(check(&journal(with_reload), false).is_empty());
+    }
+
+    #[test]
+    fn oom_attempt_that_commits_is_detected() {
+        let j = journal(vec![
+            launch(0, 0, 1, 0),
+            JobEvent::OomInjected {
+                fop: 0,
+                index: 0,
+                attempt: 1,
+                exec: 0,
+            },
+            commit(0, 0, 1, 0),
+        ]);
+        assert!(check(&j, false)
+            .iter()
+            .any(|v| v.message.contains("despite an injected allocation failure")));
+    }
+
+    #[test]
+    fn push_resume_requires_a_deferral() {
+        let j = journal(vec![JobEvent::PushResumed {
+            fop: 0,
+            index: 0,
+            exec: 1,
+            bytes: 8,
+        }]);
+        assert!(check(&j, false)
+            .iter()
+            .any(|v| v.message.contains("without a matching deferral")));
+        let j = journal(vec![
+            JobEvent::PushDeferred {
+                fop: 0,
+                index: 0,
+                exec: 1,
+                bytes: 8,
+            },
+            JobEvent::PushResumed {
+                fop: 0,
+                index: 0,
+                exec: 1,
+                bytes: 8,
+            },
+        ]);
+        assert!(check(&j, false).is_empty());
     }
 
     #[test]

@@ -39,6 +39,7 @@ use parking_lot::Mutex;
 use crate::compiler::FopId;
 use crate::runtime::message::{AttemptId, ExecId};
 use crate::runtime::metrics::JobMetrics;
+use crate::runtime::store::BlockRef;
 
 /// Per-message retransmission bound the invariant checker enforces: with
 /// a healthy ack path every message eventually lands, and even under
@@ -177,6 +178,128 @@ pub enum JobEvent {
     },
     /// The master restarted from its replicated progress snapshot.
     MasterRecovered,
+    /// A block was admitted into an executor's byte-accounted store.
+    BlockAdmitted {
+        /// The executor whose store admitted the block.
+        exec: ExecId,
+        /// The admitted block.
+        block: BlockRef,
+        /// Bytes of the block.
+        bytes: usize,
+        /// Store occupancy (blocks + cache) after the admission.
+        resident: usize,
+    },
+    /// An unpinned block was spilled to the executor's disk tier to
+    /// make headroom.
+    BlockSpilled {
+        /// The executor whose store spilled the block.
+        exec: ExecId,
+        /// The spilled block.
+        block: BlockRef,
+        /// Bytes of the block (freed from memory).
+        bytes: usize,
+        /// Store occupancy after the spill.
+        resident: usize,
+    },
+    /// A spilled block was reloaded from disk before use.
+    BlockLoaded {
+        /// The executor whose store reloaded the block.
+        exec: ExecId,
+        /// The reloaded block.
+        block: BlockRef,
+        /// Bytes brought back into memory.
+        bytes: usize,
+        /// Store occupancy after the reload.
+        resident: usize,
+    },
+    /// A block was released from an executor's store (its output was
+    /// invalidated or superseded).
+    BlockReleased {
+        /// The executor whose store released the block.
+        exec: ExecId,
+        /// The released block.
+        block: BlockRef,
+        /// Bytes freed.
+        bytes: usize,
+        /// Store occupancy after the release.
+        resident: usize,
+    },
+    /// A launching attempt pinned one of its input blocks (pinned
+    /// blocks are never spillable).
+    BlockPinned {
+        /// The executor whose store holds the pin.
+        exec: ExecId,
+        /// The pinned block.
+        block: BlockRef,
+    },
+    /// A terminal attempt report dropped one pin of an input block.
+    BlockUnpinned {
+        /// The executor whose store held the pin.
+        exec: ExecId,
+        /// The unpinned block.
+        block: BlockRef,
+    },
+    /// An executor store's byte budget changed (chaos budget shrink);
+    /// carries the *applied* budget, clamped up to the unspillable
+    /// occupancy when pinned bytes exceed the request.
+    StoreBudgetChanged {
+        /// The executor whose budget changed.
+        exec: ExecId,
+        /// The applied budget in bytes.
+        budget: usize,
+    },
+    /// A `TaskDone` push to a reserved executor was deferred because
+    /// its store lacked headroom (push backpressure).
+    PushDeferred {
+        /// Fused operator of the produced output.
+        fop: FopId,
+        /// Task index of the produced output.
+        index: usize,
+        /// The reserved executor that refused the push.
+        exec: ExecId,
+        /// Bytes of the deferred output.
+        bytes: usize,
+    },
+    /// A previously deferred push was admitted on retry.
+    PushResumed {
+        /// Fused operator of the pushed output.
+        fop: FopId,
+        /// Task index of the pushed output.
+        index: usize,
+        /// The reserved executor that finally admitted the push.
+        exec: ExecId,
+        /// Bytes of the pushed output.
+        bytes: usize,
+    },
+    /// Chaos injected an allocation failure into a running attempt
+    /// (the OOM fault family); the attempt must fail, never abort.
+    OomInjected {
+        /// Fused operator.
+        fop: FopId,
+        /// Task index.
+        index: usize,
+        /// The attempt the allocation failure hit.
+        attempt: AttemptId,
+        /// The executor it ran on.
+        exec: ExecId,
+    },
+    /// A task served a side input from the executor's §3.2.7 cache
+    /// (emitted from the executor).
+    CacheHit {
+        /// The executor whose cache hit.
+        exec: ExecId,
+        /// The cache key (producing fop).
+        key: usize,
+        /// Bytes served from the cache.
+        bytes: usize,
+    },
+    /// A task looked up a side input the executor's cache did not hold.
+    CacheMiss {
+        /// The executor whose cache missed.
+        exec: ExecId,
+        /// The cache key (producing fop).
+        key: usize,
+    },
 }
 
 /// One journal record: an event plus its emission order, timestamp, and
@@ -212,6 +335,10 @@ pub struct JournalMeta {
     pub max_task_attempts: usize,
     /// The per-message retransmission bound the checker enforces.
     pub retransmit_bound: usize,
+    /// The per-executor store byte budget the job ran under. `0` (the
+    /// `Default`, for journals predating memory accounting) and
+    /// `usize::MAX` both mean unlimited.
+    pub executor_memory_bytes: usize,
 }
 
 impl JournalMeta {
@@ -391,6 +518,30 @@ impl EventJournal {
                 JobEvent::HeartbeatMissed(_) => m.heartbeats_missed += 1,
                 JobEvent::MessageRetransmitted { .. } => m.messages_retransmitted += 1,
                 JobEvent::MasterRecovered => {}
+                JobEvent::BlockAdmitted { resident, .. } => {
+                    m.peak_store_bytes = m.peak_store_bytes.max(*resident);
+                }
+                JobEvent::BlockSpilled {
+                    bytes, resident, ..
+                } => {
+                    m.blocks_spilled += 1;
+                    m.spill_bytes += bytes;
+                    m.peak_store_bytes = m.peak_store_bytes.max(*resident);
+                }
+                JobEvent::BlockLoaded { resident, .. } => {
+                    m.blocks_loaded += 1;
+                    m.peak_store_bytes = m.peak_store_bytes.max(*resident);
+                }
+                JobEvent::BlockReleased { resident, .. } => {
+                    m.peak_store_bytes = m.peak_store_bytes.max(*resident);
+                }
+                JobEvent::BlockPinned { .. } | JobEvent::BlockUnpinned { .. } => {}
+                JobEvent::StoreBudgetChanged { .. } => {}
+                JobEvent::PushDeferred { .. } => m.pushes_deferred += 1,
+                JobEvent::PushResumed { .. } => m.pushes_resumed += 1,
+                JobEvent::OomInjected { .. } => m.oom_injected += 1,
+                JobEvent::CacheHit { .. } => m.store_cache_hits += 1,
+                JobEvent::CacheMiss { .. } => m.store_cache_misses += 1,
             }
         }
         m
@@ -564,6 +715,20 @@ fn instant_of(event: &JobEvent) -> Option<(String, ExecId)> {
             0,
         )),
         JobEvent::MasterRecovered => Some(("master recovered".to_string(), 0)),
+        JobEvent::BlockSpilled { exec, block, .. } => Some((format!("spill {block}"), *exec)),
+        JobEvent::BlockLoaded { exec, block, .. } => Some((format!("load {block}"), *exec)),
+        JobEvent::StoreBudgetChanged { exec, budget } => {
+            Some((format!("budget {budget} B exec {exec}"), *exec))
+        }
+        JobEvent::PushDeferred {
+            fop, index, exec, ..
+        } => Some((format!("push deferred t{fop}.{index}"), *exec)),
+        JobEvent::PushResumed {
+            fop, index, exec, ..
+        } => Some((format!("push resumed t{fop}.{index}"), *exec)),
+        JobEvent::OomInjected {
+            fop, index, exec, ..
+        } => Some((format!("oom injected t{fop}.{index}"), *exec)),
         _ => None,
     }
 }
@@ -646,6 +811,59 @@ fn describe(event: &JobEvent) -> String {
             format!("retransmit    {dir} link of exec {exec}, seq {seq}")
         }
         JobEvent::MasterRecovered => "master-recovered".to_string(),
+        JobEvent::BlockAdmitted {
+            exec,
+            block,
+            bytes,
+            resident,
+        } => format!("block-admit   {block} on exec {exec} ({bytes} B, resident {resident} B)"),
+        JobEvent::BlockSpilled {
+            exec,
+            block,
+            bytes,
+            resident,
+        } => format!("spill         {block} on exec {exec} ({bytes} B, resident {resident} B)"),
+        JobEvent::BlockLoaded {
+            exec,
+            block,
+            bytes,
+            resident,
+        } => format!("load          {block} on exec {exec} ({bytes} B, resident {resident} B)"),
+        JobEvent::BlockReleased {
+            exec,
+            block,
+            bytes,
+            resident,
+        } => format!("block-release {block} on exec {exec} ({bytes} B, resident {resident} B)"),
+        JobEvent::BlockPinned { exec, block } => format!("pin           {block} on exec {exec}"),
+        JobEvent::BlockUnpinned { exec, block } => {
+            format!("unpin         {block} on exec {exec}")
+        }
+        JobEvent::StoreBudgetChanged { exec, budget } => {
+            format!("store-budget  exec {exec} now {budget} B")
+        }
+        JobEvent::PushDeferred {
+            fop,
+            index,
+            exec,
+            bytes,
+        } => format!("push-defer    output {fop}.{index} to exec {exec} ({bytes} B)"),
+        JobEvent::PushResumed {
+            fop,
+            index,
+            exec,
+            bytes,
+        } => format!("push-resume   output {fop}.{index} to exec {exec} ({bytes} B)"),
+        JobEvent::OomInjected {
+            fop,
+            index,
+            attempt,
+            exec,
+        } => format!("oom-inject    task {fop}.{index} attempt {attempt} on exec {exec}"),
+        JobEvent::CacheHit { exec, key, bytes } => {
+            format!("cache-hit     side {key} on exec {exec} ({bytes} B)")
+        }
+        JobEvent::CacheMiss { exec, key } => format!("cache-miss    side {key} on exec {exec}"),
     }
 }
 

@@ -39,6 +39,7 @@ use crate::runtime::message::{
 };
 use crate::runtime::metrics::JobMetrics;
 use crate::runtime::policy::{Candidate, RoundRobinCacheAware, SchedulingPolicy, TaskToPlace};
+use crate::runtime::store::{block_bytes, BlockRef, ExecutorStore, StoreError, StoreHandle};
 use crate::runtime::transport::{
     mix64, DedupWindow, Direction, ExecIn, FaultyLink, NetPolicy, NetworkFault, ReliableSender,
     TransportCounters, Wire,
@@ -64,7 +65,11 @@ pub struct ChaosPlan {
     /// Maximum injected stall in milliseconds (actual stall is uniform in
     /// `1..=delay_ms`).
     pub delay_ms: u64,
-    /// Injected error/panic budget per task across all its launches.
+    /// Probability a launch fails with a mid-task allocation failure
+    /// (the executor-store budget exhausted at the worst moment). Counts
+    /// against `max_faults_per_task` like errors and panics.
+    pub oom_prob: f64,
+    /// Injected error/panic/OOM budget per task across all its launches.
     pub max_faults_per_task: usize,
 }
 
@@ -95,6 +100,12 @@ pub struct FaultPlan {
     /// Seeded network faults on the master↔executor control plane
     /// (`None` = perfectly reliable transport).
     pub network: Option<NetworkFault>,
+    /// Scheduled executor-store budget shrinks `(n, k, bytes)`: after `n`
+    /// processed completions, shrink the `k`-th alive *reserved*
+    /// executor's store budget to `bytes` (memory-pressure chaos). The
+    /// applied budget clamps up to pinned occupancy, so a shrink can
+    /// squeeze but never strand a running attempt.
+    pub budget_shrinks: Vec<(usize, usize, usize)>,
 }
 
 // The event schema lives with the journal; re-exported here because the
@@ -148,6 +159,10 @@ struct ExecInfo {
     alive: bool,
     busy: usize,
     cached: HashSet<CacheKey>,
+    /// This executor's byte-accounted memory domain, shared with its
+    /// worker slots: the master admits pushes, pins task inputs, and
+    /// applies chaos budget shrinks through it.
+    store: StoreHandle,
     /// Reliable (retransmitting) endpoint of the master→executor wire.
     out: ReliableSender<ExecutorMsg, ExecIn>,
     /// Duplicate suppression for frames this executor sends the master.
@@ -180,6 +195,18 @@ struct SideStats {
     sent: usize,
     saved: usize,
     misses: usize,
+}
+
+/// A cross-executor push the destination store had no headroom for:
+/// parked under backpressure and retried with exponential backoff until
+/// the destination frees memory (or the push becomes obsolete).
+#[derive(Debug, Clone)]
+struct DeferredPush {
+    fop: FopId,
+    index: usize,
+    dest: ExecId,
+    next_try: Instant,
+    backoff_ms: u64,
 }
 
 /// Progress metadata replicated for master fault tolerance (§3.2.6): the
@@ -274,6 +301,17 @@ pub struct Master {
     /// replicated completion log: it survives a simulated master restart,
     /// exactly as the progress snapshot does.
     completed_attempts: HashSet<AttemptId>,
+
+    // --- Memory-pressure domain ---
+    /// Cross-executor pushes deferred for lack of destination headroom,
+    /// retried with backoff (push backpressure).
+    deferred_pushes: Vec<DeferredPush>,
+    /// Input blocks each in-flight attempt has pinned on its executor;
+    /// unpinned when the attempt reports terminally (or wholesale on
+    /// executor loss / master restart).
+    attempt_pins: HashMap<AttemptId, (ExecId, Vec<BlockRef>)>,
+    /// Cursor into `faults.budget_shrinks`.
+    fault_cursor_shrink: usize,
 }
 
 impl Master {
@@ -318,6 +356,7 @@ impl Master {
                 .collect(),
             max_task_attempts: job.config.max_task_attempts,
             retransmit_bound: MAX_RETRANSMISSIONS_PER_MESSAGE,
+            executor_memory_bytes: job.config.executor_memory_bytes,
         };
         let mut master = Master {
             job,
@@ -355,6 +394,9 @@ impl Master {
             fop_durations: vec![Vec::new(); n_fops],
             speculative: HashSet::new(),
             completed_attempts: HashSet::new(),
+            deferred_pushes: Vec::new(),
+            attempt_pins: HashMap::new(),
+            fault_cursor_shrink: 0,
         };
         for _ in 0..n_reserved {
             master.spawn_executor(Placement::Reserved);
@@ -383,6 +425,12 @@ impl Master {
     fn spawn_executor(&mut self, kind: Placement) -> ExecId {
         let id = self.next_exec_id;
         self.next_exec_id += 1;
+        let store = ExecutorStore::handle(
+            id,
+            self.job.config.executor_memory_bytes,
+            self.job.config.cache_capacity_bytes,
+            self.journal.clone(),
+        );
         let handle = ExecutorHandle::spawn(
             id,
             kind,
@@ -391,6 +439,7 @@ impl Master {
             self.net.clone(),
             Arc::clone(&self.counters),
             self.journal.clone(),
+            Arc::clone(&store),
         );
         let link = FaultyLink::new(
             handle.inbound(),
@@ -417,6 +466,7 @@ impl Master {
                 alive: true,
                 busy: 0,
                 cached: HashSet::new(),
+                store,
                 out,
                 dedup: DedupWindow::new(self.job.config.transport_dedup_window),
                 last_heartbeat: Instant::now(),
@@ -479,7 +529,8 @@ impl Master {
                     return Err(RuntimeError::Disconnected("executors".into()));
                 }
             }
-            self.pump_transport();
+            self.pump_transport()?;
+            self.retry_deferred_pushes()?;
             // Straggler checks are time-gated so a burst of completions
             // does not rescan the task table once per message.
             if last_spec_check.elapsed() >= tick {
@@ -553,7 +604,7 @@ impl Master {
     /// (slow: tasks on it will look like stragglers and feed speculation);
     /// silence past `dead_executor_timeout_ms` declares it dead and routes
     /// into the eviction recovery path.
-    fn pump_transport(&mut self) {
+    fn pump_transport(&mut self) -> Result<(), RuntimeError> {
         let now = Instant::now();
         let miss_after = Duration::from_millis(
             self.job
@@ -568,7 +619,7 @@ impl Master {
             if !info.alive {
                 continue;
             }
-            info.out.pump(now);
+            info.out.pump(now)?;
             let age = now.duration_since(info.last_heartbeat);
             if age >= dead_after {
                 dead.push(id);
@@ -580,6 +631,85 @@ impl Master {
         for id in dead {
             self.on_executor_lost(id, LossKind::DeclaredDead);
         }
+        Ok(())
+    }
+
+    /// Retries pushes parked under backpressure. Entries become due on
+    /// their backoff clock, or immediately when a pin release frees
+    /// headroom on their destination (see [`Self::release_attempt_pins`]).
+    /// A retry succeeds when the destination store freed headroom (pins
+    /// released, budget restored); the destination then joins the
+    /// output's location set and `PushResumed` is journaled. Obsolete entries — output
+    /// reverted or gone, destination dead — are dropped silently: the
+    /// producer-local copy (or a recomputation) serves instead.
+    fn retry_deferred_pushes(&mut self) -> Result<(), RuntimeError> {
+        if self.deferred_pushes.is_empty() {
+            return Ok(());
+        }
+        let now = Instant::now();
+        let max_backoff = self.job.config.retransmit_max_ms.max(1);
+        let mut parked: Vec<DeferredPush> = Vec::new();
+        for mut p in std::mem::take(&mut self.deferred_pushes) {
+            if now < p.next_try {
+                parked.push(p);
+                continue;
+            }
+            if !matches!(self.tasks[p.fop][p.index], TaskState::Done { .. }) {
+                continue;
+            }
+            let Some(output) = self.outputs.get(&(p.fop, p.index)).map(Arc::clone) else {
+                continue;
+            };
+            let Some(info) = self.executors.get(&p.dest) else {
+                continue;
+            };
+            if !info.alive {
+                continue;
+            }
+            let r = BlockRef::Output {
+                fop: p.fop,
+                index: p.index,
+            };
+            let admitted = info.store.lock().admit(r, &output);
+            match admitted {
+                Ok(()) => {
+                    self.journal.emit(
+                        Some(self.meta.stage_of[p.fop]),
+                        JobEvent::PushResumed {
+                            fop: p.fop,
+                            index: p.index,
+                            exec: p.dest,
+                            bytes: block_bytes(&output),
+                        },
+                    );
+                    if let TaskState::Done { locations } = &mut self.tasks[p.fop][p.index] {
+                        if !locations.contains(&p.dest) {
+                            locations.push(p.dest);
+                        }
+                    }
+                }
+                Err(StoreError::NoHeadroom { .. }) => {
+                    p.backoff_ms = p.backoff_ms.saturating_mul(2).min(max_backoff);
+                    p.next_try = now + Duration::from_millis(p.backoff_ms);
+                    parked.push(p);
+                }
+                Err(StoreError::TooLarge { bytes, budget }) => {
+                    return Err(RuntimeError::MemoryExceeded {
+                        bytes,
+                        budget,
+                        context: format!(
+                            "push of output {}.{} to executor {}",
+                            p.fop, p.index, p.dest
+                        ),
+                    });
+                }
+                Err(e @ StoreError::SpillUnreadable { .. }) => {
+                    return Err(RuntimeError::Invariant(e.to_string()));
+                }
+            }
+        }
+        self.deferred_pushes = parked;
+        Ok(())
     }
 
     /// The journal frozen into its canonical, replayable form.
@@ -658,10 +788,7 @@ impl Master {
                 preaggregated,
                 cache_hit,
                 cached_keys,
-            } => {
-                self.on_task_done(exec, attempt, output, preaggregated, cache_hit, cached_keys);
-                Ok(())
-            }
+            } => self.on_task_done(exec, attempt, output, preaggregated, cache_hit, cached_keys),
             MasterMsg::TaskFailed {
                 exec,
                 attempt,
@@ -686,14 +813,17 @@ impl Master {
         preaggregated: usize,
         cache_hit: bool,
         cached_keys: Vec<CacheKey>,
-    ) {
+    ) -> Result<(), RuntimeError> {
         // Idempotence by construction: one terminal report per attempt is
         // ever processed. A duplicate delivery that slipped past the
         // dedup window must not re-commit, re-charge, or free a busy slot
         // a second time.
         if !self.completed_attempts.insert(attempt) {
-            return;
+            return Ok(());
         }
+        // The attempt is over, win or lose: its input pins release before
+        // any staleness check, so even a discarded report frees memory.
+        self.release_attempt_pins(attempt);
         // Refresh the container manager's view of the executor cache.
         if let Some(info) = self.executors.get_mut(&exec) {
             if info.alive {
@@ -706,14 +836,14 @@ impl Master {
         // (evicted containers, fenced masters, losing speculative
         // duplicates) are discarded.
         let Some(&(fop, index)) = self.attempt_of.get(&attempt) else {
-            return;
+            return Ok(());
         };
         let valid = matches!(
             &self.tasks[fop][index],
             TaskState::Running { attempts } if attempts.iter().any(|&(a, _)| a == attempt)
         );
         if !valid {
-            return;
+            return Ok(());
         }
         self.attempt_of.remove(&attempt);
         if let Some(t0) = self.launch_times.remove(&attempt) {
@@ -736,8 +866,8 @@ impl Master {
                 self.speculative.remove(&a);
             }
         }
-        let locations = self.commit_locations(fop, exec, &output);
-        let bytes: usize = output.iter().map(Value::size_bytes).sum();
+        let locations = self.commit_locations(fop, index, exec, &output)?;
+        let bytes = block_bytes(&output);
         let pushed = self.job.plan.fops[fop].placement == Placement::Transient
             && locations.iter().any(|l| l != &exec);
         if self.job.plan.out_edges(fop).is_empty() {
@@ -774,6 +904,36 @@ impl Master {
             self.take_snapshot();
         }
         self.fire_due_faults();
+        Ok(())
+    }
+
+    /// Releases the input blocks an attempt pinned at launch. Tolerates
+    /// unknown attempts: master unit tests (and fenced pre-restart
+    /// attempts) report completions the pin table never saw.
+    ///
+    /// Releasing pins is the one event that creates durable headroom on
+    /// a store, so pushes parked against that executor become due
+    /// immediately. Timed backoff alone starves here: the scheduler
+    /// re-pins freed bytes for the next waiting task within the same
+    /// loop iteration, while a clock-gated retry lands milliseconds
+    /// late and finds the store full again.
+    fn release_attempt_pins(&mut self, attempt: AttemptId) {
+        if let Some((exec, refs)) = self.attempt_pins.remove(&attempt) {
+            if let Some(info) = self.executors.get(&exec) {
+                let mut s = info.store.lock();
+                for r in refs {
+                    s.unpin(r);
+                }
+            }
+            let now = Instant::now();
+            let base = self.job.config.retransmit_base_ms.max(1);
+            for p in &mut self.deferred_pushes {
+                if p.dest == exec {
+                    p.next_try = now;
+                    p.backoff_ms = base;
+                }
+            }
+        }
     }
 
     /// Handles a user-code failure (error or caught panic) of one task
@@ -791,6 +951,7 @@ impl Master {
         if !self.completed_attempts.insert(attempt) {
             return Ok(());
         }
+        self.release_attempt_pins(attempt);
         if let Some(info) = self.executors.get_mut(&exec) {
             if info.alive {
                 info.busy = info.busy.saturating_sub(1);
@@ -882,29 +1043,104 @@ impl Master {
     /// locally; transient tasks push it to the reserved executors assigned
     /// to their consumer tasks (escaping evictions); transient tasks with
     /// only transient consumers keep it locally, still at risk.
-    fn commit_locations(&self, fop: FopId, exec: ExecId, _output: &[Value]) -> Vec<ExecId> {
-        if self.job.plan.fops[fop].placement == Placement::Reserved {
-            return vec![exec];
-        }
+    ///
+    /// Every location is backed by a store admission. The producer-local
+    /// copy admits unconditionally (spilling itself to disk when memory
+    /// has no headroom — a commit never stalls on its own output). A
+    /// cross-executor push the destination cannot take is *deferred*
+    /// (journaled `PushDeferred`, retried with backoff); only an output
+    /// larger than a whole store budget fails the job, as
+    /// [`RuntimeError::MemoryExceeded`].
+    fn commit_locations(
+        &mut self,
+        fop: FopId,
+        index: usize,
+        exec: ExecId,
+        output: &Block,
+    ) -> Result<Vec<ExecId>, RuntimeError> {
+        let r = BlockRef::Output { fop, index };
         let mut dests: Vec<ExecId> = Vec::new();
-        for e in self.job.plan.out_edges(fop) {
-            let dst = &self.job.plan.fops[e.dst];
-            if dst.placement != Placement::Reserved {
-                continue;
-            }
-            for di in 0..dst.parallelism {
-                if let Some(&d) = self.assigned.get(&(e.dst, di)) {
-                    if !dests.contains(&d) {
-                        dests.push(d);
+        if self.job.plan.fops[fop].placement != Placement::Reserved {
+            for e in self.job.plan.out_edges(fop) {
+                let dst = &self.job.plan.fops[e.dst];
+                if dst.placement != Placement::Reserved {
+                    continue;
+                }
+                for di in 0..dst.parallelism {
+                    if let Some(&d) = self.assigned.get(&(e.dst, di)) {
+                        if d != exec && !dests.contains(&d) {
+                            dests.push(d);
+                        }
                     }
                 }
             }
         }
-        if dests.is_empty() {
-            vec![exec]
-        } else {
-            dests
+        let mut locations: Vec<ExecId> = Vec::new();
+        for d in dests {
+            let Some(info) = self.executors.get(&d) else {
+                continue;
+            };
+            if !info.alive {
+                continue;
+            }
+            let admitted = info.store.lock().admit(r, output);
+            match admitted {
+                Ok(()) => locations.push(d),
+                Err(StoreError::NoHeadroom { .. }) => {
+                    self.journal.emit(
+                        Some(self.meta.stage_of[fop]),
+                        JobEvent::PushDeferred {
+                            fop,
+                            index,
+                            exec: d,
+                            bytes: block_bytes(output),
+                        },
+                    );
+                    self.deferred_pushes.push(DeferredPush {
+                        fop,
+                        index,
+                        dest: d,
+                        next_try: Instant::now()
+                            + Duration::from_millis(self.job.config.retransmit_base_ms.max(1)),
+                        backoff_ms: self.job.config.retransmit_base_ms.max(1),
+                    });
+                }
+                Err(StoreError::TooLarge { bytes, budget }) => {
+                    return Err(RuntimeError::MemoryExceeded {
+                        bytes,
+                        budget,
+                        context: format!("push of output {fop}.{index} to executor {d}"),
+                    });
+                }
+                Err(e @ StoreError::SpillUnreadable { .. }) => {
+                    return Err(RuntimeError::Invariant(e.to_string()));
+                }
+            }
         }
+        if locations.is_empty() {
+            // No push landed (reserved anchor, transient-only consumers,
+            // or every destination backpressured): the producer keeps the
+            // output, spilling its own memory if it must.
+            let admitted = self
+                .executors
+                .get(&exec)
+                .map(|info| info.store.lock().admit_or_spill(r, output));
+            match admitted {
+                None | Some(Ok(())) => {}
+                Some(Err(StoreError::TooLarge { bytes, budget })) => {
+                    return Err(RuntimeError::MemoryExceeded {
+                        bytes,
+                        budget,
+                        context: format!("output {fop}.{index} committed on executor {exec}"),
+                    });
+                }
+                Some(Err(e)) => {
+                    return Err(RuntimeError::Invariant(e.to_string()));
+                }
+            }
+            locations.push(exec);
+        }
+        Ok(locations)
     }
 
     fn fire_due_faults(&mut self) {
@@ -924,6 +1160,19 @@ impl Master {
             self.fault_cursor_fail += 1;
             if let Some(victim) = self.nth_alive(Placement::Reserved, k) {
                 self.on_executor_lost(victim, LossKind::ReservedFailure);
+            }
+        }
+        while self.fault_cursor_shrink < self.faults.budget_shrinks.len()
+            && self.faults.budget_shrinks[self.fault_cursor_shrink].0 <= self.done_events
+        {
+            let (_, k, bytes) = self.faults.budget_shrinks[self.fault_cursor_shrink];
+            self.fault_cursor_shrink += 1;
+            if let Some(victim) = self.nth_alive(Placement::Reserved, k) {
+                if let Some(info) = self.executors.get(&victim) {
+                    // The store spills what it can and journals the
+                    // applied budget (clamped up to pinned occupancy).
+                    info.store.lock().set_budget(bytes);
+                }
             }
         }
         if let Some(n) = self.faults.master_failure_after {
@@ -965,7 +1214,13 @@ impl Master {
         // The kill is a resource-manager action, delivered out-of-band:
         // it reaches even an executor the network has partitioned away.
         info.handle.stop();
+        // Its memory died with it: drop the store's contents (and spill
+        // files) without journaling — the loss event itself tells the
+        // invariant checker to clear the executor's replayed state.
+        info.store.lock().clear_silent();
         let kind = info.handle.kind;
+        self.attempt_pins.retain(|_, (e, _)| *e != exec);
+        self.deferred_pushes.retain(|p| p.dest != exec);
         // Sync the stage bracket first: a commit in the same frame may
         // have just completed a stage whose `StageCompleted` is not yet
         // logged, and the reopen below must nest inside it.
@@ -1094,6 +1349,21 @@ impl Master {
                 .collect(),
             next_attempt: self.next_attempt,
         });
+        // Pins belong to attempts of the failed master; every one of them
+        // is fenced below, so their holds on executor memory lift now
+        // (the executors outlive the master restart, their stores with
+        // them). Deferred pushes die with the failed master's in-memory
+        // queue too: the producer-local location still serves the data.
+        let pins: Vec<(AttemptId, (ExecId, Vec<BlockRef>))> = self.attempt_pins.drain().collect();
+        for (_, (exec, refs)) in pins {
+            if let Some(info) = self.executors.get(&exec) {
+                let mut s = info.store.lock();
+                for r in refs {
+                    s.unpin(r);
+                }
+            }
+        }
+        self.deferred_pushes.clear();
         self.tasks = snap.tasks;
         self.outputs = snap.outputs;
         self.result_parts = snap.result_parts;
@@ -1263,6 +1533,14 @@ impl Master {
             return Ok(()); // No free executor; retry on the next event.
         };
 
+        // Admission control: a task launches only when every main input
+        // can be pinned on its executor. A refusal leaves the task
+        // pending — other tasks keep scheduling, and this one retries
+        // once running attempts release their pins.
+        let Some(pins) = self.pin_inputs(fop, index, exec)? else {
+            return Ok(());
+        };
+
         let attempt = self.next_attempt;
         self.next_attempt += 1;
 
@@ -1292,6 +1570,7 @@ impl Master {
         );
         self.attempt_of.insert(attempt, (fop, index));
         self.launch_times.insert(attempt, Instant::now());
+        self.attempt_pins.insert(attempt, (exec, pins));
         self.tasks[fop][index] = TaskState::Running {
             attempts: vec![(attempt, exec)],
         };
@@ -1309,6 +1588,120 @@ impl Master {
             inject,
         }));
         Ok(())
+    }
+
+    /// Admission control at launch: pins every main-input block of task
+    /// `(fop, index)` on `exec`'s store *before* the attempt exists, so
+    /// a running task's inputs can never spill (or be shed) under it.
+    /// Shuffle consumers pin only their routed bucket, never the whole
+    /// source output — pinning full `ManyToMany` inputs would deadlock
+    /// tight budgets outright.
+    ///
+    /// Returns `Ok(None)` on a headroom refusal: the pins taken so far
+    /// roll back and the task stays pending (the scheduler reorders
+    /// around it and retries once running attempts release memory).
+    /// When the task's own requirement alone exceeds the budget on an
+    /// otherwise-empty store, no amount of waiting can help — that is a
+    /// terminal [`RuntimeError::MemoryExceeded`], not a deferral.
+    fn pin_inputs(
+        &mut self,
+        fop: FopId,
+        index: usize,
+        exec: ExecId,
+    ) -> Result<Option<Vec<BlockRef>>, RuntimeError> {
+        let dst_par = self.job.plan.fops[fop].parallelism;
+        let mut wanted: Vec<(BlockRef, Block)> = Vec::new();
+        for e in self.job.plan.in_edges(fop) {
+            if !matches!(e.slot, InputSlot::Main(_)) {
+                continue;
+            }
+            let src_par = self.job.plan.fops[e.src].parallelism;
+            for si in required_src_indices(&e, index, src_par, dst_par) {
+                let (r, block) = match e.dep {
+                    DepType::ManyToMany => (
+                        BlockRef::Bucket {
+                            fop: e.src,
+                            index: si,
+                            dst_par,
+                            dst: index,
+                        },
+                        self.routed_bucket(e.src, si, dst_par, index),
+                    ),
+                    _ => (
+                        BlockRef::Output {
+                            fop: e.src,
+                            index: si,
+                        },
+                        self.outputs.get(&(e.src, si)).map(Arc::clone),
+                    ),
+                };
+                let block = block.ok_or_else(|| {
+                    RuntimeError::Invariant(format!(
+                        "task {fop}.{index} admission ran before input {}.{si} was ready",
+                        e.src
+                    ))
+                })?;
+                wanted.push((r, block));
+            }
+        }
+        if wanted.is_empty() {
+            return Ok(Some(Vec::new()));
+        }
+        let store = self
+            .executors
+            .get(&exec)
+            .map(|info| Arc::clone(&info.store))
+            .ok_or_else(|| {
+                RuntimeError::Invariant(format!("picked executor {exec} is not registered"))
+            })?;
+        let mut s = store.lock();
+        let mut pinned: Vec<BlockRef> = Vec::new();
+        let mut pinned_bytes = 0usize;
+        for (r, data) in &wanted {
+            match s.pin(*r, data) {
+                Ok(()) => {
+                    pinned.push(*r);
+                    pinned_bytes += block_bytes(data);
+                }
+                Err(StoreError::NoHeadroom {
+                    needed,
+                    budget,
+                    resident,
+                }) => {
+                    // Refusal with nothing resident but our own pins
+                    // means the requirement itself is over budget.
+                    let only_us = resident <= pinned_bytes;
+                    for p in pinned {
+                        s.unpin(p);
+                    }
+                    if only_us {
+                        return Err(RuntimeError::MemoryExceeded {
+                            bytes: pinned_bytes + needed,
+                            budget,
+                            context: format!("inputs of task {fop}.{index} on executor {exec}"),
+                        });
+                    }
+                    return Ok(None);
+                }
+                Err(StoreError::TooLarge { bytes, budget }) => {
+                    for p in pinned {
+                        s.unpin(p);
+                    }
+                    return Err(RuntimeError::MemoryExceeded {
+                        bytes,
+                        budget,
+                        context: format!("input {r} of task {fop}.{index} on executor {exec}"),
+                    });
+                }
+                Err(e @ StoreError::SpillUnreadable { .. }) => {
+                    for p in pinned {
+                        s.unpin(p);
+                    }
+                    return Err(RuntimeError::Invariant(e.to_string()));
+                }
+            }
+        }
+        Ok(Some(pinned))
     }
 
     /// Decides fault injection for the next launch of task `(fop, index)`,
@@ -1356,8 +1749,12 @@ impl Master {
                 *injected += 1;
                 return Some(InjectedFault::Panic);
             }
+            if u < chaos.error_prob + chaos.panic_prob + chaos.oom_prob {
+                *injected += 1;
+                return Some(InjectedFault::Oom);
+            }
         }
-        if u < chaos.error_prob + chaos.panic_prob + chaos.delay_prob {
+        if u < chaos.error_prob + chaos.panic_prob + chaos.oom_prob + chaos.delay_prob {
             let ms = 1 + mix64(h) % chaos.delay_ms.max(1);
             // Half the stalls land before the compute (a straggler), half
             // after it (output computed, report not yet sent) — the window
@@ -1442,6 +1839,12 @@ impl Master {
             return Ok(()); // No spare executor: keep waiting on the original.
         };
 
+        // Speculation is strictly optional work: when the spare executor
+        // has no headroom to pin the inputs, skip it rather than defer.
+        let Some(pins) = self.pin_inputs(fop, index, exec)? else {
+            return Ok(());
+        };
+
         let attempt = self.next_attempt;
         self.next_attempt += 1;
         let (mains, sides, side_stats) = self.assemble_inputs(fop, index, exec)?;
@@ -1464,6 +1867,7 @@ impl Master {
         );
         self.attempt_of.insert(attempt, (fop, index));
         self.launch_times.insert(attempt, Instant::now());
+        self.attempt_pins.insert(attempt, (exec, pins));
         self.speculative.insert(attempt);
         if let TaskState::Running { attempts } = &mut self.tasks[fop][index] {
             attempts.push((attempt, exec));
@@ -1585,7 +1989,7 @@ impl Master {
                 }
                 InputSlot::Side => {
                     let records = self.side_records(e.src, src_par);
-                    let bytes: usize = records.iter().map(Value::size_bytes).sum();
+                    let bytes = block_bytes(&records);
                     let key = e.cache.then_some(e.src);
                     let expect_cached = key
                         .map(|k| self.executors[&exec].cached.contains(&k))
@@ -1633,10 +2037,32 @@ impl Master {
 
     /// Drops everything derived from output `(fop, index)` — shuffle
     /// buckets and broadcast concatenations — when that output is reverted
-    /// or replaced.
+    /// or replaced, and releases the unpinned store residency of the
+    /// output and its routed buckets on every executor (a pinned copy is
+    /// left for its running attempt to finish with).
     fn invalidate_derived(&mut self, fop: FopId, index: usize) {
+        let bucket_pars: Vec<usize> = self
+            .routed
+            .keys()
+            .filter(|&&(f, i, _)| f == fop && i == index)
+            .map(|&(_, _, p)| p)
+            .collect();
         self.routed.retain(|&(f, i, _), _| f != fop || i != index);
         self.side_cache.remove(&fop);
+        for info in self.executors.values() {
+            let mut s = info.store.lock();
+            s.remove_unpinned(BlockRef::Output { fop, index });
+            for &dst_par in &bucket_pars {
+                for dst in 0..dst_par {
+                    s.remove_unpinned(BlockRef::Bucket {
+                        fop,
+                        index,
+                        dst_par,
+                        dst,
+                    });
+                }
+            }
+        }
     }
 
     /// The full broadcast dataset of a producer fop, as one shared block.

@@ -49,6 +49,11 @@ pub enum InjectedFault {
     /// before reporting `TaskDone` — the window where output exists but
     /// the report is still in flight when an eviction lands.
     DelayDone(u64),
+    /// A mid-task allocation fails (the executor store's budget is
+    /// exhausted at the worst moment): the attempt must report
+    /// `TaskFailed` and recover through the normal retry path — never
+    /// abort the process.
+    Oom,
 }
 
 /// One task launch: the master assembles and routes all main inputs, so

@@ -60,6 +60,26 @@ pub struct JobMetrics {
     pub heartbeats_missed: usize,
     /// Executors declared dead by the heartbeat failure detector.
     pub executors_declared_dead: usize,
+    /// Blocks spilled from executor stores to the disk tier.
+    pub blocks_spilled: usize,
+    /// Bytes written to the disk tier by spills.
+    pub spill_bytes: usize,
+    /// Spilled blocks reloaded into memory before use.
+    pub blocks_loaded: usize,
+    /// `TaskDone` pushes deferred by reserved-store backpressure.
+    pub pushes_deferred: usize,
+    /// Deferred pushes later admitted on retry.
+    pub pushes_resumed: usize,
+    /// Allocation failures injected by the OOM chaos family.
+    pub oom_injected: usize,
+    /// Highest combined store occupancy (blocks + cache, bytes) any
+    /// executor self-reported; always ≤ the configured budget.
+    pub peak_store_bytes: usize,
+    /// Executor-observed input-cache hits (one per side-input lookup
+    /// served from cache; `cache_hits` counts per-task summaries).
+    pub store_cache_hits: usize,
+    /// Executor-observed input-cache misses.
+    pub store_cache_misses: usize,
 }
 
 impl JobMetrics {

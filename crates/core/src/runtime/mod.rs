@@ -11,6 +11,7 @@ pub mod master;
 pub mod message;
 pub mod metrics;
 pub mod policy;
+pub mod store;
 pub mod transport;
 
 pub use cache::{CacheKey, LruCache};
@@ -23,4 +24,5 @@ pub use master::{ChaosPlan, FaultPlan, Injector, JobResult, Master};
 pub use message::{AttemptId, ExecId, InjectedFault, MasterMsg};
 pub use metrics::JobMetrics;
 pub use policy::{Candidate, LeastLoaded, RoundRobinCacheAware, SchedulingPolicy, TaskToPlace};
+pub use store::{block_bytes, BlockRef, BlockStore, ExecutorStore, StoreError, StoreHandle};
 pub use transport::{DirectionFaults, NetworkFault, PartitionSpec};

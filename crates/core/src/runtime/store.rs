@@ -1,0 +1,1035 @@
+//! Per-executor byte-accounted block store with a disk spill tier.
+//!
+//! Pado's reserved containers are a scarce resource (§2.2): they hold
+//! preserved stage outputs, partitions pushed from transient tasks, and
+//! the §3.2.7 input cache. This module makes that residency explicit:
+//! every block living on an executor is owned by a [`BlockStore`] and
+//! accounted in bytes against [`RuntimeConfig::executor_memory_bytes`].
+//! Under pressure the store spills least-recently-used *unpinned* blocks
+//! to real tempfiles (byte-identical on reload via the
+//! [`pado_dag::codec`] wire format) and reloads them before any use.
+//! Blocks pinned by a running task attempt are never spillable, so a
+//! task's inputs cannot vanish mid-execution; a single block larger than
+//! the whole budget is refused outright ([`StoreError::TooLarge`]),
+//! which the master surfaces as a clean
+//! [`RuntimeError::MemoryExceeded`](crate::RuntimeError::MemoryExceeded)
+//! instead of wedging or aborting the process.
+//!
+//! [`ExecutorStore`] bundles the block store with the executor's
+//! [`LruCache`]: the cache is a best-effort tier *inside* the same
+//! budget (combined occupancy = blocks + cache ≤ budget). Making room
+//! for a block sheds unpinned cache entries first (they can always be
+//! re-sent), then spills unpinned blocks; caching never spills blocks
+//! and silently skips when no room remains.
+//!
+//! Stores with `budget == usize::MAX` (the default) are unlimited: they
+//! track bytes but never spill and emit no journal events, so memory
+//! accounting is invisible unless a budget is set.
+//!
+//! [`RuntimeConfig::executor_memory_bytes`]:
+//! crate::runtime::RuntimeConfig::executor_memory_bytes
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use pado_dag::codec::{decode_batch, encode_batch};
+use pado_dag::{block_from_vec, Block, Value};
+
+use crate::compiler::FopId;
+use crate::runtime::cache::{CacheKey, LruCache};
+use crate::runtime::journal::{JobEvent, Journal};
+use crate::runtime::message::ExecId;
+
+/// Budget value meaning "no limit": the store tracks bytes but never
+/// spills and emits no journal events.
+pub const UNLIMITED: usize = usize::MAX;
+
+/// Canonical byte size of a block: the one sizing rule shared by the
+/// store, the [`LruCache`], and the journal's byte counters.
+pub fn block_bytes(records: &[Value]) -> usize {
+    records.iter().map(Value::size_bytes).sum()
+}
+
+/// Identity of a block resident on an executor.
+///
+/// Shuffle consumers pin only their routed bucket of a producer's
+/// output, not the whole output — pinning whole `ManyToMany` sources
+/// would make tight budgets deadlock on plans whose full shuffle input
+/// exceeds one executor's memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BlockRef {
+    /// A task's whole output partition.
+    Output {
+        /// Producing fused operator.
+        fop: FopId,
+        /// Task index within the fop.
+        index: usize,
+    },
+    /// One routed shuffle bucket of a task's output.
+    Bucket {
+        /// Producing fused operator.
+        fop: FopId,
+        /// Producer task index.
+        index: usize,
+        /// Consumer-side parallelism the bucket was routed for.
+        dst_par: usize,
+        /// Destination task index within that parallelism.
+        dst: usize,
+    },
+}
+
+impl fmt::Display for BlockRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockRef::Output { fop, index } => write!(f, "output {fop}.{index}"),
+            BlockRef::Bucket {
+                fop,
+                index,
+                dst_par,
+                dst,
+            } => write!(f, "bucket {fop}.{index}->{dst}/{dst_par}"),
+        }
+    }
+}
+
+/// Why the store refused an operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Not enough unpinned bytes could be spilled to fit the block. The
+    /// caller defers (push backpressure) or refuses a launch
+    /// (admission control) instead of deadlocking.
+    NoHeadroom {
+        /// Bytes the refused block needs.
+        needed: usize,
+        /// The store's byte budget.
+        budget: usize,
+        /// Occupancy (blocks + cache) at the time of refusal.
+        resident: usize,
+    },
+    /// A single block exceeds the whole budget: no amount of spilling
+    /// can ever fit it. Surfaced as a terminal
+    /// [`RuntimeError::MemoryExceeded`](crate::RuntimeError::MemoryExceeded).
+    TooLarge {
+        /// Bytes of the oversized block.
+        bytes: usize,
+        /// The store's byte budget.
+        budget: usize,
+    },
+    /// A spill file could not be read back (lost or corrupt): runtime
+    /// state is inconsistent, surfaced as an invariant failure.
+    SpillUnreadable {
+        /// The block whose spill file is gone.
+        block: BlockRef,
+        /// What went wrong reading it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::NoHeadroom {
+                needed,
+                budget,
+                resident,
+            } => write!(
+                f,
+                "no headroom for {needed} B (budget {budget} B, resident {resident} B)"
+            ),
+            StoreError::TooLarge { bytes, budget } => {
+                write!(f, "block of {bytes} B exceeds store budget of {budget} B")
+            }
+            StoreError::SpillUnreadable { block, reason } => {
+                write!(f, "spill file for {block} unreadable: {reason}")
+            }
+        }
+    }
+}
+
+/// Process-wide spill-file counter: names are unique across every store
+/// of every in-process cluster in this process.
+static SPILL_FILE_ID: AtomicU64 = AtomicU64::new(0);
+
+fn spill_path() -> PathBuf {
+    let id = SPILL_FILE_ID.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("pado-spill-{}-{id}.bin", std::process::id()))
+}
+
+#[derive(Debug)]
+struct Resident {
+    data: Block,
+    bytes: usize,
+    last_used: u64,
+}
+
+#[derive(Debug)]
+struct Spill {
+    path: PathBuf,
+    bytes: usize,
+}
+
+/// A byte-accounted store of the blocks resident on one executor, with
+/// LRU spill-to-disk under pressure and pin counts protecting blocks a
+/// running task depends on.
+#[derive(Debug)]
+pub struct BlockStore {
+    exec: ExecId,
+    budget: usize,
+    /// Bytes held by the sibling cache tier, counted against the same
+    /// budget (kept in sync by [`ExecutorStore`]).
+    external_bytes: usize,
+    resident_bytes: usize,
+    clock: u64,
+    resident: HashMap<BlockRef, Resident>,
+    spilled: HashMap<BlockRef, Spill>,
+    pins: HashMap<BlockRef, usize>,
+    journal: Journal,
+}
+
+impl BlockStore {
+    /// Creates a store for `exec` bounded to `budget` bytes, emitting
+    /// memory events into `journal` (none when unlimited).
+    pub fn new(exec: ExecId, budget: usize, journal: Journal) -> Self {
+        BlockStore {
+            exec,
+            budget,
+            external_bytes: 0,
+            resident_bytes: 0,
+            clock: 0,
+            resident: HashMap::new(),
+            spilled: HashMap::new(),
+            pins: HashMap::new(),
+            journal,
+        }
+    }
+
+    fn limited(&self) -> bool {
+        self.budget != UNLIMITED
+    }
+
+    /// The current byte budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Bytes of blocks currently resident in memory (excludes spilled
+    /// blocks and the cache tier).
+    pub fn resident_bytes(&self) -> usize {
+        self.resident_bytes
+    }
+
+    /// Combined occupancy counted against the budget: resident block
+    /// bytes plus the sibling cache tier's bytes.
+    pub fn occupancy(&self) -> usize {
+        self.resident_bytes + self.external_bytes
+    }
+
+    fn set_external_bytes(&mut self, bytes: usize) {
+        self.external_bytes = bytes;
+    }
+
+    /// Whether the store owns this block, resident or spilled.
+    pub fn contains(&self, r: BlockRef) -> bool {
+        self.resident.contains_key(&r) || self.spilled.contains_key(&r)
+    }
+
+    /// Whether this block currently sits on the disk tier.
+    pub fn is_spilled(&self, r: BlockRef) -> bool {
+        self.spilled.contains_key(&r)
+    }
+
+    /// Bytes of a block on the disk tier (`None` when not spilled).
+    pub fn spilled_bytes(&self, r: BlockRef) -> Option<usize> {
+        self.spilled.get(&r).map(|s| s.bytes)
+    }
+
+    /// Current pin count of a block.
+    pub fn pin_count(&self, r: BlockRef) -> usize {
+        self.pins.get(&r).copied().unwrap_or(0)
+    }
+
+    fn emit(&self, event: JobEvent) {
+        if self.limited() {
+            self.journal.emit(None, event);
+        }
+    }
+
+    /// Spills one resident block to disk. Returns false when the write
+    /// failed (the block stays resident and accounted).
+    fn spill_one(&mut self, r: BlockRef) -> bool {
+        let entry = match self.resident.remove(&r) {
+            Some(e) => e,
+            None => return false,
+        };
+        let path = spill_path();
+        if fs::write(&path, encode_batch(&entry.data)).is_err() {
+            // Disk refused the spill: keep the block resident; the
+            // caller degrades to NoHeadroom (defer/refuse), never aborts.
+            self.resident.insert(r, entry);
+            return false;
+        }
+        self.resident_bytes -= entry.bytes;
+        self.spilled.insert(
+            r,
+            Spill {
+                path,
+                bytes: entry.bytes,
+            },
+        );
+        self.emit(JobEvent::BlockSpilled {
+            exec: self.exec,
+            block: r,
+            bytes: entry.bytes,
+            resident: self.occupancy(),
+        });
+        true
+    }
+
+    /// Spills unpinned LRU residents until `bytes` more fit under the
+    /// budget, or fails with `NoHeadroom` when only pinned blocks remain.
+    fn headroom_for(&mut self, bytes: usize) -> Result<(), StoreError> {
+        while self.occupancy() + bytes > self.budget {
+            let victim = self
+                .resident
+                .iter()
+                .filter(|(k, _)| self.pins.get(*k).copied().unwrap_or(0) == 0)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            let spilled = victim.map(|k| self.spill_one(k)).unwrap_or(false);
+            if !spilled {
+                return Err(StoreError::NoHeadroom {
+                    needed: bytes,
+                    budget: self.budget,
+                    resident: self.occupancy(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Admits a block, spilling unpinned residents as needed. Inserting
+    /// a block the store already owns just refreshes its recency.
+    pub fn insert(&mut self, r: BlockRef, data: &Block) -> Result<(), StoreError> {
+        self.clock += 1;
+        if let Some(e) = self.resident.get_mut(&r) {
+            e.last_used = self.clock;
+            return Ok(());
+        }
+        if self.spilled.contains_key(&r) {
+            return Ok(());
+        }
+        let bytes = block_bytes(data);
+        if !self.limited() {
+            self.resident_bytes += bytes;
+            self.resident.insert(
+                r,
+                Resident {
+                    data: Arc::clone(data),
+                    bytes,
+                    last_used: self.clock,
+                },
+            );
+            return Ok(());
+        }
+        if bytes > self.budget {
+            return Err(StoreError::TooLarge {
+                bytes,
+                budget: self.budget,
+            });
+        }
+        self.headroom_for(bytes)?;
+        self.resident_bytes += bytes;
+        self.resident.insert(
+            r,
+            Resident {
+                data: Arc::clone(data),
+                bytes,
+                last_used: self.clock,
+            },
+        );
+        self.emit(JobEvent::BlockAdmitted {
+            exec: self.exec,
+            block: r,
+            bytes,
+            resident: self.occupancy(),
+        });
+        Ok(())
+    }
+
+    /// Admits a block, writing it straight to the disk tier when memory
+    /// has no headroom — the producer-local commit path must never
+    /// stall on its own output. Only `TooLarge` (and disk failure) can
+    /// refuse.
+    pub fn insert_or_spill(&mut self, r: BlockRef, data: &Block) -> Result<(), StoreError> {
+        match self.insert(r, data) {
+            Err(StoreError::NoHeadroom { .. }) => {
+                let bytes = block_bytes(data);
+                let path = spill_path();
+                if let Err(e) = fs::write(&path, encode_batch(data)) {
+                    return Err(StoreError::SpillUnreadable {
+                        block: r,
+                        reason: format!("spill write failed: {e}"),
+                    });
+                }
+                self.spilled.insert(r, Spill { path, bytes });
+                self.emit(JobEvent::BlockAdmitted {
+                    exec: self.exec,
+                    block: r,
+                    bytes,
+                    resident: self.occupancy(),
+                });
+                self.emit(JobEvent::BlockSpilled {
+                    exec: self.exec,
+                    block: r,
+                    bytes,
+                    resident: self.occupancy(),
+                });
+                Ok(())
+            }
+            other => other,
+        }
+    }
+
+    /// Reloads a spilled block into memory, byte-identical to what was
+    /// spilled; the spill file is deleted.
+    fn reload(&mut self, r: BlockRef) -> Result<(), StoreError> {
+        let spill = match self.spilled.get(&r) {
+            Some(s) => Spill {
+                path: s.path.clone(),
+                bytes: s.bytes,
+            },
+            None => return Ok(()),
+        };
+        self.headroom_for(spill.bytes)?;
+        let raw = fs::read(&spill.path).map_err(|e| StoreError::SpillUnreadable {
+            block: r,
+            reason: e.to_string(),
+        })?;
+        let records = decode_batch(&raw).map_err(|e| StoreError::SpillUnreadable {
+            block: r,
+            reason: e.to_string(),
+        })?;
+        self.spilled.remove(&r);
+        let _ = fs::remove_file(&spill.path);
+        self.clock += 1;
+        self.resident_bytes += spill.bytes;
+        self.resident.insert(
+            r,
+            Resident {
+                data: block_from_vec(records),
+                bytes: spill.bytes,
+                last_used: self.clock,
+            },
+        );
+        self.emit(JobEvent::BlockLoaded {
+            exec: self.exec,
+            block: r,
+            bytes: spill.bytes,
+            resident: self.occupancy(),
+        });
+        Ok(())
+    }
+
+    /// Looks up a block, reloading it from the disk tier if spilled.
+    pub fn get(&mut self, r: BlockRef) -> Result<Option<Block>, StoreError> {
+        if self.spilled.contains_key(&r) {
+            self.reload(r)?;
+        }
+        self.clock += 1;
+        let clock = self.clock;
+        Ok(self.resident.get_mut(&r).map(|e| {
+            e.last_used = clock;
+            Arc::clone(&e.data)
+        }))
+    }
+
+    /// Pins a block for a running attempt, making it resident first
+    /// (inserting `data` if the store does not own it yet, reloading if
+    /// spilled). Pinned blocks are never spilled; pins are counted.
+    pub fn pin(&mut self, r: BlockRef, data: &Block) -> Result<(), StoreError> {
+        if self.spilled.contains_key(&r) {
+            self.reload(r)?;
+        } else {
+            self.insert(r, data)?;
+        }
+        *self.pins.entry(r).or_insert(0) += 1;
+        self.emit(JobEvent::BlockPinned {
+            exec: self.exec,
+            block: r,
+        });
+        Ok(())
+    }
+
+    /// Drops one pin of a block. Unknown refs are tolerated (pins may
+    /// have been cleared wholesale by an executor loss).
+    pub fn unpin(&mut self, r: BlockRef) {
+        if let Some(n) = self.pins.get_mut(&r) {
+            *n -= 1;
+            if *n == 0 {
+                self.pins.remove(&r);
+            }
+            self.emit(JobEvent::BlockUnpinned {
+                exec: self.exec,
+                block: r,
+            });
+        }
+    }
+
+    /// Releases an unpinned block (resident or spilled), freeing its
+    /// bytes. Pinned blocks are left in place; returns whether the
+    /// block is gone.
+    pub fn remove_unpinned(&mut self, r: BlockRef) -> bool {
+        if self.pins.get(&r).copied().unwrap_or(0) > 0 {
+            return false;
+        }
+        if let Some(e) = self.resident.remove(&r) {
+            self.resident_bytes -= e.bytes;
+            self.emit(JobEvent::BlockReleased {
+                exec: self.exec,
+                block: r,
+                bytes: e.bytes,
+                resident: self.occupancy(),
+            });
+            true
+        } else if let Some(s) = self.spilled.remove(&r) {
+            let _ = fs::remove_file(&s.path);
+            self.emit(JobEvent::BlockReleased {
+                exec: self.exec,
+                block: r,
+                bytes: s.bytes,
+                resident: self.occupancy(),
+            });
+            true
+        } else {
+            true
+        }
+    }
+
+    /// Drops everything without journaling — the executor is gone, so
+    /// its memory is gone too (the checker clears its replayed state on
+    /// the loss event for the same reason).
+    pub fn clear_silent(&mut self) {
+        for (_, s) in self.spilled.drain() {
+            let _ = fs::remove_file(&s.path);
+        }
+        self.resident.clear();
+        self.resident_bytes = 0;
+        self.pins.clear();
+    }
+
+    /// Shrinks (or grows) the budget, spilling unpinned residents to
+    /// get under the new limit. When pinned blocks (or a sibling cache
+    /// the caller chose not to shed) keep occupancy above the request,
+    /// the applied budget is clamped up to the occupancy so the
+    /// "occupancy ≤ budget" invariant keeps holding; the journaled
+    /// event records the applied value. Returns the applied budget.
+    pub fn set_budget(&mut self, requested: usize) -> usize {
+        let was_unlimited = !self.limited();
+        self.budget = requested;
+        if requested == UNLIMITED {
+            return UNLIMITED;
+        }
+        if was_unlimited {
+            // Unlimited stores journal nothing, so pins taken before this
+            // shrink are invisible to replay; emit them now or the
+            // matching unpins would look like pins from nowhere.
+            let held: Vec<(BlockRef, usize)> = self.pins.iter().map(|(r, n)| (*r, *n)).collect();
+            for (r, n) in held {
+                for _ in 0..n {
+                    self.emit(JobEvent::BlockPinned {
+                        exec: self.exec,
+                        block: r,
+                    });
+                }
+            }
+        }
+        while self.occupancy() > self.budget {
+            let victim = self
+                .resident
+                .iter()
+                .filter(|(k, _)| self.pins.get(*k).copied().unwrap_or(0) == 0)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            let spilled = victim.map(|k| self.spill_one(k)).unwrap_or(false);
+            if !spilled {
+                break;
+            }
+        }
+        let applied = requested.max(self.occupancy());
+        self.budget = applied;
+        self.journal.emit(
+            None,
+            JobEvent::StoreBudgetChanged {
+                exec: self.exec,
+                budget: applied,
+            },
+        );
+        applied
+    }
+}
+
+impl Drop for BlockStore {
+    fn drop(&mut self) {
+        for (_, s) in self.spilled.drain() {
+            let _ = fs::remove_file(&s.path);
+        }
+    }
+}
+
+/// Shared handle to one executor's store, held by the master (admission
+/// control, pinning, pushes) and the executor's worker slots (input
+/// cache) alike.
+pub type StoreHandle = Arc<Mutex<ExecutorStore>>;
+
+/// One executor's full memory domain: the byte-accounted block store
+/// plus the §3.2.7 input cache, both counted against one budget.
+#[derive(Debug)]
+pub struct ExecutorStore {
+    exec: ExecId,
+    journal: Journal,
+    blocks: BlockStore,
+    cache: LruCache,
+}
+
+impl ExecutorStore {
+    /// Creates the store for `exec`: `budget` bounds blocks + cache
+    /// combined, `cache_capacity` sub-bounds the cache tier.
+    pub fn new(exec: ExecId, budget: usize, cache_capacity: usize, journal: Journal) -> Self {
+        ExecutorStore {
+            exec,
+            journal: journal.clone(),
+            blocks: BlockStore::new(exec, budget, journal),
+            cache: LruCache::new(cache_capacity),
+        }
+    }
+
+    /// Wraps a new store in its shared handle.
+    pub fn handle(
+        exec: ExecId,
+        budget: usize,
+        cache_capacity: usize,
+        journal: Journal,
+    ) -> StoreHandle {
+        Arc::new(Mutex::new(ExecutorStore::new(
+            exec,
+            budget,
+            cache_capacity,
+            journal,
+        )))
+    }
+
+    /// The store's byte budget.
+    pub fn budget(&self) -> usize {
+        self.blocks.budget()
+    }
+
+    /// Combined occupancy: resident block bytes + cache bytes.
+    pub fn occupancy(&self) -> usize {
+        self.blocks.resident_bytes() + self.cache.used_bytes()
+    }
+
+    fn sync_external(&mut self) {
+        self.blocks.set_external_bytes(self.cache.used_bytes());
+    }
+
+    /// Sheds unpinned cache entries until `extra` more bytes fit under
+    /// the budget (cache data can always be re-sent; spilled blocks
+    /// cost a reload — shed the cheap tier first).
+    fn make_room(&mut self, extra: usize) {
+        if self.blocks.budget() == UNLIMITED {
+            return;
+        }
+        while self.occupancy() + extra > self.blocks.budget()
+            && self.cache.shed_lru_unpinned().is_some()
+        {}
+        self.sync_external();
+    }
+
+    /// Admits a block under the combined budget: sheds unpinned cache
+    /// entries, then spills unpinned blocks; refuses with `NoHeadroom`
+    /// when only pinned bytes remain (push backpressure defers).
+    pub fn admit(&mut self, r: BlockRef, data: &Block) -> Result<(), StoreError> {
+        if !self.blocks.contains(r) {
+            self.make_room(block_bytes(data));
+        }
+        self.blocks.insert(r, data)
+    }
+
+    /// Admits a producer-local block, spilling it straight to disk when
+    /// memory has no headroom — commits never stall on their own output.
+    pub fn admit_or_spill(&mut self, r: BlockRef, data: &Block) -> Result<(), StoreError> {
+        if !self.blocks.contains(r) {
+            self.make_room(block_bytes(data));
+        }
+        self.blocks.insert_or_spill(r, data)
+    }
+
+    /// Pins a block for a launching attempt (insert-if-absent,
+    /// reload-if-spilled). See [`BlockStore::pin`].
+    pub fn pin(&mut self, r: BlockRef, data: &Block) -> Result<(), StoreError> {
+        if !self.blocks.contains(r) || self.blocks.is_spilled(r) {
+            self.make_room(block_bytes(data));
+        }
+        self.blocks.pin(r, data)
+    }
+
+    /// Drops one pin. See [`BlockStore::unpin`].
+    pub fn unpin(&mut self, r: BlockRef) {
+        self.blocks.unpin(r);
+    }
+
+    /// Reads a block back, reloading it from the disk tier if spilled
+    /// (shedding unpinned cache entries first for reload headroom). See
+    /// [`BlockStore::get`].
+    pub fn get(&mut self, r: BlockRef) -> Result<Option<Block>, StoreError> {
+        if let Some(bytes) = self.blocks.spilled_bytes(r) {
+            self.make_room(bytes);
+        }
+        self.blocks.get(r)
+    }
+
+    /// Releases an unpinned block. See [`BlockStore::remove_unpinned`].
+    pub fn remove_unpinned(&mut self, r: BlockRef) -> bool {
+        self.blocks.remove_unpinned(r)
+    }
+
+    /// Whether the store owns this block (resident or spilled).
+    pub fn contains(&self, r: BlockRef) -> bool {
+        self.blocks.contains(r)
+    }
+
+    /// Clears everything silently (executor loss). See
+    /// [`BlockStore::clear_silent`].
+    pub fn clear_silent(&mut self) {
+        self.blocks.clear_silent();
+        // The cache died with the executor's memory too.
+        self.cache = LruCache::new(self.cache.capacity_bytes());
+        self.sync_external();
+    }
+
+    /// Applies a new budget: sheds unpinned cache entries first, then
+    /// lets the block store spill; returns the applied budget (clamped
+    /// up to occupancy when pinned bytes exceed the request).
+    pub fn set_budget(&mut self, requested: usize) -> usize {
+        if requested != UNLIMITED {
+            while self.occupancy() > requested && self.cache.shed_lru_unpinned().is_some() {}
+            self.sync_external();
+        }
+        self.blocks.set_budget(requested)
+    }
+
+    /// Cache lookup, journaling §3.2.7 effectiveness as
+    /// `CacheHit`/`CacheMiss` (emitted whatever the budget — cache
+    /// telemetry is not a memory-pressure event).
+    pub fn cache_get(&mut self, key: CacheKey) -> Option<Block> {
+        match self.cache.get(key) {
+            Some(data) => {
+                self.journal.emit(
+                    None,
+                    JobEvent::CacheHit {
+                        exec: self.exec,
+                        key,
+                        bytes: block_bytes(&data),
+                    },
+                );
+                Some(data)
+            }
+            None => {
+                self.journal.emit(
+                    None,
+                    JobEvent::CacheMiss {
+                        exec: self.exec,
+                        key,
+                    },
+                );
+                None
+            }
+        }
+    }
+
+    /// Best-effort cache insert under the combined budget: sheds its
+    /// own unpinned entries for room but never spills blocks; skips
+    /// caching (returns false) when no room remains. Failing to cache
+    /// never fails a task.
+    pub fn cache_put(&mut self, key: CacheKey, data: Block) -> bool {
+        let bytes = block_bytes(&data);
+        if self.blocks.budget() != UNLIMITED {
+            while self.occupancy() + bytes > self.blocks.budget() {
+                if self.cache.shed_lru_unpinned().is_none() {
+                    self.sync_external();
+                    return false;
+                }
+            }
+        }
+        let cached = self.cache.put(key, data);
+        self.sync_external();
+        cached
+    }
+
+    /// Pins a cache entry for the duration of a task that read it, so
+    /// concurrent inserts cannot shed an input mid-use.
+    pub fn cache_pin(&mut self, key: CacheKey) -> bool {
+        self.cache.pin(key)
+    }
+
+    /// Drops a cache pin.
+    pub fn cache_unpin(&mut self, key: CacheKey) {
+        self.cache.unpin(key);
+    }
+
+    /// Keys currently cached (the executor reports these to the master
+    /// for cache-aware scheduling).
+    pub fn cache_keys(&self) -> Vec<CacheKey> {
+        self.cache.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::journal::JournalMeta;
+
+    fn block(n: usize) -> Block {
+        (0..n)
+            .map(|i| Value::from(i as i64))
+            .collect::<Vec<_>>()
+            .into()
+    }
+
+    fn out(fop: FopId, index: usize) -> BlockRef {
+        BlockRef::Output { fop, index }
+    }
+
+    fn events(journal: &Journal) -> Vec<JobEvent> {
+        journal.freeze(JournalMeta::default()).to_events()
+    }
+
+    #[test]
+    fn block_bytes_matches_value_sizes() {
+        let b = block(3);
+        assert_eq!(block_bytes(&b), 24);
+        assert_eq!(block_bytes(&[]), 0);
+    }
+
+    #[test]
+    fn unlimited_store_tracks_bytes_but_emits_nothing() {
+        let j = Journal::new();
+        let mut s = BlockStore::new(1, UNLIMITED, j.clone());
+        s.insert(out(0, 0), &block(4)).unwrap();
+        assert_eq!(s.resident_bytes(), 32);
+        assert_eq!(s.get(out(0, 0)).unwrap().unwrap().len(), 4);
+        assert!(events(&j).is_empty());
+    }
+
+    #[test]
+    fn shrink_from_unlimited_journals_held_pins() {
+        let j = Journal::new();
+        let mut s = BlockStore::new(1, UNLIMITED, j.clone());
+        let a = block(4);
+        s.pin(out(0, 0), &a).unwrap();
+        s.pin(out(0, 0), &a).unwrap();
+        assert!(events(&j).is_empty());
+        // The shrink turns accounting on; held pins must be journaled
+        // before anything else so later unpins replay cleanly.
+        s.set_budget(64);
+        s.unpin(out(0, 0));
+        s.unpin(out(0, 0));
+        let evs = events(&j);
+        let pins = evs
+            .iter()
+            .filter(|e| matches!(e, JobEvent::BlockPinned { .. }))
+            .count();
+        let unpins = evs
+            .iter()
+            .filter(|e| matches!(e, JobEvent::BlockUnpinned { .. }))
+            .count();
+        assert_eq!(pins, 2);
+        assert_eq!(unpins, 2);
+    }
+
+    #[test]
+    fn pressure_spills_lru_and_reload_is_byte_identical() {
+        let j = Journal::new();
+        let mut s = BlockStore::new(1, 64, j.clone());
+        let a = block(4); // 32 B
+        let b = block(4); // 32 B
+        s.insert(out(0, 0), &a).unwrap();
+        s.insert(out(0, 1), &b).unwrap();
+        assert_eq!(s.resident_bytes(), 64);
+        // Third block forces the LRU (0,0) out to disk.
+        s.insert(out(0, 2), &block(4)).unwrap();
+        assert!(s.is_spilled(out(0, 0)));
+        assert_eq!(s.resident_bytes(), 64);
+        // Reload is byte-identical and re-admitted (spilling another).
+        let back = s.get(out(0, 0)).unwrap().unwrap();
+        assert_eq!(encode_batch(&back), encode_batch(&a));
+        assert!(!s.is_spilled(out(0, 0)));
+        let evs = events(&j);
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, JobEvent::BlockSpilled { .. })));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, JobEvent::BlockLoaded { .. })));
+        // Occupancy self-reports never exceed the budget.
+        for e in &evs {
+            if let JobEvent::BlockAdmitted { resident, .. }
+            | JobEvent::BlockSpilled { resident, .. }
+            | JobEvent::BlockLoaded { resident, .. } = e
+            {
+                assert!(*resident <= 64, "occupancy {resident} over budget");
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_blocks_are_never_spilled() {
+        let j = Journal::new();
+        let mut s = BlockStore::new(1, 64, j.clone());
+        let a = block(4);
+        let b = block(4);
+        s.pin(out(0, 0), &a).unwrap();
+        s.pin(out(0, 1), &b).unwrap();
+        // Both pinned: a third block has nowhere to go.
+        assert!(matches!(
+            s.insert(out(0, 2), &block(1)),
+            Err(StoreError::NoHeadroom { .. })
+        ));
+        s.unpin(out(0, 1));
+        // Now (0,1) can spill to make room.
+        s.insert(out(0, 2), &block(1)).unwrap();
+        assert!(s.is_spilled(out(0, 1)));
+        assert!(!s.is_spilled(out(0, 0)));
+    }
+
+    #[test]
+    fn oversized_block_is_too_large() {
+        let mut s = BlockStore::new(1, 16, Journal::new());
+        assert!(matches!(
+            s.insert(out(0, 0), &block(3)),
+            Err(StoreError::TooLarge {
+                bytes: 24,
+                budget: 16
+            })
+        ));
+    }
+
+    #[test]
+    fn insert_or_spill_goes_straight_to_disk_under_pressure() {
+        let j = Journal::new();
+        let mut s = BlockStore::new(1, 32, j.clone());
+        s.pin(out(0, 0), &block(4)).unwrap();
+        // No headroom and nothing spillable, but the producer-local
+        // commit still lands (on disk).
+        s.insert_or_spill(out(1, 0), &block(2)).unwrap();
+        assert!(s.is_spilled(out(1, 0)));
+        // Reading it back needs headroom of its own: with everything
+        // pinned the reload refuses rather than overflow the budget.
+        assert!(matches!(
+            s.get(out(1, 0)),
+            Err(StoreError::NoHeadroom { .. })
+        ));
+        s.unpin(out(0, 0));
+        assert_eq!(s.get(out(1, 0)).unwrap().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn set_budget_spills_and_clamps_to_pinned_occupancy() {
+        let j = Journal::new();
+        let mut s = BlockStore::new(1, UNLIMITED, j.clone());
+        s.pin(out(0, 0), &block(4)).unwrap(); // 32 B pinned
+        s.insert(out(0, 1), &block(4)).unwrap(); // 32 B unpinned
+        let applied = s.set_budget(16);
+        // The unpinned block spilled; the pinned 32 B cannot, so the
+        // applied budget clamps up to it.
+        assert_eq!(applied, 32);
+        assert!(s.is_spilled(out(0, 1)));
+        assert!(!s.is_spilled(out(0, 0)));
+        assert!(events(&j)
+            .iter()
+            .any(|e| matches!(e, JobEvent::StoreBudgetChanged { budget: 32, .. })));
+    }
+
+    #[test]
+    fn remove_unpinned_frees_spill_files_and_respects_pins() {
+        let mut s = BlockStore::new(1, 32, Journal::new());
+        s.pin(out(0, 0), &block(4)).unwrap();
+        assert!(!s.remove_unpinned(out(0, 0)), "pinned block must stay");
+        s.unpin(out(0, 0));
+        assert!(s.remove_unpinned(out(0, 0)));
+        assert!(!s.contains(out(0, 0)));
+    }
+
+    #[test]
+    fn spill_files_are_deleted_on_drop() {
+        let path;
+        {
+            let mut s = BlockStore::new(1, 32, Journal::new());
+            s.insert(out(0, 0), &block(4)).unwrap();
+            s.pin(out(0, 1), &block(4)).unwrap();
+            assert!(s.is_spilled(out(0, 0)));
+            path = s.spilled.get(&out(0, 0)).unwrap().path.clone();
+            assert!(path.exists());
+        }
+        assert!(!path.exists(), "spill file survived drop");
+    }
+
+    #[test]
+    fn executor_store_sheds_cache_before_spilling_blocks() {
+        let j = Journal::new();
+        let mut s = ExecutorStore::new(1, 64, 64, j.clone());
+        assert!(s.cache_put(7, block(4))); // 32 B cache
+        s.admit(out(0, 0), &block(4)).unwrap(); // 32 B blocks
+        assert_eq!(s.occupancy(), 64);
+        // Admitting another block sheds the cache entry, not a spill.
+        s.admit(out(0, 1), &block(4)).unwrap();
+        assert!(s.cache_keys().is_empty());
+        assert!(!s.blocks.is_spilled(out(0, 0)));
+        assert_eq!(s.occupancy(), 64);
+    }
+
+    #[test]
+    fn cache_put_never_spills_blocks_and_skips_when_full() {
+        let mut s = ExecutorStore::new(1, 64, 64, Journal::new());
+        s.pin(out(0, 0), &block(4)).unwrap();
+        s.pin(out(0, 1), &block(4)).unwrap();
+        assert!(!s.cache_put(7, block(1)), "no room: caching must skip");
+        assert!(s.cache_keys().is_empty());
+        assert!(!s.blocks.is_spilled(out(0, 0)));
+        assert!(!s.blocks.is_spilled(out(0, 1)));
+    }
+
+    #[test]
+    fn cache_get_journals_hits_and_misses() {
+        let j = Journal::new();
+        let mut s = ExecutorStore::new(3, UNLIMITED, 64, j.clone());
+        assert!(s.cache_get(9).is_none());
+        s.cache_put(9, block(2));
+        assert!(s.cache_get(9).is_some());
+        let evs = events(&j);
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, JobEvent::CacheMiss { exec: 3, key: 9 })));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, JobEvent::CacheHit { exec: 3, key: 9, bytes } if *bytes == 16)));
+    }
+
+    #[test]
+    fn block_ref_displays() {
+        assert_eq!(out(3, 1).to_string(), "output 3.1");
+        let b = BlockRef::Bucket {
+            fop: 3,
+            index: 1,
+            dst_par: 4,
+            dst: 2,
+        };
+        assert_eq!(b.to_string(), "bucket 3.1->2/4");
+    }
+}

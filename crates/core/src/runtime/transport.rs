@@ -35,6 +35,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::Sender;
 
+use crate::error::RuntimeError;
 use crate::runtime::journal::{JobEvent, Journal};
 use crate::runtime::message::{ExecId, ExecutorMsg, MasterMsg};
 
@@ -453,7 +454,12 @@ impl<T: Clone, W: Clone> ReliableSender<T, W> {
 
     /// Retransmits every message whose backoff deadline has passed and
     /// releases link-held frames.
-    pub fn pump(&mut self, now: Instant) {
+    ///
+    /// A due sequence number vanishing from the unacked window mid-pump
+    /// is a transport bookkeeping bug: it surfaces as a positioned
+    /// [`RuntimeError::Invariant`] that fails the job, instead of a
+    /// panic poisoning the pumping thread.
+    pub fn pump(&mut self, now: Instant) -> Result<(), RuntimeError> {
         let due: Vec<Seq> = self
             .unacked
             .iter()
@@ -462,7 +468,13 @@ impl<T: Clone, W: Clone> ReliableSender<T, W> {
             .collect();
         for seq in due {
             let (frame, transmissions, backoff) = {
-                let p = self.unacked.get_mut(&seq).expect("due seq is unacked");
+                let p = self.unacked.get_mut(&seq).ok_or_else(|| {
+                    RuntimeError::Invariant(format!(
+                        "transport pump: due seq {seq} missing from the unacked \
+                         window of the link to exec {} while collecting its frame",
+                        self.peer
+                    ))
+                })?;
                 p.transmissions += 1;
                 p.backoff = (p.backoff * 2).min(self.max);
                 (
@@ -474,7 +486,14 @@ impl<T: Clone, W: Clone> ReliableSender<T, W> {
             let delay = backoff + self.jitter(seq, transmissions);
             self.unacked
                 .get_mut(&seq)
-                .expect("due seq is unacked")
+                .ok_or_else(|| {
+                    RuntimeError::Invariant(format!(
+                        "transport pump: due seq {seq} missing from the unacked \
+                         window of the link to exec {} while rescheduling its \
+                         backoff",
+                        self.peer
+                    ))
+                })?
                 .next_at = now + delay;
             self.counters.retransmitted.fetch_add(1, Ordering::Relaxed);
             self.counters.note_transmissions(transmissions);
@@ -491,6 +510,7 @@ impl<T: Clone, W: Clone> ReliableSender<T, W> {
             self.link.send(frame);
         }
         self.link.pump();
+        Ok(())
     }
 
     /// Direct access to the underlying link, e.g. to send unreliable
@@ -642,11 +662,11 @@ mod tests {
         assert_eq!(payloads(&rx), vec![(1, 42)]);
         // Past the backoff deadline: the unacked message goes out again.
         std::thread::sleep(Duration::from_millis(12));
-        s.pump(Instant::now());
+        s.pump(Instant::now()).unwrap();
         assert_eq!(payloads(&rx), vec![(1, 42)], "retransmission");
         s.on_ack(1);
         std::thread::sleep(Duration::from_millis(60));
-        s.pump(Instant::now());
+        s.pump(Instant::now()).unwrap();
         assert!(payloads(&rx).is_empty(), "acked: no more retransmissions");
         assert_eq!(s.in_flight(), 0);
     }

@@ -120,10 +120,12 @@ fn random_fault_plan(rng: &mut StdRng, seed: u64) -> FaultPlan {
             seed,
             error_prob: 0.15,
             panic_prob: 0.10,
+            oom_prob: 0.0,
             delay_prob: 0.20,
             delay_ms: 8,
             max_faults_per_task: MAX_FAULTS_PER_TASK,
         }),
+        budget_shrinks: Vec::new(),
         first_attempt_delays: Vec::new(),
         first_attempt_done_delays: Vec::new(),
         network: None,

@@ -269,10 +269,12 @@ fn chaos_outputs_match_cloning_reference_plane() {
                     seed,
                     error_prob: 0.15,
                     panic_prob: 0.10,
+                    oom_prob: 0.0,
                     delay_prob: 0.15,
                     delay_ms: 5,
                     max_faults_per_task: 2,
                 }),
+                budget_shrinks: Vec::new(),
                 first_attempt_delays: Vec::new(),
                 first_attempt_done_delays: Vec::new(),
                 network: None,

@@ -137,6 +137,7 @@ fn faulty_executor_is_blacklisted_and_replaced() {
             seed: 7,
             error_prob: 1.0,
             panic_prob: 0.0,
+            oom_prob: 0.0,
             delay_prob: 0.0,
             delay_ms: 0,
             max_faults_per_task: 2,

@@ -422,6 +422,7 @@ fn fixed_seed_journal_is_deterministic() {
             seed: 7,
             error_prob: 0.5,
             panic_prob: 0.0,
+            oom_prob: 0.0,
             delay_prob: 0.0,
             delay_ms: 0,
             max_faults_per_task: 1,

@@ -96,7 +96,7 @@ fn drive(
                 sender.on_ack(seq);
             }
         }
-        sender.pump(Instant::now());
+        sender.pump(Instant::now()).expect("pump invariant");
         ack_link.pump();
         let done = delivered.len() == n_payloads as usize && sender.in_flight() == 0;
         if done || t0.elapsed() >= deadline {

@@ -229,11 +229,12 @@ pub struct RunMetrics {
 }
 
 // Note: `RunMetrics` deliberately carries *no* mirror of the runtime's
-// failure/transport counters (task failures, speculation, message drops,
-// heartbeats). The simulated engines model none of those, and the real
-// runtime now derives every such counter from its event journal
-// (`EventJournal::derive_metrics`), so hand-mirrored zero fields here
-// could only drift from the source of truth.
+// failure/transport/memory counters (task failures, speculation, message
+// drops, heartbeats, spills, deferred pushes, store occupancy). The
+// simulated engines model none of those — their executors have infinite
+// memory — and the real runtime now derives every such counter from its
+// event journal (`EventJournal::derive_metrics`), so hand-mirrored zero
+// fields here could only drift from the source of truth.
 
 impl RunMetrics {
     /// Job completion time in minutes.

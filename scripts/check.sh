@@ -16,4 +16,10 @@ cargo test --workspace -q
 echo "==> network-chaos equivalence suite"
 cargo test -p pado-core --test network_chaos -q
 
+echo "==> memory-pressure equivalence suite"
+cargo test -p pado-core --test memory_pressure -q
+
+echo "==> data-plane small-budget smoke (spill-to-disk, byte-identical)"
+cargo run -p pado-bench --release --bin dataplane -- --smoke --mem-budget auto >/dev/null
+
 echo "All checks passed."
