@@ -6,11 +6,15 @@
 //! baseline plus the commit/retry invariants.
 //!
 //! Usage: `cargo run -p pado-bench --bin chaos [n_seeds] [--network]
-//! [--journal <path>]`
+//! [--reconfig] [--journal <path>]`
 //! `--network` adds the transport dimension: seeded message
 //! drop/duplicate/reorder/delay in both directions plus timed executor
 //! partitions kept below the dead-executor threshold, so outputs must
 //! still match the fault-free baseline byte-for-byte.
+//! `--reconfig` adds the live-reconfiguration dimension: seeded
+//! epoch-fenced placement transactions (stage migrations, transient
+//! drains — including infeasible requests that must abort cleanly)
+//! plus spill-tier disk faults, racing the rest of the chaos.
 //! `--journal <path>` writes a Chrome-trace JSON of the last seed's
 //! journal to `<path>` (open it in chrome://tracing or Perfetto).
 //! Every seed's journal additionally replays through the generic
@@ -18,9 +22,11 @@
 
 use std::collections::HashMap;
 
+use pado_core::compiler::Placement;
 use pado_core::runtime::{
     ChaosPlan, DirectionFaults, FaultPlan, JobEvent, JobResult, LocalCluster, NetworkFault,
-    PartitionSpec, RuntimeConfig,
+    PartitionSpec, ReconfigChange, ReconfigTrigger, RuntimeConfig, ScheduledReconfig,
+    SpillFaultPlan,
 };
 use pado_dag::codec::encode_batch;
 use pado_dag::{CombineFn, LogicalDag, ParDoFn, Pipeline, SourceFn, TaskInput, Value};
@@ -148,10 +154,41 @@ fn random_network(
     }
 }
 
+/// Seeded reconfiguration requests: stage migrations (both directions)
+/// and transient drains, fired after a random number of task commits.
+/// Out-of-range stages are generated on purpose — an infeasible request
+/// must abort cleanly, not wedge the job.
+fn random_reconfigs(rng: &mut StdRng, n_transient: usize) -> Vec<ScheduledReconfig> {
+    let mut out = Vec::new();
+    for _ in 0..rng.gen_range(1..3usize) {
+        let change = if rng.gen_bool(0.7) {
+            ReconfigChange::MigrateStage {
+                stage: rng.gen_range(0..4usize),
+                to: if rng.gen_bool(0.7) {
+                    Placement::Reserved
+                } else {
+                    Placement::Transient
+                },
+            }
+        } else {
+            ReconfigChange::DrainTransient {
+                nth: rng.gen_range(0..n_transient.max(1)),
+            }
+        };
+        out.push(ScheduledReconfig {
+            after_done_events: rng.gen_range(1..8usize),
+            plan: change.into(),
+            trigger: ReconfigTrigger::Chaos,
+        });
+    }
+    out
+}
+
 fn random_fault_plan(
     rng: &mut StdRng,
     seed: u64,
     network: bool,
+    reconfig: bool,
     n_transient: usize,
     n_reserved: usize,
 ) -> FaultPlan {
@@ -196,6 +233,16 @@ fn random_fault_plan(
         first_attempt_delays: Vec::new(),
         first_attempt_done_delays: Vec::new(),
         network: network.then(|| random_network(rng, seed, n_transient, n_reserved)),
+        reconfigs: if reconfig {
+            random_reconfigs(rng, n_transient)
+        } else {
+            Vec::new()
+        },
+        spill_faults: (reconfig && rng.gen_bool(0.3)).then(|| SpillFaultPlan {
+            seed: seed ^ 0x5349_4C4C,
+            write_prob: rng.gen_range(0.0..0.3),
+            read_prob: rng.gen_range(0.0..0.3),
+        }),
     }
 }
 
@@ -272,12 +319,15 @@ fn violations(result: &JobResult, faults: &FaultPlan) -> Vec<String> {
             result.metrics.max_message_retransmissions
         ));
     }
+    // `heartbeats_missed` is deliberately absent: a late heartbeat needs
+    // no injected fault, only an oversubscribed machine starving the
+    // executor thread past the interval — flagging it made the harness
+    // flaky under concurrent builds.
     if faults.network.is_none()
         && (result.metrics.messages_dropped
             + result.metrics.messages_duplicated
             + result.metrics.messages_retransmitted
             + result.metrics.messages_deduplicated
-            + result.metrics.heartbeats_missed
             + result.metrics.executors_declared_dead)
             > 0
     {
@@ -292,11 +342,14 @@ fn violations(result: &JobResult, faults: &FaultPlan) -> Vec<String> {
 fn main() {
     let mut n_seeds: u64 = 100;
     let mut network = false;
+    let mut reconfig = false;
     let mut journal_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--network" {
             network = true;
+        } else if arg == "--reconfig" {
+            reconfig = true;
         } else if arg == "--journal" {
             journal_path = Some(args.next().expect("--journal needs a path"));
         } else {
@@ -320,7 +373,7 @@ fn main() {
         .collect();
 
     println!(
-        "{:>5}  {:<10} {:>5} {:>4} {:>7} {:>5} {:>5} {:>5} {:>5} {:>4} {:>5} {:>5}  verdict",
+        "{:>5}  {:<10} {:>5} {:>4} {:>7} {:>5} {:>5} {:>5} {:>5} {:>4} {:>5} {:>5} {:>6}  verdict",
         "seed",
         "shape",
         "evict",
@@ -332,13 +385,16 @@ fn main() {
         "launch",
         "oom",
         "spill",
-        "defer"
+        "defer",
+        "epoch"
     );
     let (mut ok, mut bad) = (0u64, 0u64);
     let mut total_failures = 0usize;
     let mut total_spec = 0usize;
     let mut total_oom = 0usize;
     let mut total_spills = 0usize;
+    let mut total_commits = 0usize;
+    let mut total_aborts = 0usize;
     let mut last_journal = None;
     for seed in 0..n_seeds {
         let shape = (seed % shapes.len() as u64) as usize;
@@ -346,7 +402,7 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(seed);
         let n_transient = rng.gen_range(1..4usize);
         let n_reserved = rng.gen_range(1..3usize);
-        let faults = random_fault_plan(&mut rng, seed, network, n_transient, n_reserved);
+        let faults = random_fault_plan(&mut rng, seed, network, reconfig, n_transient, n_reserved);
         let result = match LocalCluster::new(n_transient, n_reserved)
             .with_config(chaos_config())
             .run_with_faults(dag, faults.clone())
@@ -364,7 +420,7 @@ fn main() {
         }
         let verdict = if probs.is_empty() { "ok" } else { "VIOLATION" };
         println!(
-            "{seed:>5}  {name:<10} {:>5} {:>4} {:>7} {:>5} {:>5} {:>5} {:>5} {:>4} {:>5} {:>5}  {verdict}",
+            "{seed:>5}  {name:<10} {:>5} {:>4} {:>7} {:>5} {:>5} {:>5} {:>5} {:>4} {:>5} {:>5} {:>6}  {verdict}",
             faults.evictions.len(),
             faults.reserved_failures.len(),
             faults
@@ -378,6 +434,7 @@ fn main() {
             result.metrics.oom_injected,
             result.metrics.blocks_spilled,
             result.metrics.pushes_deferred,
+            result.metrics.final_epoch,
         );
         for p in &probs {
             println!("       !! {p}");
@@ -393,10 +450,21 @@ fn main() {
                 result.metrics.executors_declared_dead,
             );
         }
+        if reconfig {
+            println!(
+                "       reconfig: committed={} aborted={} fenced={} final_epoch={}",
+                result.metrics.reconfigs_committed,
+                result.metrics.reconfigs_aborted,
+                result.metrics.frames_fenced,
+                result.metrics.final_epoch,
+            );
+        }
         total_failures += result.metrics.task_failures;
         total_spec += result.metrics.speculative_launches;
         total_oom += result.metrics.oom_injected;
         total_spills += result.metrics.blocks_spilled;
+        total_commits += result.metrics.reconfigs_committed;
+        total_aborts += result.metrics.reconfigs_aborted;
         last_journal = Some(result.journal);
         if probs.is_empty() {
             ok += 1;
@@ -417,7 +485,8 @@ fn main() {
     println!(
         "\n{ok}/{n_seeds} seeds clean, {bad} violating; \
          {total_failures} injected task failures survived, {total_spec} speculative launches, \
-         {total_oom} injected allocation failures, {total_spills} blocks spilled"
+         {total_oom} injected allocation failures, {total_spills} blocks spilled, \
+         {total_commits} reconfigs committed, {total_aborts} aborted"
     );
     if bad > 0 {
         std::process::exit(1);

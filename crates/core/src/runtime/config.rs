@@ -68,6 +68,15 @@ pub struct RuntimeConfig {
     /// per link direction. Must be at least the in-flight cap, or fresh
     /// messages could evict dedup state for live ones.
     pub transport_dedup_window: usize,
+    /// Milliseconds a reconfiguration transaction may spend in its
+    /// prepare phase (quiescing in-flight attempts) before it aborts and
+    /// rolls back to the old placement.
+    pub reconfig_prepare_timeout_ms: u64,
+    /// Eviction-storm policy hook: after this many transient evictions
+    /// the master requests a reconfiguration migrating the lowest
+    /// still-incomplete transient stage to the reserved pool. `0` (the
+    /// default) disables the hook.
+    pub reconfig_storm_threshold: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -92,6 +101,8 @@ impl Default for RuntimeConfig {
             retransmit_max_ms: 640,
             transport_inflight_cap: 64,
             transport_dedup_window: 1_024,
+            reconfig_prepare_timeout_ms: 1_000,
+            reconfig_storm_threshold: 0,
         }
     }
 }
@@ -165,6 +176,38 @@ impl RuntimeConfig {
                 "heartbeat_interval_ms ({}) must be below dead_executor_timeout_ms \
                  ({}) or every executor is declared dead before its first beat",
                 self.heartbeat_interval_ms, self.dead_executor_timeout_ms
+            ));
+        }
+        if self.reconfig_prepare_timeout_ms == 0 {
+            return Err(
+                "reconfig_prepare_timeout_ms must be at least 1: a zero prepare \
+                 window aborts every reconfiguration before it can quiesce a \
+                 single in-flight attempt"
+                    .into(),
+            );
+        }
+        if self.reconfig_prepare_timeout_ms >= self.event_timeout_ms {
+            return Err(format!(
+                "reconfig_prepare_timeout_ms ({}) must be below event_timeout_ms \
+                 ({}): a prepare phase pauses scheduling, so it must resolve \
+                 before the wedge detector can mistake it for a stuck job",
+                self.reconfig_prepare_timeout_ms, self.event_timeout_ms
+            ));
+        }
+        Ok(())
+    }
+
+    /// Validates settings whose sanity depends on the cluster shape, on
+    /// top of [`RuntimeConfig::validate`]. Called by the cluster harness
+    /// with the total executor count.
+    pub fn validate_with_cluster(&self, n_executors: usize) -> Result<(), String> {
+        self.validate()?;
+        if self.reconfig_storm_threshold > 0 && n_executors < 2 {
+            return Err(format!(
+                "reconfig_storm_threshold ({}) is set but the cluster has only \
+                 {} executor(s): migrating a stage off the transient pool needs \
+                 somewhere else to put it",
+                self.reconfig_storm_threshold, n_executors
             ));
         }
         Ok(())
@@ -271,6 +314,42 @@ mod tests {
             ..RuntimeConfig::default()
         };
         assert!(c.validate().unwrap_err().contains("executor_memory_bytes"));
+    }
+
+    #[test]
+    fn validate_rejects_zero_reconfig_prepare_timeout() {
+        let c = RuntimeConfig {
+            reconfig_prepare_timeout_ms: 0,
+            ..RuntimeConfig::default()
+        };
+        assert!(c
+            .validate()
+            .unwrap_err()
+            .contains("reconfig_prepare_timeout_ms"));
+    }
+
+    #[test]
+    fn validate_rejects_prepare_timeout_at_or_above_event_timeout() {
+        let c = RuntimeConfig {
+            reconfig_prepare_timeout_ms: 30_000,
+            event_timeout_ms: 30_000,
+            ..RuntimeConfig::default()
+        };
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("reconfig_prepare_timeout_ms"));
+        assert!(err.contains("event_timeout_ms"));
+    }
+
+    #[test]
+    fn validate_rejects_storm_threshold_on_single_executor_cluster() {
+        let c = RuntimeConfig {
+            reconfig_storm_threshold: 2,
+            ..RuntimeConfig::default()
+        };
+        assert!(c.validate().is_ok(), "shape-independent checks still pass");
+        let err = c.validate_with_cluster(1).unwrap_err();
+        assert!(err.contains("reconfig_storm_threshold"));
+        assert!(c.validate_with_cluster(2).is_ok());
     }
 
     #[test]

@@ -17,6 +17,7 @@
 
 use std::collections::BTreeMap;
 use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::AtomicU64;
 use std::sync::{Arc, Once};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -122,24 +123,36 @@ impl ExecutorHandle {
             .collect();
         let seed = net.as_ref().map_or(0, |p| p.seed());
         let ctrs = Arc::clone(&counters);
+        // The executor's view of the reconfiguration epoch: advanced by
+        // inbound envelope stamps and `AdvanceEpoch` broadcasts, stamped
+        // onto every outbound report.
+        let epoch = Arc::new(AtomicU64::new(0));
         let link = FaultyLink::new(to_master, id, Direction::ToMaster, net, counters);
         let out = ReliableSender::new(
             link,
             id,
-            |from, seq, payload| Wire::Msg { from, seq, payload },
+            |from, seq, epoch, payload| Wire::Msg {
+                from,
+                seq,
+                epoch,
+                payload,
+            },
             job.config.transport_inflight_cap,
             Duration::from_millis(job.config.retransmit_base_ms),
             Duration::from_millis(job.config.retransmit_max_ms),
             seed ^ (id as u64),
         )
-        .with_journal(journal, true);
+        .with_journal(journal, true)
+        .with_epoch(Arc::clone(&epoch));
         let heartbeat = Duration::from_millis(job.config.heartbeat_interval_ms.max(1));
         let dedup = DedupWindow::new(job.config.transport_dedup_window);
         threads.push(
             std::thread::Builder::new()
                 .name(format!("pado-exec-{id}-ctrl"))
                 .spawn(move || {
-                    control_loop(id, ctrl_rx, task_tx, out, dedup, heartbeat, slots, ctrs)
+                    control_loop(
+                        id, ctrl_rx, task_tx, out, dedup, heartbeat, slots, ctrs, epoch,
+                    )
                 })
                 .expect("spawn executor control thread"),
         );
@@ -183,6 +196,9 @@ fn worker_loop(
     while let Ok(msg) = rx.recv() {
         match msg {
             ExecutorMsg::Stop => break,
+            // Epoch advances are consumed by the control thread; a stray
+            // one reaching a worker slot carries no work.
+            ExecutorMsg::AdvanceEpoch(_) => {}
             ExecutorMsg::Run(spec) => {
                 let done = run_task(exec, &job, &store, &journal, spec);
                 if ctrl.send(ExecIn::Out(done)).is_err() {
@@ -206,6 +222,7 @@ fn control_loop(
     heartbeat: Duration,
     slots: usize,
     counters: Arc<TransportCounters>,
+    epoch: Arc<std::sync::atomic::AtomicU64>,
 ) {
     let mut next_beat = Instant::now();
     loop {
@@ -235,12 +252,28 @@ fn control_loop(
                 return;
             }
             Ok(ExecIn::Out(msg)) => out.send(msg),
-            Ok(ExecIn::Net(Wire::Msg { seq, payload, .. })) => {
+            Ok(ExecIn::Net(Wire::Msg {
+                seq,
+                epoch: env_epoch,
+                payload,
+                ..
+            })) => {
                 // Always ack — the first ack may have been lost — but only
-                // forward first deliveries to the task queue.
+                // forward first deliveries to the task queue. Every
+                // envelope also carries the master's epoch at send time:
+                // adopt it monotonically so subsequent reports are stamped
+                // with the newest epoch this executor has seen.
                 out.link().send(Wire::Ack { from: exec, seq });
+                epoch.fetch_max(env_epoch, std::sync::atomic::Ordering::Relaxed);
                 if dedup.fresh(seq) {
-                    let _ = task_tx.send(payload);
+                    match payload {
+                        ExecutorMsg::AdvanceEpoch(e) => {
+                            epoch.fetch_max(e, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        other => {
+                            let _ = task_tx.send(other);
+                        }
+                    }
                 } else {
                     counters
                         .deduplicated
@@ -252,7 +285,11 @@ fn control_loop(
             // master-side only. Tolerate both.
             Ok(ExecIn::Net(Wire::Heartbeat { .. })) => {}
             Ok(ExecIn::Net(Wire::Direct(payload))) => {
-                let _ = task_tx.send(payload);
+                if let ExecutorMsg::AdvanceEpoch(e) = payload {
+                    epoch.fetch_max(e, std::sync::atomic::Ordering::Relaxed);
+                } else {
+                    let _ = task_tx.send(payload);
+                }
             }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => {

@@ -29,9 +29,15 @@
 //!    blocks are never spilled; a spilled block is reloaded before it is
 //!    pinned again; every resumed push was first deferred; an attempt
 //!    hit by an injected allocation failure never commits.
+//! 9. **Epoch-fenced reconfiguration**: the reconfiguration epoch only
+//!    advances by exactly one; no task commits under a stale epoch (its
+//!    launch epoch must equal the epoch at commit time); a transaction
+//!    prepares only after a request, commits only after a prepare and
+//!    under the epoch the journal just advanced to; and on a successful
+//!    run every requested transaction resolves to committed or aborted.
 //!
-//! Test suites call [`assert_clean`] on every seeded run, so the ~220
-//! chaos / network-chaos / equivalence seeds verify protocol
+//! Test suites call [`assert_clean`] on every seeded run, so the ~330
+//! chaos / network-chaos / reconfig / equivalence seeds verify protocol
 //! conformance, not just byte-identical outputs.
 
 use std::collections::{HashMap, HashSet};
@@ -40,6 +46,7 @@ use std::fmt;
 use crate::compiler::FopId;
 use crate::runtime::journal::{EventJournal, JobEvent};
 use crate::runtime::message::{AttemptId, ExecId};
+use crate::runtime::reconfig::ReconfigChange;
 use crate::runtime::store::BlockRef;
 
 /// One invariant violation found during replay.
@@ -98,6 +105,20 @@ pub fn check(journal: &EventJournal, success: bool) -> Vec<Violation> {
     let mut deferred: HashMap<(FopId, usize, ExecId), usize> = HashMap::new();
     // attempts hit by an injected allocation failure: must never commit
     let mut oomed: HashSet<AttemptId> = HashSet::new();
+    // --- Reconfiguration domain (law 9) ---
+    // current replayed reconfiguration epoch
+    let mut epoch: u64 = 0;
+    // attempt -> the epoch it was launched under
+    let mut attempt_epoch: HashMap<AttemptId, u64> = HashMap::new();
+    // reconfig id -> true once prepared (false while merely requested)
+    let mut open_reconfigs: HashMap<u64, bool> = HashMap::new();
+    // live task counts: starts at the frozen meta, updated by committed
+    // repartitions (the meta keeps the plan-time value)
+    let mut parallelism: Vec<usize> = meta.parallelism.clone();
+    // fops whose partition count changed: their frozen `required` edges
+    // no longer describe the live bucketing, so the inputs-before-launch
+    // law is skipped for them (and for edges that reference them)
+    let mut repartitioned: HashSet<FopId> = HashSet::new();
 
     // Self-reported store occupancy must fit the executor's budget.
     fn check_occupancy(
@@ -119,17 +140,22 @@ pub fn check(journal: &EventJournal, success: bool) -> Vec<Violation> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     let check_launch = |pos: usize,
                         fop: FopId,
                         index: usize,
                         attempt: AttemptId,
                         exec: ExecId,
                         kind: &str,
+                        epoch: u64,
                         launched: &mut HashMap<AttemptId, (FopId, usize, ExecId)>,
+                        attempt_epoch: &mut HashMap<AttemptId, u64>,
                         committed: &HashMap<(FopId, usize), AttemptId>,
                         blacklisted: &HashSet<ExecId>,
                         lost: &HashSet<ExecId>,
+                        repartitioned: &HashSet<FopId>,
                         violations: &mut Vec<Violation>| {
+        attempt_epoch.insert(attempt, epoch);
         if launched.insert(attempt, (fop, index, exec)).is_some() {
             violations.push(Violation {
                 position: pos,
@@ -161,8 +187,16 @@ pub fn check(journal: &EventJournal, success: bool) -> Vec<Violation> {
                 ),
             });
         }
-        if let Some(required) = meta.required.get(fop).and_then(|f| f.get(index)) {
+        let required = if repartitioned.contains(&fop) {
+            None // frozen edges no longer describe the live bucketing
+        } else {
+            meta.required.get(fop).and_then(|f| f.get(index))
+        };
+        if let Some(required) = required {
             for &(sf, si) in required {
+                if repartitioned.contains(&sf) {
+                    continue;
+                }
                 if !committed.contains_key(&(sf, si)) {
                     violations.push(Violation {
                         position: pos,
@@ -191,10 +225,13 @@ pub fn check(journal: &EventJournal, success: bool) -> Vec<Violation> {
                 *attempt,
                 *exec,
                 "launch",
+                epoch,
                 &mut launched,
+                &mut attempt_epoch,
                 &committed,
                 &blacklisted,
                 &lost,
+                &repartitioned,
                 &mut violations,
             ),
             JobEvent::SpeculativeLaunched {
@@ -210,10 +247,13 @@ pub fn check(journal: &EventJournal, success: bool) -> Vec<Violation> {
                 *attempt,
                 *exec,
                 "speculative launch",
+                epoch,
                 &mut launched,
+                &mut attempt_epoch,
                 &committed,
                 &blacklisted,
                 &lost,
+                &repartitioned,
                 &mut violations,
             ),
             JobEvent::TaskStarted {
@@ -300,6 +340,17 @@ pub fn check(journal: &EventJournal, success: bool) -> Vec<Violation> {
                              injected allocation failure"
                         ),
                     });
+                }
+                if let Some(&launch_epoch) = attempt_epoch.get(attempt) {
+                    if launch_epoch != epoch {
+                        violations.push(Violation {
+                            position: pos,
+                            message: format!(
+                                "commit of task {fop}.{index} attempt {attempt} under epoch \
+                                 {epoch}, but it launched under stale epoch {launch_epoch}"
+                            ),
+                        });
+                    }
                 }
             }
             JobEvent::TaskFailed {
@@ -581,12 +632,89 @@ pub fn check(journal: &EventJournal, success: bool) -> Vec<Violation> {
                 }
                 oomed.insert(*attempt);
             }
+            JobEvent::ReconfigRequested { reconfig, .. } => {
+                if open_reconfigs.insert(*reconfig, false).is_some() {
+                    violations.push(Violation {
+                        position: pos,
+                        message: format!(
+                            "reconfiguration {reconfig} requested while already in flight"
+                        ),
+                    });
+                }
+            }
+            JobEvent::ReconfigPrepared { reconfig, .. } => match open_reconfigs.get_mut(reconfig) {
+                Some(prepared) if !*prepared => *prepared = true,
+                Some(_) => violations.push(Violation {
+                    position: pos,
+                    message: format!("reconfiguration {reconfig} prepared twice"),
+                }),
+                None => violations.push(Violation {
+                    position: pos,
+                    message: format!("reconfiguration {reconfig} prepared without a request"),
+                }),
+            },
+            JobEvent::ReconfigCommitted {
+                reconfig,
+                change,
+                epoch: committed_under,
+            } => {
+                match open_reconfigs.remove(reconfig) {
+                    Some(true) => {}
+                    Some(false) => violations.push(Violation {
+                        position: pos,
+                        message: format!("reconfiguration {reconfig} committed without a prepare"),
+                    }),
+                    None => violations.push(Violation {
+                        position: pos,
+                        message: format!("reconfiguration {reconfig} committed without a request"),
+                    }),
+                }
+                if *committed_under != epoch {
+                    violations.push(Violation {
+                        position: pos,
+                        message: format!(
+                            "reconfiguration {reconfig} committed under epoch {committed_under}, \
+                             but the replayed epoch is {epoch}"
+                        ),
+                    });
+                }
+                if let ReconfigChange::Repartition {
+                    fop,
+                    parallelism: par,
+                } = change
+                {
+                    if let Some(slot) = parallelism.get_mut(*fop) {
+                        *slot = *par;
+                    }
+                    repartitioned.insert(*fop);
+                }
+            }
+            JobEvent::ReconfigAborted { reconfig, .. } => {
+                if open_reconfigs.remove(reconfig).is_none() {
+                    violations.push(Violation {
+                        position: pos,
+                        message: format!("reconfiguration {reconfig} aborted without a request"),
+                    });
+                }
+            }
+            JobEvent::EpochAdvanced { epoch: next } => {
+                if *next != epoch + 1 {
+                    violations.push(Violation {
+                        position: pos,
+                        message: format!(
+                            "epoch advanced from {epoch} to {next} (must step by exactly one)"
+                        ),
+                    });
+                }
+                epoch = *next;
+            }
+            JobEvent::StaleFrameFenced { .. } => {}
             JobEvent::CacheHit { .. } | JobEvent::CacheMiss { .. } => {}
         }
     }
 
     if success {
-        for (fop, &par) in meta.parallelism.iter().enumerate() {
+        for (fop, &par) in parallelism.iter().enumerate() {
             for index in 0..par {
                 if !committed.contains_key(&(fop, index)) {
                     violations.push(Violation {
@@ -609,6 +737,17 @@ pub fn check(journal: &EventJournal, success: bool) -> Vec<Violation> {
                 position: usize::MAX,
                 message: format!(
                     "{pending_replacements} container loss(es) never followed by a replacement"
+                ),
+            });
+        }
+        let mut unresolved: Vec<(u64, bool)> = open_reconfigs.into_iter().collect();
+        unresolved.sort_unstable();
+        for (id, prepared) in unresolved {
+            violations.push(Violation {
+                position: usize::MAX,
+                message: format!(
+                    "reconfiguration {id} {} but never resolved to committed or aborted",
+                    if prepared { "prepared" } else { "requested" }
                 ),
             });
         }
@@ -989,6 +1128,175 @@ mod tests {
             },
         ]);
         assert!(check(&j, false).is_empty());
+    }
+
+    fn reconfig_lifecycle(id: u64, epoch: u64) -> Vec<JobEvent> {
+        use crate::compiler::Placement;
+        use crate::runtime::reconfig::ReconfigTrigger;
+        let change = ReconfigChange::MigrateStage {
+            stage: 0,
+            to: Placement::Reserved,
+        };
+        vec![
+            JobEvent::ReconfigRequested {
+                reconfig: id,
+                trigger: ReconfigTrigger::Api,
+                change,
+            },
+            JobEvent::ReconfigPrepared {
+                reconfig: id,
+                quiesced: 0,
+            },
+            JobEvent::EpochAdvanced { epoch },
+            JobEvent::ReconfigCommitted {
+                reconfig: id,
+                change,
+                epoch,
+            },
+        ]
+    }
+
+    #[test]
+    fn clean_reconfig_run_passes() {
+        let mut events = vec![launch(0, 0, 1, 0), commit(0, 0, 1, 0)];
+        events.extend(reconfig_lifecycle(0, 1));
+        events.extend([
+            launch(1, 0, 2, 1),
+            commit(1, 0, 2, 1),
+            JobEvent::StageCompleted(0),
+        ]);
+        assert_clean(&journal(events), true);
+    }
+
+    #[test]
+    fn stale_epoch_commit_is_detected() {
+        // Attempt 2 launches under epoch 0, a reconfiguration commits
+        // (epoch -> 1), then the stale attempt's commit arrives.
+        let mut events = vec![launch(0, 0, 1, 0), commit(0, 0, 1, 0), launch(1, 0, 2, 1)];
+        events.extend(reconfig_lifecycle(0, 1));
+        events.push(commit(1, 0, 2, 1));
+        let violations = check(&journal(events), false);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.message.contains("launched under stale epoch 0")),
+            "got: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn epoch_must_step_by_exactly_one() {
+        let j = journal(vec![JobEvent::EpochAdvanced { epoch: 2 }]);
+        assert!(check(&j, false)
+            .iter()
+            .any(|v| v.message.contains("must step by exactly one")));
+    }
+
+    #[test]
+    fn prepare_and_commit_require_their_predecessors() {
+        let j = journal(vec![JobEvent::ReconfigPrepared {
+            reconfig: 3,
+            quiesced: 0,
+        }]);
+        assert!(check(&j, false)
+            .iter()
+            .any(|v| v.message.contains("prepared without a request")));
+        use crate::compiler::Placement;
+        use crate::runtime::reconfig::ReconfigTrigger;
+        let change = ReconfigChange::MigrateStage {
+            stage: 0,
+            to: Placement::Reserved,
+        };
+        let j = journal(vec![
+            JobEvent::ReconfigRequested {
+                reconfig: 3,
+                trigger: ReconfigTrigger::Chaos,
+                change,
+            },
+            JobEvent::EpochAdvanced { epoch: 1 },
+            JobEvent::ReconfigCommitted {
+                reconfig: 3,
+                change,
+                epoch: 1,
+            },
+        ]);
+        assert!(check(&j, false)
+            .iter()
+            .any(|v| v.message.contains("committed without a prepare")));
+    }
+
+    #[test]
+    fn unresolved_prepared_reconfig_fails_successful_run() {
+        use crate::compiler::Placement;
+        use crate::runtime::reconfig::ReconfigTrigger;
+        let events = vec![
+            launch(0, 0, 1, 0),
+            commit(0, 0, 1, 0),
+            launch(1, 0, 2, 1),
+            commit(1, 0, 2, 1),
+            JobEvent::StageCompleted(0),
+            JobEvent::ReconfigRequested {
+                reconfig: 0,
+                trigger: ReconfigTrigger::Policy,
+                change: ReconfigChange::MigrateStage {
+                    stage: 0,
+                    to: Placement::Reserved,
+                },
+            },
+            JobEvent::ReconfigPrepared {
+                reconfig: 0,
+                quiesced: 1,
+            },
+        ];
+        let violations = check(&journal(events.clone()), true);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.message.contains("prepared but never resolved")),
+            "got: {violations:?}"
+        );
+        // A failed run may end mid-transaction.
+        assert!(check(&journal(events), false).is_empty());
+    }
+
+    #[test]
+    fn committed_repartition_updates_the_completeness_target() {
+        use crate::runtime::reconfig::ReconfigTrigger;
+        // Fop 1 repartitions from 1 task to 2; a run that commits only
+        // 1.0 no longer satisfies completeness.
+        let change = ReconfigChange::Repartition {
+            fop: 1,
+            parallelism: 2,
+        };
+        let events = vec![
+            JobEvent::ReconfigRequested {
+                reconfig: 0,
+                trigger: ReconfigTrigger::Api,
+                change,
+            },
+            JobEvent::ReconfigPrepared {
+                reconfig: 0,
+                quiesced: 0,
+            },
+            JobEvent::EpochAdvanced { epoch: 1 },
+            JobEvent::ReconfigCommitted {
+                reconfig: 0,
+                change,
+                epoch: 1,
+            },
+            launch(0, 0, 1, 0),
+            commit(0, 0, 1, 0),
+            launch(1, 0, 2, 1),
+            commit(1, 0, 2, 1),
+            JobEvent::StageCompleted(0),
+        ];
+        let violations = check(&journal(events), true);
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.message.contains("task 1.1 never committed")),
+            "got: {violations:?}"
+        );
     }
 
     #[test]

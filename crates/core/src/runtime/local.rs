@@ -51,6 +51,7 @@ use crate::error::RuntimeError;
 use crate::runtime::config::RuntimeConfig;
 use crate::runtime::executor::JobContext;
 use crate::runtime::master::{FaultPlan, JobResult, Master};
+use crate::runtime::reconfig::{ReconfigPlan, ReconfigTrigger, ScheduledReconfig};
 
 /// An in-process Pado cluster: `n_transient` eviction-prone executors and
 /// `n_reserved` stable executors, each with configurable task slots.
@@ -61,6 +62,7 @@ pub struct LocalCluster {
     config: RuntimeConfig,
     plan_config: PlanConfig,
     policy_factory: Option<Arc<dyn Fn() -> Box<dyn SchedulingPolicy> + Send + Sync>>,
+    reconfigs: Vec<ScheduledReconfig>,
 }
 
 impl std::fmt::Debug for LocalCluster {
@@ -84,7 +86,22 @@ impl LocalCluster {
             config: RuntimeConfig::default(),
             plan_config: PlanConfig::default(),
             policy_factory: None,
+            reconfigs: Vec::new(),
         }
+    }
+
+    /// Schedules an explicit live-reconfiguration request: after
+    /// `after_done_events` task commits, the master opens a two-phase
+    /// transaction applying `plan` (see
+    /// [`ReconfigChange`](crate::runtime::ReconfigChange)). May be
+    /// called repeatedly; requests fire in schedule order.
+    pub fn with_reconfig(mut self, after_done_events: usize, plan: ReconfigPlan) -> Self {
+        self.reconfigs.push(ScheduledReconfig {
+            after_done_events,
+            plan,
+            trigger: ReconfigTrigger::Api,
+        });
+        self
     }
 
     /// Installs a custom task scheduling policy (§3.2.3). The factory is
@@ -126,9 +143,12 @@ impl LocalCluster {
     pub fn run_with_faults(
         &self,
         dag: &LogicalDag,
-        faults: FaultPlan,
+        mut faults: FaultPlan,
     ) -> Result<JobResult, RuntimeError> {
-        self.config.validate().map_err(RuntimeError::Config)?;
+        self.config
+            .validate_with_cluster(self.n_transient + self.n_reserved)
+            .map_err(RuntimeError::Config)?;
+        faults.reconfigs.extend(self.reconfigs.iter().copied());
         let plan = compile_with(dag, &self.plan_config)?;
         let job = Arc::new(JobContext {
             dag: dag.clone(),

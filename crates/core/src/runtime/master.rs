@@ -19,7 +19,7 @@
 //! outputs were lost.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -39,7 +39,10 @@ use crate::runtime::message::{
 };
 use crate::runtime::metrics::JobMetrics;
 use crate::runtime::policy::{Candidate, RoundRobinCacheAware, SchedulingPolicy, TaskToPlace};
-use crate::runtime::store::{block_bytes, BlockRef, ExecutorStore, StoreError, StoreHandle};
+use crate::runtime::reconfig::{ReconfigChange, ReconfigPlan, ReconfigTrigger, ScheduledReconfig};
+use crate::runtime::store::{
+    block_bytes, BlockRef, ExecutorStore, SpillFaultPlan, StoreError, StoreHandle,
+};
 use crate::runtime::transport::{
     mix64, DedupWindow, Direction, ExecIn, FaultyLink, NetPolicy, NetworkFault, ReliableSender,
     TransportCounters, Wire,
@@ -106,6 +109,14 @@ pub struct FaultPlan {
     /// applied budget clamps up to pinned occupancy, so a shrink can
     /// squeeze but never strand a running attempt.
     pub budget_shrinks: Vec<(usize, usize, usize)>,
+    /// Reconfiguration transactions scheduled against the same
+    /// completion clock as the other fault families (the chaos family's
+    /// random mid-job reconfigs, and the explicit API's deterministic
+    /// ones, both ride here).
+    pub reconfigs: Vec<ScheduledReconfig>,
+    /// Seeded spill-I/O fault injection on every executor store
+    /// (`None` = the disk tier never fails).
+    pub spill_faults: Option<SpillFaultPlan>,
 }
 
 // The event schema lives with the journal; re-exported here because the
@@ -209,6 +220,20 @@ struct DeferredPush {
     backoff_ms: u64,
 }
 
+/// One in-flight two-phase reconfiguration transaction. At most one
+/// exists at a time: a second request aborts immediately rather than
+/// queueing (the caller retries once the first resolves).
+#[derive(Debug, Clone, Copy)]
+struct ActiveReconfig {
+    id: u64,
+    plan: ReconfigPlan,
+    /// In-flight attempts at request time (reported in `ReconfigPrepared`
+    /// as how much work the prepare phase had to quiesce).
+    quiesce_wait: usize,
+    /// Past this instant an unquiesced prepare aborts.
+    deadline: Instant,
+}
+
 /// Progress metadata replicated for master fault tolerance (§3.2.6): the
 /// record of finished tasks and where their outputs live. Intermediate
 /// records themselves live on executors; the in-process stand-in keeps
@@ -222,6 +247,9 @@ struct ProgressSnapshot {
     result_parts: BTreeMap<(FopId, usize), Block>,
     first_attempted: Vec<Vec<bool>>,
     next_attempt: AttemptId,
+    /// The reconfiguration epoch is part of the replicated progress
+    /// record: a restarted master must keep fencing pre-restart frames.
+    epoch: u64,
 }
 
 /// The master event loop for one job.
@@ -312,6 +340,32 @@ pub struct Master {
     attempt_pins: HashMap<AttemptId, (ExecId, Vec<BlockRef>)>,
     /// Cursor into `faults.budget_shrinks`.
     fault_cursor_shrink: usize,
+
+    // --- Reconfiguration domain ---
+    /// The reconfiguration epoch: shared with every master→executor
+    /// sender (envelopes stamp it at first transmit) and advanced by
+    /// exactly one at each transaction commit.
+    epoch: Arc<AtomicU64>,
+    /// The in-flight two-phase transaction, if any (at most one).
+    reconfig: Option<ActiveReconfig>,
+    next_reconfig_id: u64,
+    /// Transient executors drained ahead of predicted eviction: still
+    /// alive (their container was not reclaimed) but no new attempt
+    /// lands on them and their blocks have migrated to reserved stores.
+    drained: HashSet<ExecId>,
+    /// Live placement per fop: seeded from the frozen plan, rewritten
+    /// by committed `MigrateStage` changes. Every placement decision
+    /// reads this overlay, never the plan.
+    placement: Vec<Placement>,
+    /// Live task count per fop, rewritten by committed `Repartition`.
+    parallelism: Vec<usize>,
+    /// The epoch each in-flight attempt launched under (the belt under
+    /// the wire-level fence: a cross-epoch attempt never commits).
+    attempt_epochs: HashMap<AttemptId, u64>,
+    /// Cursor into `faults.reconfigs`.
+    fault_cursor_reconfig: usize,
+    /// Evictions handled so far — the storm-policy trigger input.
+    evictions_seen: usize,
 }
 
 impl Master {
@@ -358,6 +412,8 @@ impl Master {
             retransmit_bound: MAX_RETRANSMISSIONS_PER_MESSAGE,
             executor_memory_bytes: job.config.executor_memory_bytes,
         };
+        let placement: Vec<Placement> = job.plan.fops.iter().map(|f| f.placement).collect();
+        let parallelism: Vec<usize> = job.plan.fops.iter().map(|f| f.parallelism).collect();
         let mut master = Master {
             job,
             tx,
@@ -397,6 +453,15 @@ impl Master {
             deferred_pushes: Vec::new(),
             attempt_pins: HashMap::new(),
             fault_cursor_shrink: 0,
+            epoch: Arc::new(AtomicU64::new(0)),
+            reconfig: None,
+            next_reconfig_id: 0,
+            drained: HashSet::new(),
+            placement,
+            parallelism,
+            attempt_epochs: HashMap::new(),
+            fault_cursor_reconfig: 0,
+            evictions_seen: 0,
         };
         for _ in 0..n_reserved {
             master.spawn_executor(Placement::Reserved);
@@ -431,6 +496,9 @@ impl Master {
             self.job.config.cache_capacity_bytes,
             self.journal.clone(),
         );
+        if let Some(sf) = self.faults.spill_faults {
+            store.lock().set_spill_faults(sf);
+        }
         let handle = ExecutorHandle::spawn(
             id,
             kind,
@@ -452,13 +520,21 @@ impl Master {
         let out = ReliableSender::new(
             link,
             id,
-            |from, seq, payload| ExecIn::Net(Wire::Msg { from, seq, payload }),
+            |from, seq, epoch, payload| {
+                ExecIn::Net(Wire::Msg {
+                    from,
+                    seq,
+                    epoch,
+                    payload,
+                })
+            },
             self.job.config.transport_inflight_cap,
             Duration::from_millis(self.job.config.retransmit_base_ms),
             Duration::from_millis(self.job.config.retransmit_max_ms),
             seed ^ mix64(id as u64),
         )
-        .with_journal(self.journal.clone(), false);
+        .with_journal(self.journal.clone(), false)
+        .with_epoch(Arc::clone(&self.epoch));
         self.executors.insert(
             id,
             ExecInfo {
@@ -531,6 +607,7 @@ impl Master {
             }
             self.pump_transport()?;
             self.retry_deferred_pushes()?;
+            self.pump_reconfig();
             // Straggler checks are time-gated so a burst of completions
             // does not rescan the task table once per message.
             if last_spec_check.elapsed() >= tick {
@@ -539,6 +616,10 @@ impl Master {
             }
             self.schedule()?;
         }
+        // In-flight commits can finish the job while a transaction is
+        // still preparing; resolve it so the journal never ends with an
+        // open prepare.
+        self.abort_reconfig("job completed before the transaction could commit".into());
         Ok(())
     }
 
@@ -559,7 +640,12 @@ impl Master {
                 }
                 Ok(false)
             }
-            Wire::Msg { from, seq, payload } => {
+            Wire::Msg {
+                from,
+                seq,
+                epoch: env_epoch,
+                payload,
+            } => {
                 self.note_liveness(from);
                 let Some(info) = self.executors.get_mut(&from) else {
                     return Ok(false);
@@ -571,13 +657,31 @@ impl Master {
                     return Ok(false);
                 }
                 info.out.link().send(ExecIn::Net(Wire::Ack { from, seq }));
-                if info.dedup.fresh(seq) {
-                    self.handle(payload)?;
-                    Ok(true)
-                } else {
+                // Dedup before the epoch fence: retransmissions of frames
+                // already handled are suppressed here, keeping the window
+                // floor advancing whatever their stamp says.
+                if !info.dedup.fresh(seq) {
                     self.counters.deduplicated.fetch_add(1, Ordering::Relaxed);
-                    Ok(false)
+                    return Ok(false);
                 }
+                // The epoch fence: payloads stamped before the last
+                // committed reconfiguration are acknowledged (above) but
+                // never handled, so no pre-commit message can commit a
+                // task into the post-commit world.
+                if env_epoch < self.epoch.load(Ordering::Relaxed) {
+                    self.journal.emit(
+                        None,
+                        JobEvent::StaleFrameFenced {
+                            exec: from,
+                            seq,
+                            epoch: env_epoch,
+                        },
+                    );
+                    self.handle_fenced(payload)?;
+                    return Ok(false);
+                }
+                self.handle(payload)?;
+                Ok(true)
             }
             Wire::Direct(msg) => {
                 self.handle(msg)?;
@@ -688,7 +792,9 @@ impl Master {
                         }
                     }
                 }
-                Err(StoreError::NoHeadroom { .. }) => {
+                // A spill-I/O fault parks the push exactly like missing
+                // headroom: back off and retry, never fail the job.
+                Err(StoreError::NoHeadroom { .. } | StoreError::SpillUnreadable { .. }) => {
                     p.backoff_ms = p.backoff_ms.saturating_mul(2).min(max_backoff);
                     p.next_try = now + Duration::from_millis(p.backoff_ms);
                     parked.push(p);
@@ -702,9 +808,6 @@ impl Master {
                             p.fop, p.index, p.dest
                         ),
                     });
-                }
-                Err(e @ StoreError::SpillUnreadable { .. }) => {
-                    return Err(RuntimeError::Invariant(e.to_string()));
                 }
             }
         }
@@ -805,6 +908,439 @@ impl Master {
         }
     }
 
+    /// Administrative processing of a payload the epoch fence rejected.
+    /// The executor freed a worker slot whether or not the master honors
+    /// the report, so slot, pin, and idempotence bookkeeping still apply —
+    /// but no commit, task-state change, or retry charge may result.
+    ///
+    /// A stale-stamped report from an attempt the master still considers
+    /// current is impossible (prepare quiesces every current attempt
+    /// before the epoch can advance, and an attempt's report is stamped
+    /// at or above its launch epoch); if one ever arrives it falls
+    /// through to the normal handler, whose own staleness belts keep the
+    /// job live rather than wedging a Running task forever.
+    fn handle_fenced(&mut self, msg: MasterMsg) -> Result<(), RuntimeError> {
+        let (exec, attempt) = match &msg {
+            MasterMsg::TaskDone { exec, attempt, .. }
+            | MasterMsg::TaskFailed { exec, attempt, .. } => (*exec, *attempt),
+            // Resource-manager notices ride the un-fenced Direct path;
+            // one arriving here is already epoch-agnostic.
+            MasterMsg::Evict { .. } | MasterMsg::FailReserved { .. } => return self.handle(msg),
+        };
+        let current = self
+            .attempt_of
+            .get(&attempt)
+            .map(|&(f, i)| {
+                matches!(
+                    &self.tasks[f][i],
+                    TaskState::Running { attempts } if attempts.iter().any(|&(a, _)| a == attempt)
+                )
+            })
+            .unwrap_or(false);
+        if current {
+            return self.handle(msg);
+        }
+        if !self.completed_attempts.insert(attempt) {
+            return Ok(());
+        }
+        self.release_attempt_pins(attempt);
+        if let Some(info) = self.executors.get_mut(&exec) {
+            if info.alive {
+                info.busy = info.busy.saturating_sub(1);
+            }
+        }
+        self.attempt_of.remove(&attempt);
+        self.launch_times.remove(&attempt);
+        self.speculative.remove(&attempt);
+        self.attempt_epochs.remove(&attempt);
+        Ok(())
+    }
+
+    /// Total in-flight attempts (the prepare phase's quiesce condition
+    /// counts these down to zero).
+    fn running_attempts(&self) -> usize {
+        self.tasks
+            .iter()
+            .flatten()
+            .map(|t| match t {
+                TaskState::Running { attempts } => attempts.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Opens a reconfiguration transaction: journals the request and
+    /// either admits it into the prepare phase or aborts it on the spot
+    /// (another transaction in flight, or an infeasible change). Returns
+    /// the transaction id.
+    fn request_reconfig(&mut self, plan: ReconfigPlan, trigger: ReconfigTrigger) -> u64 {
+        let id = self.next_reconfig_id;
+        self.next_reconfig_id += 1;
+        self.journal.emit(
+            None,
+            JobEvent::ReconfigRequested {
+                reconfig: id,
+                trigger,
+                change: plan.change,
+            },
+        );
+        if self.reconfig.is_some() {
+            self.journal.emit(
+                None,
+                JobEvent::ReconfigAborted {
+                    reconfig: id,
+                    reason: "another reconfiguration is already in flight".into(),
+                },
+            );
+            return id;
+        }
+        if let Err(reason) = self.reconfig_feasible(plan.change) {
+            self.journal.emit(
+                None,
+                JobEvent::ReconfigAborted {
+                    reconfig: id,
+                    reason,
+                },
+            );
+            return id;
+        }
+        self.reconfig = Some(ActiveReconfig {
+            id,
+            plan,
+            quiesce_wait: self.running_attempts(),
+            deadline: Instant::now()
+                + Duration::from_millis(self.job.config.reconfig_prepare_timeout_ms),
+        });
+        id
+    }
+
+    /// Whether a change can possibly commit, checked at request time so
+    /// a doomed transaction aborts before pausing the scheduler.
+    fn reconfig_feasible(&self, change: ReconfigChange) -> Result<(), String> {
+        match change {
+            ReconfigChange::MigrateStage { stage, to } => {
+                if stage >= self.meta.n_stages {
+                    return Err(format!(
+                        "stage {stage} does not exist (plan has {} stages)",
+                        self.meta.n_stages
+                    ));
+                }
+                if to == Placement::Transient && self.pool_candidates(Placement::Transient) == 0 {
+                    return Err("no alive transient executor to migrate onto".into());
+                }
+                Ok(())
+            }
+            ReconfigChange::Repartition { fop, parallelism } => {
+                if fop >= self.tasks.len() {
+                    return Err(format!(
+                        "fop {fop} does not exist (plan has {} fops)",
+                        self.tasks.len()
+                    ));
+                }
+                if parallelism == 0 {
+                    return Err("cannot repartition to zero tasks".into());
+                }
+                let untouched = self.tasks[fop]
+                    .iter()
+                    .all(|t| matches!(t, TaskState::Pending))
+                    && self.first_attempted[fop].iter().all(|&b| !b);
+                if !untouched {
+                    return Err(format!(
+                        "fop {fop} already has launched or finished tasks; repartition \
+                         applies only to pending stages"
+                    ));
+                }
+                let producers_clean = self.job.plan.in_edges(fop).iter().all(|e| {
+                    self.tasks[e.src]
+                        .iter()
+                        .all(|t| !matches!(t, TaskState::Done { .. }))
+                });
+                if !producers_clean {
+                    return Err(format!(
+                        "a producer of fop {fop} already committed output bucketed at the \
+                         old parallelism"
+                    ));
+                }
+                // One-to-one edges pair task i with task i: shrinking the
+                // consumer below the producer (or growing the producer
+                // past the consumer) would orphan partner outputs — data
+                // silently dropped, not rebucketed.
+                for e in self.job.plan.in_edges(fop) {
+                    if e.dep == DepType::OneToOne && parallelism < self.parallelism[e.src] {
+                        return Err(format!(
+                            "fop {fop} has a one-to-one input from fop {} ({} tasks); \
+                             repartitioning below that would orphan producer outputs",
+                            e.src, self.parallelism[e.src]
+                        ));
+                    }
+                }
+                for e in self.job.plan.out_edges(fop) {
+                    if e.dep == DepType::OneToOne && parallelism > self.parallelism[e.dst] {
+                        return Err(format!(
+                            "fop {fop} feeds fop {} one-to-one ({} tasks); repartitioning \
+                             past that would orphan its own outputs",
+                            e.dst, self.parallelism[e.dst]
+                        ));
+                    }
+                }
+                Ok(())
+            }
+            ReconfigChange::DrainTransient { .. } => {
+                if self.pool_candidates(Placement::Transient) < 2 {
+                    return Err("draining needs at least two alive transient executors \
+                         (one to drain, one to keep running transient tasks)"
+                        .into());
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Alive, schedulable executors of a pool (not blacklisted, not
+    /// already drained).
+    fn pool_candidates(&self, kind: Placement) -> usize {
+        self.executors
+            .iter()
+            .filter(|(id, e)| {
+                e.alive
+                    && e.handle.kind == kind
+                    && !self.blacklisted.contains(id)
+                    && !self.drained.contains(id)
+            })
+            .count()
+    }
+
+    /// Drives the in-flight transaction one step per loop iteration:
+    /// commit once quiesced, abort once past the prepare deadline. Also
+    /// hosts the eviction-storm policy trigger.
+    fn pump_reconfig(&mut self) {
+        self.maybe_fire_storm_policy();
+        let Some(txn) = self.reconfig else {
+            return;
+        };
+        let quiesced = self.running_attempts() == 0 && self.deferred_pushes.is_empty();
+        if quiesced {
+            self.journal.emit(
+                None,
+                JobEvent::ReconfigPrepared {
+                    reconfig: txn.id,
+                    quiesced: txn.quiesce_wait,
+                },
+            );
+            match self.apply_change(txn.plan.change) {
+                Ok(()) => {
+                    let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+                    self.journal.emit(None, JobEvent::EpochAdvanced { epoch });
+                    self.journal.emit(
+                        None,
+                        JobEvent::ReconfigCommitted {
+                            reconfig: txn.id,
+                            change: txn.plan.change,
+                            epoch,
+                        },
+                    );
+                    self.reconfig = None;
+                    self.broadcast_epoch(epoch);
+                }
+                Err(reason) => self.abort_reconfig(reason),
+            }
+        } else if Instant::now() >= txn.deadline {
+            self.abort_reconfig(format!(
+                "prepare timed out after {} ms without quiescing",
+                self.job.config.reconfig_prepare_timeout_ms
+            ));
+        }
+    }
+
+    /// The policy hook: once `reconfig_storm_threshold` evictions have
+    /// landed, degrade transient-placed work to the reserved pool, one
+    /// stage per transaction (candidates disappear as they migrate, so
+    /// the hook naturally stops firing).
+    fn maybe_fire_storm_policy(&mut self) {
+        let threshold = self.job.config.reconfig_storm_threshold;
+        if threshold == 0 || self.reconfig.is_some() || self.evictions_seen < threshold {
+            return;
+        }
+        let candidate = (0..self.meta.n_stages).find(|&s| {
+            self.job.plan.stage_fops(s).iter().any(|&f| {
+                self.placement[f] == Placement::Transient
+                    && self.tasks[f]
+                        .iter()
+                        .any(|t| !matches!(t, TaskState::Done { .. }))
+            })
+        });
+        if let Some(stage) = candidate {
+            self.request_reconfig(
+                ReconfigPlan::from(ReconfigChange::MigrateStage {
+                    stage,
+                    to: Placement::Reserved,
+                }),
+                ReconfigTrigger::Policy,
+            );
+        }
+    }
+
+    /// Rolls back the in-flight transaction, if any. Nothing was applied
+    /// during prepare, so rollback is the act of not applying: the old
+    /// placement is intact and scheduling resumes on it immediately.
+    fn abort_reconfig(&mut self, reason: String) {
+        if let Some(txn) = self.reconfig.take() {
+            self.journal.emit(
+                None,
+                JobEvent::ReconfigAborted {
+                    reconfig: txn.id,
+                    reason,
+                },
+            );
+        }
+    }
+
+    /// Applies a change at commit point (the job is quiesced). An error
+    /// aborts the transaction; every partial effect an erroring path may
+    /// leave behind (extra block copies on reserved stores) is additive
+    /// and harmless under the old placement.
+    fn apply_change(&mut self, change: ReconfigChange) -> Result<(), String> {
+        // The world may have moved between request and commit (evictions
+        // during prepare); re-check feasibility before touching state.
+        self.reconfig_feasible(change)?;
+        match change {
+            ReconfigChange::MigrateStage { stage, to } => {
+                for f in 0..self.placement.len() {
+                    if self.meta.stage_of[f] == stage {
+                        self.placement[f] = to;
+                    }
+                }
+                // Receiver assignments reflect the old pool; drop the
+                // ones that have not produced data yet so the next
+                // scheduling pass re-derives them under the new pool.
+                let tasks = &self.tasks;
+                let stage_of = &self.meta.stage_of;
+                self.assigned.retain(|&(f, i), _| {
+                    stage_of[f] != stage || matches!(tasks[f][i], TaskState::Done { .. })
+                });
+                Ok(())
+            }
+            ReconfigChange::Repartition { fop, parallelism } => {
+                self.tasks[fop] = vec![TaskState::Pending; parallelism];
+                self.first_attempted[fop] = vec![false; parallelism];
+                self.parallelism[fop] = parallelism;
+                self.assigned.retain(|&(f, _), _| f != fop);
+                // Shuffle buckets are keyed by consumer parallelism and
+                // broadcast concatenations by producer identity; both may
+                // reference the old partitioning — rebuild on demand.
+                self.routed.clear();
+                self.side_cache.clear();
+                Ok(())
+            }
+            ReconfigChange::DrainTransient { nth } => {
+                let candidates: Vec<ExecId> = self
+                    .executors
+                    .iter()
+                    .filter(|(id, e)| {
+                        e.alive
+                            && e.handle.kind == Placement::Transient
+                            && !self.blacklisted.contains(id)
+                            && !self.drained.contains(id)
+                    })
+                    .map(|(&id, _)| id)
+                    .collect();
+                let victim = candidates[nth % candidates.len()];
+                self.migrate_blocks_off(victim)?;
+                self.drained.insert(victim);
+                Ok(())
+            }
+        }
+    }
+
+    /// Moves every output whose *only* location is `victim` onto an
+    /// alive reserved store, then retires the victim's copies. Performed
+    /// at commit point under quiescence, so nothing is pinned. A block
+    /// no reserved store can take aborts the drain; copies admitted
+    /// before the failure stay (each was recorded as a valid location
+    /// the moment it landed).
+    fn migrate_blocks_off(&mut self, victim: ExecId) -> Result<(), String> {
+        let mut on_victim: Vec<(FopId, usize)> = Vec::new();
+        for f in 0..self.tasks.len() {
+            for i in 0..self.tasks[f].len() {
+                if matches!(
+                    &self.tasks[f][i],
+                    TaskState::Done { locations } if locations.contains(&victim)
+                ) {
+                    on_victim.push((f, i));
+                }
+            }
+        }
+        let reserved: Vec<ExecId> = self
+            .executors
+            .iter()
+            .filter(|(id, e)| {
+                e.alive && e.handle.kind == Placement::Reserved && !self.blacklisted.contains(id)
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for &(f, i) in &on_victim {
+            let sole = matches!(
+                &self.tasks[f][i],
+                TaskState::Done { locations } if locations.len() == 1
+            );
+            // Sink-safe outputs and multi-location blocks need no copy:
+            // dropping the victim's location below loses nothing.
+            if !sole || self.result_parts.contains_key(&(f, i)) {
+                continue;
+            }
+            let Some(output) = self.outputs.get(&(f, i)).map(Arc::clone) else {
+                continue;
+            };
+            let r = BlockRef::Output { fop: f, index: i };
+            let mut admitted = None;
+            for &d in &reserved {
+                let ok = self
+                    .executors
+                    .get(&d)
+                    .map(|info| info.store.lock().admit(r, &output).is_ok())
+                    .unwrap_or(false);
+                if ok {
+                    admitted = Some(d);
+                    break;
+                }
+            }
+            let Some(d) = admitted else {
+                return Err(format!(
+                    "no reserved store had headroom for block {f}.{i} ({} B)",
+                    block_bytes(&output)
+                ));
+            };
+            if let TaskState::Done { locations } = &mut self.tasks[f][i] {
+                locations.push(d);
+            }
+        }
+        // Every sole-location block now has a reserved copy: retire the
+        // victim's locations and release its store residency.
+        for (f, i) in on_victim {
+            if let TaskState::Done { locations } = &mut self.tasks[f][i] {
+                locations.retain(|&l| l != victim);
+            }
+            if let Some(info) = self.executors.get(&victim) {
+                info.store
+                    .lock()
+                    .remove_unpinned(BlockRef::Output { fop: f, index: i });
+            }
+        }
+        Ok(())
+    }
+
+    /// Reliably tells every alive executor about the committed epoch.
+    /// The envelopes of these (and all later) messages already carry the
+    /// new stamp; the explicit payload lets the executor adopt it even
+    /// with no task traffic.
+    fn broadcast_epoch(&mut self, epoch: u64) {
+        for info in self.executors.values_mut() {
+            if info.alive {
+                info.out.send(ExecutorMsg::AdvanceEpoch(epoch));
+            }
+        }
+    }
+
     fn on_task_done(
         &mut self,
         exec: ExecId,
@@ -845,6 +1381,25 @@ impl Master {
         if !valid {
             return Ok(());
         }
+        // The belt under the wire-level epoch fence: an attempt launched
+        // before the last committed reconfiguration never commits after
+        // it. Unreachable when the fence holds (prepare quiesces every
+        // current attempt before the epoch advances), but a discarded
+        // report must keep the job live: the task reverts to pending and
+        // relaunches under the new epoch.
+        let launch_epoch = self.attempt_epochs.remove(&attempt).unwrap_or(0);
+        if launch_epoch != self.epoch.load(Ordering::Relaxed) {
+            if let TaskState::Running { attempts } = &mut self.tasks[fop][index] {
+                attempts.retain(|&(a, _)| a != attempt);
+                if attempts.is_empty() {
+                    self.tasks[fop][index] = TaskState::Pending;
+                }
+            }
+            self.attempt_of.remove(&attempt);
+            self.launch_times.remove(&attempt);
+            self.speculative.remove(&attempt);
+            return Ok(());
+        }
         self.attempt_of.remove(&attempt);
         if let Some(t0) = self.launch_times.remove(&attempt) {
             self.fop_durations[fop].push(t0.elapsed().as_millis() as u64);
@@ -864,12 +1419,13 @@ impl Master {
                 self.attempt_of.remove(&a);
                 self.launch_times.remove(&a);
                 self.speculative.remove(&a);
+                self.attempt_epochs.remove(&a);
             }
         }
         let locations = self.commit_locations(fop, index, exec, &output)?;
         let bytes = block_bytes(&output);
-        let pushed = self.job.plan.fops[fop].placement == Placement::Transient
-            && locations.iter().any(|l| l != &exec);
+        let pushed =
+            self.placement[fop] == Placement::Transient && locations.iter().any(|l| l != &exec);
         if self.job.plan.out_edges(fop).is_empty() {
             // Terminal operator: the output is written to the job sink and
             // is safe regardless of container fate. Sink and location
@@ -971,6 +1527,7 @@ impl Master {
         self.attempt_of.remove(&attempt);
         self.launch_times.remove(&attempt);
         self.speculative.remove(&attempt);
+        self.attempt_epochs.remove(&attempt);
         self.journal.emit(
             Some(self.meta.stage_of[fop]),
             JobEvent::TaskFailed {
@@ -980,6 +1537,14 @@ impl Master {
                 exec,
             },
         );
+        // An allocation failure mid-prepare is a signal the quiesce is
+        // fighting memory pressure: roll the transaction back rather
+        // than let the prepare window starve the retry.
+        if self.reconfig.is_some() && reason.contains("allocation failure") {
+            self.abort_reconfig(format!(
+                "allocation failure in task {fop}.{index} mid-prepare"
+            ));
+        }
         if let TaskState::Running { attempts } = &mut self.tasks[fop][index] {
             attempts.retain(|&(a, _)| a != attempt);
             if attempts.is_empty() {
@@ -1060,13 +1625,12 @@ impl Master {
     ) -> Result<Vec<ExecId>, RuntimeError> {
         let r = BlockRef::Output { fop, index };
         let mut dests: Vec<ExecId> = Vec::new();
-        if self.job.plan.fops[fop].placement != Placement::Reserved {
+        if self.placement[fop] != Placement::Reserved {
             for e in self.job.plan.out_edges(fop) {
-                let dst = &self.job.plan.fops[e.dst];
-                if dst.placement != Placement::Reserved {
+                if self.placement[e.dst] != Placement::Reserved {
                     continue;
                 }
-                for di in 0..dst.parallelism {
+                for di in 0..self.parallelism[e.dst] {
                     if let Some(&d) = self.assigned.get(&(e.dst, di)) {
                         if d != exec && !dests.contains(&d) {
                             dests.push(d);
@@ -1086,7 +1650,10 @@ impl Master {
             let admitted = info.store.lock().admit(r, output);
             match admitted {
                 Ok(()) => locations.push(d),
-                Err(StoreError::NoHeadroom { .. }) => {
+                // A spill-I/O fault while making room is the same outcome
+                // as no room: the push defers and retries like any other
+                // backpressured push — a disk hiccup never fails the job.
+                Err(StoreError::NoHeadroom { .. } | StoreError::SpillUnreadable { .. }) => {
                     self.journal.emit(
                         Some(self.meta.stage_of[fop]),
                         JobEvent::PushDeferred {
@@ -1112,9 +1679,6 @@ impl Master {
                         context: format!("push of output {fop}.{index} to executor {d}"),
                     });
                 }
-                Err(e @ StoreError::SpillUnreadable { .. }) => {
-                    return Err(RuntimeError::Invariant(e.to_string()));
-                }
             }
         }
         if locations.is_empty() {
@@ -1134,9 +1698,12 @@ impl Master {
                         context: format!("output {fop}.{index} committed on executor {exec}"),
                     });
                 }
-                Some(Err(e)) => {
-                    return Err(RuntimeError::Invariant(e.to_string()));
-                }
+                // A spill-write fault left the producer unable to account
+                // the block. The data itself lives in the master's shared
+                // location table either way, so the commit stands; only
+                // the store-side residency record is missing, and an
+                // eviction of this executor reverts the task as usual.
+                Some(Err(StoreError::NoHeadroom { .. } | StoreError::SpillUnreadable { .. })) => {}
             }
             locations.push(exec);
         }
@@ -1174,6 +1741,14 @@ impl Master {
                     info.store.lock().set_budget(bytes);
                 }
             }
+        }
+        while self.fault_cursor_reconfig < self.faults.reconfigs.len()
+            && self.faults.reconfigs[self.fault_cursor_reconfig].after_done_events
+                <= self.done_events
+        {
+            let scheduled = self.faults.reconfigs[self.fault_cursor_reconfig];
+            self.fault_cursor_reconfig += 1;
+            self.request_reconfig(scheduled.plan, scheduled.trigger);
         }
         if let Some(n) = self.faults.master_failure_after {
             if !self.master_failed && self.done_events >= n {
@@ -1221,6 +1796,19 @@ impl Master {
         let kind = info.handle.kind;
         self.attempt_pins.retain(|_, (e, _)| *e != exec);
         self.deferred_pushes.retain(|p| p.dest != exec);
+        // A drained executor that finally dies needs no special recovery
+        // (its blocks migrated at drain time); it just stops counting
+        // against the drain bookkeeping.
+        self.drained.remove(&exec);
+        if kind_of_loss == LossKind::Eviction {
+            self.evictions_seen += 1;
+        }
+        // Any loss invalidates the quiesce a prepare phase is waiting
+        // for: roll the transaction back and let normal recovery run
+        // under the old placement (which is still fully runnable).
+        if self.reconfig.is_some() {
+            self.abort_reconfig(format!("executor {exec} lost mid-prepare"));
+        }
         // Sync the stage bracket first: a commit in the same frame may
         // have just completed a stage whose `StageCompleted` is not yet
         // logged, and the reopen below must nest inside it.
@@ -1261,6 +1849,7 @@ impl Master {
             self.attempt_of.remove(&a);
             self.launch_times.remove(&a);
             self.speculative.remove(&a);
+            self.attempt_epochs.remove(&a);
         }
         // Destroy data whose only copy lived on the lost executor.
         for f in 0..self.tasks.len() {
@@ -1325,6 +1914,11 @@ impl Master {
         // The journal survives: it is part of the replicated progress
         // record (and why journal-derived metrics never roll back).
         self.journal.emit(None, JobEvent::MasterRecovered);
+        // An in-flight transaction is master in-memory state: the
+        // restarted master has never heard of it, so it resolves as an
+        // abort (nothing was applied; the restored placement is the old
+        // one and stays runnable).
+        self.abort_reconfig("master restarted mid-transaction".into());
         let done_before: Vec<Vec<bool>> = self
             .tasks
             .iter()
@@ -1348,6 +1942,7 @@ impl Master {
                 .map(|ts| vec![false; ts.len()])
                 .collect(),
             next_attempt: self.next_attempt,
+            epoch: 0,
         });
         // Pins belong to attempts of the failed master; every one of them
         // is fenced below, so their holds on executor memory lift now
@@ -1372,6 +1967,11 @@ impl Master {
         self.routed.clear();
         self.side_cache.clear();
         self.first_attempted = snap.first_attempted;
+        // The epoch is replicated progress: the live cell is already at
+        // or above the snapshot (epochs only grow), but a real restart
+        // would begin from the snapshot value — restore monotonically.
+        self.epoch.fetch_max(snap.epoch, Ordering::Relaxed);
+        self.attempt_epochs.clear();
         // Fence all attempts issued by the failed master.
         self.next_attempt = snap.next_attempt.max(self.next_attempt) + 1_000_000;
         self.attempt_of.clear();
@@ -1445,6 +2045,7 @@ impl Master {
             result_parts: self.result_parts.clone(),
             first_attempted: self.first_attempted.clone(),
             next_attempt: self.next_attempt,
+            epoch: self.epoch.load(Ordering::Relaxed),
         });
     }
 
@@ -1452,6 +2053,12 @@ impl Master {
     /// receivers first, then launch every ready pending task with the
     /// round-robin, cache-aware policy.
     fn schedule(&mut self) -> Result<(), RuntimeError> {
+        // Prepare phase: no new attempts launch while a reconfiguration
+        // transaction is quiescing — otherwise the running set never
+        // drains and prepare can only time out.
+        if self.reconfig.is_some() {
+            return Ok(());
+        }
         for stage in self.job.plan.stage_dag.topo_order() {
             if !self.stage_runnable(stage) {
                 continue;
@@ -1463,12 +2070,12 @@ impl Master {
             let mut ordered: Vec<FopId> = fops
                 .iter()
                 .copied()
-                .filter(|&f| self.job.plan.fops[f].placement == Placement::Reserved)
+                .filter(|&f| self.placement[f] == Placement::Reserved)
                 .collect();
             ordered.extend(
                 fops.iter()
                     .copied()
-                    .filter(|&f| self.job.plan.fops[f].placement == Placement::Transient),
+                    .filter(|&f| self.placement[f] == Placement::Transient),
             );
             for f in ordered {
                 for i in 0..self.tasks[f].len() {
@@ -1499,10 +2106,10 @@ impl Master {
         }
         let mut cursor = 0usize;
         for f in self.job.plan.stage_fops(stage) {
-            if self.job.plan.fops[f].placement != Placement::Reserved {
+            if self.placement[f] != Placement::Reserved {
                 continue;
             }
-            for i in 0..self.job.plan.fops[f].parallelism {
+            for i in 0..self.parallelism[f] {
                 self.assigned.entry((f, i)).or_insert_with(|| {
                     let e = reserved[cursor % reserved.len()];
                     cursor += 1;
@@ -1515,8 +2122,8 @@ impl Master {
     /// Whether all of a task's inputs are available.
     fn task_ready(&self, fop: FopId, index: usize) -> bool {
         for e in self.job.plan.in_edges(fop) {
-            let src_par = self.job.plan.fops[e.src].parallelism;
-            let dst_par = self.job.plan.fops[fop].parallelism;
+            let src_par = self.parallelism[e.src];
+            let dst_par = self.parallelism[fop];
             for si in required_src_indices(&e, index, src_par, dst_par) {
                 if !matches!(self.tasks[e.src][si], TaskState::Done { .. }) {
                     return false;
@@ -1527,7 +2134,7 @@ impl Master {
     }
 
     fn launch(&mut self, fop: FopId, index: usize) -> Result<(), RuntimeError> {
-        let placement = self.job.plan.fops[fop].placement;
+        let placement = self.placement[fop];
         let cache_pref = self.cache_preference(fop);
         let Some(exec) = self.pick_executor(placement, fop, index, cache_pref) else {
             return Ok(()); // No free executor; retry on the next event.
@@ -1571,6 +2178,8 @@ impl Master {
         self.attempt_of.insert(attempt, (fop, index));
         self.launch_times.insert(attempt, Instant::now());
         self.attempt_pins.insert(attempt, (exec, pins));
+        self.attempt_epochs
+            .insert(attempt, self.epoch.load(Ordering::Relaxed));
         self.tasks[fop][index] = TaskState::Running {
             attempts: vec![(attempt, exec)],
         };
@@ -1609,13 +2218,13 @@ impl Master {
         index: usize,
         exec: ExecId,
     ) -> Result<Option<Vec<BlockRef>>, RuntimeError> {
-        let dst_par = self.job.plan.fops[fop].parallelism;
+        let dst_par = self.parallelism[fop];
         let mut wanted: Vec<(BlockRef, Block)> = Vec::new();
         for e in self.job.plan.in_edges(fop) {
             if !matches!(e.slot, InputSlot::Main(_)) {
                 continue;
             }
-            let src_par = self.job.plan.fops[e.src].parallelism;
+            let src_par = self.parallelism[e.src];
             for si in required_src_indices(&e, index, src_par, dst_par) {
                 let (r, block) = match e.dep {
                     DepType::ManyToMany => (
@@ -1693,11 +2302,15 @@ impl Master {
                         context: format!("input {r} of task {fop}.{index} on executor {exec}"),
                     });
                 }
-                Err(e @ StoreError::SpillUnreadable { .. }) => {
+                Err(StoreError::SpillUnreadable { .. }) => {
+                    // A spilled copy rotted on disk. The store already
+                    // dropped the corrupt entry, so treat this like a
+                    // headroom refusal: the task stays pending and the
+                    // next admission re-pins from the master's copy.
                     for p in pinned {
                         s.unpin(p);
                     }
-                    return Err(RuntimeError::Invariant(e.to_string()));
+                    return Ok(None);
                 }
             }
         }
@@ -1773,7 +2386,7 @@ impl Master {
     /// exceeds `speculation_multiplier` × the fop's median duration
     /// (floored by `speculation_floor_ms`). First commit wins.
     fn maybe_speculate(&mut self) -> Result<(), RuntimeError> {
-        if !self.job.config.speculation {
+        if !self.job.config.speculation || self.reconfig.is_some() {
             return Ok(());
         }
         let min_samples = self.job.config.speculation_min_samples.max(1);
@@ -1821,7 +2434,7 @@ impl Master {
         index: usize,
         avoid: ExecId,
     ) -> Result<(), RuntimeError> {
-        let kind = self.job.plan.fops[fop].placement;
+        let kind = self.placement[fop];
         let slots = self.job.config.slots_per_executor.max(1);
         let pick = self
             .executors
@@ -1832,6 +2445,7 @@ impl Master {
                     && e.busy < slots
                     && id != avoid
                     && !self.blacklisted.contains(&id)
+                    && !self.drained.contains(&id)
             })
             .max_by_key(|(&id, e)| (slots - e.busy, std::cmp::Reverse(id)))
             .map(|(&id, _)| id);
@@ -1868,6 +2482,8 @@ impl Master {
         self.attempt_of.insert(attempt, (fop, index));
         self.launch_times.insert(attempt, Instant::now());
         self.attempt_pins.insert(attempt, (exec, pins));
+        self.attempt_epochs
+            .insert(attempt, self.epoch.load(Ordering::Relaxed));
         self.speculative.insert(attempt);
         if let TaskState::Running { attempts } = &mut self.tasks[fop][index] {
             attempts.push((attempt, exec));
@@ -1926,7 +2542,11 @@ impl Master {
             .executors
             .iter()
             .filter(|(id, e)| {
-                e.alive && e.handle.kind == kind && e.busy < slots && !self.blacklisted.contains(id)
+                e.alive
+                    && e.handle.kind == kind
+                    && e.busy < slots
+                    && !self.blacklisted.contains(id)
+                    && !self.drained.contains(id)
             })
             .map(|(&id, e)| Candidate {
                 exec: id,
@@ -1964,12 +2584,12 @@ impl Master {
         index: usize,
         exec: ExecId,
     ) -> Result<(Vec<MainSlot>, BTreeMap<usize, SideData>, SideStats), RuntimeError> {
-        let dst_par = self.job.plan.fops[fop].parallelism;
+        let dst_par = self.parallelism[fop];
         let mut mains: Vec<MainSlot> = Vec::new();
         let mut sides: BTreeMap<usize, SideData> = BTreeMap::new();
         let mut stats = SideStats::default();
         for e in self.job.plan.in_edges(fop) {
-            let src_par = self.job.plan.fops[e.src].parallelism;
+            let src_par = self.parallelism[e.src];
             match e.slot {
                 InputSlot::Main(_) => {
                     let mut parts: Vec<Block> = Vec::new();
@@ -2357,6 +2977,132 @@ mod tests {
         assert_eq!(derived(&m).task_failures, 1, "one failure, not two");
         assert_eq!(m.task_failure_counts[&(f, 0)], 1, "retry charged once");
         assert_eq!(m.executors[&exec].busy, 1);
+        m.shutdown();
+    }
+
+    // --- Reconfiguration transaction tests ---
+
+    #[test]
+    fn quiesced_reconfig_commits_and_advances_the_epoch() {
+        let mut m = test_master();
+        let f = terminal_fop(&m);
+        let before = m.placement[f];
+        let id = m.request_reconfig(
+            ReconfigChange::MigrateStage {
+                stage: m.meta.stage_of[f],
+                to: Placement::Reserved,
+            }
+            .into(),
+            ReconfigTrigger::Api,
+        );
+        assert!(m.reconfig.is_some(), "transaction opened");
+        // Nothing is running, so the very next pump quiesces and commits.
+        m.pump_reconfig();
+        assert!(m.reconfig.is_none(), "transaction resolved");
+        assert_eq!(m.epoch.load(Ordering::Relaxed), 1);
+        assert_eq!(m.placement[f], Placement::Reserved);
+        assert_ne!(
+            before,
+            Placement::Reserved,
+            "the migration changed something"
+        );
+        let evs = events(&m);
+        let prepared = evs
+            .iter()
+            .position(
+                |e| matches!(e, JobEvent::ReconfigPrepared { reconfig, .. } if *reconfig == id),
+            )
+            .expect("ReconfigPrepared journaled");
+        let advanced = evs
+            .iter()
+            .position(|e| matches!(e, JobEvent::EpochAdvanced { epoch: 1 }))
+            .expect("EpochAdvanced journaled");
+        let committed = evs
+            .iter()
+            .position(
+                |e| matches!(e, JobEvent::ReconfigCommitted { reconfig, epoch: 1, .. } if *reconfig == id),
+            )
+            .expect("ReconfigCommitted journaled");
+        assert!(
+            prepared < advanced && advanced < committed,
+            "prepare, epoch advance, and commit journal in order: {evs:?}"
+        );
+        let d = derived(&m);
+        assert_eq!(d.reconfigs_committed, 1);
+        assert_eq!(d.final_epoch, 1);
+        m.shutdown();
+    }
+
+    #[test]
+    fn eviction_mid_prepare_aborts_and_rolls_back() {
+        let mut m = test_master();
+        let f = terminal_fop(&m);
+        let exec: ExecId = 1; // Transient (reserved spawn first).
+        m.tasks[f][0] = TaskState::Running {
+            attempts: vec![(7, exec)],
+        };
+        m.attempt_of.insert(7, (f, 0));
+        m.executors.get_mut(&exec).unwrap().busy = 1;
+        let before = m.placement.clone();
+
+        let id = m.request_reconfig(
+            ReconfigChange::MigrateStage {
+                stage: m.meta.stage_of[f],
+                to: Placement::Reserved,
+            }
+            .into(),
+            ReconfigTrigger::Api,
+        );
+        // One attempt in flight: the pump must keep waiting, not commit.
+        m.pump_reconfig();
+        assert!(m.reconfig.is_some(), "prepare waits for the quiesce");
+
+        // The eviction lands mid-prepare: the transaction rolls back and
+        // the old placement stays runnable.
+        m.handle(MasterMsg::Evict { exec }).unwrap();
+        assert!(m.reconfig.is_none(), "transaction aborted");
+        assert_eq!(m.epoch.load(Ordering::Relaxed), 0, "no epoch advance");
+        assert_eq!(m.placement, before, "rollback left the placement alone");
+        assert!(
+            matches!(m.tasks[f][0], TaskState::Pending),
+            "the reverted task is still runnable under the old placement"
+        );
+        let evs = events(&m);
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, JobEvent::ReconfigAborted { reconfig, .. } if *reconfig == id)));
+        assert!(!evs
+            .iter()
+            .any(|e| matches!(e, JobEvent::EpochAdvanced { .. })));
+        let d = derived(&m);
+        assert_eq!(d.reconfigs_aborted, 1);
+        assert_eq!(d.final_epoch, 0);
+        m.shutdown();
+    }
+
+    #[test]
+    fn concurrent_reconfig_requests_are_rejected() {
+        let mut m = test_master();
+        let f = terminal_fop(&m);
+        let stage = m.meta.stage_of[f];
+        // Hold the first transaction open with a manufactured running attempt.
+        m.tasks[f][0] = TaskState::Running {
+            attempts: vec![(7, 1)],
+        };
+        m.attempt_of.insert(7, (f, 0));
+        let change = ReconfigChange::MigrateStage {
+            stage,
+            to: Placement::Reserved,
+        };
+        let first = m.request_reconfig(change.into(), ReconfigTrigger::Api);
+        let second = m.request_reconfig(change.into(), ReconfigTrigger::Api);
+        assert_ne!(first, second);
+        let evs = events(&m);
+        assert!(evs.iter().any(
+            |e| matches!(e, JobEvent::ReconfigAborted { reconfig, reason } if *reconfig == second
+                && reason.contains("already in flight"))
+        ));
+        assert!(m.reconfig.is_some_and(|t| t.id == first));
         m.shutdown();
     }
 }

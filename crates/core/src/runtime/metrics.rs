@@ -80,6 +80,15 @@ pub struct JobMetrics {
     pub store_cache_hits: usize,
     /// Executor-observed input-cache misses.
     pub store_cache_misses: usize,
+    /// Reconfiguration transactions that committed (epoch advanced).
+    pub reconfigs_committed: usize,
+    /// Reconfiguration transactions that rolled back.
+    pub reconfigs_aborted: usize,
+    /// The reconfiguration epoch the job finished under (0 when no
+    /// reconfiguration ever committed).
+    pub final_epoch: u64,
+    /// Payload frames the master rejected for carrying a stale epoch.
+    pub frames_fenced: usize,
 }
 
 impl JobMetrics {

@@ -11,6 +11,7 @@ pub mod master;
 pub mod message;
 pub mod metrics;
 pub mod policy;
+pub mod reconfig;
 pub mod store;
 pub mod transport;
 
@@ -24,5 +25,8 @@ pub use master::{ChaosPlan, FaultPlan, Injector, JobResult, Master};
 pub use message::{AttemptId, ExecId, InjectedFault, MasterMsg};
 pub use metrics::JobMetrics;
 pub use policy::{Candidate, LeastLoaded, RoundRobinCacheAware, SchedulingPolicy, TaskToPlace};
-pub use store::{block_bytes, BlockRef, BlockStore, ExecutorStore, StoreError, StoreHandle};
+pub use reconfig::{ReconfigChange, ReconfigPlan, ReconfigTrigger, ScheduledReconfig};
+pub use store::{
+    block_bytes, BlockRef, BlockStore, ExecutorStore, SpillFaultPlan, StoreError, StoreHandle,
+};
 pub use transport::{DirectionFaults, NetworkFault, PartitionSpec};

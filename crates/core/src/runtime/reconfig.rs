@@ -1,0 +1,157 @@
+//! Epoch-fenced live reconfiguration: transactional placement changes.
+//!
+//! Pado's physical plan is frozen at compile time, but the transient pool
+//! it runs on is not: containers appear and vanish minute by minute. This
+//! module defines the vocabulary for changing a *running* job's placement
+//! as a two-phase transaction driven by the master:
+//!
+//! 1. **prepare** — the master stops launching new attempts and waits
+//!    until every in-flight attempt reaches a terminal state (quiesce).
+//!    If an eviction, OOM, master restart, or the prepare timeout lands
+//!    first, the transaction **aborts**: nothing was applied, the old
+//!    placement is still runnable, and the job continues unchanged.
+//! 2. **commit** — the change is applied (placement overlay, partition
+//!    rebuild, or executor drain with block migration), the global
+//!    *reconfiguration epoch* advances by one, and the new epoch is
+//!    broadcast. Every transport envelope carries the epoch its payload
+//!    was first sent under; the master rejects (but still acknowledges)
+//!    payload frames stamped with an older epoch, so no pre-commit
+//!    message can commit a task into the post-commit world.
+//!
+//! The journal records the transaction (`ReconfigRequested` /
+//! `ReconfigPrepared` / `ReconfigCommitted` / `ReconfigAborted` plus
+//! `EpochAdvanced`), and invariant law 9 replays it: epochs advance by
+//! exactly one, no task commits under a stale epoch, and every prepared
+//! transaction resolves.
+
+use std::fmt;
+
+use crate::compiler::{FopId, Placement};
+
+/// One placement change a reconfiguration transaction applies at commit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconfigChange {
+    /// Move every fused operator of `stage` to the `to` pool. Affects
+    /// future launches and commits; already-resident outputs stay where
+    /// they are (the master's location table keeps serving them).
+    MigrateStage {
+        /// The stage whose operators move.
+        stage: usize,
+        /// The destination pool.
+        to: Placement,
+    },
+    /// Change the partition count of a *pending* fused operator: every
+    /// task of `fop` must still be pending and never attempted, and none
+    /// of its producers may have committed (their outputs are bucketed
+    /// with the consumer's parallelism at producer-commit time).
+    Repartition {
+        /// The fused operator to repartition.
+        fop: FopId,
+        /// The new task count.
+        parallelism: usize,
+    },
+    /// Drain the `nth` alive transient executor (by id order, modulo the
+    /// alive count) ahead of a predicted eviction: its resident blocks
+    /// migrate to reserved stores, and no new attempt lands on it. The
+    /// container stays up — a later real eviction then destroys nothing
+    /// of value.
+    DrainTransient {
+        /// Ordinal among alive, not-yet-drained transient executors.
+        nth: usize,
+    },
+}
+
+impl fmt::Display for ReconfigChange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReconfigChange::MigrateStage { stage, to } => {
+                write!(f, "migrate stage {stage} to {}", to.label())
+            }
+            ReconfigChange::Repartition { fop, parallelism } => {
+                write!(f, "repartition fop {fop} to {parallelism} tasks")
+            }
+            ReconfigChange::DrainTransient { nth } => {
+                write!(f, "drain transient #{nth}")
+            }
+        }
+    }
+}
+
+/// A requested reconfiguration: what to change. Wrapped so future knobs
+/// (per-transaction timeouts, dry-run) extend without touching callers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconfigPlan {
+    /// The placement change to apply at commit.
+    pub change: ReconfigChange,
+}
+
+impl From<ReconfigChange> for ReconfigPlan {
+    fn from(change: ReconfigChange) -> Self {
+        ReconfigPlan { change }
+    }
+}
+
+/// Who asked for a reconfiguration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconfigTrigger {
+    /// The explicit [`LocalCluster`](crate::runtime::LocalCluster) API.
+    Api,
+    /// The eviction-storm policy hook (degrade to reserved-only).
+    Policy,
+    /// The chaos fault family (random reconfigs mid-job).
+    Chaos,
+}
+
+impl fmt::Display for ReconfigTrigger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReconfigTrigger::Api => write!(f, "api"),
+            ReconfigTrigger::Policy => write!(f, "policy"),
+            ReconfigTrigger::Chaos => write!(f, "chaos"),
+        }
+    }
+}
+
+/// A reconfiguration scheduled against the job's progress clock: fired
+/// when `after_done_events` terminal task reports have been handled.
+/// Rides on [`FaultPlan`](crate::runtime::FaultPlan) like every other
+/// deterministic injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledReconfig {
+    /// Fire after this many terminal task reports.
+    pub after_done_events: usize,
+    /// The change to request.
+    pub plan: ReconfigPlan,
+    /// Attribution recorded on the journal.
+    pub trigger: ReconfigTrigger,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn changes_render_compactly() {
+        assert_eq!(
+            ReconfigChange::MigrateStage {
+                stage: 1,
+                to: Placement::Reserved
+            }
+            .to_string(),
+            "migrate stage 1 to reserved"
+        );
+        assert_eq!(
+            ReconfigChange::Repartition {
+                fop: 2,
+                parallelism: 5
+            }
+            .to_string(),
+            "repartition fop 2 to 5 tasks"
+        );
+        assert_eq!(
+            ReconfigChange::DrainTransient { nth: 0 }.to_string(),
+            "drain transient #0"
+        );
+        assert_eq!(ReconfigTrigger::Policy.to_string(), "policy");
+    }
+}

@@ -26,6 +26,14 @@
 //! track bytes but never spill and emit no journal events, so memory
 //! accounting is invisible unless a budget is set.
 //!
+//! The disk tier is fallible: real tempfile I/O errors and the
+//! [`SpillFaultPlan`] chaos knob surface the same way. A failed spill
+//! *write* keeps the victim resident and degrades to `NoHeadroom`
+//! (defer/refuse — never an over-budget admit); a failed spill *read*
+//! drops the useless on-disk copy and reports
+//! [`StoreError::SpillUnreadable`], which the master resolves as an
+//! ordinary task retry (the block re-admits from the master's copy).
+//!
 //! [`RuntimeConfig::executor_memory_bytes`]:
 //! crate::runtime::RuntimeConfig::executor_memory_bytes
 
@@ -45,6 +53,29 @@ use crate::compiler::FopId;
 use crate::runtime::cache::{CacheKey, LruCache};
 use crate::runtime::journal::{JobEvent, Journal};
 use crate::runtime::message::ExecId;
+use crate::runtime::transport::mix64;
+
+/// Deterministic disk-fault injection for the spill tier (a chaos
+/// knob, [`FaultPlan::spill_faults`]): each spill write or read draws
+/// from `(seed, executor, operation ordinal)`, so a run replays
+/// identically from its seed. Probabilities are in `[0, 1]`; the
+/// default injects nothing.
+///
+/// [`FaultPlan::spill_faults`]: crate::runtime::master::FaultPlan
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SpillFaultPlan {
+    /// Seed for the per-operation fault draws.
+    pub seed: u64,
+    /// Probability that a spill write fails (victim stays resident).
+    pub write_prob: f64,
+    /// Probability that a spill read fails (on-disk copy dropped).
+    pub read_prob: f64,
+}
+
+/// Uniform draw in `[0, 1)` from a mixed hash.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
 
 /// Budget value meaning "no limit": the store tracks bytes but never
 /// spills and emits no journal events.
@@ -121,8 +152,11 @@ pub enum StoreError {
         /// The store's byte budget.
         budget: usize,
     },
-    /// A spill file could not be read back (lost or corrupt): runtime
-    /// state is inconsistent, surfaced as an invariant failure.
+    /// A spill file could not be written or read back (disk full, lost,
+    /// corrupt, or an injected fault). The store drops its useless
+    /// on-disk copy, so the caller retries: the master defers a push,
+    /// leaves a launch pending, or tolerates a producer-local miss —
+    /// the block re-admits from the master's copy.
     SpillUnreadable {
         /// The block whose spill file is gone.
         block: BlockRef,
@@ -190,6 +224,9 @@ pub struct BlockStore {
     spilled: HashMap<BlockRef, Spill>,
     pins: HashMap<BlockRef, usize>,
     journal: Journal,
+    faults: SpillFaultPlan,
+    spill_writes: u64,
+    spill_reads: u64,
 }
 
 impl BlockStore {
@@ -206,7 +243,33 @@ impl BlockStore {
             spilled: HashMap::new(),
             pins: HashMap::new(),
             journal,
+            faults: SpillFaultPlan::default(),
+            spill_writes: 0,
+            spill_reads: 0,
         }
+    }
+
+    /// Arms deterministic disk-fault injection for the spill tier.
+    pub fn set_spill_faults(&mut self, faults: SpillFaultPlan) {
+        self.faults = faults;
+    }
+
+    fn inject_write_fault(&mut self) -> bool {
+        if self.faults.write_prob <= 0.0 {
+            return false;
+        }
+        self.spill_writes += 1;
+        let h = mix64(self.faults.seed ^ mix64(self.exec as u64 ^ 0x57) ^ self.spill_writes);
+        unit(h) < self.faults.write_prob
+    }
+
+    fn inject_read_fault(&mut self) -> bool {
+        if self.faults.read_prob <= 0.0 {
+            return false;
+        }
+        self.spill_reads += 1;
+        let h = mix64(self.faults.seed ^ mix64(self.exec as u64 ^ 0x52) ^ self.spill_reads);
+        unit(h) < self.faults.read_prob
     }
 
     fn limited(&self) -> bool {
@@ -268,7 +331,7 @@ impl BlockStore {
             None => return false,
         };
         let path = spill_path();
-        if fs::write(&path, encode_batch(&entry.data)).is_err() {
+        if self.inject_write_fault() || fs::write(&path, encode_batch(&entry.data)).is_err() {
             // Disk refused the spill: keep the block resident; the
             // caller degrades to NoHeadroom (defer/refuse), never aborts.
             self.resident.insert(r, entry);
@@ -291,18 +354,25 @@ impl BlockStore {
         true
     }
 
+    /// Picks the least-recently-used unpinned resident and spills it.
+    /// Returns whether a block actually moved to disk — false when only
+    /// pinned blocks remain or the disk refused the write, in which
+    /// case pressure relief has gone as far as it can.
+    fn spill_lru_victim(&mut self) -> bool {
+        let victim = self
+            .resident
+            .iter()
+            .filter(|(k, _)| self.pins.get(*k).copied().unwrap_or(0) == 0)
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| *k);
+        victim.map(|k| self.spill_one(k)).unwrap_or(false)
+    }
+
     /// Spills unpinned LRU residents until `bytes` more fit under the
     /// budget, or fails with `NoHeadroom` when only pinned blocks remain.
     fn headroom_for(&mut self, bytes: usize) -> Result<(), StoreError> {
         while self.occupancy() + bytes > self.budget {
-            let victim = self
-                .resident
-                .iter()
-                .filter(|(k, _)| self.pins.get(*k).copied().unwrap_or(0) == 0)
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| *k);
-            let spilled = victim.map(|k| self.spill_one(k)).unwrap_or(false);
-            if !spilled {
+            if !self.spill_lru_victim() {
                 return Err(StoreError::NoHeadroom {
                     needed: bytes,
                     budget: self.budget,
@@ -370,6 +440,12 @@ impl BlockStore {
         match self.insert(r, data) {
             Err(StoreError::NoHeadroom { .. }) => {
                 let bytes = block_bytes(data);
+                if self.inject_write_fault() {
+                    return Err(StoreError::SpillUnreadable {
+                        block: r,
+                        reason: "spill write failed: injected disk fault".into(),
+                    });
+                }
                 let path = spill_path();
                 if let Err(e) = fs::write(&path, encode_batch(data)) {
                     return Err(StoreError::SpillUnreadable {
@@ -407,14 +483,24 @@ impl BlockStore {
             None => return Ok(()),
         };
         self.headroom_for(spill.bytes)?;
-        let raw = fs::read(&spill.path).map_err(|e| StoreError::SpillUnreadable {
-            block: r,
-            reason: e.to_string(),
-        })?;
-        let records = decode_batch(&raw).map_err(|e| StoreError::SpillUnreadable {
-            block: r,
-            reason: e.to_string(),
-        })?;
+        let read = if self.inject_read_fault() {
+            Err("injected disk fault".to_string())
+        } else {
+            fs::read(&spill.path)
+                .map_err(|e| e.to_string())
+                .and_then(|raw| decode_batch(&raw).map_err(|e| e.to_string()))
+        };
+        let records = match read {
+            Ok(records) => records,
+            Err(reason) => {
+                // The on-disk copy is useless; drop it so the owner can
+                // re-admit the block from the master's copy on retry
+                // instead of hitting the same corpse forever.
+                self.spilled.remove(&r);
+                let _ = fs::remove_file(&spill.path);
+                return Err(StoreError::SpillUnreadable { block: r, reason });
+            }
+        };
         self.spilled.remove(&r);
         let _ = fs::remove_file(&spill.path);
         self.clock += 1;
@@ -550,14 +636,7 @@ impl BlockStore {
             }
         }
         while self.occupancy() > self.budget {
-            let victim = self
-                .resident
-                .iter()
-                .filter(|(k, _)| self.pins.get(*k).copied().unwrap_or(0) == 0)
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| *k);
-            let spilled = victim.map(|k| self.spill_one(k)).unwrap_or(false);
-            if !spilled {
+            if !self.spill_lru_victim() {
                 break;
             }
         }
@@ -627,6 +706,12 @@ impl ExecutorStore {
     /// The store's byte budget.
     pub fn budget(&self) -> usize {
         self.blocks.budget()
+    }
+
+    /// Arms deterministic disk-fault injection for the spill tier. See
+    /// [`SpillFaultPlan`].
+    pub fn set_spill_faults(&mut self, faults: SpillFaultPlan) {
+        self.blocks.set_spill_faults(faults);
     }
 
     /// Combined occupancy: resident block bytes + cache bytes.
@@ -1019,6 +1104,84 @@ mod tests {
         assert!(evs
             .iter()
             .any(|e| matches!(e, JobEvent::CacheHit { exec: 3, key: 9, bytes } if *bytes == 16)));
+    }
+
+    #[test]
+    fn injected_spill_write_fault_degrades_to_no_headroom() {
+        let mut s = BlockStore::new(1, 64, Journal::new());
+        s.set_spill_faults(SpillFaultPlan {
+            seed: 11,
+            write_prob: 1.0,
+            read_prob: 0.0,
+        });
+        s.insert(out(0, 0), &block(4)).unwrap();
+        s.insert(out(0, 1), &block(4)).unwrap();
+        // Pressure relief needs a spill, the disk refuses every write:
+        // the admit degrades to NoHeadroom, never an over-budget insert.
+        assert!(matches!(
+            s.insert(out(0, 2), &block(4)),
+            Err(StoreError::NoHeadroom { .. })
+        ));
+        assert!(!s.is_spilled(out(0, 0)));
+        assert!(!s.is_spilled(out(0, 1)));
+        assert!(s.occupancy() <= 64);
+    }
+
+    #[test]
+    fn injected_spill_read_fault_heals_so_a_repin_recovers() {
+        let mut s = BlockStore::new(1, 64, Journal::new());
+        let a = block(4);
+        s.insert(out(0, 0), &a).unwrap();
+        s.insert(out(0, 1), &block(4)).unwrap();
+        s.insert(out(0, 2), &block(4)).unwrap();
+        assert!(s.is_spilled(out(0, 0)));
+        s.set_spill_faults(SpillFaultPlan {
+            seed: 11,
+            write_prob: 0.0,
+            read_prob: 1.0,
+        });
+        // The read fails; the corrupt on-disk copy is dropped with it.
+        assert!(matches!(
+            s.pin(out(0, 0), &a),
+            Err(StoreError::SpillUnreadable { .. })
+        ));
+        assert!(!s.contains(out(0, 0)), "useless spill entry healed away");
+        // A retry re-admits from the caller's copy and succeeds.
+        s.set_spill_faults(SpillFaultPlan::default());
+        s.pin(out(0, 0), &a).unwrap();
+        assert_eq!(s.get(out(0, 0)).unwrap().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn missing_spill_file_is_reported_and_healed() {
+        let mut s = BlockStore::new(1, 64, Journal::new());
+        s.insert(out(0, 0), &block(4)).unwrap();
+        s.insert(out(0, 1), &block(4)).unwrap();
+        s.insert(out(0, 2), &block(4)).unwrap();
+        assert!(s.is_spilled(out(0, 0)));
+        let path = s.spilled.get(&out(0, 0)).unwrap().path.clone();
+        fs::remove_file(&path).unwrap();
+        assert!(matches!(
+            s.get(out(0, 0)),
+            Err(StoreError::SpillUnreadable { .. })
+        ));
+        assert!(!s.contains(out(0, 0)), "lost spill entry healed away");
+    }
+
+    #[test]
+    fn spill_fault_draws_replay_from_the_seed() {
+        let run = |seed: u64| {
+            let mut s = BlockStore::new(1, 64, Journal::new());
+            s.set_spill_faults(SpillFaultPlan {
+                seed,
+                write_prob: 0.5,
+                read_prob: 0.0,
+            });
+            (0..8)
+                .map(|i| s.insert(out(0, i), &block(4)).is_ok())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3), "same seed, same fault schedule");
     }
 
     #[test]

@@ -130,6 +130,11 @@ pub enum Wire<T> {
         from: ExecId,
         /// Sequence number within that link direction.
         seq: Seq,
+        /// Reconfiguration epoch the sender held when the payload was
+        /// first transmitted. Retransmissions keep the original stamp, so
+        /// a frame sent before an epoch advance is still recognizably
+        /// stale when it finally lands (see `runtime::reconfig`).
+        epoch: u64,
         /// The control message.
         payload: T,
     },
@@ -334,6 +339,8 @@ impl<W: Clone> FaultyLink<W> {
 #[derive(Debug)]
 struct Pending<T> {
     payload: T,
+    /// Epoch stamped on the first transmission; retransmissions reuse it.
+    epoch: u64,
     transmissions: u64,
     next_at: Instant,
     backoff: Duration,
@@ -346,13 +353,16 @@ struct Pending<T> {
 #[derive(Debug)]
 pub struct ReliableSender<T, W> {
     peer: ExecId,
-    wrap: fn(ExecId, Seq, T) -> W,
+    wrap: fn(ExecId, Seq, u64, T) -> W,
     link: FaultyLink<W>,
     next_seq: Seq,
     cap: usize,
     base: Duration,
     max: Duration,
     seed: u64,
+    /// Shared reconfiguration epoch; every first transmission stamps the
+    /// cell's current value onto its envelope.
+    epoch: Arc<AtomicU64>,
     unacked: BTreeMap<Seq, Pending<T>>,
     backlog: VecDeque<T>,
     counters: Arc<TransportCounters>,
@@ -369,7 +379,7 @@ impl<T: Clone, W: Clone> ReliableSender<T, W> {
     pub fn new(
         link: FaultyLink<W>,
         peer: ExecId,
-        wrap: fn(ExecId, Seq, T) -> W,
+        wrap: fn(ExecId, Seq, u64, T) -> W,
         cap: usize,
         base: Duration,
         max: Duration,
@@ -385,11 +395,21 @@ impl<T: Clone, W: Clone> ReliableSender<T, W> {
             base: base.max(Duration::from_millis(1)),
             max,
             seed,
+            epoch: Arc::new(AtomicU64::new(0)),
             unacked: BTreeMap::new(),
             backlog: VecDeque::new(),
             counters,
             journal: None,
         }
+    }
+
+    /// Shares the reconfiguration epoch cell with this endpoint. All
+    /// endpoints of one process share one cell; the master advances it at
+    /// reconfiguration commit and executors follow the envelopes.
+    #[must_use]
+    pub fn with_epoch(mut self, epoch: Arc<AtomicU64>) -> Self {
+        self.epoch = epoch;
+        self
     }
 
     /// Attaches the job's execution journal: each retransmission emits a
@@ -414,7 +434,8 @@ impl<T: Clone, W: Clone> ReliableSender<T, W> {
     fn transmit(&mut self, payload: T) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let frame = (self.wrap)(self.peer, seq, payload.clone());
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        let frame = (self.wrap)(self.peer, seq, epoch, payload.clone());
         self.link.send(frame);
         self.counters.note_transmissions(1);
         let backoff = self.base + self.jitter(seq, 1);
@@ -422,6 +443,7 @@ impl<T: Clone, W: Clone> ReliableSender<T, W> {
             seq,
             Pending {
                 payload,
+                epoch,
                 transmissions: 1,
                 next_at: Instant::now() + backoff,
                 backoff,
@@ -478,7 +500,7 @@ impl<T: Clone, W: Clone> ReliableSender<T, W> {
                 p.transmissions += 1;
                 p.backoff = (p.backoff * 2).min(self.max);
                 (
-                    (self.wrap)(self.peer, seq, p.payload.clone()),
+                    (self.wrap)(self.peer, seq, p.epoch, p.payload.clone()),
                     p.transmissions,
                     p.backoff,
                 )
@@ -597,8 +619,13 @@ mod tests {
     use super::*;
     use crossbeam::channel::unbounded;
 
-    fn wrap(from: ExecId, seq: Seq, payload: u32) -> Wire<u32> {
-        Wire::Msg { from, seq, payload }
+    fn wrap(from: ExecId, seq: Seq, epoch: u64, payload: u32) -> Wire<u32> {
+        Wire::Msg {
+            from,
+            seq,
+            epoch,
+            payload,
+        }
     }
 
     fn reliable(
@@ -672,6 +699,33 @@ mod tests {
     }
 
     #[test]
+    fn retransmissions_keep_the_original_epoch_stamp() {
+        let (tx, rx) = unbounded();
+        let epoch = Arc::new(AtomicU64::new(0));
+        let mut s = reliable(tx, None, 8).with_epoch(Arc::clone(&epoch));
+        s.send(1);
+        epoch.store(3, Ordering::Relaxed);
+        s.send(2);
+        let stamps = |rx: &crossbeam::channel::Receiver<Wire<u32>>| {
+            let mut out = Vec::new();
+            while let Some(f) = rx.try_recv() {
+                if let Wire::Msg { epoch, payload, .. } = f {
+                    out.push((payload, epoch));
+                }
+            }
+            out
+        };
+        assert_eq!(stamps(&rx), vec![(1, 0), (2, 3)], "first transmissions");
+        std::thread::sleep(Duration::from_millis(12));
+        s.pump(Instant::now()).unwrap();
+        // Payload 1 was first sent under epoch 0: its retransmission must
+        // still say so, or a fenced receiver could mistake it for fresh.
+        let retx = stamps(&rx);
+        assert!(retx.contains(&(1, 0)), "stale stamp preserved: {retx:?}");
+        assert!(!retx.contains(&(1, 3)));
+    }
+
+    #[test]
     fn in_flight_cap_queues_and_drains_in_order() {
         let (tx, rx) = unbounded();
         let mut s = reliable(tx, None, 2);
@@ -714,6 +768,7 @@ mod tests {
         link.send(Wire::Msg {
             from: 0,
             seq: 1,
+            epoch: 0,
             payload: 5u32,
         });
         assert!(rx.try_recv().is_none(), "always-drop link delivers nothing");

@@ -278,6 +278,8 @@ fn chaos_outputs_match_cloning_reference_plane() {
                 first_attempt_delays: Vec::new(),
                 first_attempt_done_delays: Vec::new(),
                 network: None,
+                reconfigs: Vec::new(),
+                spill_faults: None,
             };
             let result = LocalCluster::new(2, 2)
                 .with_config(config())

@@ -254,6 +254,8 @@ fn random_fault_plan(rng: &mut StdRng, seed: u64, floor: usize, budget: usize) -
         first_attempt_delays: Vec::new(),
         first_attempt_done_delays: Vec::new(),
         network: rng.gen_bool(0.4).then(|| random_network(rng, seed)),
+        reconfigs: Vec::new(),
+        spill_faults: None,
     }
 }
 

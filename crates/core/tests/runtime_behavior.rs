@@ -94,6 +94,8 @@ fn no_transient_executors_wedges_and_aborts() {
     let dag = p.build().unwrap();
     let config = RuntimeConfig {
         event_timeout_ms: 200,
+        // Validation requires the prepare window below the wedge timeout.
+        reconfig_prepare_timeout_ms: 150,
         ..Default::default()
     };
     let err = LocalCluster::new(0, 1)
@@ -503,4 +505,78 @@ fn custom_scheduling_policy_is_used() {
         .map(|r| r.val().unwrap().as_i64().unwrap())
         .sum();
     assert_eq!(total, (0..30).sum::<i64>());
+}
+
+#[test]
+fn fixed_seed_reconfig_timeline_is_golden() {
+    use pado_core::runtime::ReconfigChange;
+
+    // Same serial-chain recipe as `fixed_seed_journal_is_deterministic`
+    // (parallelism 1, one slot, no speculation, no blacklisting) plus a
+    // mid-job stage migration: the two-phase transaction must land at
+    // the same journal position run over run, and the rendered timeline
+    // must spell the transaction out.
+    let build = || {
+        let p = Pipeline::new();
+        p.read("Read", 1, SourceFn::from_vec(ints(12)))
+            .par_do(
+                "Key",
+                ParDoFn::per_element(|v, e| {
+                    e(Value::pair(Value::from(v.as_i64().unwrap() % 2), v.clone()))
+                }),
+            )
+            .combine_per_key("Sum", CombineFn::sum_i64())
+            .sink("Out");
+        p.build().unwrap()
+    };
+    let config = RuntimeConfig {
+        slots_per_executor: 1,
+        speculation: false,
+        executor_fault_threshold: 100,
+        heartbeat_interval_ms: 1_000,
+        dead_executor_timeout_ms: 60_000,
+        // Generous: quiesce of the single in-flight task must never race
+        // the prepare deadline, or the committed/aborted outcome (and
+        // with it the timeline) would depend on thread timing.
+        reconfig_prepare_timeout_ms: 5_000,
+        ..Default::default()
+    };
+    let run = || {
+        let dag = build();
+        LocalCluster::new(1, 1)
+            .with_config(config.clone())
+            .with_reconfig(
+                1,
+                ReconfigChange::MigrateStage {
+                    stage: 1,
+                    to: Placement::Reserved,
+                }
+                .into(),
+            )
+            .run(&dag)
+            .unwrap()
+    };
+    let a = run();
+    let b = run();
+    pado_core::runtime::assert_clean(&a.journal, true);
+    assert_eq!(a.metrics.reconfigs_committed, 1);
+    assert_eq!(a.metrics.final_epoch, 1);
+    let timeline = a.journal.render_timeline(false);
+    assert_eq!(
+        timeline,
+        b.journal.render_timeline(false),
+        "time-elided reconfig timeline must be byte-stable for a fixed seed"
+    );
+    for needle in [
+        "reconfig-req",
+        "reconfig-prep",
+        "epoch-advance epoch 1",
+        "reconfig-done",
+        "migrate stage 1 to reserved",
+    ] {
+        assert!(
+            timeline.contains(needle),
+            "timeline must narrate the transaction (missing {needle:?}):\n{timeline}"
+        );
+    }
 }

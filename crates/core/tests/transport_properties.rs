@@ -17,8 +17,13 @@ use pado_core::runtime::transport::{
 };
 use proptest::prelude::*;
 
-fn wrap(from: usize, seq: Seq, payload: u32) -> Wire<u32> {
-    Wire::Msg { from, seq, payload }
+fn wrap(from: usize, seq: Seq, epoch: u64, payload: u32) -> Wire<u32> {
+    Wire::Msg {
+        from,
+        seq,
+        epoch,
+        payload,
+    }
 }
 
 /// Drives one sender/receiver pair over a fully lossy wire (both
@@ -82,7 +87,10 @@ fn drive(
         // Receiver side: dedup, record first deliveries, ack everything
         // (the first ack may itself have been lost).
         while let Some(frame) = data_rx.try_recv() {
-            if let Wire::Msg { from, seq, payload } = frame {
+            if let Wire::Msg {
+                from, seq, payload, ..
+            } = frame
+            {
                 if dedup.fresh(seq) {
                     *delivered.entry(payload).or_default() += 1;
                 }
@@ -205,5 +213,131 @@ proptest! {
             (max.saturating_sub(1) as usize) <= MAX_RETRANSMISSIONS_PER_MESSAGE,
             "a message needed {} transmissions", max
         );
+    }
+
+    /// Epoch fencing composes with the lossy transport without breaking
+    /// liveness: when the sender's epoch advances mid-stream and the
+    /// receiver fences everything stamped below the new epoch, stale
+    /// frames are still acked (so the in-flight window drains — no
+    /// deadlock), retransmissions keep their original stamp (so a frame
+    /// never flips between fenced and delivered), and every payload
+    /// resolves exactly once — either fenced or delivered, by its send
+    /// epoch.
+    #[test]
+    fn epoch_fencing_rejects_stale_frames_without_deadlock(
+        seed in 0u64..1_000_000,
+        probs in (0.0f64..0.4, 0.0f64..0.3, 0.0f64..0.3),
+        n_payloads in 2u32..9,
+        bump_after_frac in 0.0f64..1.0,
+        cap in 1usize..5,
+    ) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let (drop, dup, reorder) = probs;
+        let faults = DirectionFaults {
+            drop_prob: drop,
+            dup_prob: dup,
+            reorder_prob: reorder,
+            delay_prob: 0.2,
+            delay_ms: 2,
+        };
+        let policy = NetPolicy::new(NetworkFault {
+            seed,
+            to_master: faults,
+            to_executor: faults,
+            partitions: Vec::new(),
+        });
+        let counters = Arc::new(TransportCounters::default());
+        let (data_tx, data_rx) = unbounded::<Wire<u32>>();
+        let data_link = FaultyLink::new(
+            data_tx,
+            0,
+            Direction::ToMaster,
+            Some(Arc::clone(&policy)),
+            Arc::clone(&counters),
+        );
+        let epoch_cell = Arc::new(AtomicU64::new(0));
+        let mut sender = ReliableSender::new(
+            data_link,
+            0,
+            wrap,
+            cap,
+            Duration::from_millis(2),
+            Duration::from_millis(8),
+            seed,
+        )
+        .with_epoch(Arc::clone(&epoch_cell));
+        let (ack_tx, ack_rx) = unbounded::<Wire<u32>>();
+        let mut ack_link = FaultyLink::new(
+            ack_tx,
+            0,
+            Direction::ToExecutor,
+            Some(policy),
+            Arc::clone(&counters),
+        );
+
+        // The epoch advances mid-stream: payloads below the cut are
+        // stamped 0, the rest 1. The receiver fences epoch < 1.
+        let bump_after = ((n_payloads as f64) * bump_after_frac) as u32;
+        for v in 0..n_payloads {
+            if v == bump_after {
+                epoch_cell.store(1, Ordering::Relaxed);
+            }
+            sender.send(v);
+        }
+
+        let mut dedup = DedupWindow::new(64);
+        let mut delivered: HashMap<u32, usize> = HashMap::new();
+        let mut fenced: HashMap<u32, usize> = HashMap::new();
+        let t0 = Instant::now();
+        loop {
+            while let Some(frame) = data_rx.try_recv() {
+                if let Wire::Msg { from, seq, epoch, payload } = frame {
+                    // Ack-first, exactly as the master's handle_frame
+                    // does: a fenced frame still drains the sender.
+                    ack_link.send(Wire::Ack { from, seq });
+                    if dedup.fresh(seq) {
+                        if epoch < 1 {
+                            *fenced.entry(payload).or_default() += 1;
+                        } else {
+                            *delivered.entry(payload).or_default() += 1;
+                        }
+                    }
+                }
+            }
+            while let Some(frame) = ack_rx.try_recv() {
+                if let Wire::Ack { seq, .. } = frame {
+                    sender.on_ack(seq);
+                }
+            }
+            sender.pump(Instant::now()).expect("pump invariant");
+            ack_link.pump();
+            let resolved = delivered.len() + fenced.len() == n_payloads as usize;
+            if (resolved && sender.in_flight() == 0) || t0.elapsed() >= Duration::from_secs(5) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        prop_assert_eq!(
+            sender.in_flight(), 0,
+            "fencing wedged the sender: {} delivered, {} fenced of {}",
+            delivered.len(), fenced.len(), n_payloads
+        );
+        for v in 0..n_payloads {
+            let d = delivered.get(&v).copied().unwrap_or(0);
+            let f = fenced.get(&v).copied().unwrap_or(0);
+            prop_assert_eq!(
+                d + f, 1,
+                "payload {} resolved {} times ({} delivered, {} fenced)", v, d + f, d, f
+            );
+            // Stamps are taken at first *transmission*: a payload queued
+            // behind the in-flight cap when the epoch advanced is stamped
+            // with the new epoch, so pre-advance payloads may legally land
+            // either way — but a post-advance payload can never be fenced.
+            if v >= bump_after {
+                prop_assert_eq!(d, 1, "post-advance payload {} must be delivered", v);
+            }
+        }
     }
 }

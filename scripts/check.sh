@@ -19,6 +19,9 @@ cargo test -p pado-core --test network_chaos -q
 echo "==> memory-pressure equivalence suite"
 cargo test -p pado-core --test memory_pressure -q
 
+echo "==> reconfig chaos matrix (110 seeds, epoch fencing + byte-identical)"
+cargo test -p pado-core --test reconfig_chaos -q
+
 echo "==> data-plane small-budget smoke (spill-to-disk, byte-identical)"
 cargo run -p pado-bench --release --bin dataplane -- --smoke --mem-budget auto >/dev/null
 
