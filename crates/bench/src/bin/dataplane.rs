@@ -1,16 +1,22 @@
 //! Data-plane benchmark: throughput and peak memory of the block-based
 //! intermediate-data path against the pre-refactor cloning plane.
 //!
-//! Two layers:
+//! Three layers:
 //! - **kernels** time just the route+push path — the shared-block plane
 //!   (route once, hand `Arc` references to every consumer) against an
 //!   in-bench reimplementation of the old cloning plane (route per
 //!   consumer, deep-clone the broadcast per consumer task, as the old
 //!   master/executor pair did) — and assert the block plane moves
 //!   broadcast records at least 2× faster while cloning zero of them;
+//! - **grouping kernels** time the vectorized keyed-combine kernel over
+//!   columnar blocks against the pre-refactor row oracle (clone every
+//!   record into a `BTreeMap`, fold per key) on a shuffle-heavy input,
+//!   assert byte-identical outputs and a ≥3× records/sec speedup, and
+//!   report how far the column codecs compress the keyed working set
+//!   below its row encoding;
 //! - **end-to-end** runs shuffle-heavy and broadcast-heavy pipelines on
-//!   the in-process cluster, reporting records/sec, total record clones,
-//!   and peak resident set (`VmHWM`).
+//!   the in-process cluster, reporting records/sec, compressed output
+//!   bytes, total record clones, and peak resident set (`VmHWM`).
 //!
 //! Usage: `cargo run -p pado-bench --release --bin dataplane
 //! [-- --smoke] [--trace <path>] [--mem-budget <bytes|auto>]`
@@ -20,21 +26,26 @@
 //! `--mem-budget` adds a third section: the shuffle-heavy pipeline runs
 //! once unlimited and once under a per-executor byte budget (`auto`
 //! probes the working set and squeezes to a quarter of it), reporting
-//! peak store occupancy, spill volume, and deferred pushes; outputs
-//! must stay byte-identical, the peak must respect the budget, and the
-//! tight run must spill at least one block. With `--trace`, the budgeted
+//! peak store occupancy, spill volume (compressed and raw), and
+//! deferred pushes; outputs must stay byte-identical, the peak must
+//! respect the budget, the tight run must spill at least one block,
+//! and the spill files must be strictly smaller than the row encoding
+//! of what they hold. With `--trace`, the budgeted
 //! run's journal (spill/load instants included) is written to
 //! `<path stem>-mem<ext>` next to the broadcast trace. Exits non-zero
 //! if the block plane loses its guarantees (speedup, clone counts, or
 //! memory bounds).
 
+use std::collections::BTreeMap;
 use std::time::Instant;
 
-use pado_core::exec::{route, route_hash};
+use pado_core::exec::{apply_op, route, route_hash};
 use pado_core::runtime::{LocalCluster, RuntimeConfig};
+use pado_dag::codec::encode_batch;
 use pado_dag::value::clone_count;
 use pado_dag::{
-    block_from_vec, Block, CombineFn, DepType, ParDoFn, Pipeline, SourceFn, TaskInput, Value,
+    block_from_vec, Block, CombineFn, DepType, MainSlot, ParDoFn, Pipeline, SourceFn, TaskInput,
+    Value,
 };
 
 /// Peak resident set size of this process in bytes (`VmHWM`), if the
@@ -152,6 +163,65 @@ fn shuffle_kernel(n: usize, consumers: usize) -> (f64, f64, u64) {
     (block_secs, cloning_secs, n as u64)
 }
 
+/// Shuffle-heavy keyed working set: `n` pairs over 4096 i64 keys.
+fn keyed_rows(n: usize) -> Vec<Value> {
+    (0..n as i64)
+        .map(|i| Value::pair(Value::from(i % 4096), Value::from(1i64)))
+        .collect()
+}
+
+/// Grouping kernel: the vectorized keyed combine over columnar blocks
+/// against the pre-refactor row oracle — clone every record, group
+/// through a `BTreeMap<Value, _>`, fold with the combiner — on a
+/// shuffle-heavy input. Returns (kernel secs, oracle secs, records).
+fn combine_kernel(n: usize, parts: usize) -> (f64, f64, u64) {
+    let p = Pipeline::new();
+    let src = p.read("Src", 1, SourceFn::from_vec(Vec::new()));
+    src.combine_per_key("Count", CombineFn::sum_i64())
+        .sink("Out");
+    let dag = p.build().unwrap();
+    let op = dag
+        .op_ids()
+        .find(|&id| dag.op(id).name == "Count")
+        .expect("combine op");
+
+    let rows = keyed_rows(n);
+    let per = (n / parts.max(1)).max(1);
+    let blocks: Vec<Block> = rows
+        .chunks(per)
+        .map(|c| block_from_vec(c.to_vec()))
+        .collect();
+    for b in &blocks {
+        assert!(b.columns().is_some(), "combine input must be columnar");
+    }
+    let mains = [MainSlot::from_blocks(blocks)];
+
+    let t0 = Instant::now();
+    let fast = apply_op(&dag, op, TaskInput::new(&mains, None)).expect("vectorized combine");
+    let kernel_secs = t0.elapsed().as_secs_f64();
+
+    // Verbatim pre-refactor inner loop: clone the record, remove the
+    // accumulator, merge, insert it back.
+    let f = CombineFn::sum_i64();
+    let t0 = Instant::now();
+    let mut accs: BTreeMap<Value, Value> = BTreeMap::new();
+    for rec in &rows {
+        if let Some((k, v)) = rec.clone().into_pair() {
+            let acc = accs.remove(&k).unwrap_or_else(|| f.identity());
+            accs.insert(k, f.merge(acc, v));
+        }
+    }
+    let slow: Vec<Value> = accs.into_iter().map(|(k, v)| Value::pair(k, v)).collect();
+    let oracle_secs = t0.elapsed().as_secs_f64();
+
+    assert_eq!(
+        encode_batch(&fast).expect("encodes"),
+        encode_batch(&slow).expect("encodes"),
+        "vectorized combine diverged from the row oracle"
+    );
+    (kernel_secs, oracle_secs, n as u64)
+}
+
 /// End-to-end cluster run under a per-executor store budget
 /// (`usize::MAX` = unlimited); returns (secs, clone delta, result).
 fn run_pipeline(
@@ -185,13 +255,27 @@ fn out_records(result: &pado_core::runtime::JobResult) -> u64 {
     result.outputs.values().map(|v| v.len() as u64).sum()
 }
 
+/// (encoded, raw) byte totals of the job's sink outputs when packed as
+/// blocks — the compressed-bytes column of the end-to-end report.
+fn out_bytes(result: &pado_core::runtime::JobResult) -> (usize, usize) {
+    result.outputs.values().fold((0, 0), |(enc, raw), records| {
+        let block = block_from_vec(records.clone());
+        (enc + block.encoded_len(), raw + block.raw_len())
+    })
+}
+
 /// Codec-encoded outputs; byte equality is the strongest form of "the
 /// budget did not change the answer".
 fn encode_outputs(result: &pado_core::runtime::JobResult) -> Vec<(String, Vec<u8>)> {
     result
         .outputs
         .iter()
-        .map(|(name, records)| (name.clone(), pado_dag::codec::encode_batch(records)))
+        .map(|(name, records)| {
+            (
+                name.clone(),
+                pado_dag::codec::encode_batch(records).expect("encodes"),
+            )
+        })
         .collect()
 }
 
@@ -308,10 +392,38 @@ fn main() {
         c / b,
     );
 
+    println!("\n== grouping kernels: vectorized combine vs row oracle, {n_kernel} records ==");
+    let (k, c, n_rec) = combine_kernel(n_kernel, 4);
+    let speedup = c / k;
+    println!(
+        "combine    kernel {}   oracle  {}   speedup {speedup:>6.1}x",
+        fmt_rate(n_rec, k),
+        fmt_rate(n_rec, c),
+    );
+    assert!(
+        speedup >= 3.0,
+        "vectorized keyed combine must beat the row oracle >=3x on a \
+         shuffle-heavy input (got {speedup:.2}x)"
+    );
+    let working_set = block_from_vec(keyed_rows(n_kernel));
+    println!(
+        "blocks     {} records  {} B raw -> {} B encoded ({:.2}x smaller)",
+        working_set.len(),
+        working_set.raw_len(),
+        working_set.encoded_len(),
+        working_set.raw_len() as f64 / working_set.encoded_len() as f64,
+    );
+    assert!(
+        working_set.encoded_len() < working_set.raw_len(),
+        "the column codecs must compress the keyed working set below its row encoding"
+    );
+
     println!("\n== end-to-end: in-process cluster, snapshots every 2 completions ==");
     let (secs, clones, result) = run_pipeline(&shuffle_heavy_dag(n_e2e), 2, usize::MAX);
+    let (enc, raw) = out_bytes(&result);
     println!(
-        "shuffle-heavy    {n_e2e} rec  {}  {} out  {clones} record clones",
+        "shuffle-heavy    {n_e2e} rec  {}  {} out ({enc} B compressed / {raw} B raw)  \
+         {clones} record clones",
         fmt_rate(n_e2e as u64, secs),
         out_records(&result),
     );
@@ -322,8 +434,10 @@ fn main() {
         println!("wrote Chrome trace of the broadcast-heavy run to {path}");
     }
     let pushed = n_e2e as u64 * consumers as u64;
+    let (enc, raw) = out_bytes(&result);
     println!(
-        "broadcast-heavy  {pushed} rec pushed  {}  {} out  {clones} record clones",
+        "broadcast-heavy  {pushed} rec pushed  {}  {} out ({enc} B compressed / {raw} B raw)  \
+         {clones} record clones",
         fmt_rate(pushed, secs),
         out_records(&result),
     );
@@ -366,12 +480,13 @@ fn main() {
         }
         let m = &tight.metrics;
         println!(
-            "budget {budget} B  {}  peak store {} B  spilled {} blocks / {} B  \
-             loads {}  deferred pushes {}",
+            "budget {budget} B  {}  peak store {} B  spilled {} blocks / {} B \
+             ({} B raw)  loads {}  deferred pushes {}",
             fmt_rate(n_e2e as u64, secs),
             m.peak_store_bytes,
             m.blocks_spilled,
             m.spill_bytes,
+            m.spill_raw_bytes,
             m.blocks_loaded,
             m.pushes_deferred,
         );
@@ -388,6 +503,13 @@ fn main() {
         assert!(
             m.blocks_spilled > 0 && m.blocks_loaded > 0,
             "a quarter-working-set budget must force at least one spill/load pair: {m:?}"
+        );
+        assert!(
+            m.spill_bytes < m.spill_raw_bytes,
+            "spill files must be strictly smaller than the row encoding of what \
+             they hold ({} B vs {} B raw)",
+            m.spill_bytes,
+            m.spill_raw_bytes
         );
     }
 

@@ -16,18 +16,65 @@ use pado_dag::{
 };
 
 use crate::compiler::Fop;
+use crate::kernels;
+
+fn non_pair_error(op_name: &str, what: &str, rec: &Value) -> UdfError {
+    UdfError::new(format!(
+        "{op_name}: {what} requires key-value Pair records, got {rec}"
+    ))
+}
 
 /// Applies one logical operator to a task input, producing output records.
 ///
+/// Grouping, combining, and shuffling dispatch to the vectorized kernels
+/// in [`crate::kernels`] whenever every input block is columnar; the row
+/// implementation ([`apply_op_rows`]) is the fallback for heterogeneous
+/// data and the equivalence oracle the kernels are tested against.
+///
 /// # Errors
 ///
-/// Returns the [`UdfError`] raised by a fallible user function; built-in
-/// operators (group, combine, sink) never fail.
+/// Returns the [`UdfError`] raised by a fallible user function, or by
+/// `GroupByKey`/keyed `Combine` when a record is not a key-value pair
+/// (a mistyped upstream used to lose such records silently).
 pub fn apply_op(
     dag: &LogicalDag,
     op: pado_dag::OpId,
     input: TaskInput<'_>,
 ) -> Result<Vec<Value>, UdfError> {
+    match &dag.op(op).kind {
+        OperatorKind::GroupByKey => {
+            if let Some((keys, vals)) = kernels::gather_pairs(input.mains) {
+                return Ok(kernels::group_by_key(&keys, &vals));
+            }
+        }
+        OperatorKind::Combine { f, keyed: true } => {
+            if let Some((keys, vals)) = kernels::gather_pairs(input.mains) {
+                return Ok(kernels::combine_keyed(&keys, &vals, f));
+            }
+        }
+        OperatorKind::Combine { f, keyed: false } => {
+            if let Some(parts) = kernels::gather_columns(input.mains) {
+                return Ok(vec![kernels::combine_global(&parts, f)]);
+            }
+        }
+        _ => {}
+    }
+    apply_op_rows(dag, op, input)
+}
+
+/// The row-at-a-time implementation of [`apply_op`]: per-record `Value`
+/// dispatch over the materialized rows. Kept public as the equivalence
+/// oracle for the vectorized kernels.
+///
+/// # Errors
+///
+/// Same contract as [`apply_op`].
+pub fn apply_op_rows(
+    dag: &LogicalDag,
+    op: pado_dag::OpId,
+    input: TaskInput<'_>,
+) -> Result<Vec<Value>, UdfError> {
+    let name = &dag.op(op).name;
     Ok(match &dag.op(op).kind {
         OperatorKind::Source { .. } => {
             // Sources are driven by `source_partition`, not by inputs.
@@ -42,8 +89,16 @@ pub fn apply_op(
             let mut groups: BTreeMap<Value, Vec<Value>> = BTreeMap::new();
             for part in input.mains {
                 for rec in part {
-                    if let Some((k, v)) = rec.clone().into_pair() {
-                        groups.entry(k).or_default().push(v);
+                    let Value::Pair(k, v) = rec else {
+                        return Err(non_pair_error(name, "GroupByKey", rec));
+                    };
+                    // Clone only what is retained: the value always, the
+                    // key just once per distinct key.
+                    match groups.get_mut(k.as_ref()) {
+                        Some(vs) => vs.push((**v).clone()),
+                        None => {
+                            groups.insert((**k).clone(), vec![(**v).clone()]);
+                        }
                     }
                 }
             }
@@ -56,9 +111,17 @@ pub fn apply_op(
             let mut accs: BTreeMap<Value, Value> = BTreeMap::new();
             for part in input.mains {
                 for rec in part {
-                    if let Some((k, v)) = rec.clone().into_pair() {
-                        let acc = accs.remove(&k).unwrap_or_else(|| f.identity());
-                        accs.insert(k, f.merge(acc, v));
+                    let Value::Pair(k, v) = rec else {
+                        return Err(non_pair_error(name, "keyed Combine", rec));
+                    };
+                    match accs.get_mut(k.as_ref()) {
+                        Some(acc) => {
+                            let prev = std::mem::replace(acc, Value::Unit);
+                            *acc = f.merge(prev, (**v).clone());
+                        }
+                        None => {
+                            accs.insert((**k).clone(), f.merge(f.identity(), (**v).clone()));
+                        }
                     }
                 }
             }
@@ -115,14 +178,14 @@ pub fn apply_chain(
     sides: &BTreeMap<usize, Block>,
 ) -> Result<Vec<Value>, UdfError> {
     let head = fop.head();
-    let side0 = sides.get(&0).map(|b| b.as_ref());
+    let side0 = sides.get(&0).map(|b| b.rows());
     let mut data = if dag.op(head).kind.is_source() {
         source_partition(dag, head, index, fop.parallelism)
     } else {
         apply_op(dag, head, TaskInput::new(mains, side0))?
     };
     for (pos, &op) in fop.chain.iter().enumerate().skip(1) {
-        let side = sides.get(&pos).map(|b| b.as_ref());
+        let side = sides.get(&pos).map(|b| b.rows());
         // Hand the previous member's output over as one shared block; the
         // records are moved, not cloned.
         let link = [MainSlot::from_vec(data)];
@@ -147,9 +210,11 @@ pub fn route_hash(v: &Value) -> u64 {
 ///
 /// One-to-one, many-to-one, and broadcast edges never copy a record: the
 /// target buckets share the input block itself. Only the hash shuffle
-/// (many-to-many) materializes new blocks, cloning each record exactly
-/// once — and the master memoizes that per `(output, dst_parallelism)`,
-/// so fan-out to N consumers still costs one pass, not N.
+/// (many-to-many) materializes new blocks — column-built without a
+/// single record clone when the block is columnar, cloning each record
+/// exactly once on the row fallback — and the master memoizes that per
+/// `(output, dst_parallelism)`, so fan-out to N consumers still costs
+/// one pass, not N.
 pub fn route(
     records: &Block,
     dep: DepType,
@@ -165,6 +230,9 @@ pub fn route(
         }
         DepType::OneToMany => vec![Arc::clone(records); p],
         DepType::ManyToMany => {
+            if let Some(buckets) = kernels::route_columnar(records, p) {
+                return buckets;
+            }
             let mut buckets: Vec<Vec<Value>> = vec![Vec::new(); p];
             for r in records.iter() {
                 let i = (route_hash(r) % p as u64) as usize;

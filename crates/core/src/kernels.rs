@@ -1,0 +1,251 @@
+//! Vectorized column-at-a-time kernels for the data-plane hot paths.
+//!
+//! When every input block of a `GroupByKey`, `Combine`, or hash-shuffle
+//! route exposes a column layout, these kernels run over the flat column
+//! vectors instead of dispatching per boxed [`Value`] record: grouping
+//! is a stable sort of a `u32` permutation, routing is a primitive copy
+//! per record, and neither clones a single `Value`. The row
+//! implementations in [`crate::exec`] remain the semantic oracle — every
+//! kernel here must produce byte-identical output, which the equivalence
+//! suites assert across the chaos matrices:
+//!
+//! - grouping order: a stable sort by (key, input position) reproduces
+//!   `BTreeMap<Value, _>` iteration exactly — ascending keys (floats by
+//!   `total_cmp` via a monotone bit map), values in encounter order;
+//! - shuffle buckets: [`ScalarCol::hash_at`] feeds the same
+//!   `DefaultHasher` the same tag byte and payload writes as
+//!   `Value::hash`, so every record lands in the row path's bucket.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::Hasher;
+
+use pado_dag::{
+    block_from_columns, empty_block, Block, Columns, CombineFn, MainSlot, ScalarCol, Value,
+};
+
+/// Gathers every part of every main slot into one concatenated pair of
+/// key/value columns. `None` when there are no parts, any part is
+/// non-columnar or not pair-shaped, or the scalar kinds differ across
+/// parts — the caller then takes the row path.
+pub fn gather_pairs(mains: &[MainSlot]) -> Option<(ScalarCol, ScalarCol)> {
+    let mut parts: Vec<(&ScalarCol, &ScalarCol)> = Vec::new();
+    for slot in mains {
+        for b in slot.parts() {
+            match b.columns() {
+                Some(Columns::Pair { keys, vals }) => parts.push((keys, vals)),
+                _ => return None,
+            }
+        }
+    }
+    let ((k0, v0), rest) = parts.split_first()?;
+    let mut keys = k0.empty_like();
+    let mut vals = v0.empty_like();
+    for (k, v) in std::iter::once(&(*k0, *v0)).chain(rest) {
+        if !keys.append(k) || !vals.append(v) {
+            return None;
+        }
+    }
+    Some((keys, vals))
+}
+
+/// Collects each part's column layout (kinds may differ across parts —
+/// a global combine folds records one part at a time). `None` as soon
+/// as any part is non-columnar.
+pub fn gather_columns(mains: &[MainSlot]) -> Option<Vec<&Columns>> {
+    let mut out = Vec::new();
+    for slot in mains {
+        for b in slot.parts() {
+            out.push(b.columns()?);
+        }
+    }
+    Some(out)
+}
+
+/// Iterates the runs of equal keys in `BTreeMap` order: for each run,
+/// calls `emit(key_index, &positions)` where positions are the original
+/// input indices in encounter order.
+fn for_each_group(keys: &ScalarCol, mut emit: impl FnMut(u32, &[u32])) {
+    let perm = keys.sort_perm();
+    let mut i = 0;
+    while i < perm.len() {
+        let mut j = i + 1;
+        while j < perm.len() && keys.eq_at(perm[i] as usize, perm[j] as usize) {
+            j += 1;
+        }
+        emit(perm[i], &perm[i..j]);
+        i = j;
+    }
+}
+
+/// Vectorized `GroupByKey`: `(key, [values...])` pairs, keys ascending,
+/// values in input order.
+pub fn group_by_key(keys: &ScalarCol, vals: &ScalarCol) -> Vec<Value> {
+    let mut out = Vec::new();
+    for_each_group(keys, |first, run| {
+        let vs: Vec<Value> = run.iter().map(|&i| vals.value_at(i as usize)).collect();
+        out.push(Value::pair(keys.value_at(first as usize), Value::list(vs)));
+    });
+    out
+}
+
+/// Vectorized keyed `Combine`: folds each key's values in input order,
+/// starting from the combiner's identity — the exact merge sequence of
+/// the row path.
+pub fn combine_keyed(keys: &ScalarCol, vals: &ScalarCol, f: &CombineFn) -> Vec<Value> {
+    let mut out = Vec::new();
+    for_each_group(keys, |first, run| {
+        let mut acc = f.identity();
+        for &i in run {
+            acc = f.merge(acc, vals.value_at(i as usize));
+        }
+        out.push(Value::pair(keys.value_at(first as usize), acc));
+    });
+    out
+}
+
+/// Vectorized global `Combine`: folds every record of every part in
+/// order, constructing each operand fresh from its column (no clones).
+pub fn combine_global(parts: &[&Columns], f: &CombineFn) -> Value {
+    let mut acc = f.identity();
+    for cols in parts {
+        for i in 0..cols.len() {
+            acc = f.merge(acc, cols.value_at(i));
+        }
+    }
+    acc
+}
+
+fn bucket_of(col: &ScalarCol, i: usize, p: u64) -> usize {
+    let mut h = DefaultHasher::new();
+    col.hash_at(i, &mut h);
+    (h.finish() % p) as usize
+}
+
+fn seal(cols: Columns) -> Block {
+    if cols.is_empty() {
+        empty_block()
+    } else {
+        block_from_columns(cols)
+    }
+}
+
+/// Vectorized hash-shuffle routing: buckets a columnar block into `p`
+/// column-built blocks without cloning a record. Pair records hash by
+/// key, scalars by the whole value — the same rule as
+/// [`crate::exec::route_hash`]. `None` for non-columnar blocks.
+pub fn route_columnar(block: &Block, p: usize) -> Option<Vec<Block>> {
+    match block.columns()? {
+        Columns::Pair { keys, vals } => {
+            let mut kb: Vec<ScalarCol> = (0..p).map(|_| keys.empty_like()).collect();
+            let mut vb: Vec<ScalarCol> = (0..p).map(|_| vals.empty_like()).collect();
+            for i in 0..keys.len() {
+                let b = bucket_of(keys, i, p as u64);
+                kb[b].push_from(keys, i);
+                vb[b].push_from(vals, i);
+            }
+            Some(
+                kb.into_iter()
+                    .zip(vb)
+                    .map(|(keys, vals)| seal(Columns::Pair { keys, vals }))
+                    .collect(),
+            )
+        }
+        Columns::Scalar(c) => {
+            let mut bs: Vec<ScalarCol> = (0..p).map(|_| c.empty_like()).collect();
+            for i in 0..c.len() {
+                let b = bucket_of(c, i, p as u64);
+                bs[b].push_from(c, i);
+            }
+            Some(bs.into_iter().map(|c| seal(Columns::Scalar(c))).collect())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pado_dag::block_from_vec;
+
+    fn pair_rows(n: i64, k: i64) -> Vec<Value> {
+        (0..n)
+            .map(|i| Value::pair(Value::from(i % k), Value::from(i)))
+            .collect()
+    }
+
+    #[test]
+    fn gather_pairs_concatenates_slot_parts_in_order() {
+        let slots = [
+            MainSlot::from_blocks(vec![
+                block_from_vec(pair_rows(3, 2)),
+                block_from_vec(pair_rows(2, 2)),
+            ]),
+            MainSlot::from_vec(pair_rows(1, 2)),
+        ];
+        let (keys, vals) = gather_pairs(&slots).expect("columnar");
+        assert_eq!(keys.len(), 6);
+        assert_eq!(vals.len(), 6);
+        let ScalarCol::I64(k) = keys else { panic!() };
+        assert_eq!(k, vec![0, 1, 0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn gather_pairs_refuses_mixed_or_row_blocks() {
+        // Non-pair block.
+        let slots = [MainSlot::from_vec(vec![Value::from(1i64)])];
+        assert!(gather_pairs(&slots).is_none());
+        // Pair blocks whose key kinds differ across parts.
+        let slots = [MainSlot::from_blocks(vec![
+            block_from_vec(vec![Value::pair(Value::from(1i64), Value::from(1i64))]),
+            block_from_vec(vec![Value::pair(Value::from("s"), Value::from(1i64))]),
+        ])];
+        assert!(gather_pairs(&slots).is_none());
+        // Heterogeneous (row-fallback) block.
+        let slots = [MainSlot::from_vec(vec![
+            Value::pair(Value::from(1i64), Value::from(1i64)),
+            Value::Unit,
+        ])];
+        assert!(gather_pairs(&slots).is_none());
+        // No parts at all.
+        assert!(gather_pairs(&[]).is_none());
+    }
+
+    #[test]
+    fn group_by_key_matches_btreemap_order() {
+        let rows = pair_rows(20, 3);
+        let (keys, vals) = gather_pairs(&[MainSlot::from_vec(rows)]).unwrap();
+        let out = group_by_key(&keys, &vals);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].key(), Some(&Value::from(0i64)));
+        let vs = out[0].val().unwrap().as_list().unwrap();
+        let got: Vec<i64> = vs.iter().map(|v| v.as_i64().unwrap()).collect();
+        assert_eq!(got, vec![0, 3, 6, 9, 12, 15, 18], "values keep input order");
+    }
+
+    #[test]
+    fn combine_keyed_folds_in_input_order() {
+        let rows = pair_rows(10, 2);
+        let (keys, vals) = gather_pairs(&[MainSlot::from_vec(rows)]).unwrap();
+        let out = combine_keyed(&keys, &vals, &CombineFn::sum_i64());
+        assert_eq!(
+            out,
+            vec![
+                Value::pair(Value::from(0i64), Value::from(2 + 4 + 6 + 8i64)),
+                Value::pair(Value::from(1i64), Value::from(1 + 3 + 5 + 7 + 9i64)),
+            ]
+        );
+    }
+
+    #[test]
+    fn route_columnar_clones_nothing() {
+        let block = block_from_vec(pair_rows(500, 17));
+        block.columns().expect("columnar");
+        let before = pado_dag::value::clone_count();
+        let buckets = route_columnar(&block, 8).expect("columnar route");
+        assert_eq!(
+            pado_dag::value::clone_count(),
+            before,
+            "routing must not clone"
+        );
+        assert_eq!(buckets.iter().map(|b| b.len()).sum::<usize>(), 500);
+    }
+}

@@ -16,6 +16,7 @@
 pub mod compiler;
 pub mod error;
 pub mod exec;
+pub mod kernels;
 pub mod runtime;
 
 pub use error::{CompileError, RuntimeError};

@@ -162,19 +162,21 @@ impl LruCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pado_dag::Value;
+    use pado_dag::{block_from_vec, Value};
 
     fn dataset(n_records: usize) -> Block {
-        // Each I64 record accounts 8 bytes.
-        (0..n_records)
-            .map(|i| Value::from(i as i64))
-            .collect::<Vec<_>>()
-            .into()
+        block_from_vec((0..n_records).map(|i| Value::from(i as i64)).collect())
+    }
+
+    /// Encoded size of the `n`-record test dataset (what the cache
+    /// accounts); strictly increasing in `n` for these contents.
+    fn sz(n: usize) -> usize {
+        block_bytes(&dataset(n))
     }
 
     #[test]
     fn get_refreshes_recency() {
-        let mut c = LruCache::new(24);
+        let mut c = LruCache::new(3 * sz(1));
         c.put(1, dataset(1));
         c.put(2, dataset(1));
         c.put(3, dataset(1));
@@ -189,14 +191,15 @@ mod tests {
 
     #[test]
     fn oversized_entry_is_rejected() {
-        let mut c = LruCache::new(8);
+        let mut c = LruCache::new(sz(2) - 1);
         assert!(!c.put(1, dataset(2)));
         assert!(c.is_empty());
     }
 
     #[test]
     fn oversized_reinsert_drops_the_stale_version() {
-        let mut c = LruCache::new(8);
+        assert!(sz(2) > sz(1));
+        let mut c = LruCache::new(sz(1));
         assert!(c.put(1, dataset(1)));
         // The new version no longer fits; the cache must not keep serving
         // the old one.
@@ -208,36 +211,37 @@ mod tests {
 
     #[test]
     fn reinsert_replaces_bytes() {
-        let mut c = LruCache::new(100);
+        let mut c = LruCache::new(1000);
         c.put(1, dataset(5));
-        assert_eq!(c.used_bytes(), 40);
+        assert_eq!(c.used_bytes(), sz(5));
         c.put(1, dataset(2));
-        assert_eq!(c.used_bytes(), 16);
+        assert_eq!(c.used_bytes(), sz(2));
         assert_eq!(c.len(), 1);
     }
 
     #[test]
     fn eviction_frees_enough_space() {
-        let mut c = LruCache::new(80);
-        c.put(1, dataset(5)); // 40
-        c.put(2, dataset(5)); // 40
-        c.put(3, dataset(8)); // 64 -> evicts both
+        assert!(sz(8) > sz(5));
+        let mut c = LruCache::new(2 * sz(5));
+        c.put(1, dataset(5));
+        c.put(2, dataset(5));
+        c.put(3, dataset(8)); // does not fit beside either 5-record entry
         assert!(c.get(1).is_none());
         assert!(c.get(2).is_none());
         assert!(c.get(3).is_some());
-        assert_eq!(c.used_bytes(), 64);
+        assert_eq!(c.used_bytes(), sz(8));
     }
 
     #[test]
     fn pinned_entries_are_never_evicted() {
-        let mut c = LruCache::new(24);
+        let mut c = LruCache::new(sz(1) + sz(2));
         c.put(1, dataset(1));
         c.put(2, dataset(1));
         assert!(c.pin(1));
         assert!(c.pin(2));
         assert!(!c.pin(99), "cannot pin what is not cached");
-        // Fitting 16 B would need an eviction, but both entries are
-        // pinned: the put is refused and nothing is evicted.
+        // Fitting the 2-record dataset would need an eviction, but both
+        // entries are pinned: the put is refused and nothing is evicted.
         assert!(!c.put(3, dataset(2)));
         assert!(c.get(1).is_some());
         assert!(c.get(2).is_some());
@@ -249,7 +253,7 @@ mod tests {
 
     #[test]
     fn keys_lists_entries() {
-        let mut c = LruCache::new(100);
+        let mut c = LruCache::new(1000);
         c.put(7, dataset(1));
         c.put(9, dataset(1));
         let mut keys = c.keys();

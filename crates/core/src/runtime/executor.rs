@@ -23,7 +23,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
-use pado_dag::{Block, LogicalDag, OperatorKind, UdfError, Value};
+use pado_dag::{block_from_vec, Block, LogicalDag, OperatorKind, UdfError, Value};
 use parking_lot::Mutex;
 
 use crate::compiler::{PhysicalPlan, Placement};
@@ -479,7 +479,7 @@ fn task_body(
     if spec.preaggregate {
         if let Some((f, keyed)) = combine_consumer(&job.dag, &job.plan, spec.fop) {
             let before = output.len();
-            output = preaggregate(output, &f, keyed);
+            output = preaggregate(output, &f, keyed)?;
             preaggregated = before.saturating_sub(output.len());
         }
     }
@@ -487,7 +487,7 @@ fn task_body(
     drop(pins);
     let cached_keys = store.lock().cache_keys();
     Ok(TaskOutput {
-        output: output.into(),
+        output: block_from_vec(output),
         preaggregated,
         cache_hit,
         cached_keys,
@@ -533,24 +533,55 @@ pub fn combine_consumer(
 }
 
 /// Merges records within one partition ahead of the consumer combine:
-/// per key for keyed combiners, into a single accumulator for global ones.
-pub fn preaggregate(records: Vec<Value>, f: &pado_dag::CombineFn, keyed: bool) -> Vec<Value> {
+/// per key for keyed combiners, into a single accumulator for global
+/// ones. Homogeneous pair partitions take the vectorized kernel; the
+/// row fallback consumes the records without cloning.
+///
+/// # Errors
+///
+/// A keyed pre-aggregation over a record that is not a key-value pair
+/// fails the attempt (the consumer combine would reject it anyway; it
+/// used to be dropped silently here).
+pub fn preaggregate(
+    records: Vec<Value>,
+    f: &pado_dag::CombineFn,
+    keyed: bool,
+) -> Result<Vec<Value>, UdfError> {
     if keyed {
+        match pado_dag::column::analyze(&records) {
+            Some(pado_dag::Columns::Pair { keys, vals }) => {
+                return Ok(crate::kernels::combine_keyed(&keys, &vals, f));
+            }
+            Some(_) => {
+                // Homogeneous but not pair-shaped: every record is a
+                // non-pair, so the first one names the failure.
+                return Err(UdfError::new(format!(
+                    "preaggregate: keyed combine requires key-value Pair records, got {}",
+                    records[0]
+                )));
+            }
+            // Heterogeneous (or empty): row path below, which may still
+            // be all pairs of mixed scalar kinds.
+            None => {}
+        }
         let mut accs: BTreeMap<Value, Value> = BTreeMap::new();
         for rec in records {
-            if let Some((k, v)) = rec.into_pair() {
-                let acc = accs.remove(&k).unwrap_or_else(|| f.identity());
-                accs.insert(k, f.merge(acc, v));
-            }
+            let Some((k, v)) = rec.into_pair() else {
+                return Err(UdfError::new(
+                    "preaggregate: keyed combine requires key-value Pair records".to_string(),
+                ));
+            };
+            let acc = accs.remove(&k).unwrap_or_else(|| f.identity());
+            accs.insert(k, f.merge(acc, v));
         }
-        accs.into_iter().map(|(k, v)| Value::pair(k, v)).collect()
+        Ok(accs.into_iter().map(|(k, v)| Value::pair(k, v)).collect())
     } else if records.is_empty() {
         // An empty partition contributes nothing. Emitting the combiner's
         // identity here — as the keyed branch never does — would add one
         // spurious record per empty partition to the shuffled stream.
-        Vec::new()
+        Ok(Vec::new())
     } else {
-        vec![f.merge_all(records)]
+        Ok(vec![f.merge_all(records)])
     }
 }
 
@@ -566,7 +597,7 @@ mod tests {
             Value::pair(Value::from("a"), Value::from(2i64)),
             Value::pair(Value::from("b"), Value::from(4i64)),
         ];
-        let out = preaggregate(recs, &CombineFn::sum_i64(), true);
+        let out = preaggregate(recs, &CombineFn::sum_i64(), true).unwrap();
         assert_eq!(
             out,
             vec![
@@ -579,13 +610,13 @@ mod tests {
     #[test]
     fn preaggregate_global_collapses_to_one() {
         let recs: Vec<Value> = (1..=4).map(Value::from).collect();
-        let out = preaggregate(recs, &CombineFn::sum_i64(), false);
+        let out = preaggregate(recs, &CombineFn::sum_i64(), false).unwrap();
         assert_eq!(out, vec![Value::from(10i64)]);
     }
 
     #[test]
     fn preaggregate_empty_keyed_is_empty() {
-        let out = preaggregate(Vec::new(), &CombineFn::sum_i64(), true);
+        let out = preaggregate(Vec::new(), &CombineFn::sum_i64(), true).unwrap();
         assert!(out.is_empty());
     }
 
@@ -593,7 +624,7 @@ mod tests {
     fn preaggregate_empty_global_is_empty() {
         // An empty partition must contribute zero records, exactly like
         // the keyed path — not one identity record.
-        let out = preaggregate(Vec::new(), &CombineFn::sum_i64(), false);
+        let out = preaggregate(Vec::new(), &CombineFn::sum_i64(), false).unwrap();
         assert!(out.is_empty());
     }
 

@@ -1023,6 +1023,7 @@ mod tests {
                 exec: 0,
                 block: blk(0, 0),
                 bytes: 8,
+                raw_bytes: 8,
                 resident: 0,
             },
         ]);
@@ -1044,6 +1045,7 @@ mod tests {
                 exec: 0,
                 block: blk(0, 0),
                 bytes: 8,
+                raw_bytes: 8,
                 resident: 0,
             },
             JobEvent::BlockPinned {
@@ -1065,6 +1067,7 @@ mod tests {
                 exec: 0,
                 block: blk(0, 0),
                 bytes: 8,
+                raw_bytes: 8,
                 resident: 0,
             },
             JobEvent::BlockLoaded {

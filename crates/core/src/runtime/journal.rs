@@ -197,8 +197,13 @@ pub enum JobEvent {
         exec: ExecId,
         /// The spilled block.
         block: BlockRef,
-        /// Bytes of the block (freed from memory).
+        /// Bytes of the block (freed from memory; the compressed
+        /// column-codec size, which is also what the spill file holds).
         bytes: usize,
+        /// Bytes the same records would occupy in the row (per-record)
+        /// encoding — the uncompressed baseline, kept so the journal can
+        /// report how much the column codecs saved.
+        raw_bytes: usize,
         /// Store occupancy after the spill.
         resident: usize,
     },
@@ -576,10 +581,14 @@ impl EventJournal {
                     m.peak_store_bytes = m.peak_store_bytes.max(*resident);
                 }
                 JobEvent::BlockSpilled {
-                    bytes, resident, ..
+                    bytes,
+                    raw_bytes,
+                    resident,
+                    ..
                 } => {
                     m.blocks_spilled += 1;
                     m.spill_bytes += bytes;
+                    m.spill_raw_bytes += raw_bytes;
                     m.peak_store_bytes = m.peak_store_bytes.max(*resident);
                 }
                 JobEvent::BlockLoaded { resident, .. } => {
@@ -904,8 +913,12 @@ fn describe(event: &JobEvent) -> String {
             exec,
             block,
             bytes,
+            raw_bytes,
             resident,
-        } => format!("spill         {block} on exec {exec} ({bytes} B, resident {resident} B)"),
+        } => format!(
+            "spill         {block} on exec {exec} ({bytes} B of {raw_bytes} B raw, \
+             resident {resident} B)"
+        ),
         JobEvent::BlockLoaded {
             exec,
             block,

@@ -62,8 +62,13 @@ pub struct JobMetrics {
     pub executors_declared_dead: usize,
     /// Blocks spilled from executor stores to the disk tier.
     pub blocks_spilled: usize,
-    /// Bytes written to the disk tier by spills.
+    /// Bytes written to the disk tier by spills (column-codec
+    /// compressed sizes — what the spill files actually hold).
     pub spill_bytes: usize,
+    /// Bytes the same spilled blocks would have occupied in the row
+    /// (per-record) encoding; `spill_bytes < spill_raw_bytes` whenever
+    /// the column codecs saved anything.
+    pub spill_raw_bytes: usize,
     /// Spilled blocks reloaded into memory before use.
     pub blocks_loaded: usize,
     /// `TaskDone` pushes deferred by reserved-store backpressure.

@@ -6,8 +6,12 @@
 //! every block living on an executor is owned by a [`BlockStore`] and
 //! accounted in bytes against [`RuntimeConfig::executor_memory_bytes`].
 //! Under pressure the store spills least-recently-used *unpinned* blocks
-//! to real tempfiles (byte-identical on reload via the
-//! [`pado_dag::codec`] wire format) and reloads them before any use.
+//! to real tempfiles (byte-identical on reload via the compressed
+//! [`pado_dag::colcodec`] block format) and reloads them before any use.
+//! Budgets charge each block's *encoded* size — the bytes its spill
+//! file or push payload actually occupies — while the journal also
+//! records the row-format baseline, so compression savings are
+//! observable per spill.
 //! Blocks pinned by a running task attempt are never spillable, so a
 //! task's inputs cannot vanish mid-execution; a single block larger than
 //! the whole budget is refused outright ([`StoreError::TooLarge`]),
@@ -46,8 +50,8 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use pado_dag::codec::{decode_batch, encode_batch};
-use pado_dag::{block_from_vec, Block, Value};
+use pado_dag::colcodec::{decode_block, encode_block};
+use pado_dag::Block;
 
 use crate::compiler::FopId;
 use crate::runtime::cache::{CacheKey, LruCache};
@@ -82,9 +86,11 @@ fn unit(h: u64) -> f64 {
 pub const UNLIMITED: usize = usize::MAX;
 
 /// Canonical byte size of a block: the one sizing rule shared by the
-/// store, the [`LruCache`], and the journal's byte counters.
-pub fn block_bytes(records: &[Value]) -> usize {
-    records.iter().map(Value::size_bytes).sum()
+/// store, the [`LruCache`], and the journal's byte counters. This is
+/// the block's *encoded* (column-codec, possibly compressed) length —
+/// exactly what its spill file or serialized push payload occupies.
+pub fn block_bytes(block: &Block) -> usize {
+    block.encoded_len()
 }
 
 /// Identity of a block resident on an executor.
@@ -331,13 +337,23 @@ impl BlockStore {
             None => return false,
         };
         let path = spill_path();
-        if self.inject_write_fault() || fs::write(&path, encode_batch(&entry.data)).is_err() {
+        let payload = match encode_block(&entry.data) {
+            Ok(p) => p,
+            Err(_) => {
+                // A block the codec cannot serialize behaves like a
+                // disk that refused the write: it stays resident.
+                self.resident.insert(r, entry);
+                return false;
+            }
+        };
+        if self.inject_write_fault() || fs::write(&path, payload).is_err() {
             // Disk refused the spill: keep the block resident; the
             // caller degrades to NoHeadroom (defer/refuse), never aborts.
             self.resident.insert(r, entry);
             return false;
         }
         self.resident_bytes -= entry.bytes;
+        let raw_bytes = entry.data.raw_len();
         self.spilled.insert(
             r,
             Spill {
@@ -349,6 +365,7 @@ impl BlockStore {
             exec: self.exec,
             block: r,
             bytes: entry.bytes,
+            raw_bytes,
             resident: self.occupancy(),
         });
         true
@@ -447,7 +464,16 @@ impl BlockStore {
                     });
                 }
                 let path = spill_path();
-                if let Err(e) = fs::write(&path, encode_batch(data)) {
+                let payload = match encode_block(data) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        return Err(StoreError::SpillUnreadable {
+                            block: r,
+                            reason: format!("spill encode failed: {e}"),
+                        })
+                    }
+                };
+                if let Err(e) = fs::write(&path, payload) {
                     return Err(StoreError::SpillUnreadable {
                         block: r,
                         reason: format!("spill write failed: {e}"),
@@ -464,6 +490,7 @@ impl BlockStore {
                     exec: self.exec,
                     block: r,
                     bytes,
+                    raw_bytes: data.raw_len(),
                     resident: self.occupancy(),
                 });
                 Ok(())
@@ -488,10 +515,10 @@ impl BlockStore {
         } else {
             fs::read(&spill.path)
                 .map_err(|e| e.to_string())
-                .and_then(|raw| decode_batch(&raw).map_err(|e| e.to_string()))
+                .and_then(|raw| decode_block(&raw).map_err(|e| e.to_string()))
         };
-        let records = match read {
-            Ok(records) => records,
+        let data = match read {
+            Ok(data) => data,
             Err(reason) => {
                 // The on-disk copy is useless; drop it so the owner can
                 // re-admit the block from the master's copy on retry
@@ -508,7 +535,7 @@ impl BlockStore {
         self.resident.insert(
             r,
             Resident {
-                data: block_from_vec(records),
+                data,
                 bytes: spill.bytes,
                 last_used: self.clock,
             },
@@ -879,12 +906,16 @@ impl ExecutorStore {
 mod tests {
     use super::*;
     use crate::runtime::journal::JournalMeta;
+    use pado_dag::{block_from_vec, empty_block, Value};
 
     fn block(n: usize) -> Block {
-        (0..n)
-            .map(|i| Value::from(i as i64))
-            .collect::<Vec<_>>()
-            .into()
+        block_from_vec((0..n).map(|i| Value::from(i as i64)).collect())
+    }
+
+    /// Encoded size of the canonical 4-record test block — the unit the
+    /// byte-budget tests below are denominated in.
+    fn bsz() -> usize {
+        block_bytes(&block(4))
     }
 
     fn out(fop: FopId, index: usize) -> BlockRef {
@@ -896,10 +927,15 @@ mod tests {
     }
 
     #[test]
-    fn block_bytes_matches_value_sizes() {
+    fn block_bytes_is_the_encoded_length() {
         let b = block(3);
-        assert_eq!(block_bytes(&b), 24);
-        assert_eq!(block_bytes(&[]), 0);
+        assert_eq!(block_bytes(&b), b.encoded_len());
+        assert_eq!(block_bytes(&b), encode_block(&b).unwrap().len());
+        assert!(block_bytes(&empty_block()) > 0, "even empty has a header");
+        // The whole point of charging encoded bytes: a compressible
+        // block is accounted below its row-format size.
+        let big = block_from_vec((0..1000).map(|i| Value::from(i % 5)).collect());
+        assert!(block_bytes(&big) < big.raw_len());
     }
 
     #[test]
@@ -907,7 +943,7 @@ mod tests {
         let j = Journal::new();
         let mut s = BlockStore::new(1, UNLIMITED, j.clone());
         s.insert(out(0, 0), &block(4)).unwrap();
-        assert_eq!(s.resident_bytes(), 32);
+        assert_eq!(s.resident_bytes(), bsz());
         assert_eq!(s.get(out(0, 0)).unwrap().unwrap().len(), 4);
         assert!(events(&j).is_empty());
     }
@@ -922,7 +958,7 @@ mod tests {
         assert!(events(&j).is_empty());
         // The shrink turns accounting on; held pins must be journaled
         // before anything else so later unpins replay cleanly.
-        s.set_budget(64);
+        s.set_budget(2 * bsz());
         s.unpin(out(0, 0));
         s.unpin(out(0, 0));
         let evs = events(&j);
@@ -941,24 +977,29 @@ mod tests {
     #[test]
     fn pressure_spills_lru_and_reload_is_byte_identical() {
         let j = Journal::new();
-        let mut s = BlockStore::new(1, 64, j.clone());
-        let a = block(4); // 32 B
-        let b = block(4); // 32 B
+        let budget = 2 * bsz();
+        let mut s = BlockStore::new(1, budget, j.clone());
+        let a = block(4);
+        let b = block(4);
         s.insert(out(0, 0), &a).unwrap();
         s.insert(out(0, 1), &b).unwrap();
-        assert_eq!(s.resident_bytes(), 64);
+        assert_eq!(s.resident_bytes(), budget);
         // Third block forces the LRU (0,0) out to disk.
         s.insert(out(0, 2), &block(4)).unwrap();
         assert!(s.is_spilled(out(0, 0)));
-        assert_eq!(s.resident_bytes(), 64);
+        assert_eq!(s.resident_bytes(), budget);
         // Reload is byte-identical and re-admitted (spilling another).
         let back = s.get(out(0, 0)).unwrap().unwrap();
-        assert_eq!(encode_batch(&back), encode_batch(&a));
+        assert_eq!(encode_block(&back).unwrap(), encode_block(&a).unwrap());
         assert!(!s.is_spilled(out(0, 0)));
         let evs = events(&j);
-        assert!(evs
-            .iter()
-            .any(|e| matches!(e, JobEvent::BlockSpilled { .. })));
+        // Every spill records both the compressed bytes written and the
+        // row-format baseline they replaced.
+        assert!(evs.iter().any(|e| matches!(
+            e,
+            JobEvent::BlockSpilled { bytes, raw_bytes, .. }
+                if *bytes == bsz() && *raw_bytes == a.raw_len()
+        )));
         assert!(evs
             .iter()
             .any(|e| matches!(e, JobEvent::BlockLoaded { .. })));
@@ -968,7 +1009,7 @@ mod tests {
             | JobEvent::BlockSpilled { resident, .. }
             | JobEvent::BlockLoaded { resident, .. } = e
             {
-                assert!(*resident <= 64, "occupancy {resident} over budget");
+                assert!(*resident <= budget, "occupancy {resident} over budget");
             }
         }
     }
@@ -976,7 +1017,7 @@ mod tests {
     #[test]
     fn pinned_blocks_are_never_spilled() {
         let j = Journal::new();
-        let mut s = BlockStore::new(1, 64, j.clone());
+        let mut s = BlockStore::new(1, 2 * bsz(), j.clone());
         let a = block(4);
         let b = block(4);
         s.pin(out(0, 0), &a).unwrap();
@@ -995,20 +1036,20 @@ mod tests {
 
     #[test]
     fn oversized_block_is_too_large() {
-        let mut s = BlockStore::new(1, 16, Journal::new());
+        let b = block(3);
+        let need = block_bytes(&b);
+        let mut s = BlockStore::new(1, need - 1, Journal::new());
         assert!(matches!(
-            s.insert(out(0, 0), &block(3)),
-            Err(StoreError::TooLarge {
-                bytes: 24,
-                budget: 16
-            })
+            s.insert(out(0, 0), &b),
+            Err(StoreError::TooLarge { bytes, budget })
+                if bytes == need && budget == need - 1
         ));
     }
 
     #[test]
     fn insert_or_spill_goes_straight_to_disk_under_pressure() {
         let j = Journal::new();
-        let mut s = BlockStore::new(1, 32, j.clone());
+        let mut s = BlockStore::new(1, bsz(), j.clone());
         s.pin(out(0, 0), &block(4)).unwrap();
         // No headroom and nothing spillable, but the producer-local
         // commit still lands (on disk).
@@ -1028,22 +1069,22 @@ mod tests {
     fn set_budget_spills_and_clamps_to_pinned_occupancy() {
         let j = Journal::new();
         let mut s = BlockStore::new(1, UNLIMITED, j.clone());
-        s.pin(out(0, 0), &block(4)).unwrap(); // 32 B pinned
-        s.insert(out(0, 1), &block(4)).unwrap(); // 32 B unpinned
-        let applied = s.set_budget(16);
-        // The unpinned block spilled; the pinned 32 B cannot, so the
-        // applied budget clamps up to it.
-        assert_eq!(applied, 32);
+        s.pin(out(0, 0), &block(4)).unwrap(); // pinned: bsz() bytes
+        s.insert(out(0, 1), &block(4)).unwrap(); // unpinned: bsz() bytes
+        let applied = s.set_budget(bsz() / 2);
+        // The unpinned block spilled; the pinned bytes cannot, so the
+        // applied budget clamps up to them.
+        assert_eq!(applied, bsz());
         assert!(s.is_spilled(out(0, 1)));
         assert!(!s.is_spilled(out(0, 0)));
         assert!(events(&j)
             .iter()
-            .any(|e| matches!(e, JobEvent::StoreBudgetChanged { budget: 32, .. })));
+            .any(|e| matches!(e, JobEvent::StoreBudgetChanged { budget, .. } if *budget == bsz())));
     }
 
     #[test]
     fn remove_unpinned_frees_spill_files_and_respects_pins() {
-        let mut s = BlockStore::new(1, 32, Journal::new());
+        let mut s = BlockStore::new(1, bsz(), Journal::new());
         s.pin(out(0, 0), &block(4)).unwrap();
         assert!(!s.remove_unpinned(out(0, 0)), "pinned block must stay");
         s.unpin(out(0, 0));
@@ -1055,7 +1096,7 @@ mod tests {
     fn spill_files_are_deleted_on_drop() {
         let path;
         {
-            let mut s = BlockStore::new(1, 32, Journal::new());
+            let mut s = BlockStore::new(1, bsz(), Journal::new());
             s.insert(out(0, 0), &block(4)).unwrap();
             s.pin(out(0, 1), &block(4)).unwrap();
             assert!(s.is_spilled(out(0, 0)));
@@ -1068,20 +1109,22 @@ mod tests {
     #[test]
     fn executor_store_sheds_cache_before_spilling_blocks() {
         let j = Journal::new();
-        let mut s = ExecutorStore::new(1, 64, 64, j.clone());
-        assert!(s.cache_put(7, block(4))); // 32 B cache
-        s.admit(out(0, 0), &block(4)).unwrap(); // 32 B blocks
-        assert_eq!(s.occupancy(), 64);
+        let budget = 2 * bsz();
+        let mut s = ExecutorStore::new(1, budget, budget, j.clone());
+        assert!(s.cache_put(7, block(4))); // bsz() cache bytes
+        s.admit(out(0, 0), &block(4)).unwrap(); // bsz() block bytes
+        assert_eq!(s.occupancy(), budget);
         // Admitting another block sheds the cache entry, not a spill.
         s.admit(out(0, 1), &block(4)).unwrap();
         assert!(s.cache_keys().is_empty());
         assert!(!s.blocks.is_spilled(out(0, 0)));
-        assert_eq!(s.occupancy(), 64);
+        assert_eq!(s.occupancy(), budget);
     }
 
     #[test]
     fn cache_put_never_spills_blocks_and_skips_when_full() {
-        let mut s = ExecutorStore::new(1, 64, 64, Journal::new());
+        let budget = 2 * bsz();
+        let mut s = ExecutorStore::new(1, budget, budget, Journal::new());
         s.pin(out(0, 0), &block(4)).unwrap();
         s.pin(out(0, 1), &block(4)).unwrap();
         assert!(!s.cache_put(7, block(1)), "no room: caching must skip");
@@ -1093,22 +1136,24 @@ mod tests {
     #[test]
     fn cache_get_journals_hits_and_misses() {
         let j = Journal::new();
-        let mut s = ExecutorStore::new(3, UNLIMITED, 64, j.clone());
+        let mut s = ExecutorStore::new(3, UNLIMITED, 2 * bsz(), j.clone());
         assert!(s.cache_get(9).is_none());
         s.cache_put(9, block(2));
         assert!(s.cache_get(9).is_some());
+        let sz = block_bytes(&block(2));
         let evs = events(&j);
         assert!(evs
             .iter()
             .any(|e| matches!(e, JobEvent::CacheMiss { exec: 3, key: 9 })));
         assert!(evs
             .iter()
-            .any(|e| matches!(e, JobEvent::CacheHit { exec: 3, key: 9, bytes } if *bytes == 16)));
+            .any(|e| matches!(e, JobEvent::CacheHit { exec: 3, key: 9, bytes } if *bytes == sz)));
     }
 
     #[test]
     fn injected_spill_write_fault_degrades_to_no_headroom() {
-        let mut s = BlockStore::new(1, 64, Journal::new());
+        let budget = 2 * bsz();
+        let mut s = BlockStore::new(1, budget, Journal::new());
         s.set_spill_faults(SpillFaultPlan {
             seed: 11,
             write_prob: 1.0,
@@ -1124,12 +1169,12 @@ mod tests {
         ));
         assert!(!s.is_spilled(out(0, 0)));
         assert!(!s.is_spilled(out(0, 1)));
-        assert!(s.occupancy() <= 64);
+        assert!(s.occupancy() <= budget);
     }
 
     #[test]
     fn injected_spill_read_fault_heals_so_a_repin_recovers() {
-        let mut s = BlockStore::new(1, 64, Journal::new());
+        let mut s = BlockStore::new(1, 2 * bsz(), Journal::new());
         let a = block(4);
         s.insert(out(0, 0), &a).unwrap();
         s.insert(out(0, 1), &block(4)).unwrap();
@@ -1154,7 +1199,7 @@ mod tests {
 
     #[test]
     fn missing_spill_file_is_reported_and_healed() {
-        let mut s = BlockStore::new(1, 64, Journal::new());
+        let mut s = BlockStore::new(1, 2 * bsz(), Journal::new());
         s.insert(out(0, 0), &block(4)).unwrap();
         s.insert(out(0, 1), &block(4)).unwrap();
         s.insert(out(0, 2), &block(4)).unwrap();
@@ -1171,7 +1216,7 @@ mod tests {
     #[test]
     fn spill_fault_draws_replay_from_the_seed() {
         let run = |seed: u64| {
-            let mut s = BlockStore::new(1, 64, Journal::new());
+            let mut s = BlockStore::new(1, 2 * bsz(), Journal::new());
             s.set_spill_faults(SpillFaultPlan {
                 seed,
                 write_prob: 0.5,

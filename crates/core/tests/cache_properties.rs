@@ -10,16 +10,17 @@
 
 use std::collections::BTreeMap;
 
-use pado_core::runtime::{CacheKey, LruCache};
-use pado_dag::{Block, Value};
+use pado_core::runtime::{block_bytes, CacheKey, LruCache};
+use pado_dag::{block_from_vec, Block, Value};
 use proptest::prelude::*;
 
-/// A dataset of `n` distinct I64 records; each accounts 8 bytes.
+/// A dataset of `n` distinct I64 records.
 fn dataset(salt: usize, n: usize) -> Block {
-    (0..n)
-        .map(|i| Value::from((salt * 1_000 + i) as i64))
-        .collect::<Vec<_>>()
-        .into()
+    block_from_vec(
+        (0..n)
+            .map(|i| Value::from((salt * 1_000 + i) as i64))
+            .collect(),
+    )
 }
 
 fn contents(b: &Block) -> Vec<i64> {
@@ -54,8 +55,7 @@ impl Model {
         })
     }
 
-    fn put(&mut self, key: CacheKey, data: Vec<i64>) -> bool {
-        let bytes = data.len() * 8;
+    fn put(&mut self, key: CacheKey, data: Vec<i64>, bytes: usize) -> bool {
         // Stale same-key versions go first, even if the new one is then
         // rejected for size (the PR-2 rule).
         if let Some((_, old_bytes, _)) = self.entries.remove(&key) {
@@ -90,10 +90,9 @@ proptest! {
     /// its capacity.
     #[test]
     fn cache_matches_reference_model(
-        capacity_records in 1usize..8,
+        capacity in 8usize..64,
         ops in proptest::collection::vec((0u8..3, 0usize..6, 0usize..10), 1..80),
     ) {
-        let capacity = capacity_records * 8;
         let mut cache = LruCache::new(capacity);
         let mut model = Model::new(capacity);
         for (step, &(kind, key, size)) in ops.iter().enumerate() {
@@ -109,8 +108,9 @@ proptest! {
                 // Two put kinds so the same key sees different datasets
                 // (exercises the stale-version replacement path).
                 let salt = key * 10 + kind as usize;
-                let cached = cache.put(key, dataset(salt, size));
-                let modeled = model.put(key, contents(&dataset(salt, size)));
+                let data = dataset(salt, size);
+                let modeled = model.put(key, contents(&data), block_bytes(&data));
+                let cached = cache.put(key, data);
                 prop_assert_eq!(
                     cached, modeled,
                     "step {}: put({}, {} records) acceptance disagreed",
@@ -142,7 +142,7 @@ proptest! {
 /// leave the *previous* version under the same key servable.
 #[test]
 fn oversized_put_drops_stale_same_key_version() {
-    let mut cache = LruCache::new(24);
+    let mut cache = LruCache::new(block_bytes(&dataset(1, 2)));
     assert!(cache.put(7, dataset(1, 2)), "small dataset fits");
     assert!(cache.get(7).is_some());
     assert!(

@@ -96,7 +96,7 @@ fn encode_outputs(result: &JobResult) -> Vec<(String, Vec<u8>)> {
     result
         .outputs
         .iter()
-        .map(|(name, records)| (name.clone(), encode_batch(records)))
+        .map(|(name, records)| (name.clone(), encode_batch(records).expect("encodes")))
         .collect()
 }
 

@@ -1,8 +1,9 @@
 //! Allocation proofs for the block data plane, via the global `Value`
 //! clone counter: routing and pushing N records costs zero record clones
-//! on one-to-one, gather, and broadcast edges, exactly N on a hash
-//! shuffle, and an end-to-end broadcast job stays O(records) instead of
-//! O(records × consumers).
+//! on one-to-one, gather, and broadcast edges, zero on a hash shuffle of
+//! a columnar block (the vectorized kernel copies primitives), exactly N
+//! on a hash shuffle of a heterogeneous row block, and an end-to-end
+//! broadcast job stays O(records) instead of O(records × consumers).
 //!
 //! The counter is process-global and the test harness runs tests on
 //! threads, so every counting test serializes on one mutex and measures
@@ -37,12 +38,34 @@ fn route_clones_zero_records_on_sharing_edges_and_n_on_shuffle() {
     assert_eq!(broadcast.iter().map(|b| b.len()).sum::<usize>(), 8 * n);
     assert_eq!(gather[1].len(), n);
 
+    // Columnar shuffle: the vectorized kernel buckets by copying column
+    // primitives, never cloning a Value.
+    let before = clone_count();
+    let shuffled = route(&block, DepType::ManyToMany, 0, 8);
+    assert_eq!(
+        clone_count() - before,
+        0,
+        "a columnar hash shuffle must not clone records"
+    );
+    assert_eq!(shuffled.iter().map(|b| b.len()).sum::<usize>(), n);
+}
+
+#[test]
+fn heterogeneous_shuffle_falls_back_to_one_clone_per_record() {
+    let _guard = COUNTER_LOCK.lock().unwrap();
+    let n = 1_000usize;
+    // A Unit sentinel defeats column analysis, forcing the row path.
+    let mut records: Vec<Value> = (0..n as i64 - 1).map(Value::from).collect();
+    records.push(Value::Unit);
+    let block = block_from_vec(records);
+    assert!(block.columns().is_none(), "block must be heterogeneous");
+
     let before = clone_count();
     let shuffled = route(&block, DepType::ManyToMany, 0, 8);
     assert_eq!(
         clone_count() - before,
         n as u64,
-        "a hash shuffle clones each record exactly once"
+        "the row shuffle clones each record exactly once"
     );
     assert_eq!(shuffled.iter().map(|b| b.len()).sum::<usize>(), n);
 }

@@ -16,15 +16,17 @@ use std::collections::HashMap;
 use pado_core::runtime::journal::Journal;
 use pado_core::runtime::{BlockRef, ExecutorStore, StoreError};
 use pado_dag::codec::encode_batch;
-use pado_dag::{Block, Value};
+use pado_dag::{block_from_vec, Block, Value};
 use proptest::prelude::*;
 
-/// A dataset of `n` distinct I64 records; each accounts 8 bytes.
+/// A dataset of `n` distinct I64 records (delta-friendly, so encoded
+/// sizes stay small but distinct per `n`).
 fn dataset(salt: usize, n: usize) -> Block {
-    (0..n)
-        .map(|i| Value::from((salt * 1_000 + i) as i64))
-        .collect::<Vec<_>>()
-        .into()
+    block_from_vec(
+        (0..n)
+            .map(|i| Value::from((salt * 1_000 + i) as i64))
+            .collect(),
+    )
 }
 
 #[derive(Debug, Clone)]
@@ -138,8 +140,8 @@ proptest! {
                     Ok(Some(back)) => {
                         if let Some(expected) = model.get(key) {
                             prop_assert_eq!(
-                                encode_batch(&back),
-                                encode_batch(expected),
+                                encode_batch(&back).expect("encodes"),
+                                encode_batch(expected).expect("encodes"),
                                 "block {} corrupted through the store",
                                 key
                             );
@@ -184,8 +186,8 @@ proptest! {
             }
             match store.get(blk(*key)) {
                 Ok(Some(back)) => prop_assert_eq!(
-                    encode_batch(&back),
-                    encode_batch(expected),
+                    encode_batch(&back).expect("encodes"),
+                    encode_batch(expected).expect("encodes"),
                     "block {} corrupted through the store",
                     key
                 ),

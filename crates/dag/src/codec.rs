@@ -21,8 +21,23 @@ const TAG_PAIR: u8 = 5;
 const TAG_LIST: u8 = 6;
 const TAG_VECTOR: u8 = 7;
 
+/// Writes a 4-byte little-endian length prefix, rejecting lengths that do
+/// not fit in `u32`. Every length the codec emits goes through here: a
+/// payload past 4 GiB used to wrap silently (`len as u32`) and corrupt
+/// the stream for every record after it.
+fn write_len(n: usize, out: &mut Vec<u8>) -> Result<()> {
+    let n = u32::try_from(n).map_err(|_| DagError::Codec("length exceeds u32::MAX"))?;
+    out.extend_from_slice(&n.to_le_bytes());
+    Ok(())
+}
+
 /// Serializes one record, appending to `out`.
-pub fn encode_into(v: &Value, out: &mut Vec<u8>) {
+///
+/// # Errors
+///
+/// Fails with [`DagError::Codec`] if any length (string, bytes, list,
+/// vector) exceeds `u32::MAX`; `out` may then hold a partial prefix.
+pub fn encode_into(v: &Value, out: &mut Vec<u8>) -> Result<()> {
     match v {
         Value::Unit => out.push(TAG_UNIT),
         Value::I64(i) => {
@@ -35,60 +50,70 @@ pub fn encode_into(v: &Value, out: &mut Vec<u8>) {
         }
         Value::Str(s) => {
             out.push(TAG_STR);
-            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            write_len(s.len(), out)?;
             out.extend_from_slice(s.as_bytes());
         }
         Value::Bytes(b) => {
             out.push(TAG_BYTES);
-            out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+            write_len(b.len(), out)?;
             out.extend_from_slice(b);
         }
         Value::Pair(k, v) => {
             out.push(TAG_PAIR);
-            encode_into(k, out);
-            encode_into(v, out);
+            encode_into(k, out)?;
+            encode_into(v, out)?;
         }
         Value::List(l) => {
             out.push(TAG_LIST);
-            out.extend_from_slice(&(l.len() as u32).to_le_bytes());
+            write_len(l.len(), out)?;
             for item in l.iter() {
-                encode_into(item, out);
+                encode_into(item, out)?;
             }
         }
         Value::Vector(xs) => {
             out.push(TAG_VECTOR);
-            out.extend_from_slice(&(xs.len() as u32).to_le_bytes());
+            write_len(xs.len(), out)?;
             for x in xs.iter() {
                 out.extend_from_slice(&x.to_bits().to_le_bytes());
             }
         }
     }
+    Ok(())
 }
 
 /// Serializes one record into a fresh buffer.
-pub fn encode(v: &Value) -> Vec<u8> {
+///
+/// # Errors
+///
+/// Fails with [`DagError::Codec`] on a length overflowing `u32`.
+pub fn encode(v: &Value) -> Result<Vec<u8>> {
     let mut out = Vec::with_capacity(v.size_bytes() + 8);
-    encode_into(v, &mut out);
-    out
+    encode_into(v, &mut out)?;
+    Ok(out)
 }
 
 /// Serializes a batch of records (a task output partition).
-pub fn encode_batch(records: &[Value]) -> Vec<u8> {
+///
+/// # Errors
+///
+/// Fails with [`DagError::Codec`] if the record count or any nested
+/// length overflows `u32`.
+pub fn encode_batch(records: &[Value]) -> Result<Vec<u8>> {
     let mut out = Vec::new();
-    out.extend_from_slice(&(records.len() as u32).to_le_bytes());
+    write_len(records.len(), &mut out)?;
     for r in records {
-        encode_into(r, &mut out);
+        encode_into(r, &mut out)?;
     }
-    out
+    Ok(out)
 }
 
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
+pub(crate) struct Reader<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         let end = self
             .pos
             .checked_add(n)
@@ -99,16 +124,16 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8> {
+    pub(crate) fn u8(&mut self) -> Result<u8> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32> {
+    pub(crate) fn u32(&mut self) -> Result<u32> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn u64(&mut self) -> Result<u64> {
+    pub(crate) fn u64(&mut self) -> Result<u64> {
         let b = self.take(8)?;
         let mut a = [0u8; 8];
         a.copy_from_slice(b);
@@ -194,9 +219,23 @@ mod tests {
     use super::*;
 
     fn roundtrip(v: Value) {
-        let bytes = encode(&v);
+        let bytes = encode(&v).expect("encodes");
         let back = decode(&bytes).expect("decodes");
         assert_eq!(v, back);
+    }
+
+    #[test]
+    fn oversized_length_is_an_error_not_a_wrap() {
+        // All four variable-length encoders (str/bytes/list/vector) and
+        // the batch record count funnel through `write_len`; a value past
+        // u32::MAX must refuse to encode rather than silently truncate.
+        let mut out = Vec::new();
+        assert!(write_len(u32::MAX as usize, &mut out).is_ok());
+        let err = write_len(u32::MAX as usize + 1, &mut out).unwrap_err();
+        assert!(
+            matches!(err, DagError::Codec(msg) if msg.contains("u32")),
+            "wrong error: {err}"
+        );
     }
 
     #[test]
@@ -214,7 +253,7 @@ mod tests {
     #[test]
     fn nan_bits_survive() {
         let weird = f64::from_bits(0x7ff8_dead_beef_cafe);
-        let bytes = encode(&Value::F64(weird));
+        let bytes = encode(&Value::F64(weird)).unwrap();
         match decode(&bytes).unwrap() {
             Value::F64(x) => assert_eq!(x.to_bits(), weird.to_bits()),
             other => panic!("wrong variant: {other:?}"),
@@ -238,14 +277,14 @@ mod tests {
         let records: Vec<Value> = (0..100)
             .map(|i| Value::pair(Value::from(i), Value::from(i as f64 / 3.0)))
             .collect();
-        let bytes = encode_batch(&records);
+        let bytes = encode_batch(&records).unwrap();
         assert_eq!(decode_batch(&bytes).unwrap(), records);
-        assert_eq!(decode_batch(&encode_batch(&[])).unwrap(), vec![]);
+        assert_eq!(decode_batch(&encode_batch(&[]).unwrap()).unwrap(), vec![]);
     }
 
     #[test]
     fn truncation_is_detected() {
-        let bytes = encode(&Value::from("hello"));
+        let bytes = encode(&Value::from("hello")).unwrap();
         for cut in 0..bytes.len() {
             assert!(decode(&bytes[..cut]).is_err(), "cut at {cut}");
         }
@@ -253,7 +292,7 @@ mod tests {
 
     #[test]
     fn trailing_bytes_are_rejected() {
-        let mut bytes = encode(&Value::Unit);
+        let mut bytes = encode(&Value::Unit).unwrap();
         bytes.push(0);
         assert!(decode(&bytes).is_err());
     }

@@ -1,0 +1,513 @@
+//! Typed column layouts for [`crate::Block`].
+//!
+//! A block analyzes its rows once and, when every record shares one of
+//! the four scalar shapes (i64 / f64 / str / bytes) — or is a `Pair` of
+//! two such scalars — stores them as flat column vectors instead of
+//! boxed [`Value`] trees. Columns are what the vectorized kernels in
+//! `pado-core` operate on and what the block codec compresses; anything
+//! heterogeneous (or containing `Unit`/`List`/`Vector`) stays on the
+//! row-of-`Value` fallback, which remains the semantic oracle.
+//!
+//! Invariants the rest of the engine relies on:
+//!
+//! - Analysis is deterministic: the same rows always produce the same
+//!   layout (or the same `None`).
+//! - Materializing rows back out of columns constructs *fresh* values —
+//!   it never clones a `Value`, so the clone-count proofs see zero.
+//! - `f64` columns preserve raw bits (NaN payloads, signed zeros), and
+//!   column equality/ordering on them is bit-level, exactly matching
+//!   [`Value`]'s total order for grouping purposes.
+
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::value::Value;
+
+/// Variable-length byte items (strings or byte blobs) packed into one
+/// contiguous buffer with cumulative `u32` end offsets.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Packed {
+    ends: Vec<u32>,
+    bytes: Vec<u8>,
+}
+
+impl Packed {
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// True when no items are packed.
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// The `i`-th item's bytes.
+    pub fn get(&self, i: usize) -> &[u8] {
+        let start = if i == 0 { 0 } else { self.ends[i - 1] as usize };
+        &self.bytes[start..self.ends[i] as usize]
+    }
+
+    /// Appends an item; `false` if the cumulative size would overflow
+    /// the `u32` offsets (the caller then falls back to rows).
+    pub fn push(&mut self, item: &[u8]) -> bool {
+        let Some(end) = self
+            .bytes
+            .len()
+            .checked_add(item.len())
+            .and_then(|e| u32::try_from(e).ok())
+        else {
+            return false;
+        };
+        self.bytes.extend_from_slice(item);
+        self.ends.push(end);
+        true
+    }
+
+    /// The packed byte buffer (all items concatenated).
+    pub fn buffer(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+/// One homogeneous column of scalar values.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ScalarCol {
+    /// 64-bit integers.
+    I64(Vec<i64>),
+    /// 64-bit floats, bit-exact.
+    F64(Vec<f64>),
+    /// UTF-8 strings, packed.
+    Str(Packed),
+    /// Byte blobs, packed.
+    Bytes(Packed),
+}
+
+impl ScalarCol {
+    /// Number of values in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            ScalarCol::I64(v) => v.len(),
+            ScalarCol::F64(v) => v.len(),
+            ScalarCol::Str(p) | ScalarCol::Bytes(p) => p.len(),
+        }
+    }
+
+    /// True when the column holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A fresh empty column of the same scalar kind.
+    pub fn empty_like(&self) -> ScalarCol {
+        match self {
+            ScalarCol::I64(_) => ScalarCol::I64(Vec::new()),
+            ScalarCol::F64(_) => ScalarCol::F64(Vec::new()),
+            ScalarCol::Str(_) => ScalarCol::Str(Packed::default()),
+            ScalarCol::Bytes(_) => ScalarCol::Bytes(Packed::default()),
+        }
+    }
+
+    /// Constructs a fresh [`Value`] for position `i` (never clones).
+    pub fn value_at(&self, i: usize) -> Value {
+        match self {
+            ScalarCol::I64(v) => Value::I64(v[i]),
+            ScalarCol::F64(v) => Value::F64(v[i]),
+            ScalarCol::Str(p) => Value::Str(Arc::from(
+                std::str::from_utf8(p.get(i)).expect("str column holds valid utf-8"),
+            )),
+            ScalarCol::Bytes(p) => Value::Bytes(Arc::from(p.get(i))),
+        }
+    }
+
+    /// Appends the value at `src[i]` to `self`. Both columns must be the
+    /// same kind (they always come from one analyzed source column).
+    pub fn push_from(&mut self, src: &ScalarCol, i: usize) {
+        match (self, src) {
+            (ScalarCol::I64(dst), ScalarCol::I64(s)) => dst.push(s[i]),
+            (ScalarCol::F64(dst), ScalarCol::F64(s)) => dst.push(s[i]),
+            (ScalarCol::Str(dst), ScalarCol::Str(s))
+            | (ScalarCol::Bytes(dst), ScalarCol::Bytes(s)) => {
+                // A subset of a column that already fit in u32 offsets
+                // always fits again.
+                assert!(dst.push(s.get(i)), "subset column overflowed offsets");
+            }
+            _ => panic!("push_from across column kinds"),
+        }
+    }
+
+    /// Appends every value of `other`, failing (`false`) on a kind
+    /// mismatch or packed-offset overflow.
+    pub fn append(&mut self, other: &ScalarCol) -> bool {
+        match (self, other) {
+            (ScalarCol::I64(dst), ScalarCol::I64(s)) => {
+                dst.extend_from_slice(s);
+                true
+            }
+            (ScalarCol::F64(dst), ScalarCol::F64(s)) => {
+                dst.extend_from_slice(s);
+                true
+            }
+            (ScalarCol::Str(dst), ScalarCol::Str(s))
+            | (ScalarCol::Bytes(dst), ScalarCol::Bytes(s)) => {
+                (0..s.len()).all(|i| dst.push(s.get(i)))
+            }
+            _ => false,
+        }
+    }
+
+    /// Hashes position `i` exactly as `Value::hash` would hash the
+    /// corresponding value (tag byte first, then the payload through the
+    /// same std `Hash` impls), so columnar shuffle routing lands every
+    /// record in the same bucket as the row path.
+    pub fn hash_at<H: Hasher>(&self, i: usize, state: &mut H) {
+        match self {
+            ScalarCol::I64(v) => {
+                state.write_u8(1);
+                v[i].hash(state);
+            }
+            ScalarCol::F64(v) => {
+                state.write_u8(2);
+                v[i].to_bits().hash(state);
+            }
+            ScalarCol::Str(p) => {
+                state.write_u8(3);
+                std::str::from_utf8(p.get(i))
+                    .expect("str column holds valid utf-8")
+                    .hash(state);
+            }
+            ScalarCol::Bytes(p) => {
+                state.write_u8(4);
+                p.get(i).hash(state);
+            }
+        }
+    }
+
+    /// Bit-level equality of two positions — the same equivalence the
+    /// row path's `BTreeMap<Value, _>` uses (`total_cmp` for floats).
+    pub fn eq_at(&self, a: usize, b: usize) -> bool {
+        match self {
+            ScalarCol::I64(v) => v[a] == v[b],
+            ScalarCol::F64(v) => v[a].to_bits() == v[b].to_bits(),
+            ScalarCol::Str(p) | ScalarCol::Bytes(p) => p.get(a) == p.get(b),
+        }
+    }
+
+    /// A stable permutation of `0..len` sorting by value in exactly the
+    /// order `BTreeMap<Value, _>` iterates (ascending `Ord`, floats by
+    /// `total_cmp`); ties keep their original positions, so grouped
+    /// values appear in input order.
+    pub fn sort_perm(&self) -> Vec<u32> {
+        let mut idx: Vec<u32> = (0..self.len() as u32).collect();
+        match self {
+            ScalarCol::I64(v) => idx.sort_by_key(|&i| v[i as usize]),
+            ScalarCol::F64(v) => {
+                // Monotone map of the IEEE bits onto u64 reproducing
+                // `f64::total_cmp`'s order.
+                let keys: Vec<u64> = v.iter().map(|x| total_order_key(*x)).collect();
+                idx.sort_by_key(|&i| keys[i as usize]);
+            }
+            ScalarCol::Str(p) | ScalarCol::Bytes(p) => {
+                idx.sort_by(|&a, &b| p.get(a as usize).cmp(p.get(b as usize)));
+            }
+        }
+        idx
+    }
+
+    /// Bytes this column would occupy in the row (per-record) encoding:
+    /// the sum of `Value::size_bytes` over its values.
+    pub fn row_encoded_bytes(&self) -> usize {
+        match self {
+            ScalarCol::I64(v) => v.len() * 9,
+            ScalarCol::F64(v) => v.len() * 9,
+            ScalarCol::Str(p) | ScalarCol::Bytes(p) => p.len() * 5 + p.buffer().len(),
+        }
+    }
+}
+
+/// Maps IEEE-754 bits to a u64 whose unsigned order equals
+/// [`f64::total_cmp`]'s order.
+fn total_order_key(x: f64) -> u64 {
+    let b = x.to_bits();
+    b ^ ((((b as i64) >> 63) as u64) | (1 << 63))
+}
+
+/// The column layout of one block.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Columns {
+    /// Every record is one scalar.
+    Scalar(ScalarCol),
+    /// Every record is a `Pair` of two scalars of fixed kinds.
+    Pair {
+        /// The pairs' keys.
+        keys: ScalarCol,
+        /// The pairs' values.
+        vals: ScalarCol,
+    },
+}
+
+impl Columns {
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        match self {
+            Columns::Scalar(c) => c.len(),
+            Columns::Pair { keys, .. } => keys.len(),
+        }
+    }
+
+    /// True when the layout holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Constructs a fresh [`Value`] for record `i`.
+    pub fn value_at(&self, i: usize) -> Value {
+        match self {
+            Columns::Scalar(c) => c.value_at(i),
+            Columns::Pair { keys, vals } => Value::pair(keys.value_at(i), vals.value_at(i)),
+        }
+    }
+
+    /// Materializes all records as fresh row values.
+    pub fn rows(&self) -> Vec<Value> {
+        (0..self.len()).map(|i| self.value_at(i)).collect()
+    }
+
+    /// Bytes these records occupy in the row (per-record) encoding, not
+    /// counting the batch header.
+    pub fn row_encoded_bytes(&self) -> usize {
+        match self {
+            Columns::Scalar(c) => c.row_encoded_bytes(),
+            Columns::Pair { keys, vals } => {
+                keys.len() + keys.row_encoded_bytes() + vals.row_encoded_bytes()
+            }
+        }
+    }
+}
+
+/// A growing column that commits to a kind on the first value and
+/// rejects (`false`) anything that does not match.
+struct ColBuilder {
+    col: ScalarCol,
+}
+
+impl ColBuilder {
+    fn for_value(v: &Value) -> Option<ColBuilder> {
+        let col = match v {
+            Value::I64(_) => ScalarCol::I64(Vec::new()),
+            Value::F64(_) => ScalarCol::F64(Vec::new()),
+            Value::Str(_) => ScalarCol::Str(Packed::default()),
+            Value::Bytes(_) => ScalarCol::Bytes(Packed::default()),
+            _ => return None,
+        };
+        Some(ColBuilder { col })
+    }
+
+    fn push(&mut self, v: &Value) -> bool {
+        match (&mut self.col, v) {
+            (ScalarCol::I64(c), Value::I64(x)) => {
+                c.push(*x);
+                true
+            }
+            (ScalarCol::F64(c), Value::F64(x)) => {
+                c.push(*x);
+                true
+            }
+            (ScalarCol::Str(p), Value::Str(s)) => p.push(s.as_bytes()),
+            (ScalarCol::Bytes(p), Value::Bytes(b)) => p.push(b),
+            _ => false,
+        }
+    }
+}
+
+/// Analyzes rows into a column layout, or `None` when the data is
+/// heterogeneous, empty, contains non-columnar shapes (`Unit`, `List`,
+/// `Vector`, nested pairs), or would overflow the packed `u32` offsets.
+pub fn analyze(rows: &[Value]) -> Option<Columns> {
+    let first = rows.first()?;
+    match first {
+        Value::Pair(k0, v0) => {
+            let mut kb = ColBuilder::for_value(k0)?;
+            let mut vb = ColBuilder::for_value(v0)?;
+            for r in rows {
+                let Value::Pair(k, v) = r else { return None };
+                if !kb.push(k) || !vb.push(v) {
+                    return None;
+                }
+            }
+            Some(Columns::Pair {
+                keys: kb.col,
+                vals: vb.col,
+            })
+        }
+        _ => {
+            let mut b = ColBuilder::for_value(first)?;
+            for r in rows {
+                if !b.push(r) {
+                    return None;
+                }
+            }
+            Some(Columns::Scalar(b.col))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_value(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    fn hash_col(c: &ScalarCol, i: usize) -> u64 {
+        let mut h = DefaultHasher::new();
+        c.hash_at(i, &mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn analyzes_homogeneous_scalars() {
+        let rows: Vec<Value> = (0..10).map(Value::from).collect();
+        let cols = analyze(&rows).expect("columnar");
+        assert!(matches!(cols, Columns::Scalar(ScalarCol::I64(_))));
+        assert_eq!(cols.rows(), rows);
+    }
+
+    #[test]
+    fn analyzes_pairs_of_scalars() {
+        let rows: Vec<Value> = (0..10)
+            .map(|i| Value::pair(Value::from(format!("k{}", i % 3)), Value::from(i as f64)))
+            .collect();
+        let cols = analyze(&rows).expect("columnar");
+        assert!(matches!(
+            cols,
+            Columns::Pair {
+                keys: ScalarCol::Str(_),
+                vals: ScalarCol::F64(_)
+            }
+        ));
+        assert_eq!(cols.rows(), rows);
+        assert_eq!(
+            cols.row_encoded_bytes(),
+            rows.iter().map(Value::size_bytes).sum()
+        );
+    }
+
+    #[test]
+    fn falls_back_on_heterogeneous_and_nested() {
+        assert!(analyze(&[]).is_none());
+        assert!(analyze(&[Value::Unit]).is_none());
+        assert!(analyze(&[Value::from(1i64), Value::from(1.0)]).is_none());
+        assert!(analyze(&[Value::list(vec![Value::from(1i64)])]).is_none());
+        assert!(analyze(&[Value::vector(vec![1.0])]).is_none());
+        assert!(analyze(&[Value::pair(
+            Value::from(1i64),
+            Value::pair(Value::from(2i64), Value::from(3i64)),
+        )])
+        .is_none());
+        assert!(analyze(&[
+            Value::pair(Value::from(1i64), Value::from(1i64)),
+            Value::from(2i64),
+        ])
+        .is_none());
+    }
+
+    #[test]
+    fn nan_bits_and_signed_zero_survive_columns() {
+        let weird = f64::from_bits(0x7ff8_dead_beef_cafe);
+        let rows = vec![
+            Value::from(weird),
+            Value::from(-0.0f64),
+            Value::from(0.0f64),
+        ];
+        let cols = analyze(&rows).expect("columnar");
+        let back = cols.rows();
+        for (a, b) in rows.iter().zip(&back) {
+            match (a, b) {
+                (Value::F64(x), Value::F64(y)) => assert_eq!(x.to_bits(), y.to_bits()),
+                _ => panic!("variant changed"),
+            }
+        }
+        if let Columns::Scalar(c) = &cols {
+            assert!(!c.eq_at(1, 2), "-0.0 and +0.0 must stay distinct keys");
+        }
+    }
+
+    #[test]
+    fn column_hash_matches_value_hash() {
+        let rows = vec![Value::from(-7i64), Value::from(42i64)];
+        if let Some(Columns::Scalar(c)) = analyze(&rows) {
+            for (i, r) in rows.iter().enumerate() {
+                assert_eq!(hash_col(&c, i), hash_value(r), "i64 hash diverged at {i}");
+            }
+        } else {
+            panic!("expected i64 column");
+        }
+        let rows = vec![Value::from("alpha"), Value::from("")];
+        if let Some(Columns::Scalar(c)) = analyze(&rows) {
+            for (i, r) in rows.iter().enumerate() {
+                assert_eq!(hash_col(&c, i), hash_value(r), "str hash diverged at {i}");
+            }
+        } else {
+            panic!("expected str column");
+        }
+        let rows = vec![
+            Value::Bytes(Arc::from(&b"\x00\xff"[..])),
+            Value::Bytes(Arc::from(&b""[..])),
+        ];
+        if let Some(Columns::Scalar(c)) = analyze(&rows) {
+            for (i, r) in rows.iter().enumerate() {
+                assert_eq!(hash_col(&c, i), hash_value(r), "bytes hash diverged at {i}");
+            }
+        } else {
+            panic!("expected bytes column");
+        }
+        let rows = vec![Value::from(f64::NAN), Value::from(-0.0f64)];
+        if let Some(Columns::Scalar(c)) = analyze(&rows) {
+            for (i, r) in rows.iter().enumerate() {
+                assert_eq!(hash_col(&c, i), hash_value(r), "f64 hash diverged at {i}");
+            }
+        } else {
+            panic!("expected f64 column");
+        }
+    }
+
+    #[test]
+    fn sort_perm_matches_value_ordering() {
+        use std::collections::BTreeMap;
+        let vals = [3.5, f64::NAN, -0.0, 0.0, -f64::NAN, f64::INFINITY, -1.0];
+        let rows: Vec<Value> = vals.iter().map(|&x| Value::from(x)).collect();
+        let Some(Columns::Scalar(c)) = analyze(&rows) else {
+            panic!("expected f64 column")
+        };
+        let perm = c.sort_perm();
+        // Reference order: BTreeMap over Value keys (total_cmp),
+        // insertion order within a key.
+        let mut groups: BTreeMap<Value, Vec<u32>> = BTreeMap::new();
+        for (i, r) in rows.iter().enumerate() {
+            groups.entry(r.clone()).or_default().push(i as u32);
+        }
+        let expected: Vec<u32> = groups.into_values().flatten().collect();
+        assert_eq!(perm, expected);
+    }
+
+    #[test]
+    fn materializing_rows_never_clones() {
+        let rows: Vec<Value> = (0..100)
+            .map(|i| Value::pair(Value::from(format!("k{i}")), Value::from(i)))
+            .collect();
+        let cols = analyze(&rows).expect("columnar");
+        let before = crate::value::clone_count();
+        let back = cols.rows();
+        assert_eq!(
+            crate::value::clone_count(),
+            before,
+            "columns->rows must not clone"
+        );
+        assert_eq!(back, rows);
+    }
+}

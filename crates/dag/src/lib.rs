@@ -33,6 +33,9 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod colcodec;
+pub mod column;
+pub mod lz;
 
 mod block;
 mod builder;
@@ -42,8 +45,9 @@ mod operator;
 mod udf;
 pub mod value;
 
-pub use block::{block_from_vec, empty_block, Block, MainSlot};
+pub use block::{block_from_columns, block_from_vec, empty_block, Block, BlockInner, MainSlot};
 pub use builder::{PCollection, Pipeline};
+pub use column::{Columns, ScalarCol};
 pub use error::{DagError, Result};
 pub use graph::{Edge, LogicalDag, OpId};
 pub use operator::{DepType, Operator, OperatorKind, SourceKind};

@@ -1,0 +1,241 @@
+//! A small, dependency-free LZ77 byte compressor in the LZ4 block style.
+//!
+//! Spill files and transient→reserved push payloads are dominated by
+//! repetitive encoded column data, so even a greedy single-probe matcher
+//! wins real bytes. The format is a sequence of tokens, each a literal
+//! run followed by a back-reference:
+//!
+//! ```text
+//! token := <byte: lit_len(hi nibble) | match_len-4(lo nibble)>
+//!          [lit_len extension: 255* final]   (if lit nibble == 15)
+//!          <literals>
+//!          <offset: u16 LE>                  (absent in the final token)
+//!          [match_len extension: 255* final] (if match nibble == 15)
+//! ```
+//!
+//! The final token carries literals only (its match nibble is 0 and no
+//! offset follows); the decoder knows it is final because the input ends
+//! right after the literals. Compression is fully deterministic — a pure
+//! function of the input bytes — which the block codec relies on for
+//! byte-identical re-encodes.
+
+const MIN_MATCH: usize = 4;
+const MAX_OFFSET: usize = u16::MAX as usize;
+const HASH_BITS: u32 = 13;
+
+#[inline]
+fn hash4(b: &[u8]) -> usize {
+    let v = u32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+fn push_run_len(mut n: usize, out: &mut Vec<u8>) {
+    while n >= 255 {
+        out.push(255);
+        n -= 255;
+    }
+    out.push(n as u8);
+}
+
+fn emit(out: &mut Vec<u8>, literals: &[u8], m: Option<(usize, usize)>) {
+    let lit = literals.len();
+    let match_nibble = match m {
+        Some((_, len)) => (len - MIN_MATCH).min(15) as u8,
+        None => 0,
+    };
+    out.push(((lit.min(15) as u8) << 4) | match_nibble);
+    if lit >= 15 {
+        push_run_len(lit - 15, out);
+    }
+    out.extend_from_slice(literals);
+    if let Some((offset, len)) = m {
+        out.extend_from_slice(&(offset as u16).to_le_bytes());
+        if len - MIN_MATCH >= 15 {
+            push_run_len(len - MIN_MATCH - 15, out);
+        }
+    }
+}
+
+/// Compresses `input`. The output is only useful with [`decompress`] and
+/// the original length; it is not self-framing.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let n = input.len();
+    let mut out = Vec::with_capacity(n / 2 + 16);
+    if n <= MIN_MATCH {
+        emit(&mut out, input, None);
+        return out;
+    }
+    // Single-probe hash table of the most recent position for each
+    // 4-byte prefix hash (stored +1 so 0 means empty).
+    let mut table = vec![0u32; 1 << HASH_BITS];
+    let mut anchor = 0usize;
+    let mut i = 0usize;
+    while i + MIN_MATCH <= n {
+        let h = hash4(&input[i..i + 4]);
+        let cand = table[h] as usize;
+        table[h] = (i + 1) as u32;
+        if cand > 0 {
+            let c = cand - 1;
+            if i - c <= MAX_OFFSET && input[c..c + MIN_MATCH] == input[i..i + MIN_MATCH] {
+                let mut len = MIN_MATCH;
+                while i + len < n && input[c + len] == input[i + len] {
+                    len += 1;
+                }
+                emit(&mut out, &input[anchor..i], Some((i - c, len)));
+                i += len;
+                anchor = i;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    emit(&mut out, &input[anchor..], None);
+    out
+}
+
+fn read_run_len(input: &[u8], pos: &mut usize) -> Result<usize, &'static str> {
+    let mut n = 0usize;
+    loop {
+        let b = *input.get(*pos).ok_or("lz: truncated run length")?;
+        *pos += 1;
+        n += b as usize;
+        if b != 255 {
+            return Ok(n);
+        }
+    }
+}
+
+/// Decompresses a [`compress`] output back to exactly `expected_len`
+/// bytes.
+///
+/// # Errors
+///
+/// Fails on any malformed input: truncated tokens, offsets pointing
+/// before the start of the output, or a result that is not exactly
+/// `expected_len` bytes.
+pub fn decompress(input: &[u8], expected_len: usize) -> Result<Vec<u8>, &'static str> {
+    let mut out = Vec::with_capacity(expected_len);
+    let mut pos = 0usize;
+    while pos < input.len() {
+        let token = input[pos];
+        pos += 1;
+        let mut lit = (token >> 4) as usize;
+        if lit == 15 {
+            lit += read_run_len(input, &mut pos)?;
+        }
+        let end = pos.checked_add(lit).ok_or("lz: literal overflow")?;
+        if end > input.len() {
+            return Err("lz: truncated literals");
+        }
+        out.extend_from_slice(&input[pos..end]);
+        pos = end;
+        if pos == input.len() {
+            break; // final token: literals only
+        }
+        if pos + 2 > input.len() {
+            return Err("lz: truncated offset");
+        }
+        let offset = u16::from_le_bytes([input[pos], input[pos + 1]]) as usize;
+        pos += 2;
+        let mut mlen = (token & 0x0f) as usize + MIN_MATCH;
+        if mlen == MIN_MATCH + 15 {
+            mlen += read_run_len(input, &mut pos)?;
+        }
+        if offset == 0 || offset > out.len() {
+            return Err("lz: bad match offset");
+        }
+        // Matches may overlap their own output (offset < len), so copy
+        // byte-at-a-time from the already-written tail.
+        let start = out.len() - offset;
+        for k in 0..mlen {
+            let b = out[start + k];
+            out.push(b);
+        }
+        if out.len() > expected_len {
+            return Err("lz: output exceeds expected length");
+        }
+    }
+    if out.len() != expected_len {
+        return Err("lz: output length mismatch");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let packed = compress(data);
+        let back = decompress(&packed, data.len()).expect("decompresses");
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn roundtrips_edge_cases() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"abcd");
+        roundtrip(b"abcde");
+        roundtrip(&[0u8; 10_000]);
+        roundtrip(
+            "the quick brown fox jumps over the lazy dog "
+                .repeat(50)
+                .as_bytes(),
+        );
+    }
+
+    #[test]
+    fn roundtrips_incompressible_bytes() {
+        // A seeded xorshift stream: no 4-byte match survives, so the
+        // whole input travels as one literal run with extensions.
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn roundtrips_overlapping_matches() {
+        // Period-1 and period-3 repetitions force offset < match length.
+        roundtrip(&[7u8; 300]);
+        let mut data = Vec::new();
+        for _ in 0..200 {
+            data.extend_from_slice(b"xyz");
+        }
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn repetitive_data_compresses() {
+        let data = b"abcdefgh".repeat(512);
+        let packed = compress(&data);
+        assert!(
+            packed.len() * 10 < data.len(),
+            "{} vs {}",
+            packed.len(),
+            data.len()
+        );
+    }
+
+    #[test]
+    fn compression_is_deterministic() {
+        let data = b"deterministic deterministic deterministic".repeat(7);
+        assert_eq!(compress(&data), compress(&data));
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        assert!(decompress(&[0xf0], 100).is_err()); // truncated run length
+        assert!(decompress(&[0x20, b'a'], 2).is_err()); // truncated literals
+        assert!(decompress(&[0x10, b'a', 0x00], 5).is_err()); // truncated offset
+        assert!(decompress(&[0x10, b'a', 0x05, 0x00, 0x00], 6).is_err()); // offset past start
+        assert!(decompress(&[0x20, b'a', b'b'], 9).is_err()); // wrong length
+    }
+}

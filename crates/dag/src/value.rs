@@ -145,17 +145,21 @@ impl Value {
         }
     }
 
-    /// Approximate serialized size in bytes, used for transfer accounting
-    /// in the in-process runtime.
+    /// Exact serialized size in bytes: always equal to
+    /// `codec::encode(self).len()` (one tag byte per node, an 8-byte
+    /// payload per scalar, a 4-byte length prefix per variable-length
+    /// payload). The runtime's store budgets and transfer accounting use
+    /// this, so it must never drift from what a spill or push actually
+    /// writes; `codec_properties` asserts the equality by proptest.
     pub fn size_bytes(&self) -> usize {
         match self {
             Value::Unit => 1,
-            Value::I64(_) | Value::F64(_) => 8,
-            Value::Str(s) => s.len() + 4,
-            Value::Bytes(b) => b.len() + 4,
-            Value::Pair(k, v) => k.size_bytes() + v.size_bytes(),
-            Value::List(l) => 4 + l.iter().map(Value::size_bytes).sum::<usize>(),
-            Value::Vector(v) => 4 + v.len() * 8,
+            Value::I64(_) | Value::F64(_) => 1 + 8,
+            Value::Str(s) => 1 + 4 + s.len(),
+            Value::Bytes(b) => 1 + 4 + b.len(),
+            Value::Pair(k, v) => 1 + k.size_bytes() + v.size_bytes(),
+            Value::List(l) => 1 + 4 + l.iter().map(Value::size_bytes).sum::<usize>(),
+            Value::Vector(v) => 1 + 4 + v.len() * 8,
         }
     }
 
@@ -386,11 +390,24 @@ mod tests {
     }
 
     #[test]
-    fn size_bytes_reflects_payload() {
-        assert_eq!(Value::from(1i64).size_bytes(), 8);
-        assert!(Value::vector(vec![0.0; 100]).size_bytes() >= 800);
-        let p = Value::pair(Value::from(1i64), Value::from(2i64));
-        assert_eq!(p.size_bytes(), 16);
+    fn size_bytes_matches_encoded_size() {
+        let samples = vec![
+            Value::Unit,
+            Value::from(1i64),
+            Value::from(f64::NAN),
+            Value::from("héllo"),
+            Value::Bytes(Arc::from(&b"\x00\xff"[..])),
+            Value::pair(Value::from(1i64), Value::from(2i64)),
+            Value::list(vec![Value::from("x"), Value::Unit]),
+            Value::vector(vec![0.0; 100]),
+        ];
+        for v in samples {
+            assert_eq!(
+                v.size_bytes(),
+                crate::codec::encode(&v).expect("encodes").len(),
+                "size_bytes drifted from the codec for {v:?}"
+            );
+        }
     }
 
     #[test]

@@ -224,12 +224,12 @@ proptest! {
             .map(|&(k, v)| Value::pair(Value::from(k), Value::from(v)))
             .collect();
         let f = CombineFn::sum_i64();
-        let direct = preaggregate(records.clone(), &f, true);
+        let direct = preaggregate(records.clone(), &f, true).unwrap();
         // Split arbitrarily, pre-aggregate each half, merge the partials.
         let mid = records.len() / 2;
-        let mut partials = preaggregate(records[..mid].to_vec(), &f, true);
-        partials.extend(preaggregate(records[mid..].to_vec(), &f, true));
-        let merged = preaggregate(partials, &f, true);
+        let mut partials = preaggregate(records[..mid].to_vec(), &f, true).unwrap();
+        partials.extend(preaggregate(records[mid..].to_vec(), &f, true).unwrap());
+        let merged = preaggregate(partials, &f, true).unwrap();
         prop_assert_eq!(direct, merged);
     }
 }
@@ -260,8 +260,8 @@ proptest! {
     #[test]
     fn codec_roundtrips(v in value_strategy(), batch in proptest::collection::vec(value_strategy(), 0..8)) {
         use pado::dag::codec::{decode, decode_batch, encode, encode_batch};
-        prop_assert_eq!(decode(&encode(&v)).unwrap(), v);
-        prop_assert_eq!(decode_batch(&encode_batch(&batch)).unwrap(), batch);
+        prop_assert_eq!(decode(&encode(&v).unwrap()).unwrap(), v);
+        prop_assert_eq!(decode_batch(&encode_batch(&batch).unwrap()).unwrap(), batch);
     }
 
     /// Decoding never panics on arbitrary garbage.
