@@ -6,7 +6,7 @@
 //! baseline plus the commit/retry invariants.
 //!
 //! Usage: `cargo run -p pado-bench --bin chaos [n_seeds] [--network]
-//! [--reconfig] [--journal <path>]`
+//! [--reconfig] [--crash] [--journal <path>] [--wal-dump <path>]`
 //! `--network` adds the transport dimension: seeded message
 //! drop/duplicate/reorder/delay in both directions plus timed executor
 //! partitions kept below the dead-executor threshold, so outputs must
@@ -15,8 +15,15 @@
 //! epoch-fenced placement transactions (stage migrations, transient
 //! drains — including infeasible requests that must abort cleanly)
 //! plus spill-tier disk faults, racing the rest of the chaos.
+//! `--crash` adds the durability dimension: each seed arms a write-ahead
+//! log and a randomized crash schedule (fixed handler boundary,
+//! every-k-th WAL append, or probabilistic), sometimes with seeded
+//! bit-flip/truncation corruption of the WAL file itself; the recovered
+//! run must still match the fault-free baseline byte-for-byte.
 //! `--journal <path>` writes a Chrome-trace JSON of the last seed's
 //! journal to `<path>` (open it in chrome://tracing or Perfetto).
+//! `--wal-dump <path>` (with `--crash`) writes a human-readable frame
+//! dump of the last seed's surviving WAL image to `<path>`.
 //! Every seed's journal additionally replays through the generic
 //! invariant checker. Exits non-zero if any seed violates an invariant.
 
@@ -24,9 +31,9 @@ use std::collections::HashMap;
 
 use pado_core::compiler::Placement;
 use pado_core::runtime::{
-    ChaosPlan, DirectionFaults, FaultPlan, JobEvent, JobResult, LocalCluster, NetworkFault,
-    PartitionSpec, ReconfigChange, ReconfigTrigger, RuntimeConfig, ScheduledReconfig,
-    SpillFaultPlan,
+    temp_wal_path, ChaosPlan, CrashPlan, DirectionFaults, FaultPlan, JobEvent, JobResult,
+    LocalCluster, NetworkFault, PartitionSpec, ReconfigChange, ReconfigTrigger, RuntimeConfig,
+    ScheduledReconfig, SpillFaultPlan, WalCorruption,
 };
 use pado_dag::codec::encode_batch;
 use pado_dag::{CombineFn, LogicalDag, ParDoFn, Pipeline, SourceFn, TaskInput, Value};
@@ -184,6 +191,30 @@ fn random_reconfigs(rng: &mut StdRng, n_transient: usize) -> Vec<ScheduledReconf
     out
 }
 
+/// A seeded crash schedule: one of the three trigger styles, a small
+/// crash budget, and (one seed in three) seeded corruption of the WAL
+/// file between crash and recovery.
+fn random_crash_plan(rng: &mut StdRng, seed: u64) -> CrashPlan {
+    let mut plan = CrashPlan {
+        seed: seed ^ 0x632a_5b01,
+        max_crashes: rng.gen_range(1..4usize),
+        ..Default::default()
+    };
+    match rng.gen_range(0..3u32) {
+        0 => plan.after_handled_frames = Some(rng.gen_range(1..20u64)),
+        1 => plan.every_kth_append = Some(rng.gen_range(5..40u64)),
+        _ => plan.handler_prob = 0.08,
+    }
+    if rng.gen_bool(0.3) {
+        plan.corruption = Some(WalCorruption {
+            seed: seed ^ 0xc0de,
+            bit_flip_prob: 0.0005,
+            truncate_prob: 0.3,
+        });
+    }
+    plan
+}
+
 fn random_fault_plan(
     rng: &mut StdRng,
     seed: u64,
@@ -243,6 +274,9 @@ fn random_fault_plan(
             write_prob: rng.gen_range(0.0..0.3),
             read_prob: rng.gen_range(0.0..0.3),
         }),
+        // Armed by the caller when `--crash` is on (it also needs the
+        // WAL path in the config).
+        crashes: None,
     }
 }
 
@@ -298,7 +332,11 @@ fn violations(result: &JobResult, faults: &FaultPlan) -> Vec<String> {
         }
     }
 
+    // Any master restart — legacy snapshot or WAL crash recovery —
+    // restores `first_attempted` from an older durable state, so
+    // relaunches can be re-counted as originals and the ledger slips.
     if faults.master_failure_after.is_none()
+        && faults.crashes.is_none()
         && result.metrics.tasks_launched
             != result.metrics.original_tasks
                 + result.metrics.relaunched_tasks
@@ -343,15 +381,21 @@ fn main() {
     let mut n_seeds: u64 = 100;
     let mut network = false;
     let mut reconfig = false;
+    let mut crash = false;
     let mut journal_path: Option<String> = None;
+    let mut wal_dump_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--network" {
             network = true;
         } else if arg == "--reconfig" {
             reconfig = true;
+        } else if arg == "--crash" {
+            crash = true;
         } else if arg == "--journal" {
             journal_path = Some(args.next().expect("--journal needs a path"));
+        } else if arg == "--wal-dump" {
+            wal_dump_path = Some(args.next().expect("--wal-dump needs a path"));
         } else {
             n_seeds = arg.parse().expect("n_seeds must be an integer");
         }
@@ -373,7 +417,7 @@ fn main() {
         .collect();
 
     println!(
-        "{:>5}  {:<10} {:>5} {:>4} {:>7} {:>5} {:>5} {:>5} {:>5} {:>4} {:>5} {:>5} {:>6}  verdict",
+        "{:>5}  {:<10} {:>5} {:>4} {:>7} {:>5} {:>5} {:>5} {:>5} {:>4} {:>5} {:>5} {:>6} {:>5}  verdict",
         "seed",
         "shape",
         "evict",
@@ -386,7 +430,8 @@ fn main() {
         "oom",
         "spill",
         "defer",
-        "epoch"
+        "epoch",
+        "crash"
     );
     let (mut ok, mut bad) = (0u64, 0u64);
     let mut total_failures = 0usize;
@@ -395,18 +440,39 @@ fn main() {
     let mut total_spills = 0usize;
     let mut total_commits = 0usize;
     let mut total_aborts = 0usize;
+    let mut total_recoveries = 0usize;
+    let mut total_frames_truncated = 0usize;
+    let mut total_snapshot_restores = 0usize;
     let mut last_journal = None;
+    let mut last_wal_image: Option<(u64, Vec<u8>)> = None;
     for seed in 0..n_seeds {
         let shape = (seed % shapes.len() as u64) as usize;
         let (name, dag) = &shapes[shape];
         let mut rng = StdRng::seed_from_u64(seed);
         let n_transient = rng.gen_range(1..4usize);
         let n_reserved = rng.gen_range(1..3usize);
-        let faults = random_fault_plan(&mut rng, seed, network, reconfig, n_transient, n_reserved);
-        let result = match LocalCluster::new(n_transient, n_reserved)
-            .with_config(chaos_config())
-            .run_with_faults(dag, faults.clone())
-        {
+        let mut faults =
+            random_fault_plan(&mut rng, seed, network, reconfig, n_transient, n_reserved);
+        let mut config = chaos_config();
+        let wal = crash.then(|| temp_wal_path(&format!("chaos-bench-{seed}")));
+        if let Some(path) = &wal {
+            faults.crashes = Some(random_crash_plan(&mut rng, seed));
+            config.wal_path = Some(path.to_string_lossy().into_owned());
+            config.wal_sync_every = rng.gen_range(1..4usize);
+            config.wal_snapshot_every = rng.gen_range(8..64usize);
+        }
+        let run = LocalCluster::new(n_transient, n_reserved)
+            .with_config(config)
+            .run_with_faults(dag, faults.clone());
+        if let Some(path) = &wal {
+            if wal_dump_path.is_some() {
+                if let Ok(bytes) = std::fs::read(path) {
+                    last_wal_image = Some((seed, bytes));
+                }
+            }
+            std::fs::remove_file(path).ok();
+        }
+        let result = match run {
             Ok(r) => r,
             Err(e) => {
                 println!("{seed:>5}  {name:<10} JOB FAILED: {e}");
@@ -420,7 +486,7 @@ fn main() {
         }
         let verdict = if probs.is_empty() { "ok" } else { "VIOLATION" };
         println!(
-            "{seed:>5}  {name:<10} {:>5} {:>4} {:>7} {:>5} {:>5} {:>5} {:>5} {:>4} {:>5} {:>5} {:>6}  {verdict}",
+            "{seed:>5}  {name:<10} {:>5} {:>4} {:>7} {:>5} {:>5} {:>5} {:>5} {:>4} {:>5} {:>5} {:>6} {:>5}  {verdict}",
             faults.evictions.len(),
             faults.reserved_failures.len(),
             faults
@@ -435,6 +501,7 @@ fn main() {
             result.metrics.blocks_spilled,
             result.metrics.pushes_deferred,
             result.metrics.final_epoch,
+            result.metrics.wal_recoveries,
         );
         for p in &probs {
             println!("       !! {p}");
@@ -459,12 +526,24 @@ fn main() {
                 result.metrics.final_epoch,
             );
         }
+        if crash {
+            println!(
+                "       crash: recoveries={} frames_replayed={} truncated={} snapshot_restores={}",
+                result.metrics.wal_recoveries,
+                result.metrics.wal_frames_replayed,
+                result.metrics.wal_frames_truncated,
+                result.metrics.wal_snapshot_restores,
+            );
+        }
         total_failures += result.metrics.task_failures;
         total_spec += result.metrics.speculative_launches;
         total_oom += result.metrics.oom_injected;
         total_spills += result.metrics.blocks_spilled;
         total_commits += result.metrics.reconfigs_committed;
         total_aborts += result.metrics.reconfigs_aborted;
+        total_recoveries += result.metrics.wal_recoveries;
+        total_frames_truncated += result.metrics.wal_frames_truncated;
+        total_snapshot_restores += result.metrics.wal_snapshot_restores;
         last_journal = Some(result.journal);
         if probs.is_empty() {
             ok += 1;
@@ -482,11 +561,24 @@ fn main() {
         std::fs::write(path, journal.chrome_trace()).expect("write Chrome trace");
         println!("wrote Chrome trace of the last seed to {path}");
     }
+    if let (Some(path), Some((dump_seed, bytes))) = (&wal_dump_path, &last_wal_image) {
+        if let Some(dir) = std::path::Path::new(path)
+            .parent()
+            .filter(|d| !d.as_os_str().is_empty())
+        {
+            std::fs::create_dir_all(dir).expect("create dump directory");
+        }
+        let dump = pado_core::runtime::wal::dump_image(bytes, &format!("chaos seed {dump_seed}"));
+        std::fs::write(path, dump).expect("write WAL dump");
+        println!("wrote WAL frame dump of seed {dump_seed} to {path}");
+    }
     println!(
         "\n{ok}/{n_seeds} seeds clean, {bad} violating; \
          {total_failures} injected task failures survived, {total_spec} speculative launches, \
          {total_oom} injected allocation failures, {total_spills} blocks spilled, \
-         {total_commits} reconfigs committed, {total_aborts} aborted"
+         {total_commits} reconfigs committed, {total_aborts} aborted; \
+         crash: {total_recoveries} recoveries, {total_frames_truncated} frames truncated, \
+         {total_snapshot_restores} snapshot restores"
     );
     if bad > 0 {
         std::process::exit(1);

@@ -77,6 +77,19 @@ pub struct RuntimeConfig {
     /// still-incomplete transient stage to the reserved pool. `0` (the
     /// default) disables the hook.
     pub reconfig_storm_threshold: usize,
+    /// Path of the master's durable write-ahead log. `None` (the
+    /// default) disables the WAL: master restarts fall back to the
+    /// in-memory progress snapshot and crash-injection chaos is
+    /// rejected at validation.
+    pub wal_path: Option<String>,
+    /// Sync (make durable) the WAL after this many appends. `1` syncs
+    /// every frame — the strongest guarantee and the default; larger
+    /// values batch, accepting that a crash loses the unsynced suffix.
+    pub wal_sync_every: usize,
+    /// Append a compacting state snapshot after this many event frames,
+    /// bounding the suffix recovery must replay and providing the
+    /// fallback target for interior corruption.
+    pub wal_snapshot_every: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -103,6 +116,9 @@ impl Default for RuntimeConfig {
             transport_dedup_window: 1_024,
             reconfig_prepare_timeout_ms: 1_000,
             reconfig_storm_threshold: 0,
+            wal_path: None,
+            wal_sync_every: 1,
+            wal_snapshot_every: 64,
         }
     }
 }
@@ -193,6 +209,39 @@ impl RuntimeConfig {
                  before the wedge detector can mistake it for a stuck job",
                 self.reconfig_prepare_timeout_ms, self.event_timeout_ms
             ));
+        }
+        if self.wal_sync_every == 0 {
+            return Err(
+                "wal_sync_every must be at least 1: a zero sync interval would \
+                 never make any appended frame durable"
+                    .into(),
+            );
+        }
+        if self.wal_path.is_some() {
+            if self.wal_snapshot_every == 0 {
+                return Err(
+                    "wal_snapshot_every must be at least 1 when a WAL path is set: \
+                     a zero snapshot interval demands a compaction after every \
+                     event, which degenerates the log into snapshot spam with no \
+                     replayable suffix"
+                        .into(),
+                );
+            }
+            if self.wal_sync_every > self.wal_snapshot_every {
+                return Err(format!(
+                    "wal_sync_every ({}) must not exceed wal_snapshot_every ({}): \
+                     batching syncs past a snapshot boundary could make a \
+                     compacting snapshot durable before the events it compacts, \
+                     leaving the recovery scan a hole the simulated backend \
+                     cannot order around",
+                    self.wal_sync_every, self.wal_snapshot_every
+                ));
+            }
+            if let Some(p) = &self.wal_path {
+                if p.is_empty() {
+                    return Err("wal_path must not be an empty string".into());
+                }
+            }
         }
         Ok(())
     }
@@ -350,6 +399,53 @@ mod tests {
         let err = c.validate_with_cluster(1).unwrap_err();
         assert!(err.contains("reconfig_storm_threshold"));
         assert!(c.validate_with_cluster(2).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_wal_sync_interval() {
+        let c = RuntimeConfig {
+            wal_sync_every: 0,
+            ..RuntimeConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("wal_sync_every"));
+    }
+
+    #[test]
+    fn validate_rejects_zero_wal_snapshot_interval() {
+        let c = RuntimeConfig {
+            wal_path: Some("/tmp/pado-test.wal".into()),
+            wal_snapshot_every: 0,
+            ..RuntimeConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("wal_snapshot_every"));
+        // Without a WAL path the snapshot interval is inert and ignored.
+        let c = RuntimeConfig {
+            wal_snapshot_every: 0,
+            ..RuntimeConfig::default()
+        };
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_sync_interval_beyond_snapshot_interval() {
+        let c = RuntimeConfig {
+            wal_path: Some("/tmp/pado-test.wal".into()),
+            wal_sync_every: 128,
+            wal_snapshot_every: 64,
+            ..RuntimeConfig::default()
+        };
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("wal_sync_every"));
+        assert!(err.contains("wal_snapshot_every"));
+    }
+
+    #[test]
+    fn validate_rejects_empty_wal_path() {
+        let c = RuntimeConfig {
+            wal_path: Some(String::new()),
+            ..RuntimeConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("wal_path"));
     }
 
     #[test]

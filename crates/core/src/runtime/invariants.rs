@@ -35,6 +35,13 @@
 //!    prepares only after a request, commits only after a prepare and
 //!    under the epoch the journal just advanced to; and on a successful
 //!    run every requested transaction resolves to committed or aborted.
+//! 10. **Crash-consistent recovery**: an attempt that was in flight at a
+//!     master recovery is fenced — the recovered master must never accept
+//!     a terminal report for it (each task still commits exactly once
+//!     across the crash, which laws 1 and the terminal-once rule then
+//!     enforce on the continuation); and every `WalRecovered` pairs with
+//!     a preceding `MasterRecovered`, so the journal of a recovered run
+//!     is a consistent continuation of the pre-crash prefix.
 //!
 //! Test suites call [`assert_clean`] on every seeded run, so the ~330
 //! chaos / network-chaos / reconfig / equivalence seeds verify protocol
@@ -119,6 +126,12 @@ pub fn check(journal: &EventJournal, success: bool) -> Vec<Violation> {
     // no longer describe the live bucketing, so the inputs-before-launch
     // law is skipped for them (and for edges that reference them)
     let mut repartitioned: HashSet<FopId> = HashSet::new();
+    // --- Durability domain (law 10) ---
+    // attempts that were in flight (launched, not terminal) at a master
+    // recovery: the recovered master must reject their stale reports
+    let mut fenced_attempts: HashSet<AttemptId> = HashSet::new();
+    let mut master_recoveries: usize = 0;
+    let mut wal_recoveries: usize = 0;
 
     // Self-reported store occupancy must fit the executor's budget.
     fn check_occupancy(
@@ -352,6 +365,15 @@ pub fn check(journal: &EventJournal, success: bool) -> Vec<Violation> {
                         });
                     }
                 }
+                if fenced_attempts.contains(attempt) {
+                    violations.push(Violation {
+                        position: pos,
+                        message: format!(
+                            "commit of task {fop}.{index} attempt {attempt} accepted after a \
+                             master recovery fenced it"
+                        ),
+                    });
+                }
             }
             JobEvent::TaskFailed {
                 fop,
@@ -365,6 +387,15 @@ pub fn check(journal: &EventJournal, success: bool) -> Vec<Violation> {
                         message: format!(
                             "failure of task {fop}.{index} attempt {attempt} that was never \
                              launched"
+                        ),
+                    });
+                }
+                if fenced_attempts.contains(attempt) {
+                    violations.push(Violation {
+                        position: pos,
+                        message: format!(
+                            "failure of task {fop}.{index} attempt {attempt} accepted after a \
+                             master recovery fenced it"
                         ),
                     });
                 }
@@ -491,6 +522,26 @@ pub fn check(journal: &EventJournal, success: bool) -> Vec<Violation> {
                 // A recovered master rebuilds its per-task failure budget
                 // from scratch, so the replay budget resets with it.
                 failures.clear();
+                master_recoveries += 1;
+                // Every attempt in flight at the crash is fenced: the
+                // recovered master must never accept its stale report.
+                for attempt in launched.keys() {
+                    if !terminal.contains(attempt) {
+                        fenced_attempts.insert(*attempt);
+                    }
+                }
+            }
+            JobEvent::WalRecovered { .. } => {
+                wal_recoveries += 1;
+                if wal_recoveries > master_recoveries {
+                    violations.push(Violation {
+                        position: pos,
+                        message: format!(
+                            "WAL recovery #{wal_recoveries} without a preceding master \
+                             recovery (only {master_recoveries} seen)"
+                        ),
+                    });
+                }
             }
             JobEvent::BlockAdmitted {
                 exec,
@@ -843,6 +894,77 @@ mod tests {
             JobEvent::StageCompleted(0),
         ]);
         assert_clean(&j, true);
+    }
+
+    #[test]
+    fn law10_commit_of_fenced_attempt_is_detected() {
+        // Attempt 1 was in flight at the recovery; the recovered master
+        // must discard its report, never commit it.
+        let j = journal(vec![
+            launch(0, 0, 1, 0),
+            JobEvent::MasterRecovered,
+            commit(0, 0, 1, 0),
+        ]);
+        let v = check(&j, false);
+        assert!(
+            v.iter().any(|v| v.message.contains("fenced")),
+            "missing fence violation: {v:?}"
+        );
+    }
+
+    #[test]
+    fn law10_failure_of_fenced_attempt_is_detected() {
+        let j = journal(vec![
+            launch(0, 0, 1, 0),
+            JobEvent::MasterRecovered,
+            JobEvent::TaskFailed {
+                fop: 0,
+                index: 0,
+                attempt: 1,
+                exec: 0,
+            },
+        ]);
+        let v = check(&j, false);
+        assert!(
+            v.iter().any(|v| v.message.contains("fenced")),
+            "missing fence violation: {v:?}"
+        );
+    }
+
+    #[test]
+    fn law10_recovered_run_with_fresh_attempts_is_clean() {
+        // The canonical WAL-recovery shape: the in-flight attempt is
+        // abandoned, the recovered master relaunches under a fenced
+        // (much larger) attempt id, and the journal stays clean.
+        let j = journal(vec![
+            launch(0, 0, 1, 0),
+            JobEvent::MasterRecovered,
+            JobEvent::WalRecovered {
+                frames_replayed: 2,
+                frames_truncated: 1,
+                snapshot_restored: false,
+            },
+            launch(0, 0, 1_000_001, 0),
+            commit(0, 0, 1_000_001, 0),
+            launch(1, 0, 1_000_002, 1),
+            commit(1, 0, 1_000_002, 1),
+            JobEvent::StageCompleted(0),
+        ]);
+        assert_clean(&j, true);
+    }
+
+    #[test]
+    fn law10_wal_recovery_without_master_recovery_is_detected() {
+        let j = journal(vec![JobEvent::WalRecovered {
+            frames_replayed: 0,
+            frames_truncated: 0,
+            snapshot_restored: false,
+        }]);
+        let v = check(&j, false);
+        assert!(
+            v.iter().any(|v| v.message.contains("WAL recovery")),
+            "missing pairing violation: {v:?}"
+        );
     }
 
     #[test]

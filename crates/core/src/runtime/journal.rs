@@ -359,6 +359,19 @@ pub enum JobEvent {
         /// The stale epoch stamped on the frame.
         epoch: u64,
     },
+    /// The master rebuilt its state from the durable write-ahead log
+    /// (always paired with a [`JobEvent::MasterRecovered`]); carries the
+    /// recovery statistics.
+    WalRecovered {
+        /// WAL frames folded into the recovered state.
+        frames_replayed: usize,
+        /// Frames the recovery scan discarded (torn tail, corrupt frame,
+        /// frames stranded beyond interior corruption).
+        frames_truncated: usize,
+        /// Whether interior corruption forced the fallback to the last
+        /// good snapshot instead of the full valid prefix.
+        snapshot_restored: bool,
+    },
 }
 
 /// One journal record: an event plus its emission order, timestamp, and
@@ -409,10 +422,15 @@ impl JournalMeta {
 
 /// Cloneable writer handle to the shared journal. The master, every
 /// executor worker slot, and every transport endpoint hold one.
+///
+/// When a durable sink is armed (WAL-backed runs), every emission is
+/// also appended to the write-ahead log; arming must happen before the
+/// handle is cloned out to executors so all emitters share the sink.
 #[derive(Debug, Clone, Default)]
 pub struct Journal {
     inner: Arc<Mutex<Vec<JournalRecord>>>,
     epoch: Option<Instant>,
+    sink: Option<Arc<Mutex<crate::runtime::wal::WalWriter>>>,
 }
 
 impl Journal {
@@ -421,22 +439,50 @@ impl Journal {
         Journal {
             inner: Arc::new(Mutex::new(Vec::new())),
             epoch: Some(Instant::now()),
+            sink: None,
         }
     }
 
+    /// Arms the durable WAL sink: every subsequent emission through this
+    /// handle (and every clone taken *after* this call) is appended to
+    /// the log as an event frame.
+    pub fn arm_wal(&mut self, sink: Arc<Mutex<crate::runtime::wal::WalWriter>>) {
+        self.sink = Some(sink);
+    }
+
     /// Appends one event, stamping its sequence number and timestamp.
+    /// With a WAL sink armed the event is also made durable; the journal
+    /// lock is released before the WAL lock is taken, so emitters may
+    /// hold unrelated locks (e.g. a store mutex) without ordering cycles.
     pub fn emit(&self, stage: Option<usize>, event: JobEvent) {
         let at_us = self
             .epoch
             .map_or(0, |e| e.elapsed().as_micros().min(u64::MAX as u128) as u64);
-        let mut records = self.inner.lock();
-        let seq = records.len() as u64;
-        records.push(JournalRecord {
-            seq,
-            at_us,
-            stage,
-            event,
+        let durable = self.sink.as_ref().map(|sink| {
+            (
+                sink,
+                crate::runtime::wal::WalRecord::Event {
+                    stage,
+                    event: event.clone(),
+                },
+            )
         });
+        {
+            let mut records = self.inner.lock();
+            let seq = records.len() as u64;
+            records.push(JournalRecord {
+                seq,
+                at_us,
+                stage,
+                event,
+            });
+        }
+        if let Some((sink, record)) = durable {
+            // Best effort: a failing append (e.g. a full disk) must not
+            // panic an emitter; the master's own append path surfaces
+            // WAL errors through its Result-returning handlers.
+            let _ = sink.lock().append(&record);
+        }
     }
 
     /// Snapshots the journal into its canonical, replayable form.
@@ -612,6 +658,18 @@ impl EventJournal {
                     m.final_epoch = m.final_epoch.max(*epoch);
                 }
                 JobEvent::StaleFrameFenced { .. } => m.frames_fenced += 1,
+                JobEvent::WalRecovered {
+                    frames_replayed,
+                    frames_truncated,
+                    snapshot_restored,
+                } => {
+                    m.wal_recoveries += 1;
+                    m.wal_frames_replayed += frames_replayed;
+                    m.wal_frames_truncated += frames_truncated;
+                    if *snapshot_restored {
+                        m.wal_snapshot_restores += 1;
+                    }
+                }
             }
         }
         m
@@ -821,6 +879,22 @@ fn instant_of(event: &JobEvent) -> Option<(String, ExecId)> {
             format!("fenced stale frame seq {seq} (epoch {epoch}) from exec {exec}"),
             *exec,
         )),
+        JobEvent::WalRecovered {
+            frames_replayed,
+            frames_truncated,
+            snapshot_restored,
+        } => Some((
+            format!(
+                "wal recovered: {frames_replayed} frames replayed, {frames_truncated} \
+                 truncated{}",
+                if *snapshot_restored {
+                    ", snapshot fallback"
+                } else {
+                    ""
+                }
+            ),
+            0,
+        )),
         _ => None,
     }
 }
@@ -979,6 +1053,21 @@ fn describe(event: &JobEvent) -> String {
         JobEvent::EpochAdvanced { epoch } => format!("epoch-advance epoch {epoch}"),
         JobEvent::StaleFrameFenced { exec, seq, epoch } => {
             format!("fence-stale   seq {seq} (epoch {epoch}) from exec {exec}")
+        }
+        JobEvent::WalRecovered {
+            frames_replayed,
+            frames_truncated,
+            snapshot_restored,
+        } => {
+            let tail = if *snapshot_restored {
+                " [snapshot fallback]"
+            } else {
+                ""
+            };
+            format!(
+                "wal-recovered replayed {frames_replayed} frames, truncated \
+                 {frames_truncated}{tail}"
+            )
         }
     }
 }

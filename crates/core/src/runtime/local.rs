@@ -148,6 +148,16 @@ impl LocalCluster {
         self.config
             .validate_with_cluster(self.n_transient + self.n_reserved)
             .map_err(RuntimeError::Config)?;
+        // Cross-validation the config alone cannot see: the crash chaos
+        // family recovers from the WAL, so injecting crashes without
+        // arming one would silently fall back to the snapshot path.
+        if faults.crashes.is_some() && self.config.wal_path.is_none() {
+            return Err(RuntimeError::Config(
+                "FaultPlan::crashes requires RuntimeConfig::wal_path: master crash \
+                 recovery replays the write-ahead log"
+                    .into(),
+            ));
+        }
         faults.reconfigs.extend(self.reconfigs.iter().copied());
         let plan = compile_with(dag, &self.plan_config)?;
         let job = Arc::new(JobContext {
@@ -155,7 +165,7 @@ impl LocalCluster {
             plan,
             config: self.config.clone(),
         });
-        let mut master = Master::new(job, self.n_transient, self.n_reserved, faults);
+        let mut master = Master::new(job, self.n_transient, self.n_reserved, faults)?;
         if let Some(factory) = &self.policy_factory {
             master.set_policy(factory());
         }

@@ -19,12 +19,14 @@
 //! outputs were lost.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use pado_dag::{block_from_vec, Block, DepType, MainSlot, Value};
+use parking_lot::Mutex;
 
 use crate::compiler::{FopId, InputSlot, Placement, PlanEdge};
 use crate::error::RuntimeError;
@@ -47,6 +49,7 @@ use crate::runtime::transport::{
     mix64, DedupWindow, Direction, ExecIn, FaultyLink, NetPolicy, NetworkFault, ReliableSender,
     TransportCounters, Wire,
 };
+use crate::runtime::wal::{RecoveredState, WalCorruption, WalRecord, WalSnapshot, WalWriter};
 
 /// Probabilistic user-code fault injection, decided deterministically per
 /// `(seed, task, launch ordinal)` so every chaos run is exactly
@@ -74,6 +77,35 @@ pub struct ChaosPlan {
     pub oom_prob: f64,
     /// Injected error/panic/OOM budget per task across all its launches.
     pub max_faults_per_task: usize,
+}
+
+/// The master-crash chaos family: kills the master at handler
+/// boundaries and recovers it from the write-ahead log.
+///
+/// A crash is evaluated after every handled frame (the only points an
+/// in-process master can die without leaving a handler half-applied; a
+/// real process crash mid-handler loses the same unsynced WAL suffix).
+/// Any satisfied trigger fires, up to `max_crashes` total. All decisions
+/// are deterministic in `(seed, handled-frame ordinal)`, except the
+/// append-count trigger, whose clock advances with concurrent executor
+/// emissions — recovery must be correct at *any* boundary, so the
+/// trigger's exact landing spot is allowed to float.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CrashPlan {
+    /// Seed for the probabilistic handler-boundary trigger.
+    pub seed: u64,
+    /// Crash once every `n` handled frames (exhaustive boundary sweeps
+    /// set this to each boundary in turn with `max_crashes = 1`).
+    pub after_handled_frames: Option<u64>,
+    /// Crash when the WAL has absorbed another `k` appends.
+    pub every_kth_append: Option<u64>,
+    /// Probability of crashing at each handled-frame boundary.
+    pub handler_prob: f64,
+    /// Total crash budget for the run (0 disables the family).
+    pub max_crashes: usize,
+    /// Seeded corruption applied to the WAL image at each crash, before
+    /// recovery scans it (bit flips and torn-tail truncation).
+    pub corruption: Option<WalCorruption>,
 }
 
 /// Scheduled faults injected deterministically while a job runs.
@@ -117,6 +149,10 @@ pub struct FaultPlan {
     /// Seeded spill-I/O fault injection on every executor store
     /// (`None` = the disk tier never fails).
     pub spill_faults: Option<SpillFaultPlan>,
+    /// Master crashes recovered from the write-ahead log (requires
+    /// `RuntimeConfig::wal_path`; the harness rejects the combination
+    /// of crashes without a WAL before the job starts).
+    pub crashes: Option<CrashPlan>,
 }
 
 // The event schema lives with the journal; re-exported here because the
@@ -300,6 +336,18 @@ pub struct Master {
     master_failed: bool,
     snapshot: Option<ProgressSnapshot>,
 
+    // --- Durability domain ---
+    /// The write-ahead log, when `RuntimeConfig::wal_path` armed one.
+    /// Shared with the journal (whose emissions it makes durable); the
+    /// master additionally appends location-table deltas and compacting
+    /// snapshots through it.
+    wal: Option<Arc<Mutex<WalWriter>>>,
+    /// Crashes the crash chaos family has injected so far.
+    crashes_injected: usize,
+    /// Handled (progress-bearing) frames — the crash family's
+    /// handler-boundary clock.
+    handled_frames: u64,
+
     // --- Task-failure domain ---
     /// Executors that exhausted their fault threshold: no new work, but
     /// they stay alive so their committed outputs remain readable.
@@ -370,12 +418,17 @@ pub struct Master {
 
 impl Master {
     /// Creates a master and spawns the initial containers.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `RuntimeConfig::wal_path` is set but the write-ahead
+    /// log cannot be created or its genesis snapshot cannot be written.
     pub fn new(
         job: Arc<JobContext>,
         n_transient: usize,
         n_reserved: usize,
         faults: FaultPlan,
-    ) -> Self {
+    ) -> Result<Self, RuntimeError> {
         let (tx, rx) = crossbeam::channel::unbounded();
         let net = faults.network.clone().map(NetPolicy::new);
         let counters = Arc::new(TransportCounters::default());
@@ -414,6 +467,28 @@ impl Master {
         };
         let placement: Vec<Placement> = job.plan.fops.iter().map(|f| f.placement).collect();
         let parallelism: Vec<usize> = job.plan.fops.iter().map(|f| f.parallelism).collect();
+        // The epoch cell is shared three ways: every master→executor
+        // sender stamps envelopes with it, and the WAL writer stamps
+        // every frame with it (so fencing survives a recovery replay).
+        let epoch = Arc::new(AtomicU64::new(0));
+        // The WAL sink must be armed before the journal is cloned out to
+        // executors: every clone copies the sink, and a late arm would
+        // leave executor emissions volatile.
+        let mut journal = Journal::new();
+        let wal = match &job.config.wal_path {
+            Some(path) => {
+                let writer = WalWriter::create(
+                    Path::new(path),
+                    Arc::clone(&epoch),
+                    job.config.wal_sync_every,
+                    job.config.wal_snapshot_every,
+                )?;
+                let sink = Arc::new(Mutex::new(writer));
+                journal.arm_wal(Arc::clone(&sink));
+                Some(sink)
+            }
+            None => None,
+        };
         let mut master = Master {
             job,
             tx,
@@ -432,7 +507,7 @@ impl Master {
             assigned: HashMap::new(),
             attempt_of: HashMap::new(),
             next_attempt: 1,
-            journal: Journal::new(),
+            journal,
             meta,
             stage_completed: vec![false; n_stages],
             done_events: 0,
@@ -441,6 +516,9 @@ impl Master {
             fault_cursor_fail: 0,
             master_failed: false,
             snapshot: None,
+            wal,
+            crashes_injected: 0,
+            handled_frames: 0,
             blacklisted: HashSet::new(),
             exec_failures: HashMap::new(),
             task_failure_counts: HashMap::new(),
@@ -453,7 +531,7 @@ impl Master {
             deferred_pushes: Vec::new(),
             attempt_pins: HashMap::new(),
             fault_cursor_shrink: 0,
-            epoch: Arc::new(AtomicU64::new(0)),
+            epoch,
             reconfig: None,
             next_reconfig_id: 0,
             drained: HashSet::new(),
@@ -469,7 +547,12 @@ impl Master {
         for _ in 0..n_transient {
             master.spawn_executor(Placement::Transient);
         }
-        master
+        // Genesis snapshot: the plan's frozen shape (parallelism,
+        // placement) is durable before any event, so a recovery replay
+        // always knows how many tasks each fop has — even when the
+        // first crash lands before the first completion.
+        master.append_wal_snapshot()?;
+        Ok(master)
     }
 
     /// An endpoint evictions and failures can be injected through
@@ -587,8 +670,14 @@ impl Master {
                     // the wire is alive, not that the job is advancing.
                     if self.handle_frame(frame)? {
                         last_progress = Instant::now();
+                        self.handled_frames += 1;
+                        // The crash family fires here — the handler
+                        // boundary — so recovery never sees a frame's
+                        // effects half-applied.
+                        self.maybe_crash()?;
                     }
                     self.note_stage_transitions();
+                    self.maybe_wal_snapshot()?;
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     if last_progress.elapsed() >= timeout {
@@ -791,6 +880,7 @@ impl Master {
                             locations.push(p.dest);
                         }
                     }
+                    self.append_wal_locations(p.fop, p.index)?;
                 }
                 // A spill-I/O fault parks the push exactly like missing
                 // headroom: back off and retry, never fail the job.
@@ -1244,7 +1334,12 @@ impl Master {
                     })
                     .map(|(&id, _)| id)
                     .collect();
-                let victim = candidates[nth % candidates.len()];
+                // Feasibility re-checked above guarantees candidates,
+                // but a crash-recovered master may disagree with the
+                // requesting one — abort rather than index into nothing.
+                let Some(&victim) = candidates.get(nth % candidates.len().max(1)) else {
+                    return Err("no drain candidate survived the prepare phase".into());
+                };
                 self.migrate_blocks_off(victim)?;
                 self.drained.insert(victim);
                 Ok(())
@@ -1325,6 +1420,7 @@ impl Master {
                     .lock()
                     .remove_unpinned(BlockRef::Output { fop: f, index: i });
             }
+            self.append_wal_locations(f, i).map_err(|e| e.to_string())?;
         }
         Ok(())
     }
@@ -1450,6 +1546,9 @@ impl Master {
                 cache_hit,
             },
         );
+        // The commit's durable half: `TaskCommitted` carries no location
+        // set, so the location table rides its own WAL frame.
+        self.append_wal_locations(fop, index)?;
 
         self.done_events += 1;
         if self.job.config.snapshot_every > 0
@@ -1459,7 +1558,7 @@ impl Master {
         {
             self.take_snapshot();
         }
-        self.fire_due_faults();
+        self.fire_due_faults()?;
         Ok(())
     }
 
@@ -1598,7 +1697,11 @@ impl Master {
         for k in stale {
             self.assigned.remove(&k);
         }
-        let kind = self.executors[&exec].handle.kind;
+        // An unknown executor (a fault-injected blacklist of an id the
+        // master never spawned) has nothing to replace.
+        let Some(kind) = self.executors.get(&exec).map(|e| e.handle.kind) else {
+            return;
+        };
         let replacement = self.spawn_executor(kind);
         self.journal
             .emit(None, JobEvent::ContainerAdded(replacement));
@@ -1710,7 +1813,7 @@ impl Master {
         Ok(locations)
     }
 
-    fn fire_due_faults(&mut self) {
+    fn fire_due_faults(&mut self) -> Result<(), RuntimeError> {
         while self.fault_cursor_evict < self.faults.evictions.len()
             && self.faults.evictions[self.fault_cursor_evict].0 <= self.done_events
         {
@@ -1753,9 +1856,16 @@ impl Master {
         if let Some(n) = self.faults.master_failure_after {
             if !self.master_failed && self.done_events >= n {
                 self.master_failed = true;
-                self.simulate_master_failure();
+                if self.wal.is_some() {
+                    // With a WAL armed the legacy knob exercises true
+                    // log recovery instead of the volatile snapshot.
+                    self.crash_and_recover(None)?;
+                } else {
+                    self.simulate_master_failure();
+                }
             }
         }
+        Ok(())
     }
 
     fn nth_alive(&self, kind: Placement, k: usize) -> Option<ExecId> {
@@ -2020,6 +2130,323 @@ impl Master {
                 }
             }
         }
+    }
+
+    /// The master's durable progress record, built from live state. The
+    /// completed-attempt set is sorted so the frame bytes are a pure
+    /// function of the state, never of hash-map iteration order.
+    fn wal_snapshot(&self) -> WalSnapshot {
+        let mut completed_attempts: Vec<AttemptId> =
+            self.completed_attempts.iter().copied().collect();
+        completed_attempts.sort_unstable();
+        let mut committed: Vec<(FopId, usize, Vec<ExecId>)> = Vec::new();
+        for f in 0..self.tasks.len() {
+            for (i, t) in self.tasks[f].iter().enumerate() {
+                if let TaskState::Done { locations } = t {
+                    committed.push((f, i, locations.clone()));
+                }
+            }
+        }
+        WalSnapshot {
+            epoch: self.epoch.load(Ordering::Relaxed),
+            next_attempt: self.next_attempt,
+            completed_attempts,
+            committed,
+            first_attempted: self.first_attempted.clone(),
+            parallelism: self.parallelism.clone(),
+            placement: self.placement.clone(),
+            // Store residency reseeds from the Block* events that follow
+            // the snapshot; recovery never consumes it, so the snapshot
+            // does not chase executor store locks to record it.
+            resident: Vec::new(),
+        }
+    }
+
+    /// Appends (and syncs) a compacting snapshot frame. A no-op without
+    /// an armed WAL.
+    fn append_wal_snapshot(&mut self) -> Result<(), RuntimeError> {
+        let Some(wal) = self.wal.as_ref().map(Arc::clone) else {
+            return Ok(());
+        };
+        let snap = self.wal_snapshot();
+        let mut w = wal.lock();
+        w.append(&WalRecord::Snapshot(snap))?;
+        w.sync()
+    }
+
+    /// Appends a snapshot when the writer's event clock says one is due
+    /// (`RuntimeConfig::wal_snapshot_every` events since the last).
+    fn maybe_wal_snapshot(&mut self) -> Result<(), RuntimeError> {
+        let due = match &self.wal {
+            Some(wal) => wal.lock().snapshot_due(),
+            None => return Ok(()),
+        };
+        if due {
+            self.append_wal_snapshot()?;
+        }
+        Ok(())
+    }
+
+    /// Makes the current location set of task `(fop, index)` durable.
+    /// `TaskCommitted` events carry no locations, so every mutation of a
+    /// committed output's location set rides its own WAL frame; an empty
+    /// set records the output as gone.
+    fn append_wal_locations(&mut self, fop: FopId, index: usize) -> Result<(), RuntimeError> {
+        let Some(wal) = &self.wal else {
+            return Ok(());
+        };
+        let locations = match self.tasks.get(fop).and_then(|ts| ts.get(index)) {
+            Some(TaskState::Done { locations }) => locations.clone(),
+            _ => Vec::new(),
+        };
+        wal.lock().append(&WalRecord::Locations {
+            fop,
+            index,
+            locations,
+        })
+    }
+
+    /// Evaluates the crash family's triggers at a handler boundary and
+    /// kills/recovers the master when one fires.
+    fn maybe_crash(&mut self) -> Result<(), RuntimeError> {
+        let Some(plan) = self.faults.crashes else {
+            return Ok(());
+        };
+        if self.crashes_injected >= plan.max_crashes || self.wal.is_none() {
+            return Ok(());
+        }
+        let round = self.crashes_injected as u64 + 1;
+        let mut due = false;
+        if let Some(n) = plan.after_handled_frames {
+            due |= self.handled_frames >= n.saturating_mul(round);
+        }
+        if let Some(k) = plan.every_kth_append {
+            let appends = self.wal.as_ref().map_or(0, |w| w.lock().total_appends());
+            due |= k > 0 && appends >= k.saturating_mul(round);
+        }
+        if plan.handler_prob > 0.0 {
+            due |= unit_draw(plan.seed ^ mix64(self.handled_frames)) < plan.handler_prob;
+        }
+        if !due {
+            return Ok(());
+        }
+        self.crashes_injected += 1;
+        self.crash_and_recover(plan.corruption.as_ref())
+    }
+
+    /// Kills the master and rebuilds it from the write-ahead log: the
+    /// unsynced WAL suffix is lost (the simulated page cache), optional
+    /// seeded corruption mangles the surviving image, and the recovery
+    /// scan replays the longest valid prefix.
+    fn crash_and_recover(
+        &mut self,
+        corruption: Option<&WalCorruption>,
+    ) -> Result<(), RuntimeError> {
+        let Some(wal) = self.wal.as_ref().map(Arc::clone) else {
+            // No WAL armed: the legacy replicated-snapshot restart is
+            // the only recovery model available.
+            self.simulate_master_failure();
+            return Ok(());
+        };
+        let rec = wal.lock().crash_and_recover(corruption)?;
+        self.recover_from_wal(rec)
+    }
+
+    /// Rebuilds every piece of master state the WAL replay carries:
+    /// the completion log, the block location table (refetched from
+    /// surviving executor stores), the reconfiguration epoch, and the
+    /// shape overlays. Everything else is in-memory state of the dead
+    /// master and resets, exactly as in [`Self::simulate_master_failure`].
+    fn recover_from_wal(&mut self, rec: RecoveredState) -> Result<(), RuntimeError> {
+        // The in-memory journal survives (replicated progress record);
+        // the recovery markers are the first thing the new master logs,
+        // and law 10 fences every in-flight pre-crash attempt at the
+        // `MasterRecovered` mark.
+        self.journal.emit(None, JobEvent::MasterRecovered);
+        self.journal.emit(
+            None,
+            JobEvent::WalRecovered {
+                frames_replayed: rec.frames_replayed,
+                frames_truncated: rec.frames_truncated,
+                snapshot_restored: rec.snapshot_restored,
+            },
+        );
+        // An in-flight transaction is in-memory state the recovered
+        // master never heard of: it resolves as an abort.
+        self.abort_reconfig("master restarted mid-transaction".into());
+        // Pins belong to fenced pre-crash attempts; the executors
+        // outlive the master, so their memory holds lift now. Deferred
+        // pushes die with the dead master's queue.
+        let pins: Vec<(AttemptId, (ExecId, Vec<BlockRef>))> = self.attempt_pins.drain().collect();
+        for (_, (exec, refs)) in pins {
+            if let Some(info) = self.executors.get(&exec) {
+                let mut s = info.store.lock();
+                for r in refs {
+                    s.unpin(r);
+                }
+            }
+        }
+        self.deferred_pushes.clear();
+        let done_before: Vec<Vec<bool>> = self
+            .tasks
+            .iter()
+            .map(|ts| {
+                ts.iter()
+                    .map(|t| matches!(t, TaskState::Done { .. }))
+                    .collect()
+            })
+            .collect();
+
+        // Shape overlays: the genesis snapshot makes the replayed shape
+        // available from the first frame; if interior corruption
+        // destroyed every snapshot, restart from the plan's frozen
+        // shape and recompute everything.
+        let n_fops = self.job.plan.fops.len();
+        if rec.parallelism.len() == n_fops && rec.placement.len() == n_fops {
+            self.parallelism = rec.parallelism.clone();
+            self.placement = rec.placement.clone();
+            self.first_attempted = rec.first_attempted.clone();
+        } else {
+            self.parallelism = self.job.plan.fops.iter().map(|f| f.parallelism).collect();
+            self.placement = self.job.plan.fops.iter().map(|f| f.placement).collect();
+            self.first_attempted = self.parallelism.iter().map(|&p| vec![false; p]).collect();
+        }
+        // Re-apply committed placement changes the replay could not
+        // fold by itself (they need the plan's stage table).
+        // `Repartition` replays inside the WAL fold; a committed
+        // `DrainTransient`'s drained set deliberately persists as
+        // harness state, like the legacy restart (DESIGN.md §14).
+        for change in &rec.reconfig_changes {
+            if let ReconfigChange::MigrateStage { stage, to } = change {
+                for f in 0..self.placement.len() {
+                    if self.meta.stage_of[f] == *stage {
+                        self.placement[f] = *to;
+                    }
+                }
+            }
+        }
+        if self.first_attempted.len() != n_fops {
+            self.first_attempted = self.parallelism.iter().map(|&p| vec![false; p]).collect();
+        }
+        for f in 0..n_fops {
+            if self.first_attempted[f].len() != self.parallelism[f] {
+                self.first_attempted[f] = vec![false; self.parallelism[f]];
+            }
+        }
+
+        self.tasks = self
+            .parallelism
+            .iter()
+            .map(|&p| vec![TaskState::Pending; p])
+            .collect();
+        self.outputs.clear();
+        self.routed.clear();
+        self.side_cache.clear();
+
+        let alive: HashSet<ExecId> = self
+            .executors
+            .iter()
+            .filter(|(_, e)| e.alive)
+            .map(|(&id, _)| id)
+            .collect();
+        // Rebuild the location table: every replayed commit whose
+        // locations still point at alive executors refetches its block
+        // from their stores; sink-safe terminal outputs fall back to
+        // the durable result parts; anything else recomputes.
+        let mut committed: Vec<((FopId, usize), Vec<ExecId>)> =
+            rec.committed.iter().map(|(&k, v)| (k, v.clone())).collect();
+        committed.sort_unstable_by_key(|&(k, _)| k);
+        for ((f, i), locations) in committed {
+            if f >= n_fops || i >= self.parallelism[f] {
+                // A frame from a stale shape (or one that survived the
+                // CRC by chance): drop it, the task table has no slot.
+                continue;
+            }
+            let locs: Vec<ExecId> = locations
+                .into_iter()
+                .filter(|l| alive.contains(l))
+                .collect();
+            let mut block: Option<Block> = None;
+            for &l in &locs {
+                let fetched = self.executors.get(&l).and_then(|info| {
+                    info.store
+                        .lock()
+                        .get(BlockRef::Output { fop: f, index: i })
+                        .ok()
+                        .flatten()
+                });
+                if fetched.is_some() {
+                    block = fetched;
+                    break;
+                }
+            }
+            let terminal = self.job.plan.out_edges(f).is_empty();
+            let block = block.or_else(|| {
+                if terminal {
+                    self.result_parts.get(&(f, i)).map(Arc::clone)
+                } else {
+                    None
+                }
+            });
+            let Some(block) = block else {
+                continue;
+            };
+            if terminal {
+                self.result_parts.insert((f, i), Arc::clone(&block));
+            }
+            self.outputs.insert((f, i), block);
+            self.tasks[f][i] = TaskState::Done { locations: locs };
+        }
+        // Result parts of tasks the log no longer believes committed
+        // must not leak into the job output: their tasks recompute and
+        // re-commit identical bytes.
+        let tasks = &self.tasks;
+        self.result_parts.retain(|&(f, i), _| {
+            matches!(
+                tasks.get(f).and_then(|ts| ts.get(i)),
+                Some(TaskState::Done { .. })
+            )
+        });
+
+        // The idempotence keystone is *replaced*, not merged: the WAL's
+        // completed-attempt set is the replicated completion log, and
+        // pre-crash reports replayed by the network must still bounce.
+        self.completed_attempts = rec.completed_attempts.clone();
+        // The epoch only moves forward, so pre-crash frames stay fenced.
+        self.epoch.fetch_max(rec.epoch, Ordering::Relaxed);
+        // Fence every attempt the pre-crash master issued.
+        self.next_attempt = rec.max_attempt.max(self.next_attempt) + 1_000_000;
+        self.attempt_of.clear();
+        self.assigned.clear();
+        self.launch_times.clear();
+        self.speculative.clear();
+        self.task_failure_counts.clear();
+        self.exec_failures.clear();
+        self.attempt_epochs.clear();
+        for info in self.executors.values_mut() {
+            if info.alive {
+                info.busy = 0;
+            }
+        }
+        // Log every commit the crash rolled back; recomputation follows.
+        for (f, was) in done_before.iter().enumerate() {
+            for (i, &was_done) in was.iter().enumerate() {
+                let now_done = matches!(
+                    self.tasks.get(f).and_then(|ts| ts.get(i)),
+                    Some(TaskState::Done { .. })
+                );
+                if was_done && !now_done && f < n_fops && i < self.parallelism[f] {
+                    self.journal.emit(
+                        Some(self.meta.stage_of[f]),
+                        JobEvent::TaskReverted { fop: f, index: i },
+                    );
+                }
+            }
+        }
+        self.note_stage_transitions();
+        // A fresh snapshot compacts the replay for the next crash and
+        // resets the writer's snapshot clock.
+        self.append_wal_snapshot()
     }
 
     fn take_snapshot(&mut self) {
@@ -2399,7 +2826,9 @@ impl Master {
             }
             let mut durs = self.fop_durations[f].clone();
             durs.sort_unstable();
-            let median = durs[durs.len() / 2];
+            let Some(&median) = durs.get(durs.len() / 2) else {
+                continue;
+            };
             let threshold = ((median as f64 * mult) as u64).max(floor);
             for i in 0..self.tasks[f].len() {
                 if let TaskState::Running { attempts } = &self.tasks[f][i] {
@@ -2652,7 +3081,10 @@ impl Master {
             let buckets = route(records, DepType::ManyToMany, si, dst_par);
             self.routed.insert(key, buckets);
         }
-        Some(Arc::clone(&self.routed[&key][dst_index]))
+        self.routed
+            .get(&key)
+            .and_then(|buckets| buckets.get(dst_index))
+            .map(Arc::clone)
     }
 
     /// Drops everything derived from output `(fop, index)` — shuffle
@@ -2737,6 +3169,12 @@ impl Master {
             info.handle.join();
         }
     }
+}
+
+/// A uniform draw in `[0, 1)` from a hash — the crash family's
+/// deterministic coin.
+fn unit_draw(x: u64) -> f64 {
+    (mix64(x) >> 11) as f64 / (1u64 << 53) as f64
 }
 
 /// Which producer task indices a consumer task needs along an edge.
@@ -2831,6 +3269,7 @@ mod tests {
             config: crate::runtime::RuntimeConfig::default(),
         });
         Master::new(job, 1, 1, FaultPlan::default())
+            .expect("wal-less master creation is infallible")
     }
 
     /// The canonical event log, frozen from the live journal.

@@ -94,6 +94,16 @@ pub struct JobMetrics {
     pub final_epoch: u64,
     /// Payload frames the master rejected for carrying a stale epoch.
     pub frames_fenced: usize,
+    /// Master recoveries that rebuilt state from the write-ahead log.
+    pub wal_recoveries: usize,
+    /// WAL frames replayed across all recoveries.
+    pub wal_frames_replayed: usize,
+    /// WAL frames discarded by recovery scans (torn tails, corrupt
+    /// frames, frames stranded beyond interior corruption).
+    pub wal_frames_truncated: usize,
+    /// Recoveries that fell back to the last good snapshot because of
+    /// interior WAL corruption.
+    pub wal_snapshot_restores: usize,
 }
 
 impl JobMetrics {

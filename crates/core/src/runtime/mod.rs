@@ -14,6 +14,7 @@ pub mod policy;
 pub mod reconfig;
 pub mod store;
 pub mod transport;
+pub mod wal;
 
 pub use cache::{CacheKey, LruCache};
 pub use config::RuntimeConfig;
@@ -21,7 +22,7 @@ pub use executor::{ExecutorHandle, JobContext};
 pub use invariants::{assert_clean, check, Violation};
 pub use journal::{EventJournal, JobEvent, Journal, JournalMeta, JournalRecord};
 pub use local::LocalCluster;
-pub use master::{ChaosPlan, FaultPlan, Injector, JobResult, Master};
+pub use master::{ChaosPlan, CrashPlan, FaultPlan, Injector, JobResult, Master};
 pub use message::{AttemptId, ExecId, InjectedFault, MasterMsg};
 pub use metrics::JobMetrics;
 pub use policy::{Candidate, LeastLoaded, RoundRobinCacheAware, SchedulingPolicy, TaskToPlace};
@@ -30,3 +31,7 @@ pub use store::{
     block_bytes, BlockRef, BlockStore, ExecutorStore, SpillFaultPlan, StoreError, StoreHandle,
 };
 pub use transport::{DirectionFaults, NetworkFault, PartitionSpec};
+pub use wal::{
+    encode_frame, inject_corruption, replay, scan, temp_wal_path, RecoveredState, WalCorruption,
+    WalFrame, WalRecord, WalScan, WalSnapshot, WalWriter,
+};

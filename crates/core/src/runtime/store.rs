@@ -352,7 +352,9 @@ impl BlockStore {
             self.resident.insert(r, entry);
             return false;
         }
-        self.resident_bytes -= entry.bytes;
+        // Saturating: a byte-accounting drift under injected faults must
+        // surface as a metrics anomaly, never an underflow panic.
+        self.resident_bytes = self.resident_bytes.saturating_sub(entry.bytes);
         let raw_bytes = entry.data.raw_len();
         self.spilled.insert(
             r,
@@ -602,7 +604,7 @@ impl BlockStore {
             return false;
         }
         if let Some(e) = self.resident.remove(&r) {
-            self.resident_bytes -= e.bytes;
+            self.resident_bytes = self.resident_bytes.saturating_sub(e.bytes);
             self.emit(JobEvent::BlockReleased {
                 exec: self.exec,
                 block: r,

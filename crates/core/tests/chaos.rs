@@ -131,6 +131,7 @@ fn random_fault_plan(rng: &mut StdRng, seed: u64) -> FaultPlan {
         network: None,
         reconfigs: Vec::new(),
         spill_faults: None,
+        crashes: None,
     }
 }
 

@@ -404,6 +404,7 @@ fn chaos_outputs_match_cloning_reference_plane() {
                 network: None,
                 reconfigs: Vec::new(),
                 spill_faults: None,
+                crashes: None,
             };
             let result = LocalCluster::new(2, 2)
                 .with_config(config())

@@ -256,6 +256,7 @@ fn random_fault_plan(rng: &mut StdRng, seed: u64, floor: usize, budget: usize) -
         network: rng.gen_bool(0.4).then(|| random_network(rng, seed)),
         reconfigs: Vec::new(),
         spill_faults: None,
+        crashes: None,
     }
 }
 

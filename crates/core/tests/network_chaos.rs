@@ -190,6 +190,7 @@ fn random_fault_plan(
         network: Some(random_network(rng, seed, n_transient, n_reserved)),
         reconfigs: Vec::new(),
         spill_faults: None,
+        crashes: None,
     }
 }
 

@@ -177,6 +177,7 @@ fn random_fault_plan(rng: &mut StdRng, seed: u64, n_transient: usize) -> FaultPl
         network: None,
         reconfigs: random_reconfigs(rng, n_transient),
         spill_faults,
+        crashes: None,
     }
 }
 

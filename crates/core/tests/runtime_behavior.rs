@@ -580,3 +580,112 @@ fn fixed_seed_reconfig_timeline_is_golden() {
         );
     }
 }
+
+#[test]
+fn fixed_seed_crash_recovery_timeline_is_golden() {
+    use pado_core::runtime::{temp_wal_path, CrashPlan};
+
+    // Same serial-chain recipe as `fixed_seed_journal_is_deterministic`
+    // (parallelism 1, one slot, no speculation, no blacklisting) plus a
+    // deterministic master crash: the kill lands after a fixed number of
+    // handled frames, so the WAL prefix, the recovery, and the journal
+    // it produces must be byte-stable run over run.
+    let build = || {
+        let p = Pipeline::new();
+        p.read("Read", 1, SourceFn::from_vec(ints(12)))
+            .par_do(
+                "Key",
+                ParDoFn::per_element(|v, e| {
+                    e(Value::pair(Value::from(v.as_i64().unwrap() % 2), v.clone()))
+                }),
+            )
+            .combine_per_key("Sum", CombineFn::sum_i64())
+            .sink("Out");
+        p.build().unwrap()
+    };
+    let run = |tag: &str| {
+        let wal = temp_wal_path(tag);
+        let config = RuntimeConfig {
+            slots_per_executor: 1,
+            speculation: false,
+            executor_fault_threshold: 100,
+            heartbeat_interval_ms: 1_000,
+            dead_executor_timeout_ms: 60_000,
+            wal_path: Some(wal.to_string_lossy().into_owned()),
+            wal_sync_every: 1,
+            wal_snapshot_every: 8,
+            ..Default::default()
+        };
+        let faults = FaultPlan {
+            crashes: Some(CrashPlan {
+                seed: 7,
+                after_handled_frames: Some(3),
+                max_crashes: 1,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let dag = build();
+        let result = LocalCluster::new(1, 1)
+            .with_config(config)
+            .run_with_faults(&dag, faults)
+            .unwrap();
+        std::fs::remove_file(&wal).ok();
+        result
+    };
+    let a = run("golden-crash-a");
+    let b = run("golden-crash-b");
+    pado_core::runtime::assert_clean(&a.journal, true);
+    assert_eq!(a.metrics.wal_recoveries, 1);
+    // The replayed-frame count is wall-clock (it includes whatever
+    // executor-side events were in flight when the kill landed), so it
+    // is elided from the golden comparison exactly like timestamps; the
+    // semantic sequence — what crashed, what reverted, what relaunched,
+    // with which fenced attempt ids — must be byte-stable.
+    let canon = |r: &pado_core::runtime::JobResult| -> Vec<pado_core::runtime::JobEvent> {
+        r.journal
+            .to_events()
+            .into_iter()
+            .map(|e| match e {
+                pado_core::runtime::JobEvent::WalRecovered {
+                    snapshot_restored, ..
+                } => pado_core::runtime::JobEvent::WalRecovered {
+                    frames_replayed: 0,
+                    frames_truncated: 0,
+                    snapshot_restored,
+                },
+                e => e,
+            })
+            .collect()
+    };
+    assert_eq!(
+        canon(&a),
+        canon(&b),
+        "canonical crash-recovery event sequence must be identical for a fixed seed"
+    );
+    let strip = |t: &str| -> String {
+        t.lines()
+            .filter(|l| !l.contains("wal-recovered"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let timeline = a.journal.render_timeline(false);
+    assert_eq!(
+        strip(&timeline),
+        strip(&b.journal.render_timeline(false)),
+        "time-elided crash-recovery timeline must be byte-stable for a fixed seed"
+    );
+    for needle in ["master-recovered", "wal-recovered"] {
+        assert!(
+            timeline.contains(needle),
+            "timeline must narrate the recovery (missing {needle:?}):\n{timeline}"
+        );
+    }
+    let totals = |r: &pado_core::runtime::JobResult| -> i64 {
+        r.outputs["Out"]
+            .iter()
+            .map(|rec| rec.val().unwrap().as_i64().unwrap())
+            .sum()
+    };
+    assert_eq!(totals(&a), (0..12).sum::<i64>());
+}

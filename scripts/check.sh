@@ -22,6 +22,12 @@ cargo test -p pado-core --test memory_pressure -q
 echo "==> reconfig chaos matrix (110 seeds, epoch fencing + byte-identical)"
 cargo test -p pado-core --test reconfig_chaos -q
 
+echo "==> WAL codec property suite (round-trip + corruption recovery)"
+cargo test -p pado-core --test wal_properties -q
+
+echo "==> crash-recovery matrix (110 seeds, WAL replay + byte-identical)"
+cargo test -p pado-core --test crash_recovery -q
+
 echo "==> data-plane small-budget smoke (spill-to-disk, byte-identical)"
 cargo run -p pado-bench --release --bin dataplane -- --smoke --mem-budget auto >/dev/null
 
