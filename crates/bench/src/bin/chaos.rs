@@ -6,7 +6,12 @@
 //! baseline plus the commit/retry invariants.
 //!
 //! Usage: `cargo run -p pado-bench --bin chaos [n_seeds] [--network]
-//! [--reconfig] [--crash] [--journal <path>] [--wal-dump <path>]`
+//! [--reconfig] [--crash] [--journal <path>] [--wal-dump <path>]
+//! [--backend <sim|threaded>]`
+//! `--backend` selects the execution backend for the seeded runs; the
+//! fault-free baselines always run on the deterministic sim backend, so
+//! `--backend threaded` doubles as a cross-backend differential check
+//! under chaos.
 //! `--network` adds the transport dimension: seeded message
 //! drop/duplicate/reorder/delay in both directions plus timed executor
 //! partitions kept below the dead-executor threshold, so outputs must
@@ -31,9 +36,9 @@ use std::collections::HashMap;
 
 use pado_core::compiler::Placement;
 use pado_core::runtime::{
-    temp_wal_path, ChaosPlan, CrashPlan, DirectionFaults, FaultPlan, JobEvent, JobResult,
-    LocalCluster, NetworkFault, PartitionSpec, ReconfigChange, ReconfigTrigger, RuntimeConfig,
-    ScheduledReconfig, SpillFaultPlan, WalCorruption,
+    temp_wal_path, BackendKind, ChaosPlan, CrashPlan, DirectionFaults, FaultPlan, JobEvent,
+    JobResult, LocalCluster, NetworkFault, PartitionSpec, ReconfigChange, ReconfigTrigger,
+    RuntimeConfig, ScheduledReconfig, SpillFaultPlan, WalCorruption,
 };
 use pado_dag::codec::encode_batch;
 use pado_dag::{CombineFn, LogicalDag, ParDoFn, Pipeline, SourceFn, TaskInput, Value};
@@ -384,6 +389,7 @@ fn main() {
     let mut crash = false;
     let mut journal_path: Option<String> = None;
     let mut wal_dump_path: Option<String> = None;
+    let mut backend = BackendKind::Sim;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--network" {
@@ -396,6 +402,10 @@ fn main() {
             journal_path = Some(args.next().expect("--journal needs a path"));
         } else if arg == "--wal-dump" {
             wal_dump_path = Some(args.next().expect("--wal-dump needs a path"));
+        } else if arg == "--backend" {
+            let spec = args.next().expect("--backend needs sim|threaded");
+            backend = BackendKind::parse(&spec)
+                .unwrap_or_else(|| panic!("unknown backend {spec:?} (sim|threaded)"));
         } else {
             n_seeds = arg.parse().expect("n_seeds must be an integer");
         }
@@ -462,6 +472,7 @@ fn main() {
             config.wal_snapshot_every = rng.gen_range(8..64usize);
         }
         let run = LocalCluster::new(n_transient, n_reserved)
+            .with_backend(backend)
             .with_config(config)
             .run_with_faults(dag, faults.clone());
         if let Some(path) = &wal {

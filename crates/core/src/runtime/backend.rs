@@ -1,0 +1,383 @@
+//! Execution backends: how the master loop and executor slots map onto
+//! threads (DESIGN.md §15).
+//!
+//! The scheduler, commit protocol, transport, and journal are all
+//! backend-agnostic; an [`ExecBackend`] only decides *where* they run:
+//!
+//! - [`SimBackend`] is the configuration every chaos/invariant suite
+//!   runs on: the master loop runs inline on the caller's thread and
+//!   each executor owns dedicated slot threads. One frame is handled per
+//!   wakeup, shuffle routing happens lazily inside the master, and the
+//!   event interleaving stays as close to the original deterministic
+//!   loop as real threads allow.
+//! - [`ThreadedBackend`] is the wall-clock configuration: the master
+//!   loop runs on its own `pado-master` thread (bounded by a wall-clock
+//!   timeout so a wedged run aborts instead of hanging the caller),
+//!   executor slots are serviced by one shared [`WorkerPool`], inbound
+//!   frames are drained in batches between scheduling passes, and hash
+//!   shuffle routing is pushed onto the pool eagerly at commit time so
+//!   it overlaps and parallelizes instead of serializing in the master.
+//!
+//! Both backends implement the same [`Clock`] contract, emit the same
+//! `JobEvent` stream up to causal reordering (the canonical journal
+//! order is identical), and must produce byte-identical job outputs —
+//! `crates/core/tests/backend_equivalence.rs` is the differential proof.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, Sender, TrySendError};
+
+use crate::error::RuntimeError;
+use crate::runtime::clock::Clock;
+use crate::runtime::config::RuntimeConfig;
+use crate::runtime::master::{JobResult, Master};
+
+/// Which execution backend a [`LocalCluster`](crate::runtime::LocalCluster)
+/// drives a job on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// Deterministic-leaning inline loop (the default; all chaos and
+    /// invariant suites run here).
+    #[default]
+    Sim,
+    /// Real parallel backend: master on its own thread, executors on a
+    /// shared worker pool, batched frame draining, eager routing.
+    Threaded,
+}
+
+impl BackendKind {
+    /// Parses a CLI/user spelling of a backend name.
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        match s {
+            "sim" => Some(BackendKind::Sim),
+            "threaded" => Some(BackendKind::Threaded),
+            _ => None,
+        }
+    }
+}
+
+/// How a job's master loop and executor slots map onto threads.
+///
+/// The contract every implementation must honor:
+///
+/// - [`drive`](ExecBackend::drive) runs the master to completion and
+///   returns its result (or a positioned error).
+/// - The emitted journal must freeze to the same canonical order as any
+///   other backend for the same logical execution: causal order is the
+///   contract, byte-level emission order is not.
+/// - Job outputs must be byte-identical across backends for the same
+///   plan (the data plane is deterministic; only timing may differ).
+pub trait ExecBackend: Send + Sync + std::fmt::Debug {
+    /// Human-readable backend name (journals, benches, traces).
+    fn name(&self) -> &'static str;
+
+    /// The scheduling clock the master reads all timer state from.
+    fn clock(&self) -> Clock {
+        Clock::wall()
+    }
+
+    /// The shared pool servicing executor slots, when this backend uses
+    /// one (`None` = each executor spawns dedicated slot threads).
+    fn pool(&self) -> Option<Arc<WorkerPool>> {
+        None
+    }
+
+    /// How many inbound frames the master may drain per wakeup before
+    /// rerunning its control work (transport pump, schedule pass).
+    fn frame_batch(&self) -> usize {
+        1
+    }
+
+    /// Whether committed hash-shuffle outputs are routed eagerly on the
+    /// pool (overlapping producers) instead of lazily in the master at
+    /// consumer-launch time.
+    fn eager_routing(&self) -> bool {
+        false
+    }
+
+    /// Runs the master to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates runtime errors from the master loop; backends may add
+    /// their own failure modes (e.g. the threaded wall-clock timeout).
+    fn drive(&self, master: Master) -> Result<JobResult, RuntimeError>;
+}
+
+/// The existing deterministic event loop: master inline on the calling
+/// thread, dedicated slot threads per executor, one frame per wakeup.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimBackend;
+
+impl ExecBackend for SimBackend {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn drive(&self, master: Master) -> Result<JobResult, RuntimeError> {
+        master.run()
+    }
+}
+
+/// Real parallel backend: master loop on its own thread with a
+/// wall-clock abort timeout, executor slots on a shared [`WorkerPool`],
+/// batched frame draining, and eager commit-time shuffle routing.
+#[derive(Debug)]
+pub struct ThreadedBackend {
+    pool: Arc<WorkerPool>,
+    frame_batch: usize,
+    wallclock_timeout: Duration,
+}
+
+impl ThreadedBackend {
+    /// Frames drained per master wakeup. Large enough to amortize the
+    /// control work across a burst of concurrent completions, small
+    /// enough that failure detection and deferred-push retries never
+    /// starve.
+    const FRAME_BATCH: usize = 32;
+
+    /// Builds the backend from the validated threaded knobs in `config`
+    /// (`threaded_workers`, `threaded_channel_capacity`,
+    /// `threaded_wallclock_timeout_ms`). The worker pool spins up
+    /// immediately and is shared by every executor of the job.
+    pub fn from_config(config: &RuntimeConfig) -> Self {
+        ThreadedBackend {
+            pool: Arc::new(WorkerPool::new(
+                config.threaded_workers.max(1),
+                config.threaded_channel_capacity.max(1),
+            )),
+            frame_batch: Self::FRAME_BATCH,
+            wallclock_timeout: Duration::from_millis(config.threaded_wallclock_timeout_ms.max(1)),
+        }
+    }
+}
+
+impl ExecBackend for ThreadedBackend {
+    fn name(&self) -> &'static str {
+        "threaded"
+    }
+
+    fn pool(&self) -> Option<Arc<WorkerPool>> {
+        Some(Arc::clone(&self.pool))
+    }
+
+    fn frame_batch(&self) -> usize {
+        self.frame_batch
+    }
+
+    fn eager_routing(&self) -> bool {
+        true
+    }
+
+    fn drive(&self, master: Master) -> Result<JobResult, RuntimeError> {
+        let (tx, rx) = crossbeam::channel::bounded::<Result<JobResult, RuntimeError>>(1);
+        let handle = std::thread::Builder::new()
+            .name("pado-master".into())
+            .spawn(move || {
+                let _ = tx.send(master.run());
+            })
+            .expect("spawn master thread");
+        match rx.recv_timeout(self.wallclock_timeout) {
+            Ok(result) => {
+                let _ = handle.join();
+                result
+            }
+            // The master exceeded its wall-clock budget (a deadlock in
+            // the threaded plumbing, or a genuinely over-budget job).
+            // Abort the caller; the master thread is leaked as a
+            // backstop — joining a wedged thread would just move the
+            // hang here.
+            Err(_) => Err(RuntimeError::Aborted(format!(
+                "threaded backend exceeded its wall-clock timeout \
+                 ({} ms) — master loop did not finish",
+                self.wallclock_timeout.as_millis()
+            ))),
+        }
+    }
+}
+
+/// A job submitted to the [`WorkerPool`].
+pub type PoolJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size thread pool with a bounded job queue, shared by every
+/// executor of a threaded-backend job (task bodies) and by the master
+/// (eager shuffle routing).
+///
+/// Threads are named with the executor worker prefix so the process-wide
+/// panic hook filter silences injected task panics on them exactly as it
+/// does for dedicated slot threads. The pool never deadlocks the master:
+/// the master only ever uses [`try_submit`](WorkerPool::try_submit)
+/// (dropping the work back to its lazy fallback when the queue is full),
+/// and executor control threads submit at most `slots` outstanding task
+/// bodies each (the master's `busy < slots` launch gate bounds them).
+#[derive(Debug)]
+pub struct WorkerPool {
+    tx: Option<Sender<PoolJob>>,
+    threads: Vec<JoinHandle<()>>,
+    /// Jobs submitted but not yet finished (queued + running).
+    in_flight: Arc<AtomicUsize>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads behind a `capacity`-bounded job queue.
+    pub fn new(workers: usize, capacity: usize) -> Self {
+        let (tx, rx) = crossbeam::channel::bounded::<PoolJob>(capacity.max(1));
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let threads = (0..workers.max(1))
+            .map(|i| {
+                let rx: Receiver<PoolJob> = rx.clone();
+                let in_flight = Arc::clone(&in_flight);
+                std::thread::Builder::new()
+                    // The prefix keys the panic hook filter (see
+                    // `executor::install_panic_hook_filter`): injected
+                    // task panics on pool threads stay silent too.
+                    .name(format!("pado-exec-pool-{i}"))
+                    .spawn(move || {
+                        while let Ok(job) = rx.recv() {
+                            job();
+                            in_flight.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    })
+                    .expect("spawn pool worker thread")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            threads,
+            in_flight,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Submits a job, blocking while the queue is full. Returns `false`
+    /// when the pool is shut down.
+    pub fn submit(&self, job: PoolJob) -> bool {
+        let Some(tx) = &self.tx else { return false };
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        if tx.send(job).is_err() {
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+            return false;
+        }
+        true
+    }
+
+    /// Submits a job only if queue space is immediately available — the
+    /// master's non-blocking path (a full queue means the fallback does
+    /// the work lazily instead).
+    pub fn try_submit(&self, job: PoolJob) -> bool {
+        let Some(tx) = &self.tx else { return false };
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        match tx.try_send(job) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                false
+            }
+        }
+    }
+
+    /// Jobs submitted but not yet finished.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Waits until every submitted job has finished, up to `timeout`.
+    /// Returns `true` when the pool quiesced. The master calls this
+    /// during shutdown so straggling pool jobs finish emitting journal
+    /// events before the journal freezes.
+    pub fn wait_quiesce(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.in_flight.load(Ordering::SeqCst) > 0 {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        true
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel ends every worker's recv loop; in-flight
+        // jobs finish first.
+        self.tx.take();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn pool_runs_all_submitted_jobs() {
+        let pool = WorkerPool::new(4, 8);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let hits = Arc::clone(&hits);
+            assert!(pool.submit(Box::new(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            })));
+        }
+        assert!(pool.wait_quiesce(Duration::from_secs(10)));
+        assert_eq!(hits.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn try_submit_reports_a_full_queue_instead_of_blocking() {
+        // One worker wedged on a gate; capacity-1 queue fills after one
+        // more job; the next try_submit must return false immediately.
+        let pool = WorkerPool::new(1, 1);
+        let (gate_tx, gate_rx) = crossbeam::channel::bounded::<()>(1);
+        let (started_tx, started_rx) = crossbeam::channel::bounded::<()>(1);
+        assert!(pool.submit(Box::new(move || {
+            let _ = started_tx.send(());
+            let _ = gate_rx.recv();
+        })));
+        // Wait for the worker to pick the blocker up so the queue is
+        // empty, then fill it.
+        started_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("blocker job should start");
+        assert!(pool.try_submit(Box::new(|| {})));
+        let rejected = !pool.try_submit(Box::new(|| {}));
+        gate_tx.send(()).unwrap();
+        assert!(pool.wait_quiesce(Duration::from_secs(10)));
+        assert!(rejected, "third job should have found the queue full");
+    }
+
+    #[test]
+    fn drop_joins_workers_after_draining() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(2, 16);
+            for _ in 0..10 {
+                let hits = Arc::clone(&hits);
+                pool.submit(Box::new(move || {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                }));
+            }
+        }
+        // Drop joined the workers; every queued job ran first.
+        assert_eq!(hits.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn backend_kind_parses() {
+        assert_eq!(BackendKind::parse("sim"), Some(BackendKind::Sim));
+        assert_eq!(BackendKind::parse("threaded"), Some(BackendKind::Threaded));
+        assert_eq!(BackendKind::parse("tcp"), None);
+        assert_eq!(BackendKind::default(), BackendKind::Sim);
+    }
+}

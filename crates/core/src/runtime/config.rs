@@ -90,6 +90,20 @@ pub struct RuntimeConfig {
     /// bounding the suffix recovery must replay and providing the
     /// fallback target for interior corruption.
     pub wal_snapshot_every: usize,
+    /// Worker threads in the threaded backend's shared pool (ignored by
+    /// the sim backend, which gives each executor dedicated slot
+    /// threads).
+    pub threaded_workers: usize,
+    /// Capacity of the threaded backend's bounded pool job queue. The
+    /// master submits eager routing work with a non-blocking try-send
+    /// against this bound; executor task bodies queue behind it.
+    pub threaded_channel_capacity: usize,
+    /// Wall-clock milliseconds the threaded backend waits for the master
+    /// thread before aborting the job (the backstop against a deadlock
+    /// in the parallel plumbing). Must exceed `event_timeout_ms` so the
+    /// master's own wedge detector always fires first on a merely-idle
+    /// job.
+    pub threaded_wallclock_timeout_ms: u64,
 }
 
 impl Default for RuntimeConfig {
@@ -119,6 +133,9 @@ impl Default for RuntimeConfig {
             wal_path: None,
             wal_sync_every: 1,
             wal_snapshot_every: 64,
+            threaded_workers: 4,
+            threaded_channel_capacity: 256,
+            threaded_wallclock_timeout_ms: 60_000,
         }
     }
 }
@@ -242,6 +259,21 @@ impl RuntimeConfig {
                     return Err("wal_path must not be an empty string".into());
                 }
             }
+        }
+        if self.threaded_workers == 0 {
+            return Err("threaded_workers must be at least 1".into());
+        }
+        if self.threaded_channel_capacity == 0 {
+            return Err("threaded_channel_capacity must be at least 1".into());
+        }
+        if self.threaded_wallclock_timeout_ms <= self.event_timeout_ms {
+            return Err(format!(
+                "threaded_wallclock_timeout_ms ({}) must exceed event_timeout_ms \
+                 ({}): the wall-clock abort is a deadlock backstop and must never \
+                 fire before the master's own wedge detector can report a stuck \
+                 job with its diagnostics",
+                self.threaded_wallclock_timeout_ms, self.event_timeout_ms
+            ));
         }
         Ok(())
     }
@@ -446,6 +478,39 @@ mod tests {
             ..RuntimeConfig::default()
         };
         assert!(c.validate().unwrap_err().contains("wal_path"));
+    }
+
+    #[test]
+    fn validate_rejects_zero_threaded_workers() {
+        let c = RuntimeConfig {
+            threaded_workers: 0,
+            ..RuntimeConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("threaded_workers"));
+    }
+
+    #[test]
+    fn validate_rejects_zero_threaded_channel_capacity() {
+        let c = RuntimeConfig {
+            threaded_channel_capacity: 0,
+            ..RuntimeConfig::default()
+        };
+        assert!(c
+            .validate()
+            .unwrap_err()
+            .contains("threaded_channel_capacity"));
+    }
+
+    #[test]
+    fn validate_rejects_wallclock_timeout_at_or_below_event_timeout() {
+        let c = RuntimeConfig {
+            threaded_wallclock_timeout_ms: 30_000,
+            event_timeout_ms: 30_000,
+            ..RuntimeConfig::default()
+        };
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("threaded_wallclock_timeout_ms"));
+        assert!(err.contains("event_timeout_ms"));
     }
 
     #[test]

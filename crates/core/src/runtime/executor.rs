@@ -28,6 +28,7 @@ use parking_lot::Mutex;
 
 use crate::compiler::{PhysicalPlan, Placement};
 use crate::exec::apply_chain;
+use crate::runtime::backend::WorkerPool;
 use crate::runtime::cache::CacheKey;
 use crate::runtime::config::RuntimeConfig;
 use crate::runtime::journal::{JobEvent, Journal};
@@ -93,6 +94,14 @@ impl ExecutorHandle {
     /// starts, the reliable endpoint logs retransmissions); `store` is
     /// this executor's byte-accounted memory domain, shared with the
     /// master (which pins inputs and admits pushes into it).
+    ///
+    /// With `pool` set (the threaded backend) the executor spawns no
+    /// dedicated slot threads: task bodies are submitted to the shared
+    /// pool instead, and finished reports flow back through the control
+    /// thread exactly as before. The master's `busy < slots` launch gate
+    /// still bounds this executor to `slots` outstanding task bodies, so
+    /// the pool's bounded queue never sees more than
+    /// `executors × slots` task submissions at once.
     #[allow(clippy::too_many_arguments)]
     pub fn spawn(
         id: ExecId,
@@ -103,24 +112,42 @@ impl ExecutorHandle {
         counters: Arc<TransportCounters>,
         journal: Journal,
         store: StoreHandle,
+        pool: Option<Arc<WorkerPool>>,
     ) -> Self {
         install_panic_hook_filter();
         let (ctrl_tx, ctrl_rx) = crossbeam::channel::unbounded::<ExecIn>();
-        let (task_tx, task_rx) = crossbeam::channel::unbounded::<ExecutorMsg>();
         let slots = job.config.slots_per_executor.max(1);
-        let mut threads: Vec<JoinHandle<()>> = (0..slots)
-            .map(|slot| {
-                let task_rx = task_rx.clone();
-                let job = Arc::clone(&job);
-                let ctrl_tx = ctrl_tx.clone();
-                let store = Arc::clone(&store);
-                let journal = journal.clone();
-                std::thread::Builder::new()
-                    .name(format!("pado-exec-{id}-slot{slot}"))
-                    .spawn(move || worker_loop(id, task_rx, job, ctrl_tx, store, journal))
-                    .expect("spawn executor worker thread")
-            })
-            .collect();
+        let mut threads: Vec<JoinHandle<()>>;
+        let sink = match pool {
+            Some(pool) => {
+                threads = Vec::new();
+                TaskSink::Pool {
+                    pool,
+                    exec: id,
+                    job: Arc::clone(&job),
+                    store: Arc::clone(&store),
+                    journal: journal.clone(),
+                    ctrl: ctrl_tx.clone(),
+                }
+            }
+            None => {
+                let (task_tx, task_rx) = crossbeam::channel::unbounded::<ExecutorMsg>();
+                threads = (0..slots)
+                    .map(|slot| {
+                        let task_rx = task_rx.clone();
+                        let job = Arc::clone(&job);
+                        let ctrl_tx = ctrl_tx.clone();
+                        let store = Arc::clone(&store);
+                        let journal = journal.clone();
+                        std::thread::Builder::new()
+                            .name(format!("pado-exec-{id}-slot{slot}"))
+                            .spawn(move || worker_loop(id, task_rx, job, ctrl_tx, store, journal))
+                            .expect("spawn executor worker thread")
+                    })
+                    .collect();
+                TaskSink::Slots { tx: task_tx, slots }
+            }
+        };
         let seed = net.as_ref().map_or(0, |p| p.seed());
         let ctrs = Arc::clone(&counters);
         // The executor's view of the reconfiguration epoch: advanced by
@@ -149,11 +176,7 @@ impl ExecutorHandle {
         threads.push(
             std::thread::Builder::new()
                 .name(format!("pado-exec-{id}-ctrl"))
-                .spawn(move || {
-                    control_loop(
-                        id, ctrl_rx, task_tx, out, dedup, heartbeat, slots, ctrs, epoch,
-                    )
-                })
+                .spawn(move || control_loop(id, ctrl_rx, sink, out, dedup, heartbeat, ctrs, epoch))
                 .expect("spawn executor control thread"),
         );
         ExecutorHandle {
@@ -181,6 +204,74 @@ impl ExecutorHandle {
     pub fn join(self) {
         for t in self.threads {
             let _ = t.join();
+        }
+    }
+}
+
+/// Where the control thread hands runnable task specs: dedicated slot
+/// threads (sim backend) or the job-wide shared pool (threaded backend).
+enum TaskSink {
+    Slots {
+        tx: Sender<ExecutorMsg>,
+        slots: usize,
+    },
+    Pool {
+        pool: Arc<WorkerPool>,
+        exec: ExecId,
+        job: Arc<JobContext>,
+        store: StoreHandle,
+        journal: Journal,
+        ctrl: Sender<ExecIn>,
+    },
+}
+
+impl TaskSink {
+    /// Dispatches one task spec for execution.
+    fn run(&self, spec: TaskSpec) {
+        match self {
+            TaskSink::Slots { tx, .. } => {
+                let _ = tx.send(ExecutorMsg::Run(spec));
+            }
+            TaskSink::Pool {
+                pool,
+                exec,
+                job,
+                store,
+                journal,
+                ctrl,
+            } => {
+                let (exec, job, store, journal, ctrl) = (
+                    *exec,
+                    Arc::clone(job),
+                    Arc::clone(store),
+                    journal.clone(),
+                    ctrl.clone(),
+                );
+                // Blocking submit is safe here: the master's launch gate
+                // bounds this executor to `slots` outstanding bodies, and
+                // pool workers never wait on this control thread.
+                pool.submit(Box::new(move || {
+                    let done = run_task(exec, &job, &store, &journal, spec);
+                    if let MasterMsg::TaskDone { output, .. } = &done {
+                        // Warm the block's memoized encoded size on the
+                        // pool instead of letting the master's store
+                        // accounting pay for the first encode serially.
+                        let _ = output.encoded_len();
+                    }
+                    let _ = ctrl.send(ExecIn::Out(done));
+                }));
+            }
+        }
+    }
+
+    /// Tears down the execution lanes (no-op for the shared pool, which
+    /// outlives any one executor; in-flight bodies finish and their
+    /// reports land in a disconnected channel).
+    fn stop(&self) {
+        if let TaskSink::Slots { tx, slots } = self {
+            for _ in 0..*slots {
+                let _ = tx.send(ExecutorMsg::Stop);
+            }
         }
     }
 }
@@ -216,11 +307,10 @@ fn worker_loop(
 fn control_loop(
     exec: ExecId,
     ctrl_rx: Receiver<ExecIn>,
-    task_tx: Sender<ExecutorMsg>,
+    sink: TaskSink,
     mut out: ReliableSender<MasterMsg, Wire<MasterMsg>>,
     mut dedup: DedupWindow,
     heartbeat: Duration,
-    slots: usize,
     counters: Arc<TransportCounters>,
     epoch: Arc<std::sync::atomic::AtomicU64>,
 ) {
@@ -235,9 +325,7 @@ fn control_loop(
             // A transport bookkeeping invariant broke: tear the worker
             // slots down cleanly (the master's own pump surfaces the
             // positioned error and fails the job).
-            for _ in 0..slots {
-                let _ = task_tx.send(ExecutorMsg::Stop);
-            }
+            sink.stop();
             return;
         }
         let deadline = out
@@ -246,9 +334,7 @@ fn control_loop(
             .max(now + Duration::from_millis(1));
         match ctrl_rx.recv_timeout(deadline - now) {
             Ok(ExecIn::Kill) => {
-                for _ in 0..slots {
-                    let _ = task_tx.send(ExecutorMsg::Stop);
-                }
+                sink.stop();
                 return;
             }
             Ok(ExecIn::Out(msg)) => out.send(msg),
@@ -270,9 +356,8 @@ fn control_loop(
                         ExecutorMsg::AdvanceEpoch(e) => {
                             epoch.fetch_max(e, std::sync::atomic::Ordering::Relaxed);
                         }
-                        other => {
-                            let _ = task_tx.send(other);
-                        }
+                        ExecutorMsg::Run(spec) => sink.run(spec),
+                        ExecutorMsg::Stop => sink.stop(),
                     }
                 } else {
                     counters
@@ -284,19 +369,17 @@ fn control_loop(
             // Masters don't heartbeat executors; Direct frames are
             // master-side only. Tolerate both.
             Ok(ExecIn::Net(Wire::Heartbeat { .. })) => {}
-            Ok(ExecIn::Net(Wire::Direct(payload))) => {
-                if let ExecutorMsg::AdvanceEpoch(e) = payload {
+            Ok(ExecIn::Net(Wire::Direct(payload))) => match payload {
+                ExecutorMsg::AdvanceEpoch(e) => {
                     epoch.fetch_max(e, std::sync::atomic::Ordering::Relaxed);
-                } else {
-                    let _ = task_tx.send(payload);
                 }
-            }
+                ExecutorMsg::Run(spec) => sink.run(spec),
+                ExecutorMsg::Stop => sink.stop(),
+            },
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => {
                 // The master dropped our inbound sender: job over.
-                for _ in 0..slots {
-                    let _ = task_tx.send(ExecutorMsg::Stop);
-                }
+                sink.stop();
                 return;
             }
         }

@@ -374,6 +374,51 @@ pub enum JobEvent {
     },
 }
 
+impl JobEvent {
+    /// The event's variant name — the unit the cross-backend differential
+    /// suite compares on (per-kind counts are placement-sensitive for some
+    /// kinds, but the set of kinds a plan can produce is not).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobEvent::TaskLaunched { .. } => "TaskLaunched",
+            JobEvent::SpeculativeLaunched { .. } => "SpeculativeLaunched",
+            JobEvent::TaskStarted { .. } => "TaskStarted",
+            JobEvent::TaskCommitted { .. } => "TaskCommitted",
+            JobEvent::TaskFailed { .. } => "TaskFailed",
+            JobEvent::TaskReverted { .. } => "TaskReverted",
+            JobEvent::ExecutorBlacklisted(_) => "ExecutorBlacklisted",
+            JobEvent::StageCompleted(_) => "StageCompleted",
+            JobEvent::StageReopened { .. } => "StageReopened",
+            JobEvent::ContainerEvicted(_) => "ContainerEvicted",
+            JobEvent::ReservedFailed(_) => "ReservedFailed",
+            JobEvent::ExecutorDeclaredDead(_) => "ExecutorDeclaredDead",
+            JobEvent::ContainerAdded(_) => "ContainerAdded",
+            JobEvent::HeartbeatMissed(_) => "HeartbeatMissed",
+            JobEvent::MessageRetransmitted { .. } => "MessageRetransmitted",
+            JobEvent::MasterRecovered => "MasterRecovered",
+            JobEvent::BlockAdmitted { .. } => "BlockAdmitted",
+            JobEvent::BlockSpilled { .. } => "BlockSpilled",
+            JobEvent::BlockLoaded { .. } => "BlockLoaded",
+            JobEvent::BlockReleased { .. } => "BlockReleased",
+            JobEvent::BlockPinned { .. } => "BlockPinned",
+            JobEvent::BlockUnpinned { .. } => "BlockUnpinned",
+            JobEvent::StoreBudgetChanged { .. } => "StoreBudgetChanged",
+            JobEvent::PushDeferred { .. } => "PushDeferred",
+            JobEvent::PushResumed { .. } => "PushResumed",
+            JobEvent::OomInjected { .. } => "OomInjected",
+            JobEvent::CacheHit { .. } => "CacheHit",
+            JobEvent::CacheMiss { .. } => "CacheMiss",
+            JobEvent::ReconfigRequested { .. } => "ReconfigRequested",
+            JobEvent::ReconfigPrepared { .. } => "ReconfigPrepared",
+            JobEvent::ReconfigCommitted { .. } => "ReconfigCommitted",
+            JobEvent::ReconfigAborted { .. } => "ReconfigAborted",
+            JobEvent::EpochAdvanced { .. } => "EpochAdvanced",
+            JobEvent::StaleFrameFenced { .. } => "StaleFrameFenced",
+            JobEvent::WalRecovered { .. } => "WalRecovered",
+        }
+    }
+}
+
 /// One journal record: an event plus its emission order, timestamp, and
 /// the stage it belongs to (when the emitter knows it).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -547,6 +592,16 @@ impl EventJournal {
     /// The canonical event sequence as an owned log (for error payloads).
     pub fn to_events(&self) -> Vec<JobEvent> {
         self.events().cloned().collect()
+    }
+
+    /// Counts records per event kind (see [`JobEvent::kind`]). Sorted map
+    /// so differential assertions print deterministically.
+    pub fn kind_counts(&self) -> std::collections::BTreeMap<&'static str, usize> {
+        let mut counts = std::collections::BTreeMap::new();
+        for e in self.events() {
+            *counts.entry(e.kind()).or_insert(0) += 1;
+        }
+        counts
     }
 
     /// Derives the event-sourced [`JobMetrics`] counters by folding the

@@ -48,6 +48,7 @@ use crate::runtime::policy::SchedulingPolicy;
 
 use crate::compiler::{compile_with, PlanConfig};
 use crate::error::RuntimeError;
+use crate::runtime::backend::{BackendKind, ExecBackend, SimBackend, ThreadedBackend};
 use crate::runtime::config::RuntimeConfig;
 use crate::runtime::executor::JobContext;
 use crate::runtime::master::{FaultPlan, JobResult, Master};
@@ -63,6 +64,7 @@ pub struct LocalCluster {
     plan_config: PlanConfig,
     policy_factory: Option<Arc<dyn Fn() -> Box<dyn SchedulingPolicy> + Send + Sync>>,
     reconfigs: Vec<ScheduledReconfig>,
+    backend: BackendKind,
 }
 
 impl std::fmt::Debug for LocalCluster {
@@ -73,6 +75,7 @@ impl std::fmt::Debug for LocalCluster {
             .field("config", &self.config)
             .field("plan_config", &self.plan_config)
             .field("custom_policy", &self.policy_factory.is_some())
+            .field("backend", &self.backend)
             .finish()
     }
 }
@@ -87,7 +90,17 @@ impl LocalCluster {
             plan_config: PlanConfig::default(),
             policy_factory: None,
             reconfigs: Vec::new(),
+            backend: BackendKind::Sim,
         }
+    }
+
+    /// Selects the execution backend (default: [`BackendKind::Sim`], the
+    /// deterministic inline event loop). [`BackendKind::Threaded`] runs the
+    /// master on its own thread and task bodies on a shared worker pool
+    /// sized by [`RuntimeConfig::threaded_workers`].
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Schedules an explicit live-reconfiguration request: after
@@ -165,11 +178,21 @@ impl LocalCluster {
             plan,
             config: self.config.clone(),
         });
-        let mut master = Master::new(job, self.n_transient, self.n_reserved, faults)?;
+        let backend: Box<dyn ExecBackend> = match self.backend {
+            BackendKind::Sim => Box::new(SimBackend),
+            BackendKind::Threaded => Box::new(ThreadedBackend::from_config(&self.config)),
+        };
+        let mut master = Master::with_backend(
+            job,
+            self.n_transient,
+            self.n_reserved,
+            faults,
+            backend.as_ref(),
+        )?;
         if let Some(factory) = &self.policy_factory {
             master.set_policy(factory());
         }
-        master.run()
+        backend.drive(master)
     }
 }
 

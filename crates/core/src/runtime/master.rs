@@ -31,7 +31,9 @@ use parking_lot::Mutex;
 use crate::compiler::{FopId, InputSlot, Placement, PlanEdge};
 use crate::error::RuntimeError;
 use crate::exec::route;
+use crate::runtime::backend::{ExecBackend, SimBackend, WorkerPool};
 use crate::runtime::cache::CacheKey;
+use crate::runtime::clock::Clock;
 use crate::runtime::executor::{combine_consumer, ExecutorHandle, JobContext};
 use crate::runtime::journal::{
     EventJournal, Journal, JournalMeta, MAX_RETRANSMISSIONS_PER_MESSAGE,
@@ -288,6 +290,11 @@ struct ProgressSnapshot {
     epoch: u64,
 }
 
+/// Eager routing results keyed like [`Master::routed`]: `(fop, index,
+/// dst_par)` → the source block the buckets were computed from plus the
+/// buckets themselves.
+type EagerRouteCache = Arc<Mutex<HashMap<(FopId, usize, usize), (Block, Vec<Block>)>>>;
+
 /// The master event loop for one job.
 pub struct Master {
     job: Arc<JobContext>,
@@ -414,6 +421,25 @@ pub struct Master {
     fault_cursor_reconfig: usize,
     /// Evictions handled so far — the storm-policy trigger input.
     evictions_seen: usize,
+
+    // --- Execution-backend plumbing ---
+    /// The scheduling clock (wall on both stock backends; manual in
+    /// timer-order tests). Every master-side timer reads through it.
+    clock: Clock,
+    /// The shared worker pool, when the backend uses one: executors run
+    /// task bodies on it and the master submits eager routing to it.
+    pool: Option<Arc<WorkerPool>>,
+    /// Inbound frames drained per loop wakeup before control work reruns
+    /// (1 on the sim backend — the original loop shape).
+    frame_batch: usize,
+    /// Whether committed shuffle outputs are routed eagerly on the pool.
+    eager_routing: bool,
+    /// Completed eager routing results, keyed like [`Master::routed`]
+    /// and carrying the source block they were computed from: consumed
+    /// by [`Master::routed_bucket`] only when the source still matches
+    /// the live output (an eviction or repartition in between makes the
+    /// entry stale, and the lazy fallback recomputes).
+    eager_routed: EagerRouteCache,
 }
 
 impl Master {
@@ -428,6 +454,24 @@ impl Master {
         n_transient: usize,
         n_reserved: usize,
         faults: FaultPlan,
+    ) -> Result<Self, RuntimeError> {
+        Self::with_backend(job, n_transient, n_reserved, faults, &SimBackend)
+    }
+
+    /// Creates a master wired for a specific execution backend: its
+    /// clock, worker pool, frame-batch width, and routing strategy are
+    /// installed before the first executor spawns (executors need the
+    /// pool at spawn time).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Master::new`].
+    pub fn with_backend(
+        job: Arc<JobContext>,
+        n_transient: usize,
+        n_reserved: usize,
+        faults: FaultPlan,
+        backend: &dyn ExecBackend,
     ) -> Result<Self, RuntimeError> {
         let (tx, rx) = crossbeam::channel::unbounded();
         let net = faults.network.clone().map(NetPolicy::new);
@@ -540,6 +584,11 @@ impl Master {
             attempt_epochs: HashMap::new(),
             fault_cursor_reconfig: 0,
             evictions_seen: 0,
+            clock: backend.clock(),
+            pool: backend.pool(),
+            frame_batch: backend.frame_batch().max(1),
+            eager_routing: backend.eager_routing(),
+            eager_routed: Arc::new(Mutex::new(HashMap::new())),
         };
         for _ in 0..n_reserved {
             master.spawn_executor(Placement::Reserved);
@@ -591,6 +640,7 @@ impl Master {
             Arc::clone(&self.counters),
             self.journal.clone(),
             Arc::clone(&store),
+            self.pool.clone(),
         );
         let link = FaultyLink::new(
             handle.inbound(),
@@ -628,7 +678,7 @@ impl Master {
                 store,
                 out,
                 dedup: DedupWindow::new(self.job.config.transport_dedup_window),
-                last_heartbeat: Instant::now(),
+                last_heartbeat: self.clock.now(),
                 hb_flagged: false,
             },
         );
@@ -660,8 +710,8 @@ impl Master {
         self.schedule()?;
         let tick = Duration::from_millis(self.job.config.tick_ms.max(1));
         let timeout = Duration::from_millis(self.job.config.event_timeout_ms);
-        let mut last_progress = Instant::now();
-        let mut last_spec_check = Instant::now();
+        let mut last_progress = self.clock.now();
+        let mut last_spec_check = self.clock.now();
         while !self.complete() {
             match self.rx.recv_timeout(tick) {
                 Ok(frame) => {
@@ -669,22 +719,38 @@ impl Master {
                     // heartbeats, acks, and suppressed duplicates prove
                     // the wire is alive, not that the job is advancing.
                     if self.handle_frame(frame)? {
-                        last_progress = Instant::now();
+                        last_progress = self.clock.now();
                         self.handled_frames += 1;
                         // The crash family fires here — the handler
                         // boundary — so recovery never sees a frame's
                         // effects half-applied.
                         self.maybe_crash()?;
                     }
+                    // The threaded backend drains a burst of already-
+                    // queued frames before rerunning the control work
+                    // below, amortizing pump/schedule passes across
+                    // concurrent completions. The sim backend keeps the
+                    // original one-frame-per-wakeup shape (batch = 1).
+                    for _ in 1..self.frame_batch {
+                        let Some(frame) = self.rx.try_recv() else {
+                            break;
+                        };
+                        if self.handle_frame(frame)? {
+                            last_progress = self.clock.now();
+                            self.handled_frames += 1;
+                            self.maybe_crash()?;
+                        }
+                    }
                     self.note_stage_transitions();
                     self.maybe_wal_snapshot()?;
                 }
                 Err(RecvTimeoutError::Timeout) => {
-                    if last_progress.elapsed() >= timeout {
+                    let waited = self.clock.now().saturating_duration_since(last_progress);
+                    if waited >= timeout {
                         let journal = self.frozen_journal();
                         let metrics = Box::new(self.snapshot_metrics(&journal));
                         return Err(RuntimeError::Wedged {
-                            waited_ms: last_progress.elapsed().as_millis() as u64,
+                            waited_ms: waited.as_millis() as u64,
                             events: journal.to_events(),
                             metrics,
                         });
@@ -699,8 +765,8 @@ impl Master {
             self.pump_reconfig();
             // Straggler checks are time-gated so a burst of completions
             // does not rescan the task table once per message.
-            if last_spec_check.elapsed() >= tick {
-                last_spec_check = Instant::now();
+            if self.clock.now().saturating_duration_since(last_spec_check) >= tick {
+                last_spec_check = self.clock.now();
                 self.maybe_speculate()?;
             }
             self.schedule()?;
@@ -785,7 +851,7 @@ impl Master {
     fn note_liveness(&mut self, exec: ExecId) {
         if let Some(info) = self.executors.get_mut(&exec) {
             if info.alive {
-                info.last_heartbeat = Instant::now();
+                info.last_heartbeat = self.clock.now();
                 info.hb_flagged = false;
             }
         }
@@ -798,7 +864,7 @@ impl Master {
     /// silence past `dead_executor_timeout_ms` declares it dead and routes
     /// into the eviction recovery path.
     fn pump_transport(&mut self) -> Result<(), RuntimeError> {
-        let now = Instant::now();
+        let now = self.clock.now();
         let miss_after = Duration::from_millis(
             self.job
                 .config
@@ -839,7 +905,7 @@ impl Master {
         if self.deferred_pushes.is_empty() {
             return Ok(());
         }
-        let now = Instant::now();
+        let now = self.clock.now();
         let max_backoff = self.job.config.retransmit_max_ms.max(1);
         let mut parked: Vec<DeferredPush> = Vec::new();
         for mut p in std::mem::take(&mut self.deferred_pushes) {
@@ -1098,7 +1164,7 @@ impl Master {
             id,
             plan,
             quiesce_wait: self.running_attempts(),
-            deadline: Instant::now()
+            deadline: self.clock.now()
                 + Duration::from_millis(self.job.config.reconfig_prepare_timeout_ms),
         });
         id
@@ -1234,7 +1300,7 @@ impl Master {
                 }
                 Err(reason) => self.abort_reconfig(reason),
             }
-        } else if Instant::now() >= txn.deadline {
+        } else if self.clock.now() >= txn.deadline {
             self.abort_reconfig(format!(
                 "prepare timed out after {} ms without quiescing",
                 self.job.config.reconfig_prepare_timeout_ms
@@ -1498,7 +1564,8 @@ impl Master {
         }
         self.attempt_of.remove(&attempt);
         if let Some(t0) = self.launch_times.remove(&attempt) {
-            self.fop_durations[fop].push(t0.elapsed().as_millis() as u64);
+            self.fop_durations[fop]
+                .push(self.clock.now().saturating_duration_since(t0).as_millis() as u64);
         }
         // First commit wins: if this was the speculative duplicate, it
         // beat the original. Either way every other in-flight attempt of
@@ -1533,6 +1600,7 @@ impl Master {
         self.invalidate_derived(fop, index);
         self.outputs.insert((fop, index), output);
         self.tasks[fop][index] = TaskState::Done { locations };
+        self.submit_eager_routing(fop, index);
         self.journal.emit(
             Some(self.meta.stage_of[fop]),
             JobEvent::TaskCommitted {
@@ -1580,7 +1648,7 @@ impl Master {
                     s.unpin(r);
                 }
             }
-            let now = Instant::now();
+            let now = self.clock.now();
             let base = self.job.config.retransmit_base_ms.max(1);
             for p in &mut self.deferred_pushes {
                 if p.dest == exec {
@@ -1770,7 +1838,7 @@ impl Master {
                         fop,
                         index,
                         dest: d,
-                        next_try: Instant::now()
+                        next_try: self.clock.now()
                             + Duration::from_millis(self.job.config.retransmit_base_ms.max(1)),
                         backoff_ms: self.job.config.retransmit_base_ms.max(1),
                     });
@@ -2603,7 +2671,7 @@ impl Master {
             },
         );
         self.attempt_of.insert(attempt, (fop, index));
-        self.launch_times.insert(attempt, Instant::now());
+        self.launch_times.insert(attempt, self.clock.now());
         self.attempt_pins.insert(attempt, (exec, pins));
         self.attempt_epochs
             .insert(attempt, self.epoch.load(Ordering::Relaxed));
@@ -2837,10 +2905,11 @@ impl Master {
                         continue;
                     }
                     let (a, e) = attempts[0];
+                    let now = self.clock.now();
                     let elapsed = self
                         .launch_times
                         .get(&a)
-                        .map(|t| t.elapsed().as_millis() as u64);
+                        .map(|t| now.saturating_duration_since(*t).as_millis() as u64);
                     if elapsed.is_some_and(|ms| ms > threshold) {
                         stragglers.push((f, i, e));
                     }
@@ -2909,7 +2978,7 @@ impl Master {
             },
         );
         self.attempt_of.insert(attempt, (fop, index));
-        self.launch_times.insert(attempt, Instant::now());
+        self.launch_times.insert(attempt, self.clock.now());
         self.attempt_pins.insert(attempt, (exec, pins));
         self.attempt_epochs
             .insert(attempt, self.epoch.load(Ordering::Relaxed));
@@ -3078,13 +3147,56 @@ impl Master {
         let key = (src, si, dst_par);
         if !self.routed.contains_key(&key) {
             let records = self.outputs.get(&(src, si))?;
-            let buckets = route(records, DepType::ManyToMany, si, dst_par);
+            // An eager (pool-computed) result is only trusted when it was
+            // routed from the exact block that is still the live output:
+            // a revert-and-recommit in between leaves a stale entry whose
+            // source pointer no longer matches, and the lazy path below
+            // recomputes from the fresh block.
+            let eager = self
+                .pool
+                .as_ref()
+                .and_then(|_| self.eager_routed.lock().remove(&key));
+            let buckets = match eager {
+                Some((source, buckets)) if Arc::ptr_eq(&source, records) => buckets,
+                _ => route(records, DepType::ManyToMany, si, dst_par),
+            };
             self.routed.insert(key, buckets);
         }
         self.routed
             .get(&key)
             .and_then(|buckets| buckets.get(dst_index))
             .map(Arc::clone)
+    }
+
+    /// Submits the hash-shuffle routing of a freshly committed output to
+    /// the worker pool (threaded backend only), so the record pass runs
+    /// in parallel with other producers instead of serially inside the
+    /// master at consumer-launch time. Best-effort: a full pool queue
+    /// skips the submission and [`Master::routed_bucket`] routes lazily.
+    fn submit_eager_routing(&mut self, fop: FopId, index: usize) {
+        if !self.eager_routing {
+            return;
+        }
+        let Some(pool) = &self.pool else { return };
+        let Some(records) = self.outputs.get(&(fop, index)) else {
+            return;
+        };
+        let mut submitted: HashSet<usize> = HashSet::new();
+        for e in self.job.plan.out_edges(fop) {
+            if e.dep != DepType::ManyToMany || !matches!(e.slot, InputSlot::Main(_)) {
+                continue;
+            }
+            let dst_par = self.parallelism[e.dst];
+            if self.routed.contains_key(&(fop, index, dst_par)) || !submitted.insert(dst_par) {
+                continue;
+            }
+            let records = Arc::clone(records);
+            let map = Arc::clone(&self.eager_routed);
+            pool.try_submit(Box::new(move || {
+                let buckets = route(&records, DepType::ManyToMany, index, dst_par);
+                map.lock().insert((fop, index, dst_par), (records, buckets));
+            }));
+        }
     }
 
     /// Drops everything derived from output `(fop, index)` — shuffle
@@ -3100,6 +3212,14 @@ impl Master {
             .map(|&(_, _, p)| p)
             .collect();
         self.routed.retain(|&(f, i, _), _| f != fop || i != index);
+        if self.pool.is_some() {
+            // Pending eager results for the replaced output are stale
+            // (the source-pointer check would reject them anyway; this
+            // just frees them early).
+            self.eager_routed
+                .lock()
+                .retain(|&(f, i, _), _| f != fop || i != index);
+        }
         self.side_cache.remove(&fop);
         for info in self.executors.values() {
             let mut s = info.store.lock();
@@ -3167,6 +3287,13 @@ impl Master {
         for (_, info) in std::mem::take(&mut self.executors) {
             info.handle.stop();
             info.handle.join();
+        }
+        // Threaded backend: joining executors only joins their control
+        // threads — task bodies run on the shared pool. Wait for it to
+        // drain so every straggling journal emission (e.g. a loser
+        // attempt's TaskStarted) lands before the journal freezes.
+        if let Some(pool) = &self.pool {
+            pool.wait_quiesce(Duration::from_secs(10));
         }
     }
 }
@@ -3542,6 +3669,58 @@ mod tests {
                 && reason.contains("already in flight"))
         ));
         assert!(m.reconfig.is_some_and(|t| t.id == first));
+        m.shutdown();
+    }
+
+    // --- Clock-abstraction regression test (timer-order sensitivity) ---
+    //
+    // Every master timer (speculation, heartbeats, deferred pushes,
+    // reconfig deadlines) must read `self.clock`, never wall time
+    // directly: the threaded backend shares the implementation, and a
+    // stray `Instant::now()` would make timer order depend on host
+    // scheduling. Driving speculation off a manual clock — no sleeps —
+    // proves the timer path is fully clock-routed.
+
+    #[test]
+    fn speculation_timer_fires_on_clock_advance_not_wall_time() {
+        let mut m = test_master();
+        m.clock = Clock::manual();
+        let f = terminal_fop(&m);
+        // Run the straggler on the kind the fop is NOT placed on, so the
+        // single executor of the placed kind is free to host the
+        // duplicate (the picker skips the straggler's own executor).
+        let exec: ExecId = if m.placement[f] == Placement::Reserved {
+            1
+        } else {
+            0
+        };
+        m.tasks[f][0] = TaskState::Running {
+            attempts: vec![(7, exec)],
+        };
+        m.attempt_of.insert(7, (f, 0));
+        m.executors.get_mut(&exec).unwrap().busy = 1;
+        m.launch_times.insert(7, m.clock.now());
+        // Median 10ms × 3.0 multiplier, floored to speculation_floor_ms
+        // (200ms): the attempt becomes a straggler only past 200ms.
+        m.fop_durations[f] = vec![10, 10, 10];
+
+        m.maybe_speculate().unwrap();
+        assert!(
+            !events(&m)
+                .iter()
+                .any(|e| matches!(e, JobEvent::SpeculativeLaunched { .. })),
+            "no virtual time has passed: the attempt is not yet a straggler"
+        );
+
+        m.clock.advance_ms(201);
+        m.maybe_speculate().unwrap();
+        assert!(
+            events(&m)
+                .iter()
+                .any(|e| matches!(e, JobEvent::SpeculativeLaunched { .. })),
+            "advancing the manual clock past the threshold must trigger \
+             the speculative duplicate without any wall-clock waiting"
+        );
         m.shutdown();
     }
 }

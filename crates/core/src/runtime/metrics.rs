@@ -116,6 +116,62 @@ impl JobMetrics {
         }
     }
 
+    /// Compares the counters that must agree between execution backends
+    /// for the same plan and fault schedule, returning the disagreeing
+    /// `(counter, self, other)` triples (empty = no drift).
+    ///
+    /// Only logically determined counters participate: plan-shaped totals
+    /// (`original_tasks`), fault-schedule echoes (`evictions`,
+    /// `reserved_failures`, `oom_injected`, `task_failures`), and epoch
+    /// machinery (`reconfigs_committed`, `reconfigs_aborted`,
+    /// `final_epoch`, `wal_recoveries`, `stage_recomputations`).
+    ///
+    /// Deliberately excluded:
+    /// - placement/timing-sensitive counters (`bytes_pushed`,
+    ///   `side_bytes_*`, cache and spill counters, `speculative_*`,
+    ///   `relaunched_tasks`, `heartbeats_missed`, `peak_store_bytes`,
+    ///   `records_preaggregated`) — both backends are correct while
+    ///   disagreeing on these;
+    /// - wire counters (`messages_dropped` / `_duplicated` /
+    ///   `_retransmitted` / `_deduplicated`,
+    ///   `max_message_retransmissions`) — real wall-clock retransmission
+    ///   timers make these inherently nondeterministic.
+    pub fn backend_drift(&self, other: &JobMetrics) -> Vec<(&'static str, usize, usize)> {
+        let pairs: [(&'static str, usize, usize); 10] = [
+            ("original_tasks", self.original_tasks, other.original_tasks),
+            ("task_failures", self.task_failures, other.task_failures),
+            ("evictions", self.evictions, other.evictions),
+            (
+                "reserved_failures",
+                self.reserved_failures,
+                other.reserved_failures,
+            ),
+            ("oom_injected", self.oom_injected, other.oom_injected),
+            (
+                "stage_recomputations",
+                self.stage_recomputations,
+                other.stage_recomputations,
+            ),
+            (
+                "reconfigs_committed",
+                self.reconfigs_committed,
+                other.reconfigs_committed,
+            ),
+            (
+                "reconfigs_aborted",
+                self.reconfigs_aborted,
+                other.reconfigs_aborted,
+            ),
+            (
+                "final_epoch",
+                self.final_epoch as usize,
+                other.final_epoch as usize,
+            ),
+            ("wal_recoveries", self.wal_recoveries, other.wal_recoveries),
+        ];
+        pairs.into_iter().filter(|(_, a, b)| a != b).collect()
+    }
+
     /// Side-input cache hit rate over all lookups (0 when none).
     pub fn cache_hit_rate(&self) -> f64 {
         let total = self.cache_hits + self.cache_misses;
@@ -149,5 +205,31 @@ mod tests {
         };
         assert!((m.relaunch_ratio() - 0.3).abs() < 1e-12);
         assert!((m.cache_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backend_drift_reports_only_deterministic_disagreements() {
+        let a = JobMetrics {
+            original_tasks: 8,
+            task_failures: 1,
+            bytes_pushed: 1000,
+            messages_retransmitted: 4,
+            ..JobMetrics::default()
+        };
+        // Placement- and wire-sensitive differences are tolerated...
+        let b = JobMetrics {
+            bytes_pushed: 2400,
+            messages_retransmitted: 0,
+            ..a.clone()
+        };
+        assert!(a.backend_drift(&b).is_empty());
+        // ...but a deterministic counter disagreeing is drift.
+        let c = JobMetrics {
+            task_failures: 2,
+            final_epoch: 3,
+            ..a.clone()
+        };
+        let drift = a.backend_drift(&c);
+        assert_eq!(drift, vec![("task_failures", 1, 2), ("final_epoch", 0, 3)]);
     }
 }

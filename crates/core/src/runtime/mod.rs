@@ -1,7 +1,9 @@
 //! The Pado Runtime (§3.2): master, executors, scheduling, eviction and
 //! fault tolerance, and the in-process cluster harness.
 
+pub mod backend;
 pub mod cache;
+pub mod clock;
 pub mod config;
 pub mod executor;
 pub mod invariants;
@@ -16,7 +18,9 @@ pub mod store;
 pub mod transport;
 pub mod wal;
 
+pub use backend::{BackendKind, ExecBackend, SimBackend, ThreadedBackend, WorkerPool};
 pub use cache::{CacheKey, LruCache};
+pub use clock::Clock;
 pub use config::RuntimeConfig;
 pub use executor::{ExecutorHandle, JobContext};
 pub use invariants::{assert_clean, check, Violation};

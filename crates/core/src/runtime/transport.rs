@@ -317,6 +317,14 @@ impl<W: Clone> FaultyLink<W> {
         self.release_due(Instant::now());
     }
 
+    /// Releases held frames due at an explicit instant — the master's
+    /// path, which passes its [`Clock`](crate::runtime::clock::Clock)
+    /// reading so wire timers and scheduling timers share one time
+    /// source on every backend.
+    pub fn pump_at(&mut self, now: Instant) {
+        self.release_due(now);
+    }
+
     fn release_due(&mut self, now: Instant) {
         let mut i = 0;
         while i < self.held.len() {
@@ -531,7 +539,10 @@ impl<T: Clone, W: Clone> ReliableSender<T, W> {
             }
             self.link.send(frame);
         }
-        self.link.pump();
+        // Share the caller's time source instead of re-reading the wall
+        // clock: under a manual test clock the two readings would
+        // otherwise disagree and release held frames out of timer order.
+        self.link.pump_at(now);
         Ok(())
     }
 

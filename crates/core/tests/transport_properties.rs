@@ -215,6 +215,120 @@ proptest! {
         );
     }
 
+    /// The retransmission/dedup state machine holds under *real* thread
+    /// interleavings, not just the single-threaded schedules above: the
+    /// sender runs its genuine retransmission timers on this thread
+    /// while a receiver thread pulls frames through a seeded shim that
+    /// delivers them in arbitrary order, duplicates some, and drops a
+    /// bounded number without acking (forcing real timer-driven
+    /// retransmission). Whatever the OS scheduler does, every payload is
+    /// delivered exactly once above the dedup window and the in-flight
+    /// window drains.
+    #[test]
+    fn real_thread_interleavings_deliver_exactly_once(
+        seed in 0u64..1_000_000,
+        n_payloads in 4u32..24,
+        cap in 1usize..6,
+        dup_prob in 0.0f64..0.3,
+        drop_budget in 0usize..6,
+    ) {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let counters = Arc::new(TransportCounters::default());
+        let (data_tx, data_rx) = unbounded::<Wire<u32>>();
+        // No NetPolicy: the shim thread below is the adversary.
+        let data_link = FaultyLink::new(
+            data_tx,
+            0,
+            Direction::ToMaster,
+            None,
+            Arc::clone(&counters),
+        );
+        let mut sender = ReliableSender::new(
+            data_link,
+            0,
+            wrap,
+            cap,
+            Duration::from_millis(2),
+            Duration::from_millis(8),
+            seed,
+        );
+        let (ack_tx, ack_rx) = unbounded::<Wire<u32>>();
+
+        let done = Arc::new(AtomicBool::new(false));
+        let receiver = {
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ 0x7EC3_1A7E);
+                let mut dedup = DedupWindow::new(64);
+                let mut delivered: HashMap<u32, usize> = HashMap::new();
+                let mut held: Vec<Wire<u32>> = Vec::new();
+                let mut drops_left = drop_budget;
+                loop {
+                    while let Some(frame) = data_rx.try_recv() {
+                        held.push(frame);
+                    }
+                    if held.is_empty() {
+                        if done.load(Ordering::Acquire) {
+                            return delivered;
+                        }
+                        std::thread::sleep(Duration::from_micros(200));
+                        continue;
+                    }
+                    // Arbitrary delivery order: pull a random held frame.
+                    let frame = held.swap_remove(rng.gen_range(0..held.len()));
+                    if let Wire::Msg { from, seq, payload, .. } = frame {
+                        if drops_left > 0 && rng.gen_bool(0.25) {
+                            // Swallow it unacked: only the sender's real
+                            // retransmission timer can recover this one.
+                            drops_left -= 1;
+                            continue;
+                        }
+                        let times = if rng.gen_bool(dup_prob) { 2 } else { 1 };
+                        for _ in 0..times {
+                            if dedup.fresh(seq) {
+                                *delivered.entry(payload).or_default() += 1;
+                            }
+                            let _ = ack_tx.send(Wire::Ack { from, seq });
+                        }
+                    }
+                }
+            })
+        };
+
+        for v in 0..n_payloads {
+            sender.send(v);
+        }
+        let t0 = Instant::now();
+        while sender.in_flight() > 0 && t0.elapsed() < Duration::from_secs(5) {
+            while let Some(frame) = ack_rx.try_recv() {
+                if let Wire::Ack { seq, .. } = frame {
+                    sender.on_ack(seq);
+                }
+            }
+            sender.pump(Instant::now()).expect("pump invariant");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let in_flight = sender.in_flight();
+        done.store(true, Ordering::Release);
+        let delivered = receiver.join().expect("receiver thread");
+
+        prop_assert_eq!(
+            in_flight, 0,
+            "real-thread schedule wedged the sender: {:?} delivered of {}",
+            delivered.len(), n_payloads
+        );
+        for v in 0..n_payloads {
+            prop_assert_eq!(
+                delivered.get(&v).copied().unwrap_or(0), 1,
+                "payload {} delivered {:?} times above the dedup window",
+                v, delivered.get(&v)
+            );
+        }
+    }
+
     /// Epoch fencing composes with the lossy transport without breaking
     /// liveness: when the sender's epoch advances mid-stream and the
     /// receiver fences everything stamped below the new epoch, stale

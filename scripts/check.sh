@@ -31,4 +31,13 @@ cargo test -p pado-core --test crash_recovery -q
 echo "==> data-plane small-budget smoke (spill-to-disk, byte-identical)"
 cargo run -p pado-bench --release --bin dataplane -- --smoke --mem-budget auto >/dev/null
 
+echo "==> backend differential matrix (sim vs threaded, byte-identical)"
+cargo test -p pado-core --test backend_equivalence -q
+
+echo "==> threaded soak (10 rounds of chaos against fault-free sim baseline)"
+cargo test -p pado-core --test backend_equivalence -q -- --ignored
+
+echo "==> data-plane smoke on the threaded backend (byte-identity vs sim)"
+cargo run -p pado-bench --release --bin dataplane -- --smoke --backend threaded >/dev/null
+
 echo "All checks passed."

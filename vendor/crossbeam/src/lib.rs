@@ -1,8 +1,9 @@
 //! Minimal, offline stand-in for the `crossbeam` subset this workspace
-//! uses: an unbounded MPMC channel with clonable senders *and* receivers,
-//! blocking `recv`, and `recv_timeout`. Built on a `Mutex<VecDeque>` +
-//! `Condvar`; throughput is adequate for the in-process runtime's
-//! control-plane traffic.
+//! uses: unbounded and bounded MPMC channels with clonable senders *and*
+//! receivers, blocking `recv`/`send`, `recv_timeout`, and non-blocking
+//! `try_send`/`try_recv`. Built on a `Mutex<VecDeque>` + `Condvar`;
+//! throughput is adequate for the in-process runtime's control-plane
+//! traffic and the threaded backend's worker pool.
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -14,6 +15,11 @@ pub mod channel {
     struct Shared<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
+        /// Senders blocked on a full bounded channel wait here; every pop
+        /// (and the last receiver's drop) signals it.
+        space: Condvar,
+        /// `None` = unbounded.
+        capacity: Option<usize>,
         senders: AtomicUsize,
         receivers: AtomicUsize,
     }
@@ -35,6 +41,15 @@ pub mod channel {
     #[derive(Debug, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
+    /// Error returned by [`Sender::try_send`]; carries the unsent message.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
     /// Error returned by [`Receiver::recv`] when the channel is empty and
     /// all senders are gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +67,17 @@ pub mod channel {
     impl<T> fmt::Display for SendError<T> {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => {
+                    write!(f, "sending on a disconnected channel")
+                }
+            }
         }
     }
 
@@ -84,11 +110,12 @@ pub mod channel {
         }
     }
 
-    /// Creates an unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity,
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
         });
@@ -98,6 +125,17 @@ pub mod channel {
             },
             Receiver { shared },
         )
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    /// Creates a bounded MPMC channel holding at most `cap` messages
+    /// (clamped to ≥ 1); `send` blocks while full, `try_send` does not.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        channel(Some(cap.max(1)))
     }
 
     impl<T> Shared<T> {
@@ -110,12 +148,44 @@ pub mod channel {
     }
 
     impl<T> Sender<T> {
-        /// Enqueues `msg`, failing only if every receiver has been dropped.
+        /// Enqueues `msg`, failing only if every receiver has been
+        /// dropped. On a full bounded channel this blocks until a
+        /// receiver makes room.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-            if self.shared.receivers.load(Ordering::Acquire) == 0 {
-                return Err(SendError(msg));
+            let mut queue = self.shared.lock();
+            loop {
+                if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                    return Err(SendError(msg));
+                }
+                match self.shared.capacity {
+                    Some(cap) if queue.len() >= cap => {
+                        queue = match self.shared.space.wait(queue) {
+                            Ok(g) => g,
+                            Err(poisoned) => poisoned.into_inner(),
+                        };
+                    }
+                    _ => {
+                        queue.push_back(msg);
+                        self.shared.ready.notify_one();
+                        return Ok(());
+                    }
+                }
             }
-            self.shared.lock().push_back(msg);
+        }
+
+        /// Enqueues `msg` without blocking; fails with
+        /// [`TrySendError::Full`] when a bounded channel is at capacity.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            let mut queue = self.shared.lock();
+            if let Some(cap) = self.shared.capacity {
+                if queue.len() >= cap {
+                    return Err(TrySendError::Full(msg));
+                }
+            }
+            queue.push_back(msg);
             self.shared.ready.notify_one();
             Ok(())
         }
@@ -146,6 +216,7 @@ pub mod channel {
             let mut queue = self.shared.lock();
             loop {
                 if let Some(msg) = queue.pop_front() {
+                    self.shared.space.notify_one();
                     return Ok(msg);
                 }
                 if self.shared.senders.load(Ordering::Acquire) == 0 {
@@ -164,6 +235,7 @@ pub mod channel {
             let mut queue = self.shared.lock();
             loop {
                 if let Some(msg) = queue.pop_front() {
+                    self.shared.space.notify_one();
                     return Ok(msg);
                 }
                 if self.shared.senders.load(Ordering::Acquire) == 0 {
@@ -182,7 +254,11 @@ pub mod channel {
 
         /// Returns a message if one is immediately available.
         pub fn try_recv(&self) -> Option<T> {
-            self.shared.lock().pop_front()
+            let msg = self.shared.lock().pop_front();
+            if msg.is_some() {
+                self.shared.space.notify_one();
+            }
+            msg
         }
     }
 
@@ -197,7 +273,11 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+            if self.shared.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last receiver: wake senders blocked on a full bounded
+                // channel so they observe the disconnect.
+                self.shared.space.notify_all();
+            }
         }
     }
 
@@ -231,6 +311,25 @@ pub mod channel {
                 .collect();
             all.sort_unstable();
             assert_eq!(all, (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn bounded_send_blocks_until_room_and_try_send_does_not() {
+            let (tx, rx) = bounded::<u32>(2);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            let blocked = {
+                let tx = tx.clone();
+                std::thread::spawn(move || tx.send(3).unwrap())
+            };
+            // The blocked sender completes once a slot frees up.
+            assert_eq!(rx.recv(), Ok(1));
+            blocked.join().unwrap();
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Ok(3));
+            drop(rx);
+            assert_eq!(tx.try_send(9), Err(TrySendError::Disconnected(9)));
         }
 
         #[test]
