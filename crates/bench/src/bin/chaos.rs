@@ -7,7 +7,7 @@
 //!
 //! Usage: `cargo run -p pado-bench --bin chaos [n_seeds] [--network]
 //! [--reconfig] [--crash] [--journal <path>] [--wal-dump <path>]
-//! [--backend <sim|threaded>]`
+//! [--backend <sim|threaded>] [--stall-diag <path>]`
 //! `--backend` selects the execution backend for the seeded runs; the
 //! fault-free baselines always run on the deterministic sim backend, so
 //! `--backend threaded` doubles as a cross-backend differential check
@@ -29,12 +29,17 @@
 //! journal to `<path>` (open it in chrome://tracing or Perfetto).
 //! `--wal-dump <path>` (with `--crash`) writes a human-readable frame
 //! dump of the last seed's surviving WAL image to `<path>`.
+//! `--stall-diag <path>` writes the structured stall diagnostics to
+//! `<path>` if any seeded run wedges and the hang watchdog aborts it
+//! with `RuntimeError::Stalled` (threaded backend; CI uploads this file
+//! as a failure artifact).
 //! Every seed's journal additionally replays through the generic
 //! invariant checker. Exits non-zero if any seed violates an invariant.
 
 use std::collections::HashMap;
 
 use pado_core::compiler::Placement;
+use pado_core::error::RuntimeError;
 use pado_core::runtime::{
     temp_wal_path, BackendKind, ChaosPlan, CrashPlan, DirectionFaults, FaultPlan, JobEvent,
     JobResult, LocalCluster, NetworkFault, PartitionSpec, ReconfigChange, ReconfigTrigger,
@@ -389,6 +394,7 @@ fn main() {
     let mut crash = false;
     let mut journal_path: Option<String> = None;
     let mut wal_dump_path: Option<String> = None;
+    let mut stall_diag_path: Option<String> = None;
     let mut backend = BackendKind::Sim;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -402,6 +408,8 @@ fn main() {
             journal_path = Some(args.next().expect("--journal needs a path"));
         } else if arg == "--wal-dump" {
             wal_dump_path = Some(args.next().expect("--wal-dump needs a path"));
+        } else if arg == "--stall-diag" {
+            stall_diag_path = Some(args.next().expect("--stall-diag needs a path"));
         } else if arg == "--backend" {
             let spec = args.next().expect("--backend needs sim|threaded");
             backend = BackendKind::parse(&spec)
@@ -455,6 +463,7 @@ fn main() {
     let mut total_snapshot_restores = 0usize;
     let mut last_journal = None;
     let mut last_wal_image: Option<(u64, Vec<u8>)> = None;
+    let mut stall_reports: Vec<String> = Vec::new();
     for seed in 0..n_seeds {
         let shape = (seed % shapes.len() as u64) as usize;
         let (name, dag) = &shapes[shape];
@@ -486,6 +495,11 @@ fn main() {
         let result = match run {
             Ok(r) => r,
             Err(e) => {
+                if let RuntimeError::Stalled { diagnostics } = &e {
+                    stall_reports.push(format!(
+                        "seed {seed} shape {name} stalled:\n{diagnostics}\n"
+                    ));
+                }
                 println!("{seed:>5}  {name:<10} JOB FAILED: {e}");
                 bad += 1;
                 continue;
@@ -582,6 +596,21 @@ fn main() {
         let dump = pado_core::runtime::wal::dump_image(bytes, &format!("chaos seed {dump_seed}"));
         std::fs::write(path, dump).expect("write WAL dump");
         println!("wrote WAL frame dump of seed {dump_seed} to {path}");
+    }
+    if let Some(path) = &stall_diag_path {
+        if !stall_reports.is_empty() {
+            if let Some(dir) = std::path::Path::new(path)
+                .parent()
+                .filter(|d| !d.as_os_str().is_empty())
+            {
+                std::fs::create_dir_all(dir).expect("create stall-diag directory");
+            }
+            std::fs::write(path, stall_reports.join("\n")).expect("write stall diagnostics");
+            println!(
+                "wrote stall diagnostics for {} wedged seed(s) to {path}",
+                stall_reports.len()
+            );
+        }
     }
     println!(
         "\n{ok}/{n_seeds} seeds clean, {bad} violating; \

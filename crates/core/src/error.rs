@@ -4,7 +4,7 @@ use std::fmt;
 
 use pado_dag::{DagError, OpId};
 
-use crate::runtime::{JobEvent, JobMetrics};
+use crate::runtime::{JobEvent, JobMetrics, StallDiagnostics};
 
 /// Errors produced by the Pado compiler.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,6 +90,16 @@ pub enum RuntimeError {
         /// What needed the bytes (block ref or task id).
         context: String,
     },
+    /// The threaded backend's supervisor (hang watchdog or wall-clock
+    /// deadline) observed a wedged run, cancelled it cooperatively, and
+    /// captured a diagnostics snapshot — queue depths, per-worker state,
+    /// and the tail of the journal — so a hang in CI reads as a bug
+    /// report instead of an opaque timeout.
+    Stalled {
+        /// Where and why the run stopped making progress (boxed to keep
+        /// the error small on the hot `Result` paths).
+        diagnostics: Box<StallDiagnostics>,
+    },
     /// A scheduler invariant was violated (a bug in the runtime, not in
     /// user code); surfaced instead of panicking the master thread.
     Invariant(String),
@@ -132,6 +142,7 @@ impl fmt::Display for RuntimeError {
                 "executor memory exceeded: {context} needs {bytes} B resident but the \
                  store budget is {budget} B"
             ),
+            RuntimeError::Stalled { diagnostics } => write!(f, "job stalled: {diagnostics}"),
             RuntimeError::Invariant(msg) => write!(f, "scheduler invariant violated: {msg}"),
             RuntimeError::Config(msg) => write!(f, "invalid runtime configuration: {msg}"),
         }

@@ -104,6 +104,26 @@ pub struct RuntimeConfig {
     /// master's own wedge detector always fires first on a merely-idle
     /// job.
     pub threaded_wallclock_timeout_ms: u64,
+    /// Whether the threaded backend runs a hang watchdog: a supervisor
+    /// thread sampling progress (journal length, pool in-flight count,
+    /// outstanding attempts) that cancels a stalled run and surfaces
+    /// `RuntimeError::Stalled` with a diagnostics snapshot. Only
+    /// meaningful on the threaded backend; rejected on the sim backend
+    /// (whose loop is the progress detector already).
+    pub stall_watchdog: bool,
+    /// Milliseconds between watchdog progress samples. Must stay below
+    /// `threaded_wallclock_timeout_ms`, or the wall-clock abort always
+    /// fires first and the watchdog's diagnostics never materialize.
+    pub stall_sample_interval_ms: u64,
+    /// Consecutive no-progress samples (with work outstanding) before
+    /// the watchdog declares the run stalled.
+    pub stall_samples: u64,
+    /// Milliseconds a cancelled run gets to unwind cooperatively —
+    /// master loop observing the token, executor control threads
+    /// exiting, pool quiescing — before its threads are detached as a
+    /// last resort. Also bounds how long the pool's `Drop` joins wedged
+    /// workers.
+    pub cancel_grace_ms: u64,
 }
 
 impl Default for RuntimeConfig {
@@ -136,6 +156,10 @@ impl Default for RuntimeConfig {
             threaded_workers: 4,
             threaded_channel_capacity: 256,
             threaded_wallclock_timeout_ms: 60_000,
+            stall_watchdog: false,
+            stall_sample_interval_ms: 500,
+            stall_samples: 6,
+            cancel_grace_ms: 2_000,
         }
     }
 }
@@ -274,6 +298,54 @@ impl RuntimeConfig {
                  job with its diagnostics",
                 self.threaded_wallclock_timeout_ms, self.event_timeout_ms
             ));
+        }
+        if self.cancel_grace_ms == 0 {
+            return Err(
+                "cancel_grace_ms must be at least 1: a zero grace period detaches \
+                 every cancelled run's threads immediately instead of letting \
+                 them unwind cooperatively"
+                    .into(),
+            );
+        }
+        if self.stall_watchdog {
+            if self.stall_sample_interval_ms == 0 {
+                return Err("stall_sample_interval_ms must be at least 1 when the \
+                            stall watchdog is enabled"
+                    .into());
+            }
+            if self.stall_samples == 0 {
+                return Err("stall_samples must be at least 1 when the stall \
+                            watchdog is enabled"
+                    .into());
+            }
+            if self.stall_sample_interval_ms >= self.threaded_wallclock_timeout_ms {
+                return Err(format!(
+                    "stall_sample_interval_ms ({}) must be below \
+                     threaded_wallclock_timeout_ms ({}): a watchdog that cannot \
+                     complete one sample before the wall-clock abort fires can \
+                     never produce its diagnostics",
+                    self.stall_sample_interval_ms, self.threaded_wallclock_timeout_ms
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates settings whose sanity depends on the execution backend,
+    /// on top of [`RuntimeConfig::validate`]. Called by the cluster
+    /// harness once the backend is chosen.
+    pub fn validate_for_backend(
+        &self,
+        backend: crate::runtime::backend::BackendKind,
+    ) -> Result<(), String> {
+        self.validate()?;
+        if self.stall_watchdog && backend == crate::runtime::backend::BackendKind::Sim {
+            return Err(
+                "stall_watchdog requires the threaded backend: the sim backend \
+                 runs the master inline on the caller's thread, where the \
+                 master's own wedge detector is the progress watchdog"
+                    .into(),
+            );
         }
         Ok(())
     }
@@ -511,6 +583,67 @@ mod tests {
         let err = c.validate().unwrap_err();
         assert!(err.contains("threaded_wallclock_timeout_ms"));
         assert!(err.contains("event_timeout_ms"));
+    }
+
+    #[test]
+    fn validate_rejects_zero_cancel_grace() {
+        let c = RuntimeConfig {
+            cancel_grace_ms: 0,
+            ..RuntimeConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("cancel_grace_ms"));
+    }
+
+    #[test]
+    fn validate_rejects_zero_watchdog_knobs_only_when_armed() {
+        // Disarmed: zero watchdog knobs are inert and ignored.
+        let c = RuntimeConfig {
+            stall_sample_interval_ms: 0,
+            stall_samples: 0,
+            ..RuntimeConfig::default()
+        };
+        assert!(c.validate().is_ok());
+        let c = RuntimeConfig {
+            stall_watchdog: true,
+            stall_sample_interval_ms: 0,
+            ..RuntimeConfig::default()
+        };
+        assert!(c
+            .validate()
+            .unwrap_err()
+            .contains("stall_sample_interval_ms"));
+        let c = RuntimeConfig {
+            stall_watchdog: true,
+            stall_samples: 0,
+            ..RuntimeConfig::default()
+        };
+        assert!(c.validate().unwrap_err().contains("stall_samples"));
+    }
+
+    #[test]
+    fn validate_rejects_sample_interval_at_or_above_wallclock_timeout() {
+        let c = RuntimeConfig {
+            stall_watchdog: true,
+            stall_sample_interval_ms: 60_000,
+            threaded_wallclock_timeout_ms: 60_000,
+            ..RuntimeConfig::default()
+        };
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("stall_sample_interval_ms"));
+        assert!(err.contains("threaded_wallclock_timeout_ms"));
+    }
+
+    #[test]
+    fn validate_rejects_watchdog_on_the_sim_backend() {
+        use crate::runtime::backend::BackendKind;
+        let c = RuntimeConfig {
+            stall_watchdog: true,
+            ..RuntimeConfig::default()
+        };
+        assert!(c.validate().is_ok(), "backend-independent checks pass");
+        let err = c.validate_for_backend(BackendKind::Sim).unwrap_err();
+        assert!(err.contains("stall_watchdog"));
+        assert!(c.validate_for_backend(BackendKind::Threaded).is_ok());
     }
 
     #[test]

@@ -28,7 +28,7 @@ use parking_lot::Mutex;
 
 use crate::compiler::{PhysicalPlan, Placement};
 use crate::exec::apply_chain;
-use crate::runtime::backend::WorkerPool;
+use crate::runtime::backend::{CancelToken, WorkerPool};
 use crate::runtime::cache::CacheKey;
 use crate::runtime::config::RuntimeConfig;
 use crate::runtime::journal::{JobEvent, Journal};
@@ -113,6 +113,7 @@ impl ExecutorHandle {
         journal: Journal,
         store: StoreHandle,
         pool: Option<Arc<WorkerPool>>,
+        cancel: CancelToken,
     ) -> Self {
         install_panic_hook_filter();
         let (ctrl_tx, ctrl_rx) = crossbeam::channel::unbounded::<ExecIn>();
@@ -176,7 +177,11 @@ impl ExecutorHandle {
         threads.push(
             std::thread::Builder::new()
                 .name(format!("pado-exec-{id}-ctrl"))
-                .spawn(move || control_loop(id, ctrl_rx, sink, out, dedup, heartbeat, ctrs, epoch))
+                .spawn(move || {
+                    control_loop(
+                        id, ctrl_rx, sink, out, dedup, heartbeat, ctrs, epoch, cancel,
+                    )
+                })
                 .expect("spawn executor control thread"),
         );
         ExecutorHandle {
@@ -313,9 +318,17 @@ fn control_loop(
     heartbeat: Duration,
     counters: Arc<TransportCounters>,
     epoch: Arc<std::sync::atomic::AtomicU64>,
+    cancel: CancelToken,
 ) {
     let mut next_beat = Instant::now();
     loop {
+        // Cooperative cancellation point: a supervisor abort unwinds
+        // this control thread without waiting for the master's Kill
+        // (which a wedged master may never send).
+        if cancel.is_cancelled() {
+            sink.stop();
+            return;
+        }
         let now = Instant::now();
         if now >= next_beat {
             out.link().send(Wire::Heartbeat { from: exec });

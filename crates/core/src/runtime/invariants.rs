@@ -42,6 +42,15 @@
 //!     enforce on the continuation); and every `WalRecovered` pairs with
 //!     a preceding `MasterRecovered`, so the journal of a recovered run
 //!     is a consistent continuation of the pre-crash prefix.
+//! 11. **Aborts fail well**: an aborted or stalled run (`RunAborted` /
+//!     `RunStalled`) still quiesces its worker pool — a `PoolQuiesced`
+//!     event must follow the abort marker, and it must report zero jobs
+//!     still in flight; and no run, aborted or not, may leak a worker
+//!     thread (`PoolWorkerDetached` is always a violation — a healthy
+//!     shutdown unblocks every job via the cancel token, so a detach
+//!     means a worker outlived the shutdown grace). This law holds
+//!     regardless of the `success` flag: failing well is part of the
+//!     protocol.
 //!
 //! Test suites call [`assert_clean`] on every seeded run, so the ~330
 //! chaos / network-chaos / reconfig / equivalence seeds verify protocol
@@ -132,6 +141,11 @@ pub fn check(journal: &EventJournal, success: bool) -> Vec<Violation> {
     let mut fenced_attempts: HashSet<AttemptId> = HashSet::new();
     let mut master_recoveries: usize = 0;
     let mut wal_recoveries: usize = 0;
+    // --- Abort domain (law 11) ---
+    // position of the first abort marker (RunAborted / RunStalled)
+    let mut abort_marker: Option<usize> = None;
+    // true once a PoolQuiesced follows the abort marker
+    let mut quiesced_after_abort = false;
 
     // Self-reported store occupancy must fit the executor's budget.
     fn check_occupancy(
@@ -761,6 +775,32 @@ pub fn check(journal: &EventJournal, success: bool) -> Vec<Violation> {
             }
             JobEvent::StaleFrameFenced { .. } => {}
             JobEvent::CacheHit { .. } | JobEvent::CacheMiss { .. } => {}
+            JobEvent::RunAborted { .. } | JobEvent::RunStalled { .. } => {
+                if abort_marker.is_none() {
+                    abort_marker = Some(pos);
+                    quiesced_after_abort = false;
+                }
+            }
+            JobEvent::PoolQuiesced { in_flight } => {
+                if *in_flight != 0 {
+                    violations.push(Violation {
+                        position: pos,
+                        message: format!("pool quiesced with {in_flight} job(s) still in flight"),
+                    });
+                }
+                if abort_marker.is_some() {
+                    quiesced_after_abort = true;
+                }
+            }
+            JobEvent::PoolWorkerDetached { worker } => {
+                violations.push(Violation {
+                    position: pos,
+                    message: format!(
+                        "worker {worker} detached: it outlived the shutdown grace and \
+                         its thread leaked"
+                    ),
+                });
+            }
         }
     }
 
@@ -802,6 +842,18 @@ pub fn check(journal: &EventJournal, success: bool) -> Vec<Violation> {
                 ),
             });
         }
+    }
+
+    // Law 11 end check runs regardless of `success`: failing well is
+    // part of the protocol, so an aborted run owes the journal proof
+    // that its pool drained.
+    if abort_marker.is_some() && !quiesced_after_abort {
+        violations.push(Violation {
+            position: usize::MAX,
+            message: "run aborted but the worker pool never quiesced \
+                      (no PoolQuiesced after the abort marker)"
+                .into(),
+        });
     }
 
     violations
@@ -964,6 +1016,92 @@ mod tests {
         assert!(
             v.iter().any(|v| v.message.contains("WAL recovery")),
             "missing pairing violation: {v:?}"
+        );
+    }
+
+    #[test]
+    fn law11_aborted_run_that_quiesces_is_clean() {
+        let j = journal(vec![
+            launch(0, 0, 1, 0),
+            JobEvent::RunAborted {
+                reason: "cancelled".into(),
+            },
+            JobEvent::PoolQuiesced { in_flight: 0 },
+        ]);
+        assert_clean(&j, false);
+    }
+
+    #[test]
+    fn law11_stalled_run_that_quiesces_is_clean() {
+        let j = journal(vec![
+            launch(0, 0, 1, 0),
+            JobEvent::RunStalled { waited_ms: 3_000 },
+            JobEvent::PoolQuiesced { in_flight: 0 },
+        ]);
+        assert_clean(&j, false);
+    }
+
+    #[test]
+    fn law11_abort_without_quiesce_is_detected() {
+        let j = journal(vec![
+            launch(0, 0, 1, 0),
+            JobEvent::RunAborted {
+                reason: "cancelled".into(),
+            },
+        ]);
+        let v = check(&j, false);
+        assert!(
+            v.iter().any(|v| v.message.contains("never quiesced")),
+            "missing quiesce violation: {v:?}"
+        );
+    }
+
+    #[test]
+    fn law11_quiesce_before_abort_does_not_satisfy_the_law() {
+        // The PoolQuiesced must FOLLOW the abort marker: a quiesce from
+        // an earlier, unrelated point in the run proves nothing about
+        // the aborted run's pool.
+        let j = journal(vec![
+            JobEvent::PoolQuiesced { in_flight: 0 },
+            JobEvent::RunAborted {
+                reason: "cancelled".into(),
+            },
+        ]);
+        let v = check(&j, false);
+        assert!(
+            v.iter().any(|v| v.message.contains("never quiesced")),
+            "missing quiesce violation: {v:?}"
+        );
+    }
+
+    #[test]
+    fn law11_quiesce_with_jobs_in_flight_is_detected() {
+        let j = journal(vec![
+            JobEvent::RunStalled { waited_ms: 3_000 },
+            JobEvent::PoolQuiesced { in_flight: 2 },
+        ]);
+        let v = check(&j, false);
+        assert!(
+            v.iter()
+                .any(|v| v.message.contains("2 job(s) still in flight")),
+            "missing in-flight violation: {v:?}"
+        );
+    }
+
+    #[test]
+    fn law11_detached_worker_is_detected_even_on_success() {
+        let j = journal(vec![
+            launch(0, 0, 1, 0),
+            commit(0, 0, 1, 0),
+            launch(1, 0, 2, 1),
+            commit(1, 0, 2, 1),
+            JobEvent::StageCompleted(0),
+            JobEvent::PoolWorkerDetached { worker: 3 },
+        ]);
+        let v = check(&j, true);
+        assert!(
+            v.iter().any(|v| v.message.contains("worker 3 detached")),
+            "missing detach violation: {v:?}"
         );
     }
 

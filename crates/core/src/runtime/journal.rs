@@ -372,6 +372,37 @@ pub enum JobEvent {
         /// good snapshot instead of the full valid prefix.
         snapshot_restored: bool,
     },
+    /// The master loop observed its cancel token and abandoned the run
+    /// (an abort marker for law 11: the run must still quiesce the pool
+    /// and freeze the journal).
+    RunAborted {
+        /// What initiated the cancellation (wall-clock expiry, watchdog
+        /// trip, external cancel).
+        reason: String,
+    },
+    /// The hang watchdog observed no progress (journal length, pool
+    /// in-flight count, and outstanding attempts all static with work
+    /// outstanding) across its full sample window and cancelled the run
+    /// (an abort marker for law 11).
+    RunStalled {
+        /// How long the watchdog watched a static run before tripping.
+        waited_ms: u64,
+    },
+    /// The worker pool quiesced at master shutdown: emitted on every run
+    /// — clean, aborted, or stalled — with the in-flight count observed
+    /// after the quiesce wait (law 11 requires zero).
+    PoolQuiesced {
+        /// Jobs still queued or running when the quiesce wait returned.
+        in_flight: usize,
+    },
+    /// A pool worker thread did not exit within the shutdown grace
+    /// period and was detached instead of joined (law 11 treats this as
+    /// a leak: never legal on a clean run, and on aborted runs only
+    /// before the pool quiesced).
+    PoolWorkerDetached {
+        /// Index of the detached worker thread.
+        worker: usize,
+    },
 }
 
 impl JobEvent {
@@ -415,6 +446,10 @@ impl JobEvent {
             JobEvent::EpochAdvanced { .. } => "EpochAdvanced",
             JobEvent::StaleFrameFenced { .. } => "StaleFrameFenced",
             JobEvent::WalRecovered { .. } => "WalRecovered",
+            JobEvent::RunAborted { .. } => "RunAborted",
+            JobEvent::RunStalled { .. } => "RunStalled",
+            JobEvent::PoolQuiesced { .. } => "PoolQuiesced",
+            JobEvent::PoolWorkerDetached { .. } => "PoolWorkerDetached",
         }
     }
 }
@@ -534,6 +569,26 @@ impl Journal {
     pub fn freeze(&self, meta: JournalMeta) -> EventJournal {
         let records = self.inner.lock().clone();
         EventJournal::from_parts(meta, records)
+    }
+
+    /// Number of records emitted so far — the hang watchdog's progress
+    /// counter (a static length across a full sample window means no
+    /// emitter anywhere in the runtime is making progress).
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether nothing has been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// The last `n` events in raw emission order — the stall
+    /// diagnostics' "what was the runtime doing when it wedged" tail.
+    pub fn tail(&self, n: usize) -> Vec<JobEvent> {
+        let records = self.inner.lock();
+        let start = records.len().saturating_sub(n);
+        records[start..].iter().map(|r| r.event.clone()).collect()
     }
 }
 
@@ -725,6 +780,10 @@ impl EventJournal {
                         m.wal_snapshot_restores += 1;
                     }
                 }
+                JobEvent::RunAborted { .. }
+                | JobEvent::RunStalled { .. }
+                | JobEvent::PoolQuiesced { .. }
+                | JobEvent::PoolWorkerDetached { .. } => {}
             }
         }
         m
@@ -1123,6 +1182,16 @@ fn describe(event: &JobEvent) -> String {
                 "wal-recovered replayed {frames_replayed} frames, truncated \
                  {frames_truncated}{tail}"
             )
+        }
+        JobEvent::RunAborted { reason } => format!("run-aborted   {reason}"),
+        JobEvent::RunStalled { waited_ms } => {
+            format!("run-stalled   no progress for {waited_ms} ms")
+        }
+        JobEvent::PoolQuiesced { in_flight } => {
+            format!("pool-quiesced {in_flight} jobs in flight")
+        }
+        JobEvent::PoolWorkerDetached { worker } => {
+            format!("pool-detached worker {worker} leaked past shutdown grace")
         }
     }
 }

@@ -156,10 +156,35 @@ impl LocalCluster {
     pub fn run_with_faults(
         &self,
         dag: &LogicalDag,
+        faults: FaultPlan,
+    ) -> Result<JobResult, RuntimeError> {
+        let backend: Box<dyn ExecBackend> = match self.backend {
+            BackendKind::Sim => Box::new(SimBackend),
+            BackendKind::Threaded => Box::new(ThreadedBackend::from_config(&self.config)),
+        };
+        self.run_on_backend(dag, faults, backend.as_ref())
+    }
+
+    /// Runs a program on a caller-provided backend instance, injecting
+    /// the given fault schedule. This is [`LocalCluster::run_with_faults`]
+    /// with the backend construction split out, so tests can keep a
+    /// handle on the backend's innards (e.g. wedge its worker pool
+    /// deliberately and assert the stall diagnostics).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation failures and runtime aborts.
+    pub fn run_on_backend(
+        &self,
+        dag: &LogicalDag,
         mut faults: FaultPlan,
+        backend: &dyn ExecBackend,
     ) -> Result<JobResult, RuntimeError> {
         self.config
             .validate_with_cluster(self.n_transient + self.n_reserved)
+            .map_err(RuntimeError::Config)?;
+        self.config
+            .validate_for_backend(self.backend)
             .map_err(RuntimeError::Config)?;
         // Cross-validation the config alone cannot see: the crash chaos
         // family recovers from the WAL, so injecting crashes without
@@ -178,17 +203,8 @@ impl LocalCluster {
             plan,
             config: self.config.clone(),
         });
-        let backend: Box<dyn ExecBackend> = match self.backend {
-            BackendKind::Sim => Box::new(SimBackend),
-            BackendKind::Threaded => Box::new(ThreadedBackend::from_config(&self.config)),
-        };
-        let mut master = Master::with_backend(
-            job,
-            self.n_transient,
-            self.n_reserved,
-            faults,
-            backend.as_ref(),
-        )?;
+        let mut master =
+            Master::with_backend(job, self.n_transient, self.n_reserved, faults, backend)?;
         if let Some(factory) = &self.policy_factory {
             master.set_policy(factory());
         }

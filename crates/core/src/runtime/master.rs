@@ -31,10 +31,11 @@ use parking_lot::Mutex;
 use crate::compiler::{FopId, InputSlot, Placement, PlanEdge};
 use crate::error::RuntimeError;
 use crate::exec::route;
-use crate::runtime::backend::{ExecBackend, SimBackend, WorkerPool};
+use crate::runtime::backend::{CancelToken, ExecBackend, SimBackend, StallProbe, WorkerPool};
 use crate::runtime::cache::CacheKey;
 use crate::runtime::clock::Clock;
 use crate::runtime::executor::{combine_consumer, ExecutorHandle, JobContext};
+use crate::runtime::fault::FaultInjector;
 use crate::runtime::journal::{
     EventJournal, Journal, JournalMeta, MAX_RETRANSMISSIONS_PER_MESSAGE,
 };
@@ -440,6 +441,14 @@ pub struct Master {
     /// the live output (an eviction or repartition in between makes the
     /// entry stale, and the lazy fallback recomputes).
     eager_routed: EagerRouteCache,
+    /// The run-wide cooperative cancellation token (inert on the sim
+    /// backend): checked at the top of every scheduling pass, so a
+    /// supervisor-initiated abort unwinds through the normal shutdown
+    /// path — pool quiesced, journal frozen — instead of being leaked.
+    cancel: CancelToken,
+    /// Progress counters published for the threaded backend's hang
+    /// watchdog, when one is armed.
+    probe: Option<Arc<StallProbe>>,
 }
 
 impl Master {
@@ -589,7 +598,14 @@ impl Master {
             frame_batch: backend.frame_batch().max(1),
             eager_routing: backend.eager_routing(),
             eager_routed: Arc::new(Mutex::new(HashMap::new())),
+            cancel: backend.cancel(),
+            probe: backend.stall_probe(),
         };
+        // Arm the pool's detach journal so a worker leaked past the
+        // shutdown grace is recorded in this run's own event stream.
+        if let Some(pool) = &master.pool {
+            pool.arm_journal(master.journal.clone());
+        }
         for _ in 0..n_reserved {
             master.spawn_executor(Placement::Reserved);
         }
@@ -641,6 +657,7 @@ impl Master {
             self.journal.clone(),
             Arc::clone(&store),
             self.pool.clone(),
+            self.cancel.clone(),
         );
         let link = FaultyLink::new(
             handle.inbound(),
@@ -713,6 +730,24 @@ impl Master {
         let mut last_progress = self.clock.now();
         let mut last_spec_check = self.clock.now();
         while !self.complete() {
+            // Cooperative cancellation point: a supervisor abort (wall
+            // clock, watchdog) unwinds here through the normal shutdown
+            // path — executors joined, pool quiesced, journal frozen —
+            // instead of the run being leaked.
+            if self.cancel.is_cancelled() {
+                let reason = "run cancelled by backend supervisor".to_string();
+                self.journal.emit(
+                    None,
+                    JobEvent::RunAborted {
+                        reason: reason.clone(),
+                    },
+                );
+                return Err(RuntimeError::Aborted(reason));
+            }
+            if let Some(probe) = &self.probe {
+                probe.tick();
+                probe.record(self.launch_times.len(), self.rx.len());
+            }
             match self.rx.recv_timeout(tick) {
                 Ok(frame) => {
                     // Only substantive deliveries reset the wedge timer:
@@ -2293,7 +2328,10 @@ impl Master {
             due |= k > 0 && appends >= k.saturating_mul(round);
         }
         if plan.handler_prob > 0.0 {
-            due |= unit_draw(plan.seed ^ mix64(self.handled_frames)) < plan.handler_prob;
+            due |= FaultInjector::new(plan.seed)
+                .crash_boundary(self.handled_frames)
+                .unit()
+                < plan.handler_prob;
         }
         if !due {
             return Ok(());
@@ -2842,11 +2880,12 @@ impl Master {
             }
         }
         let chaos = self.faults.chaos.as_ref()?;
-        let mut h = chaos.seed;
-        for v in [fop as u64, index as u64, ordinal as u64] {
-            h = mix64(h ^ v);
-        }
-        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        // Keyed by (task identity, per-task launch ordinal) — causal
+        // identifiers, so the same seed hits the same launches on both
+        // backends.
+        let d =
+            FaultInjector::new(chaos.seed).task_launch(fop as u64, index as u64, ordinal as u64);
+        let u = d.unit();
         let injected = self.injected_faults.entry((fop, index)).or_insert(0);
         if *injected < chaos.max_faults_per_task {
             if u < chaos.error_prob {
@@ -2863,11 +2902,11 @@ impl Master {
             }
         }
         if u < chaos.error_prob + chaos.panic_prob + chaos.oom_prob + chaos.delay_prob {
-            let ms = 1 + mix64(h) % chaos.delay_ms.max(1);
+            let ms = 1 + d.span(chaos.delay_ms);
             // Half the stalls land before the compute (a straggler), half
             // after it (output computed, report not yet sent) — the window
             // where evictions and partitions race the TaskDone.
-            return Some(if mix64(h ^ 0x0D0E) & 1 == 0 {
+            return Some(if d.coin(0x0D0E) {
                 InjectedFault::Delay(ms)
             } else {
                 InjectedFault::DelayDone(ms)
@@ -3292,16 +3331,31 @@ impl Master {
         // threads — task bodies run on the shared pool. Wait for it to
         // drain so every straggling journal emission (e.g. a loser
         // attempt's TaskStarted) lands before the journal freezes.
-        if let Some(pool) = &self.pool {
-            pool.wait_quiesce(Duration::from_secs(10));
-        }
+        let in_flight = match &self.pool {
+            Some(pool) => {
+                pool.wait_quiesce(Duration::from_secs(10));
+                pool.in_flight()
+            }
+            None => 0,
+        };
+        // Every run — clean, aborted, or stalled — records the pool
+        // quiesce outcome; law 11 requires the count to be zero, and
+        // requires this marker after any abort marker.
+        self.journal
+            .emit(None, JobEvent::PoolQuiesced { in_flight });
     }
-}
 
-/// A uniform draw in `[0, 1)` from a hash — the crash family's
-/// deterministic coin.
-fn unit_draw(x: u64) -> f64 {
-    (mix64(x) >> 11) as f64 / (1u64 << 53) as f64
+    /// A clone of the live journal writer handle: the threaded backend's
+    /// supervisor samples progress through it and captures the event
+    /// tail into stall diagnostics.
+    pub fn journal_handle(&self) -> Journal {
+        self.journal.clone()
+    }
+
+    /// The cooperative cancellation token this master observes.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
 }
 
 /// Which producer task indices a consumer task needs along an edge.

@@ -6,6 +6,7 @@ pub mod cache;
 pub mod clock;
 pub mod config;
 pub mod executor;
+pub mod fault;
 pub mod invariants;
 pub mod journal;
 pub mod local;
@@ -18,11 +19,15 @@ pub mod store;
 pub mod transport;
 pub mod wal;
 
-pub use backend::{BackendKind, ExecBackend, SimBackend, ThreadedBackend, WorkerPool};
+pub use backend::{
+    BackendKind, CancelToken, ExecBackend, SimBackend, StallDiagnostics, StallProbe,
+    ThreadedBackend, WorkerPool, WorkerState,
+};
 pub use cache::{CacheKey, LruCache};
 pub use clock::Clock;
 pub use config::RuntimeConfig;
 pub use executor::{ExecutorHandle, JobContext};
+pub use fault::{FaultDraw, FaultInjector, WireSide};
 pub use invariants::{assert_clean, check, Violation};
 pub use journal::{EventJournal, JobEvent, Journal, JournalMeta, JournalRecord};
 pub use local::LocalCluster;

@@ -55,9 +55,9 @@ use pado_dag::Block;
 
 use crate::compiler::FopId;
 use crate::runtime::cache::{CacheKey, LruCache};
+use crate::runtime::fault::FaultInjector;
 use crate::runtime::journal::{JobEvent, Journal};
 use crate::runtime::message::ExecId;
-use crate::runtime::transport::mix64;
 
 /// Deterministic disk-fault injection for the spill tier (a chaos
 /// knob, [`FaultPlan::spill_faults`]): each spill write or read draws
@@ -74,11 +74,6 @@ pub struct SpillFaultPlan {
     pub write_prob: f64,
     /// Probability that a spill read fails (on-disk copy dropped).
     pub read_prob: f64,
-}
-
-/// Uniform draw in `[0, 1)` from a mixed hash.
-fn unit(h: u64) -> f64 {
-    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
 /// Budget value meaning "no limit": the store tracks bytes but never
@@ -264,9 +259,13 @@ impl BlockStore {
         if self.faults.write_prob <= 0.0 {
             return false;
         }
+        // Keyed by (executor, per-store spill-write ordinal): a causal
+        // clock, so the same seed hits the same spills on both backends.
         self.spill_writes += 1;
-        let h = mix64(self.faults.seed ^ mix64(self.exec as u64 ^ 0x57) ^ self.spill_writes);
-        unit(h) < self.faults.write_prob
+        FaultInjector::new(self.faults.seed)
+            .spill_write(self.exec as u64, self.spill_writes)
+            .unit()
+            < self.faults.write_prob
     }
 
     fn inject_read_fault(&mut self) -> bool {
@@ -274,8 +273,10 @@ impl BlockStore {
             return false;
         }
         self.spill_reads += 1;
-        let h = mix64(self.faults.seed ^ mix64(self.exec as u64 ^ 0x52) ^ self.spill_reads);
-        unit(h) < self.faults.read_prob
+        FaultInjector::new(self.faults.seed)
+            .spill_read(self.exec as u64, self.spill_reads)
+            .unit()
+            < self.faults.read_prob
     }
 
     fn limited(&self) -> bool {

@@ -36,6 +36,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::Sender;
 
 use crate::error::RuntimeError;
+use crate::runtime::fault::{FaultInjector, WireSide};
 use crate::runtime::journal::{JobEvent, Journal};
 use crate::runtime::message::{ExecId, ExecutorMsg, MasterMsg};
 
@@ -212,21 +213,20 @@ impl NetPolicy {
     /// One independent fault draw for the `ordinal`-th transmission on a
     /// link. Retransmissions of the same message get fresh draws (they
     /// are distinct transmissions), so a retried message always gets
-    /// through eventually.
+    /// through eventually. The draw keys off `(seed, direction, peer,
+    /// transmission ordinal)` only — all causal, backend-invariant
+    /// identifiers — via the central [`FaultInjector`].
     fn decide(&self, dir: Direction, exec: ExecId, ordinal: u64) -> Action {
         let f = match dir {
             Direction::ToExecutor => &self.fault.to_executor,
             Direction::ToMaster => &self.fault.to_master,
         };
-        let salt = match dir {
-            Direction::ToExecutor => 0x7C15,
-            Direction::ToMaster => 0x1CE4,
+        let side = match dir {
+            Direction::ToExecutor => WireSide::ToExecutor,
+            Direction::ToMaster => WireSide::ToMaster,
         };
-        let mut h = self.fault.seed ^ salt;
-        for v in [exec as u64, ordinal] {
-            h = mix64(h ^ v);
-        }
-        let u = (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let d = FaultInjector::new(self.fault.seed).wire(side, exec as u64, ordinal);
+        let u = d.unit();
         if u < f.drop_prob {
             return Action::Drop;
         }
@@ -235,10 +235,10 @@ impl NetPolicy {
         }
         if u < f.drop_prob + f.dup_prob + f.reorder_prob {
             // Held just long enough for frames sent after it to overtake.
-            return Action::Hold(Duration::from_millis(1 + mix64(h) % 3));
+            return Action::Hold(Duration::from_millis(1 + d.span(3)));
         }
         if u < f.drop_prob + f.dup_prob + f.reorder_prob + f.delay_prob {
-            return Action::Hold(Duration::from_millis(1 + mix64(h) % f.delay_ms.max(1)));
+            return Action::Hold(Duration::from_millis(1 + d.span(f.delay_ms)));
         }
         Action::Deliver
     }
@@ -464,8 +464,11 @@ impl<T: Clone, W: Clone> ReliableSender<T, W> {
     /// retransmission storms de-synchronize identically on every replay.
     fn jitter(&self, seq: Seq, transmissions: u64) -> Duration {
         let base_ms = self.base.as_millis() as u64;
-        let h = mix64(self.seed ^ mix64(seq) ^ transmissions);
-        Duration::from_millis(h % (base_ms / 2 + 1))
+        // Keyed by the envelope's causal sequence number and its
+        // per-message transmission count — never a link-global counter —
+        // so jitter replays identically on both backends.
+        let d = FaultInjector::new(self.seed).retransmit_jitter(seq, transmissions);
+        Duration::from_millis(d.index(base_ms / 2 + 1))
     }
 
     /// Processes an acknowledgement, freeing its in-flight slot and
@@ -616,14 +619,9 @@ impl DedupWindow {
     }
 }
 
-/// splitmix64 finalizer: one independent uniform draw per input. Shared
-/// by the chaos-injection and transport fault paths.
-pub(crate) fn mix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+/// splitmix64 finalizer, now owned by the central fault module (kept
+/// re-exported here for the transport-seed-derivation call sites).
+pub(crate) use crate::runtime::fault::mix64;
 
 #[cfg(test)]
 mod tests {

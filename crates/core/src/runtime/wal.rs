@@ -55,6 +55,7 @@ use std::sync::Arc;
 
 use crate::compiler::{FopId, Placement};
 use crate::error::RuntimeError;
+use crate::runtime::fault::FaultInjector;
 use crate::runtime::journal::JobEvent;
 use crate::runtime::message::{AttemptId, ExecId};
 use crate::runtime::reconfig::{ReconfigChange, ReconfigTrigger};
@@ -602,6 +603,22 @@ fn enc_event(e: &mut Enc, ev: &JobEvent) {
             e.usize(*frames_truncated);
             e.bool(*snapshot_restored);
         }
+        JobEvent::RunAborted { reason } => {
+            e.u8(35);
+            e.str(reason);
+        }
+        JobEvent::RunStalled { waited_ms } => {
+            e.u8(36);
+            e.u64(*waited_ms);
+        }
+        JobEvent::PoolQuiesced { in_flight } => {
+            e.u8(37);
+            e.usize(*in_flight);
+        }
+        JobEvent::PoolWorkerDetached { worker } => {
+            e.u8(38);
+            e.usize(*worker);
+        }
     }
 }
 
@@ -763,6 +780,14 @@ fn dec_event(d: &mut Dec<'_>) -> DecodeResult<JobEvent> {
             frames_truncated: d.usize()?,
             snapshot_restored: d.bool()?,
         },
+        35 => JobEvent::RunAborted { reason: d.str()? },
+        36 => JobEvent::RunStalled {
+            waited_ms: d.u64()?,
+        },
+        37 => JobEvent::PoolQuiesced {
+            in_flight: d.usize()?,
+        },
+        38 => JobEvent::PoolWorkerDetached { worker: d.usize()? },
         _ => return Err("bad event tag"),
     })
 }
@@ -1295,34 +1320,24 @@ pub struct WalCorruption {
     pub truncate_prob: f64,
 }
 
-fn mix64(mut x: u64) -> u64 {
-    x ^= x >> 33;
-    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
-    x ^= x >> 33;
-    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
-    x ^= x >> 33;
-    x
-}
-
-fn unit(h: u64) -> f64 {
-    (h >> 11) as f64 / (1u64 << 53) as f64
-}
-
 /// Applies seeded corruption to a WAL image in place. Pure and
-/// deterministic for a fixed seed.
+/// deterministic for a fixed seed: the draws are keyed by byte offsets
+/// in the image (a file position, not an iteration counter), routed
+/// through [`FaultInjector`].
 pub fn inject_corruption(bytes: &mut Vec<u8>, c: &WalCorruption) {
     if bytes.is_empty() {
         return;
     }
-    if c.truncate_prob > 0.0 && unit(mix64(c.seed ^ 0x7472_756e)) < c.truncate_prob {
-        let cut = (mix64(c.seed ^ 0x6375_7421) as usize) % bytes.len();
+    let inj = FaultInjector::new(c.seed);
+    if c.truncate_prob > 0.0 && inj.wal_truncate().unit() < c.truncate_prob {
+        let cut = (inj.wal_truncate_offset().hash() as usize) % bytes.len();
         bytes.truncate(cut);
     }
     if c.bit_flip_prob > 0.0 {
         for (i, b) in bytes.iter_mut().enumerate() {
-            let h = mix64(c.seed ^ 0xb17f ^ ((i as u64) << 16));
-            if unit(h) < c.bit_flip_prob {
-                *b ^= 1 << (h % 8);
+            let d = inj.wal_bit_flip(i as u64);
+            if d.unit() < c.bit_flip_prob {
+                *b ^= 1 << d.index(8);
             }
         }
     }

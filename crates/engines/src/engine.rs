@@ -843,7 +843,13 @@ impl SimEngine {
                 *by_src.entry(src_node).or_insert(0.0) += bytes;
             }
         }
-        by_src.into_iter().filter(|(_, b)| *b > 0.0).collect()
+        // HashMap iteration order is per-process random; transfers must
+        // start in a deterministic order or event-queue tie-breaks (and
+        // with them the whole simulated schedule) vary run to run.
+        let mut plan: Vec<(ContainerId, f64)> =
+            by_src.into_iter().filter(|(_, b)| *b > 0.0).collect();
+        plan.sort_unstable_by_key(|&(src, _)| src);
+        plan
     }
 
     /// The byte-shrink factor partial aggregation applies to a producer's
@@ -1000,11 +1006,14 @@ impl SimEngine {
                 }
             }
         }
-        by_dst
+        // Deterministic push order for the same reason as `fetch_plan`.
+        let mut plan: Vec<(ContainerId, f64)> = by_dst
             .into_iter()
             .map(|(dst, bytes)| (dst, bytes.max(1.0)))
             .filter(|&(dst, _)| dst != node)
-            .collect()
+            .collect();
+        plan.sort_unstable_by_key(|&(dst, _)| dst);
+        plan
     }
 }
 

@@ -34,6 +34,12 @@ cargo run -p pado-bench --release --bin dataplane -- --smoke --mem-budget auto >
 echo "==> backend differential matrix (sim vs threaded, byte-identical)"
 cargo test -p pado-core --test backend_equivalence -q
 
+echo "==> fault-injector regression (legacy draw formulas + cross-backend proptests)"
+cargo test -p pado-core --test fault_injector -q
+
+echo "==> threaded chaos matrices (five fault families vs same-seed sim) + watchdog wedge"
+cargo test -p pado-core --test threaded_chaos -q
+
 echo "==> threaded soak (10 rounds of chaos against fault-free sim baseline)"
 cargo test -p pado-core --test backend_equivalence -q -- --ignored
 

@@ -50,6 +50,16 @@ pub mod channel {
         Disconnected(T),
     }
 
+    /// Error returned by [`Sender::send_timeout`]; carries the unsent
+    /// message.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum SendTimeoutError<T> {
+        /// The bounded channel stayed full for the whole timeout.
+        Timeout(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
     /// Error returned by [`Receiver::recv`] when the channel is empty and
     /// all senders are gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +85,19 @@ pub mod channel {
             match self {
                 TrySendError::Full(_) => write!(f, "sending on a full channel"),
                 TrySendError::Disconnected(_) => {
+                    write!(f, "sending on a disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl<T> fmt::Display for SendTimeoutError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                SendTimeoutError::Timeout(_) => {
+                    write!(f, "timed out waiting on a full channel")
+                }
+                SendTimeoutError::Disconnected(_) => {
                     write!(f, "sending on a disconnected channel")
                 }
             }
@@ -173,6 +196,46 @@ pub mod channel {
             }
         }
 
+        /// Enqueues `msg`, blocking for at most `timeout` while a bounded
+        /// channel stays full; fails with [`SendTimeoutError::Timeout`]
+        /// (carrying the message back) once the deadline passes.
+        pub fn send_timeout(&self, msg: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+            let deadline = Instant::now() + timeout;
+            let mut queue = self.shared.lock();
+            loop {
+                if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                    return Err(SendTimeoutError::Disconnected(msg));
+                }
+                match self.shared.capacity {
+                    Some(cap) if queue.len() >= cap => {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            return Err(SendTimeoutError::Timeout(msg));
+                        }
+                        queue = match self.shared.space.wait_timeout(queue, deadline - now) {
+                            Ok((g, _)) => g,
+                            Err(poisoned) => poisoned.into_inner().0,
+                        };
+                    }
+                    _ => {
+                        queue.push_back(msg);
+                        self.shared.ready.notify_one();
+                        return Ok(());
+                    }
+                }
+            }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.lock().len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.shared.lock().is_empty()
+        }
+
         /// Enqueues `msg` without blocking; fails with
         /// [`TrySendError::Full`] when a bounded channel is at capacity.
         pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
@@ -250,6 +313,16 @@ pub mod channel {
                     Err(poisoned) => poisoned.into_inner().0,
                 };
             }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.lock().len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.shared.lock().is_empty()
         }
 
         /// Returns a message if one is immediately available.
@@ -330,6 +403,24 @@ pub mod channel {
             assert_eq!(rx.recv(), Ok(3));
             drop(rx);
             assert_eq!(tx.try_send(9), Err(TrySendError::Disconnected(9)));
+        }
+
+        #[test]
+        fn send_timeout_times_out_on_a_full_channel_then_succeeds() {
+            let (tx, rx) = bounded::<u32>(1);
+            tx.send(1).unwrap();
+            assert_eq!(
+                tx.send_timeout(2, Duration::from_millis(10)),
+                Err(SendTimeoutError::Timeout(2))
+            );
+            assert_eq!(rx.recv(), Ok(1));
+            tx.send_timeout(2, Duration::from_millis(10)).unwrap();
+            assert_eq!(rx.recv(), Ok(2));
+            drop(rx);
+            assert_eq!(
+                tx.send_timeout(9, Duration::from_millis(10)),
+                Err(SendTimeoutError::Disconnected(9))
+            );
         }
 
         #[test]
